@@ -1,0 +1,50 @@
+//! Table I + Fig 2 + Fig 3 bench: the analytic accounting paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pregated_moe::model::analytics::{flops_per_sequence, CapacityBreakdown, Table1Row};
+use pregated_moe::prelude::*;
+use std::hint::black_box;
+
+fn bench_analytics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_fig2_fig3_analytics");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.bench_function("table1_rows", |b| {
+        b.iter(|| {
+            let rows: Vec<Table1Row> = [
+                ModelConfig::switch_base(8),
+                ModelConfig::switch_base(64),
+                ModelConfig::switch_base(128),
+                ModelConfig::switch_large_128(),
+            ]
+            .iter()
+            .map(Table1Row::of)
+            .collect();
+            black_box(rows)
+        })
+    });
+    group.bench_function("fig2_flops_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for experts in [1usize, 8, 16, 32, 64, 128, 256] {
+                let mut cfg = ModelConfig::switch_base(experts.max(2));
+                cfg.num_experts = experts;
+                total += flops_per_sequence(&cfg, black_box(256));
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("fig3_capacity_breakdown", |b| {
+        b.iter(|| {
+            let breakdowns: Vec<CapacityBreakdown> = [8usize, 64, 128, 256]
+                .iter()
+                .map(|&e| CapacityBreakdown::of(&ModelConfig::switch_base(e)))
+                .collect();
+            black_box(breakdowns)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytics);
+criterion_main!(benches);

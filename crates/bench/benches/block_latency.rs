@@ -1,0 +1,50 @@
+//! Fig 10 bench: per-policy MoE-block latency measurement runs.
+//!
+//! Each benchmark simulates a short decode under one (model, policy) pair —
+//! the measurement that generates Fig 10's bars. Criterion's statistics sit
+//! on top of the simulator's deterministic output, so the interesting output
+//! is the *simulated* latency printed by `repro -- fig10`; the bench tracks
+//! the harness's own cost and guards against regressions in the scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgmoe_bench::smoke_request;
+use pregated_moe::prelude::*;
+
+fn bench_block_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_block_latency");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for experts in [8usize, 64, 128] {
+        for policy in OffloadPolicy::ALL {
+            let cfg = ModelConfig::switch_base(experts);
+            group.bench_with_input(
+                BenchmarkId::new(policy.paper_name(), experts),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        InferenceSim::new(cfg.clone(), SimOptions::new(policy))
+                            .run(smoke_request(), 1)
+                            .map(|r| r.mean_block_latency())
+                            .ok()
+                    })
+                },
+            );
+        }
+    }
+    // The Switch-Large row (GPU-only OOMs by design; measure the CPU-GPU trio).
+    for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand, OffloadPolicy::PrefetchAll] {
+        group.bench_function(BenchmarkId::new(policy.paper_name(), "large-128"), |b| {
+            b.iter(|| {
+                InferenceSim::new(ModelConfig::switch_large_128(), SimOptions::new(policy))
+                    .run(smoke_request(), 1)
+                    .expect("fits")
+                    .mean_block_latency()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_latency);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Fig 14 + Fig 15 + Fig 16 bench: activation-density sweep, expert caching
+//! and SSD offloading.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgmoe_bench::smoke_request;
+use pregated_moe::prelude::*;
+
+fn bench_active_experts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_active_experts");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let cfg = ModelConfig::switch_base(64);
+    for k in [1usize, 4, 16, 32, 64] {
+        for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand, OffloadPolicy::PrefetchAll] {
+            group.bench_function(BenchmarkId::new(policy.paper_name(), k), |b| {
+                b.iter(|| {
+                    InferenceSim::new(cfg.clone(), SimOptions::new(policy).with_active_experts(k))
+                        .run(smoke_request(), 1)
+                        .expect("run")
+                        .mean_block_latency()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_caching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_caching");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let cfg = ModelConfig::switch_large_128();
+    let hot = RoutingKind::Zipf { s: 1.6 };
+    for replacement in Replacement::ALL {
+        for fraction in [0.01f64, 0.10, 0.20] {
+            group.bench_function(
+                BenchmarkId::new(replacement.to_string(), format!("{:.0}%", fraction * 100.0)),
+                |b| {
+                    b.iter(|| {
+                        InferenceSim::new(
+                            cfg.clone(),
+                            SimOptions::new(OffloadPolicy::OnDemand)
+                                .with_routing(hot)
+                                .with_cache(CacheConfig::new(fraction, replacement)),
+                        )
+                        .run(smoke_request(), 1)
+                        .expect("run")
+                        .tokens_per_sec
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_ssd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_ssd_offload");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for cfg in [ModelConfig::switch_large_128(), ModelConfig::switch_xxl()] {
+        for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand, OffloadPolicy::PrefetchAll] {
+            group.bench_function(BenchmarkId::new(policy.paper_name(), &cfg.name), |b| {
+                b.iter(|| {
+                    InferenceSim::new(cfg.clone(), SimOptions::new(policy).with_ssd_offload())
+                        .run(smoke_request(), 1)
+                        .expect("run")
+                        .tokens_per_sec
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_active_experts, bench_caching, bench_ssd);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Substrate micro-benchmarks: tensor algebra, DES engine, expert cache,
+//! routing-trace generation — the building blocks every figure rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pregated_moe::device::{SimDuration, SimEngine};
+use pregated_moe::prelude::*;
+use pregated_moe::runtime::{ExpertCache, ExpertKey};
+use pregated_moe::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [32usize, 64, 128] {
+        let a = pregated_moe::tensor::init::normal([n, n], 0.0, 1.0, &mut rng);
+        let b = pregated_moe::tensor::init::normal([n, n], 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &(a, b), |bench, (a, b)| {
+            bench.iter(|| black_box(a.matmul(b)))
+        });
+    }
+    let x = pregated_moe::tensor::init::normal([64, 256], 0.0, 1.0, &mut rng);
+    group.bench_function("softmax_rows_64x256", |b| b.iter(|| black_box(x.softmax_rows())));
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_engine");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.bench_function("submit_10k_ops_two_streams", |b| {
+        b.iter(|| {
+            let mut eng = SimEngine::new();
+            eng.set_trace_enabled(false);
+            let gpu = eng.add_resource("gpu");
+            let dma = eng.add_resource("dma");
+            let compute = eng.add_stream("compute", gpu);
+            let copy = eng.add_stream("copy", dma);
+            let mut last = None;
+            for i in 0..5_000 {
+                let f = eng.submit(copy, "f", SimDuration::from_nanos(600), &[]);
+                let waits = match last {
+                    Some(prev) => vec![f, prev],
+                    None => vec![f],
+                };
+                last = Some(eng.submit(compute, "e", SimDuration::from_nanos(400 + (i % 7)), &waits));
+            }
+            black_box(eng.horizon())
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expert_cache");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    let trace = RoutingTrace::generate(256, 24, 128, 1, RoutingKind::Zipf { s: 1.2 }, 9);
+    for replacement in Replacement::ALL {
+        group.bench_function(BenchmarkId::new("access_trace", replacement.to_string()), |b| {
+            b.iter(|| {
+                let mut cache = ExpertCache::new(64, replacement);
+                for tok in 0..trace.num_tokens() {
+                    for block in 0..trace.num_blocks() {
+                        for &e in trace.experts(tok, block) {
+                            cache.access(ExpertKey { block, expert: e });
+                        }
+                    }
+                }
+                black_box(cache.stats())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_trace");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    for kind in [RoutingKind::Uniform, RoutingKind::Zipf { s: 1.2 }] {
+        group.bench_function(BenchmarkId::new("generate_64tok_24blk_128e", format!("{kind:?}")), |b| {
+            b.iter(|| black_box(RoutingTrace::generate(64, 24, 128, 1, kind, 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tensor, bench_engine, bench_cache, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig 11 + Fig 12 bench: end-to-end throughput and peak-memory runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgmoe_bench::smoke_request;
+use pregated_moe::prelude::*;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_throughput");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for experts in [8usize, 64, 128] {
+        let cfg = ModelConfig::switch_base(experts);
+        for policy in OffloadPolicy::ALL {
+            group.bench_with_input(BenchmarkId::new(policy.paper_name(), experts), &cfg, |b, cfg| {
+                b.iter(|| {
+                    InferenceSim::new(cfg.clone(), SimOptions::new(policy))
+                        .run(smoke_request(), 1)
+                        .map(|r| r.tokens_per_sec)
+                        .ok()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_peak_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_peak_memory");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for experts in [8usize, 64, 128, 256] {
+        let cfg = ModelConfig::switch_base(experts);
+        for policy in OffloadPolicy::ALL {
+            group.bench_with_input(BenchmarkId::new(policy.paper_name(), experts), &cfg, |b, cfg| {
+                b.iter(|| {
+                    InferenceSim::new(cfg.clone(), SimOptions::new(policy))
+                        .run(smoke_request(), 1)
+                        .map(|r| r.peak_hbm_bytes)
+                        .ok()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput, bench_peak_memory);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Table II / Fig 13 bench: one fine-tuning step per gate topology — the
+//! unit of work behind the accuracy experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pregated_moe::model::net::{SwitchNet, SwitchNetConfig};
+use pregated_moe::model::GatingMode;
+use pregated_moe::prelude::*;
+use pregated_moe::tensor::nn::optim::Adam;
+use pregated_moe::tensor::nn::Layer;
+use pregated_moe::tensor::{ops, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_fig13_training_step");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let task = TaskSpec::new(TaskKind::SquadLike, 4, 1);
+    for mode in [
+        GatingMode::Conventional,
+        GatingMode::Pregated { level: 1 },
+        GatingMode::Pregated { level: 3 },
+    ] {
+        group.bench_function(BenchmarkId::new("step", format!("{mode:?}")), |b| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let cfg =
+                SwitchNetConfig::small(task.vocab_size(), task.seq_len(), 8, mode);
+            let mut net = SwitchNet::new(cfg, &mut rng);
+            let mut opt = Adam::new(1e-3);
+            let positions: Vec<usize> = (task.seq_len() - task.answer_len()..task.seq_len()).collect();
+            let mut idx = 0u64;
+            b.iter(|| {
+                net.zero_grad();
+                for _ in 0..4 {
+                    let ex = task.sample_indexed(idx);
+                    idx += 1;
+                    let logits = net.forward(&ex.input);
+                    let ans = logits.gather_rows(&positions);
+                    let (_, dans) = ops::cross_entropy_from_logits(&ans, &ex.target);
+                    let mut dlogits = Tensor::zeros([task.seq_len(), task.vocab_size()]);
+                    dlogits.scatter_add_rows(&positions, &dans);
+                    net.backward(&dlogits);
+                }
+                opt.begin_step();
+                net.visit_params(&mut |p| opt.step(p));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_step);
+criterion_main!(benches);

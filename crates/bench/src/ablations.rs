@@ -1,0 +1,187 @@
+//! Ablations beyond the paper's figures, probing the design choices
+//! DESIGN.md calls out (Section VI-D spirit).
+
+use pregated_moe::model::GatingMode;
+use pregated_moe::prelude::*;
+
+fn run(cfg: &ModelConfig, opts: SimOptions, request: DecodeRequest) -> RunReport {
+    InferenceSim::new(cfg.clone(), opts).run(request, 1).expect("ablation run")
+}
+
+/// PCIe-bandwidth sensitivity: where does Pre-gated MoE stop hiding the
+/// fetch? The overlap window is one block of compute; once the per-expert
+/// migration exceeds it, exposure grows linearly — this sweep locates the
+/// crossover the paper's calibration sits just inside.
+pub fn pcie_sweep() -> String {
+    let cfg = ModelConfig::switch_base(64);
+    let request = crate::smoke_request();
+    let mut out = String::from("== Ablation: PCIe bandwidth sensitivity (Switch-Base-64) ==\n");
+    out.push_str(&format!(
+        "{:<14} {:>14} {:>14} {:>10}\n",
+        "PCIe (GB/s)", "Pre-gated", "GPU-only", "exposed"
+    ));
+    for gbps in [4.0, 8.0, 16.0, 32.0, 64.0, 128.0] {
+        let machine = MachineConfig::a100_like().with_pcie_bandwidth(gbps * 1e9);
+        let mut opts = SimOptions::new(OffloadPolicy::Pregated);
+        opts.machine = machine.clone();
+        let pg = run(&cfg, opts, request).mean_block_latency();
+        let mut gpu_opts = SimOptions::new(OffloadPolicy::GpuOnly);
+        gpu_opts.machine = machine;
+        let gpu = run(&cfg, gpu_opts, request).mean_block_latency();
+        out.push_str(&format!(
+            "{:<14} {:>14} {:>14} {:>9.2}x\n",
+            gbps,
+            format!("{pg}"),
+            format!("{gpu}"),
+            pg.as_nanos() as f64 / gpu.as_nanos() as f64
+        ));
+    }
+    out.push_str("shape: below ~8 GB/s the fetch no longer hides under one block of compute.\n");
+    out
+}
+
+/// Pre-gate activation level vs *latency*: deeper lookahead gives the
+/// runtime more overlap slack (the accuracy cost is Fig 13's subject).
+pub fn level_sweep() -> String {
+    let cfg = ModelConfig::switch_base(64);
+    let request = crate::smoke_request();
+    let mut out = String::from("== Ablation: pre-gate activation level vs block latency ==\n");
+    for level in 1..=3usize {
+        let mut opts = SimOptions::new(OffloadPolicy::Pregated);
+        opts.gating = GatingMode::Pregated { level };
+        let r = run(&cfg, opts, request);
+        out.push_str(&format!(
+            "level N={level}: mean block {}  (first {level} block(s) per iteration serialize)\n",
+            r.mean_block_latency()
+        ));
+    }
+    out.push_str("shape: latency is flat in N at PCIe gen4 — the level-1 window already\n\
+                  hides the fetch, so deeper lookahead only buys slack, not speed.\n");
+    out
+}
+
+/// Batch-size sensitivity: more concurrent sequences activate more distinct
+/// experts per block, eroding the sparse-activation advantage (the paper
+/// serves batch 1 for this reason).
+pub fn batch_sweep() -> String {
+    let cfg = ModelConfig::switch_base(64);
+    let mut out = String::from("== Ablation: batch size (distinct experts per block grow) ==\n");
+    for batch in [1usize, 4, 16, 64] {
+        // Approximate batched decode: activation count ≈ expected distinct
+        // experts over `batch` top-1 draws.
+        let k = expected_distinct(batch, 64);
+        let r = run(
+            &cfg,
+            SimOptions::new(OffloadPolicy::Pregated).with_active_experts(k),
+            crate::smoke_request(),
+        );
+        let gpu = run(
+            &cfg,
+            SimOptions::new(OffloadPolicy::GpuOnly).with_active_experts(k),
+            crate::smoke_request(),
+        );
+        out.push_str(&format!(
+            "batch {batch:>3} (≈{k:>2} active experts/block): Pre-gated {:.2}x GPU-only\n",
+            r.mean_block_latency().as_nanos() as f64 / gpu.mean_block_latency().as_nanos() as f64
+        ));
+    }
+    out
+}
+
+/// Top-k routing (NLLB-MoE activates top-2): the migration doubles but so
+/// does the execution window, so Pre-gated's hiding survives.
+pub fn topk_sweep() -> String {
+    let cfg = ModelConfig::switch_base(64);
+    let request = crate::smoke_request();
+    let mut out = String::from("== Ablation: top-k routing (NLLB-style top-2 vs Switch top-1) ==\n");
+    for k in [1usize, 2, 4] {
+        let pg = run(&cfg, SimOptions::new(OffloadPolicy::Pregated).with_active_experts(k), request);
+        let od = run(&cfg, SimOptions::new(OffloadPolicy::OnDemand).with_active_experts(k), request);
+        out.push_str(&format!(
+            "top-{k}: Pre-gated {} vs OnDemand {}  (advantage {:.2}x)\n",
+            pg.mean_block_latency(),
+            od.mean_block_latency(),
+            od.mean_block_latency().as_nanos() as f64 / pg.mean_block_latency().as_nanos() as f64
+        ));
+    }
+    out
+}
+
+/// Section III-A's motivation, quantified: multi-GPU expert parallelism
+/// leaves GPUs idle at batch 1, while Pre-gated MoE matches the work to one
+/// GPU + CPU memory.
+pub fn multi_gpu_motivation() -> String {
+    use pregated_moe::runtime::{simulate_expert_parallel, ClusterConfig};
+    let mut out = String::from("== Motivation (Section III-A): expert-parallel multi-GPU ==\n");
+    let cfg = ModelConfig::switch_large_128();
+    out.push_str(&format!(
+        "{:<8} {:>16} {:>14} {:>12}\n",
+        "GPUs", "block latency", "expert util", "idle frac"
+    ));
+    for gpus in [2usize, 4, 8, 16] {
+        match simulate_expert_parallel(&cfg, &ClusterConfig::a100_nvlink(gpus), 16, 7) {
+            Ok(r) => out.push_str(&format!(
+                "{:<8} {:>16} {:>13.1}% {:>11.1}%\n",
+                gpus,
+                format!("{}", r.mean_block_latency),
+                100.0 * r.expert_utilization,
+                100.0 * r.idle_block_fraction
+            )),
+            Err(e) => out.push_str(&format!("{gpus:<8} {e}\n")),
+        }
+    }
+    let single = InferenceSim::new(cfg, SimOptions::new(OffloadPolicy::Pregated))
+        .run(crate::smoke_request(), 1)
+        .expect("run");
+    out.push_str(&format!(
+        "Pre-gated MoE on ONE GPU + CPU memory: block {} at {:.1} GB peak —\n\
+         the TCO argument: top-1 routing leaves (g-1)/g of an expert-parallel\n\
+         cluster idle every block, while offloading needs no second GPU.\n",
+        single.mean_block_latency(),
+        single.peak_hbm_bytes as f64 / 1e9
+    ));
+    out
+}
+
+fn expected_distinct(draws: usize, experts: usize) -> usize {
+    let e = experts as f64;
+    ((e * (1.0 - (1.0 - 1.0 / e).powi(draws as i32))).round() as usize).clamp(1, experts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_sweep_shows_monotone_exposure() {
+        let report = pcie_sweep();
+        // Exposure factor column must be non-increasing as bandwidth grows.
+        let factors: Vec<f64> = report
+            .lines()
+            .filter(|l| l.contains('x') && !l.contains("shape"))
+            .filter_map(|l| l.split_whitespace().last()?.trim_end_matches('x').parse().ok())
+            .collect();
+        assert!(factors.len() >= 5, "{report}");
+        for w in factors.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "exposure must shrink with bandwidth: {factors:?}");
+        }
+    }
+
+    #[test]
+    fn level_sweep_runs_all_levels() {
+        let report = level_sweep();
+        for level in 1..=3 {
+            assert!(report.contains(&format!("N={level}")), "{report}");
+        }
+    }
+
+    #[test]
+    fn topk_advantage_persists_at_top2() {
+        let report = topk_sweep();
+        let advantage: Vec<f64> = report
+            .lines()
+            .filter_map(|l| l.split("advantage ").nth(1)?.trim_end_matches("x)").parse().ok())
+            .collect();
+        assert!(advantage.iter().take(2).all(|&a| a > 1.3), "{report}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Drivers for the accuracy experiments: Table II and Fig 13.
+
+use pregated_moe::model::GatingMode;
+use pregated_moe::train::experiments::{fig13 as fig13_points, table2 as table2_cells, ModelScale};
+use pregated_moe::train::TrainerConfig;
+use pregated_moe::workload::TaskKind;
+
+/// Table II: per (model scale, task), the conventional baseline vs the
+/// pre-gated variant — fine-tuned from one shared pretrained checkpoint.
+///
+/// `full` selects the long recipe (several minutes); otherwise a reduced one
+/// (~1 min) that preserves the comparison but with lower absolute scores.
+pub fn table2(full: bool) -> String {
+    let cfg = if full { TrainerConfig::paper() } else { TrainerConfig::default() };
+    let mut out = String::from("== Table II: effect of the pre-gate on model accuracy ==\n");
+    out.push_str(&format!(
+        "(trainable scaled-down analogues; recipe: pretrain {} steps, fine-tune {} per variant)\n",
+        cfg.pretrain_steps, cfg.finetune_steps
+    ));
+    out.push_str(&format!(
+        "{:<22} {:<16} {:<22} {:>7} {:>7} {:>7} {:>7}\n",
+        "model", "task", "variant", "EM", "F1", "R1", "R2"
+    ));
+    let cells = table2_cells(&cfg, &ModelScale::TABLE2, &TaskKind::ALL);
+    for c in &cells {
+        let variant = match c.mode {
+            GatingMode::Conventional => "Conventional".to_string(),
+            GatingMode::Pregated { level } => format!("Pre-gated (N={level})"),
+        };
+        out.push_str(&format!(
+            "{:<22} {:<16} {:<22} {:>7.1} {:>7.1} {:>7.1} {:>7.1}\n",
+            c.scale.name,
+            c.task.dataset_name(),
+            variant,
+            c.scores.exact_match,
+            c.scores.f1,
+            c.scores.rouge1,
+            c.scores.rouge2
+        ));
+    }
+    out.push_str(
+        "shape: Pre-gated (N=1) tracks the conventional gate within noise on every\n\
+         (model, task) cell — the paper's Table II claim.\n",
+    );
+    out
+}
+
+/// Fig 13: accuracy vs pre-gate activation level N (0 = conventional).
+pub fn fig13(full: bool) -> String {
+    let cfg = if full { TrainerConfig::paper() } else { TrainerConfig::default() };
+    let mut out = String::from("== Fig 13: accuracy vs pre-gate activation level (SQuAD-like) ==\n");
+    out.push_str(&format!("{:<26} {:>7} {:>7}\n", "variant", "EM", "F1"));
+    for p in fig13_points(&cfg, 3) {
+        let name = if p.level == 0 {
+            "Conventional MoE".to_string()
+        } else {
+            format!("Pre-gated MoE (N={})", p.level)
+        };
+        out.push_str(&format!("{:<26} {:>7.1} {:>7.1}\n", name, p.scores.exact_match, p.scores.f1));
+    }
+    out.push_str(
+        "shape: N=1 matches the conventional gate; accuracy decays as the pre-gate\n\
+         selects for blocks further ahead (paper Fig 13).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    // The accuracy drivers train real models; exercised by `repro` and the
+    // train crate's own tests. Here we only verify report formatting with
+    // the smallest possible budget.
+    use super::*;
+
+    #[test]
+    #[ignore = "trains models; run explicitly or via `repro -- table2`"]
+    fn table2_smoke_formats() {
+        let t = table2(false);
+        assert!(t.contains("Conventional"));
+        assert!(t.contains("Pre-gated"));
+    }
+}

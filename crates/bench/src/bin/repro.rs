@@ -1,0 +1,99 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p pgmoe-bench --bin repro -- all          # everything but training
+//! cargo run --release -p pgmoe-bench --bin repro -- fig10
+//! cargo run --release -p pgmoe-bench --bin repro -- table2 --full
+//! cargo run --release -p pgmoe-bench --bin repro -- csv out/    # artifact CSVs
+//! ```
+
+use pgmoe_bench::{ablations, accuracy, figures};
+
+const USAGE: &str = "usage: repro -- <target> [--full]
+targets:
+  table1 fig2 fig3           analytic (instant)
+  fig10 fig11 fig12 fig14    systems latency/throughput/memory
+  fig15 fig16 timeline       caching / SSD / Fig 9 timelines
+  table2 fig13 [--full]      accuracy (trains models; --full = paper recipe)
+  ablations                  PCIe/level/batch/top-k sweeps
+  csv <dir>                  write artifact-style CSV files
+  all                        every non-training target
+  everything                 all + table2 + fig13 (slow)";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = args.first().map(String::as_str).unwrap_or("all");
+    let full = args.iter().any(|a| a == "--full");
+    match target {
+        "table1" => print!("{}", figures::table1()),
+        "fig2" => print!("{}", figures::fig2()),
+        "fig3" => print!("{}", figures::fig3()),
+        "fig10" => print!("{}", figures::fig10()),
+        "fig11" => print!("{}", figures::fig11()),
+        "fig12" => print!("{}", figures::fig12()),
+        "fig14" => print!("{}", figures::fig14()),
+        "fig15" => print!("{}", figures::fig15()),
+        "fig16" => print!("{}", figures::fig16()),
+        "timeline" | "fig9" => print!("{}", figures::timeline()),
+        "table2" => print!("{}", accuracy::table2(full)),
+        "fig13" => print!("{}", accuracy::fig13(full)),
+        "ablations" => {
+            print!("{}", ablations::pcie_sweep());
+            print!("{}", ablations::level_sweep());
+            print!("{}", ablations::batch_sweep());
+            print!("{}", ablations::topk_sweep());
+            print!("{}", ablations::multi_gpu_motivation());
+        }
+        "motivation" => print!("{}", ablations::multi_gpu_motivation()),
+        "csv" => {
+            let dir = args.get(1).cloned().unwrap_or_else(|| "repro-out".to_string());
+            let paths = figures::write_artifact_csvs(std::path::Path::new(&dir)).expect("write CSVs");
+            for p in paths {
+                println!("wrote {}", p.display());
+            }
+        }
+        "all" => {
+            for section in [
+                figures::table1(),
+                figures::fig2(),
+                figures::fig3(),
+                figures::fig10(),
+                figures::fig11(),
+                figures::fig12(),
+                figures::fig14(),
+                figures::fig15(),
+                figures::fig16(),
+                figures::timeline(),
+            ] {
+                println!("{section}");
+            }
+        }
+        "everything" => {
+            main_all();
+            println!("{}", accuracy::table2(full));
+            println!("{}", accuracy::fig13(full));
+        }
+        "-h" | "--help" | "help" => println!("{USAGE}"),
+        other => {
+            eprintln!("unknown target `{other}`\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main_all() {
+    for section in [
+        figures::table1(),
+        figures::fig2(),
+        figures::fig3(),
+        figures::fig10(),
+        figures::fig11(),
+        figures::fig12(),
+        figures::fig14(),
+        figures::fig15(),
+        figures::fig16(),
+        figures::timeline(),
+    ] {
+        println!("{section}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Analytic kernel cost model, calibrated to the paper's operating point.
+
+use crate::SimDuration;
+
+/// Prices GPU kernels for the simulator.
+///
+/// A kernel's duration is `launch_overhead + max(flops / flops_per_sec,
+/// hbm_bytes / effective_hbm_bw)` — the classic roofline with a fixed launch
+/// cost. Batch-1 LLM decoding (the paper's serving point, Section VI-A) is
+/// firmly on the memory-bound side of the roofline, so the effective HBM
+/// bandwidth constant dominates.
+///
+/// # Calibration
+///
+/// [`CostModel::a100_pcie4`] pins the model's free constants to the paper's
+/// own measurements (Section V, Figs 10–11):
+///
+/// * Parameters are fp32 (Table I: 7.5 B params = 30 GB ⇒ 4 B/param), so one
+///   Switch-Base expert is 18.9 MB and its PCIe-gen4 migration costs ≈590 µs —
+///   pure physics, not a tuned constant.
+/// * `effective_hbm_bw = 48 GB/s` (≈2.4 % of A100 peak) reproduces the
+///   paper's GPU-only Switch-Base throughput of ≈137 tokens/s; batch-1
+///   GEMV kernels plus FasterTransformer launch gaps run far below peak
+///   HBM bandwidth. This single tuned constant makes the headline ratios
+///   *emerge*: MoE-OnDemand ≈2× GPU-only block latency, MoE-Prefetch
+///   7×/54×/107×/125× for Base-8/64/128/Large-128, Pre-gated ≈1.1×.
+/// * `launch_overhead = 12 µs`, `sync_overhead = 10 µs` are typical CUDA
+///   kernel-launch / stream-sync costs.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostModel {
+    /// Peak dense-compute throughput in FLOP/s (fp32 tensor-core path).
+    pub flops_per_sec: f64,
+    /// Effective HBM bandwidth seen by batch-1 kernels, bytes/s.
+    pub effective_hbm_bw: f64,
+    /// Fixed per-kernel launch overhead.
+    pub launch_overhead: SimDuration,
+    /// Cost of a cross-stream synchronisation (event wait observed by host).
+    pub sync_overhead: SimDuration,
+    /// Cost of evaluating a gate / pre-gate function (a small MLP — the paper
+    /// notes it is "a compact MLP layer having low computation requirement",
+    /// Fig 7).
+    pub gate_overhead: SimDuration,
+}
+
+impl CostModel {
+    /// The calibrated A100 + PCIe gen4 model used by every experiment.
+    pub fn a100_pcie4() -> Self {
+        CostModel {
+            flops_per_sec: 19.5e12,
+            effective_hbm_bw: 48.0e9,
+            launch_overhead: SimDuration::from_micros(12),
+            sync_overhead: SimDuration::from_micros(10),
+            gate_overhead: SimDuration::from_micros(15),
+        }
+    }
+
+    /// Duration of one kernel given its FLOP count and HBM traffic.
+    pub fn kernel_time(&self, flops: f64, hbm_bytes: u64) -> SimDuration {
+        let compute = flops / self.flops_per_sec;
+        let memory = hbm_bytes as f64 / self.effective_hbm_bw;
+        self.launch_overhead + SimDuration::from_secs_f64(compute.max(memory))
+    }
+
+    /// Duration of a memory-bound kernel that streams `hbm_bytes`.
+    pub fn membound_time(&self, hbm_bytes: u64) -> SimDuration {
+        self.kernel_time(0.0, hbm_bytes)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::a100_pcie4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch1_kernels_are_memory_bound() {
+        let cm = CostModel::a100_pcie4();
+        // One expert GEMV: 2*d*ff MACs on 2*d*ff fp32 weights.
+        let flops = 2.0 * 2.0 * 768.0 * 3072.0;
+        let bytes = 2 * 768 * 3072 * 4;
+        let t = cm.kernel_time(flops, bytes);
+        let membound = cm.membound_time(bytes);
+        assert_eq!(t, membound, "batch-1 expert must be memory-bound");
+    }
+
+    #[test]
+    fn switch_base_expert_exec_is_about_400us() {
+        let cm = CostModel::a100_pcie4();
+        let bytes = 2 * 768 * 3072 * 4;
+        let us = cm.membound_time(bytes).as_micros_f64();
+        assert!((350.0..450.0).contains(&us), "got {us}µs");
+    }
+
+    #[test]
+    fn huge_flops_become_compute_bound() {
+        let cm = CostModel::a100_pcie4();
+        let t = cm.kernel_time(19.5e12, 1);
+        assert!((t.as_secs_f64() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_work_costs_launch_overhead() {
+        let cm = CostModel::a100_pcie4();
+        assert_eq!(cm.kernel_time(0.0, 0), cm.launch_overhead);
+    }
+}

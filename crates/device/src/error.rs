@@ -1,0 +1,66 @@
+//! Error types for the device simulator.
+
+use crate::Tier;
+use std::fmt;
+
+/// Convenience alias for results returned by the device simulator.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+/// Error produced by device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An allocation exceeded a memory pool's capacity.
+    ///
+    /// This is the simulator's equivalent of CUDA's OOM and is what the
+    /// GPU-only baseline hits on Switch-Large-128 (Figs 10–12).
+    OutOfMemory {
+        /// The tier whose pool overflowed.
+        tier: Tier,
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes still available in the pool.
+        available: u64,
+        /// Pool capacity in bytes.
+        capacity: u64,
+    },
+    /// An allocation id was freed twice or never existed.
+    UnknownAllocation {
+        /// The offending id's raw value.
+        id: u64,
+    },
+    /// A stream/event/resource id belonged to a different engine or epoch.
+    UnknownHandle {
+        /// What kind of handle was invalid.
+        kind: &'static str,
+        /// The offending id's raw value.
+        id: u64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory { tier, requested, available, capacity } => write!(
+                f,
+                "out of memory on {tier:?}: requested {requested} B, available {available} B of {capacity} B"
+            ),
+            DeviceError::UnknownAllocation { id } => write!(f, "unknown allocation id {id}"),
+            DeviceError::UnknownHandle { kind, id } => write!(f, "unknown {kind} handle {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_tier_and_bytes() {
+        let e = DeviceError::OutOfMemory { tier: Tier::Hbm, requested: 100, available: 10, capacity: 50 };
+        let s = e.to_string();
+        assert!(s.contains("Hbm"));
+        assert!(s.contains("100"));
+    }
+}

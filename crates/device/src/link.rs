@@ -1,0 +1,78 @@
+//! Interconnect bandwidth/latency models.
+
+use crate::SimDuration;
+
+/// A point-to-point interconnect with fixed bandwidth and per-transfer
+/// latency.
+///
+/// The paper's system uses PCIe gen4 at 32 GB/s between CPU DRAM and GPU HBM
+/// (Section V) and a much slower SSD path for the Fig 16 study. Transfer time
+/// is `latency + bytes / bandwidth` — the first-order model the paper's own
+/// analysis (Fig 9) relies on.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Link {
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed per-transfer setup latency.
+    pub latency: SimDuration,
+}
+
+impl Link {
+    /// Creates a link with the given bandwidth (bytes/s) and setup latency.
+    pub fn new(bandwidth_bytes_per_sec: f64, latency: SimDuration) -> Self {
+        assert!(bandwidth_bytes_per_sec > 0.0, "link bandwidth must be positive");
+        Link { bandwidth_bytes_per_sec, latency }
+    }
+
+    /// PCIe gen4 x16: 32 GB/s with ~10 µs DMA setup, the paper's CPU↔GPU
+    /// channel (Section V).
+    pub fn pcie_gen4() -> Self {
+        Link::new(32.0e9, SimDuration::from_micros(10))
+    }
+
+    /// NVMe SSD read path: ~3 GB/s with ~70 µs access latency, matching the
+    /// "much lower data transfer bandwidth between SSD vs. CPU DRAM"
+    /// qualifier of Section VI-D / Fig 16.
+    pub fn nvme_ssd() -> Self {
+        Link::new(3.0e9, SimDuration::from_micros(70))
+    }
+
+    /// Time to move `bytes` across this link.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.latency + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_moves_one_switch_base_expert_in_about_600us() {
+        // One Switch-Base expert: 2 * 768 * 3072 fp32 params = 18.87 MB.
+        let bytes = 2 * 768 * 3072 * 4;
+        let t = Link::pcie_gen4().transfer_time(bytes);
+        let us = t.as_micros_f64();
+        assert!((550.0..650.0).contains(&us), "expected ~600µs, got {us}µs");
+    }
+
+    #[test]
+    fn ssd_is_an_order_of_magnitude_slower_than_pcie() {
+        let bytes = 18_874_368;
+        let pcie = Link::pcie_gen4().transfer_time(bytes).as_nanos() as f64;
+        let ssd = Link::nvme_ssd().transfer_time(bytes).as_nanos() as f64;
+        assert!(ssd / pcie > 8.0);
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_latency() {
+        let link = Link::pcie_gen4();
+        assert_eq!(link.transfer_time(0), link.latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Link::new(0.0, SimDuration::ZERO);
+    }
+}

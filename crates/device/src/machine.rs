@@ -1,0 +1,260 @@
+//! A ready-wired simulated machine: GPU + host + SSD + links + streams.
+
+use crate::{
+    CostModel, EventId, Link, MemoryPool, ResourceId, SimDuration, SimEngine, SimTime, StreamId,
+    Tier, TraceSpan,
+};
+
+/// Configuration for a [`Machine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// GPU HBM capacity in bytes.
+    pub hbm_capacity: u64,
+    /// Host DDR capacity in bytes.
+    pub ddr_capacity: u64,
+    /// SSD capacity in bytes.
+    pub ssd_capacity: u64,
+    /// Kernel cost model.
+    pub cost: CostModel,
+    /// CPU DRAM ↔ GPU link.
+    pub pcie: Link,
+    /// SSD → GPU path (paper's Fig 16 configuration routes expert reads
+    /// through the SSD's much lower bandwidth).
+    pub ssd_link: Link,
+}
+
+impl MachineConfig {
+    /// The paper's testbed (Section V): A100-80GB, 1.8 TB DDR4, PCIe gen4.
+    pub fn a100_like() -> Self {
+        MachineConfig {
+            hbm_capacity: 80 * (1 << 30),
+            ddr_capacity: 1800 * (1 << 30),
+            ssd_capacity: 8 * (1u64 << 40),
+            cost: CostModel::a100_pcie4(),
+            pcie: Link::pcie_gen4(),
+            ssd_link: Link::nvme_ssd(),
+        }
+    }
+
+    /// Same machine with a custom PCIe bandwidth (for the sensitivity
+    /// ablation on where Pre-gated MoE stops hiding the fetch).
+    pub fn with_pcie_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        self.pcie.bandwidth_bytes_per_sec = bytes_per_sec;
+        self
+    }
+}
+
+/// A simulated A100-class machine with one compute stream and one copy
+/// stream, the exact two-stream structure the Pre-gated MoE system relies on
+/// for overlapping expert migration with expert execution (Figs 7–9).
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_device::{Machine, MachineConfig, Tier};
+///
+/// let mut m = Machine::new(MachineConfig::a100_like());
+/// let fetch = m.copy_to_gpu("expert", 18_874_368, Tier::Ddr, &[]);
+/// let exec = m.launch_kernel("ffn", 0.0, 18_874_368, &[fetch]);
+/// let done = m.event_time(exec);
+/// assert!(done.as_nanos() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    engine: SimEngine,
+    cost: CostModel,
+    pcie: Link,
+    ssd_link: Link,
+    hbm: MemoryPool,
+    ddr: MemoryPool,
+    ssd: MemoryPool,
+    compute: StreamId,
+    copy: StreamId,
+    gpu_resource: ResourceId,
+    pcie_resource: ResourceId,
+}
+
+impl Machine {
+    /// Builds the machine and its two streams.
+    pub fn new(config: MachineConfig) -> Self {
+        let mut engine = SimEngine::new();
+        let gpu_resource = engine.add_resource("gpu");
+        let pcie_resource = engine.add_resource("pcie-dma");
+        let compute = engine.add_stream("compute", gpu_resource);
+        let copy = engine.add_stream("copy", pcie_resource);
+        Machine {
+            engine,
+            cost: config.cost,
+            pcie: config.pcie,
+            ssd_link: config.ssd_link,
+            hbm: MemoryPool::new(Tier::Hbm, config.hbm_capacity),
+            ddr: MemoryPool::new(Tier::Ddr, config.ddr_capacity),
+            ssd: MemoryPool::new(Tier::Ssd, config.ssd_capacity),
+            compute,
+            copy,
+            gpu_resource,
+            pcie_resource,
+        }
+    }
+
+    /// The kernel cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The compute stream (GPU kernels).
+    pub fn compute_stream(&self) -> StreamId {
+        self.compute
+    }
+
+    /// The copy stream (host→device DMA).
+    pub fn copy_stream(&self) -> StreamId {
+        self.copy
+    }
+
+    /// Memory pool for `tier`.
+    pub fn pool(&self, tier: Tier) -> &MemoryPool {
+        match tier {
+            Tier::Hbm => &self.hbm,
+            Tier::Ddr => &self.ddr,
+            Tier::Ssd => &self.ssd,
+        }
+    }
+
+    /// Mutable memory pool for `tier`.
+    pub fn pool_mut(&mut self, tier: Tier) -> &mut MemoryPool {
+        match tier {
+            Tier::Hbm => &mut self.hbm,
+            Tier::Ddr => &mut self.ddr,
+            Tier::Ssd => &mut self.ssd,
+        }
+    }
+
+    /// Launches a kernel priced by the cost model on the compute stream.
+    pub fn launch_kernel(
+        &mut self,
+        label: &str,
+        flops: f64,
+        hbm_bytes: u64,
+        waits: &[EventId],
+    ) -> EventId {
+        let dur = self.cost.kernel_time(flops, hbm_bytes);
+        self.engine.submit(self.compute, label, dur, waits)
+    }
+
+    /// Submits a fixed-duration op on the compute stream (gate evaluation,
+    /// sync points).
+    pub fn compute_op(&mut self, label: &str, duration: SimDuration, waits: &[EventId]) -> EventId {
+        self.engine.submit(self.compute, label, duration, waits)
+    }
+
+    /// Enqueues a host→device transfer of `bytes` from `source` on the copy
+    /// stream, returning its completion event.
+    ///
+    /// Transfers from [`Tier::Ddr`] ride the PCIe link; transfers from
+    /// [`Tier::Ssd`] ride the SSD path. A transfer "from" HBM is a
+    /// device-local no-op costing only the sync overhead (used when an
+    /// expert is cache-resident).
+    pub fn copy_to_gpu(&mut self, label: &str, bytes: u64, source: Tier, waits: &[EventId]) -> EventId {
+        let dur = match source {
+            Tier::Ddr => self.pcie.transfer_time(bytes),
+            Tier::Ssd => self.ssd_link.transfer_time(bytes),
+            Tier::Hbm => self.cost.sync_overhead,
+        };
+        self.engine.submit(self.copy, label, dur, waits)
+    }
+
+    /// Completion time of an event.
+    pub fn event_time(&self, event: EventId) -> SimTime {
+        self.engine.event_time(event)
+    }
+
+    /// Latest instant across both streams.
+    pub fn horizon(&self) -> SimTime {
+        self.engine.horizon()
+    }
+
+    /// Busy time on the GPU (compute utilisation numerator).
+    pub fn gpu_busy(&self) -> SimDuration {
+        self.engine.resource_busy(self.gpu_resource)
+    }
+
+    /// Busy time on the PCIe DMA engine.
+    pub fn pcie_busy(&self) -> SimDuration {
+        self.engine.resource_busy(self.pcie_resource)
+    }
+
+    /// Recorded trace spans.
+    pub fn trace(&self) -> &[TraceSpan] {
+        self.engine.trace()
+    }
+
+    /// Enables/disables trace retention.
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        self.engine.set_trace_enabled(enabled);
+    }
+
+    /// Clears recorded trace spans.
+    pub fn clear_trace(&mut self) {
+        self.engine.clear_trace();
+    }
+
+    /// Direct access to the underlying engine for advanced schedules.
+    pub fn engine_mut(&mut self) -> &mut SimEngine {
+        &mut self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_then_dependent_exec_serializes() {
+        let mut m = Machine::new(MachineConfig::a100_like());
+        let bytes = 2 * 768 * 3072 * 4; // one Switch-Base expert, fp32
+        let fetch = m.copy_to_gpu("expert", bytes, Tier::Ddr, &[]);
+        let exec = m.launch_kernel("ffn", 0.0, bytes, &[fetch]);
+        let fetch_t = m.event_time(fetch);
+        let exec_t = m.event_time(exec);
+        assert!(exec_t > fetch_t);
+        // Exec duration ≈ membound time.
+        let dur = exec_t - fetch_t;
+        assert_eq!(dur, m.cost().membound_time(bytes));
+    }
+
+    #[test]
+    fn independent_fetch_overlaps_compute() {
+        let mut m = Machine::new(MachineConfig::a100_like());
+        let bytes = 2 * 768 * 3072 * 4;
+        let _fetch_next = m.copy_to_gpu("next-expert", bytes, Tier::Ddr, &[]);
+        let exec = m.launch_kernel("ffn", 0.0, bytes, &[]);
+        // Compute finished without waiting for the fetch.
+        assert_eq!(m.event_time(exec), SimTime::ZERO + m.cost().membound_time(bytes));
+    }
+
+    #[test]
+    fn ssd_fetch_is_much_slower_than_ddr() {
+        let mut m = Machine::new(MachineConfig::a100_like());
+        let bytes = 18_874_368;
+        let ddr = m.copy_to_gpu("a", bytes, Tier::Ddr, &[]);
+        let ddr_t = m.event_time(ddr);
+        let mut m2 = Machine::new(MachineConfig::a100_like());
+        let ssd = m2.copy_to_gpu("a", bytes, Tier::Ssd, &[]);
+        let ssd_t = m2.event_time(ssd);
+        assert!(ssd_t.as_nanos() > 8 * ddr_t.as_nanos());
+    }
+
+    #[test]
+    fn hbm_pool_is_80_gb() {
+        let m = Machine::new(MachineConfig::a100_like());
+        assert_eq!(m.pool(Tier::Hbm).capacity(), 80 * (1 << 30));
+    }
+
+    #[test]
+    fn cache_resident_copy_costs_only_sync() {
+        let mut m = Machine::new(MachineConfig::a100_like());
+        let e = m.copy_to_gpu("hit", 1 << 30, Tier::Hbm, &[]);
+        assert_eq!(m.event_time(e) - SimTime::ZERO, m.cost().sync_overhead);
+    }
+}

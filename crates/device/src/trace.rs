@@ -1,0 +1,136 @@
+//! Execution-trace spans and an ASCII timeline renderer (Fig 9).
+
+use crate::{SimDuration, SimTime};
+
+/// One op's occupancy of a stream, as recorded by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Name of the stream the op ran on.
+    pub stream: String,
+    /// Op label supplied at submission.
+    pub label: String,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+}
+
+impl TraceSpan {
+    /// The span's length.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// Renders spans as an ASCII Gantt chart, one row per stream — the textual
+/// analogue of the paper's Fig 9 execution-timeline comparison.
+///
+/// `width` is the number of character cells used for the full time range.
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_device::{render_timeline, TraceSpan, SimTime};
+///
+/// let spans = vec![TraceSpan {
+///     stream: "compute".into(),
+///     label: "ffn".into(),
+///     start: SimTime::ZERO,
+///     end: SimTime::from_nanos(100),
+/// }];
+/// let chart = render_timeline(&spans, 40);
+/// assert!(chart.contains("compute"));
+/// ```
+pub fn render_timeline(spans: &[TraceSpan], width: usize) -> String {
+    if spans.is_empty() {
+        return String::from("(empty timeline)\n");
+    }
+    let t0 = spans.iter().map(|s| s.start).min().unwrap_or(SimTime::ZERO);
+    let t1 = spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO);
+    let total = (t1 - t0).as_nanos().max(1);
+
+    // Stable stream order: first appearance.
+    let mut streams: Vec<&str> = Vec::new();
+    for s in spans {
+        if !streams.contains(&s.stream.as_str()) {
+            streams.push(&s.stream);
+        }
+    }
+    let name_width = streams.iter().map(|s| s.len()).max().unwrap_or(0).max(7);
+
+    let mut out = String::new();
+    for stream in &streams {
+        let mut row = vec![b'.'; width];
+        for span in spans.iter().filter(|s| s.stream == *stream) {
+            if span.end == span.start {
+                continue;
+            }
+            let a = ((span.start - t0).as_nanos() as u128 * width as u128 / total as u128) as usize;
+            let b = ((span.end - t0).as_nanos() as u128 * width as u128 / total as u128) as usize;
+            let b = b.clamp(a + 1, width);
+            let glyph = glyph_for(&span.label);
+            for cell in &mut row[a..b] {
+                *cell = glyph;
+            }
+        }
+        out.push_str(&format!(
+            "{stream:>name_width$} |{}|\n",
+            String::from_utf8(row).expect("ascii row")
+        ));
+    }
+    out.push_str(&format!(
+        "{:>name_width$}  0 {:>w$}\n",
+        "time",
+        format!("{}", t1 - t0),
+        w = width.saturating_sub(2)
+    ));
+    out
+}
+
+fn glyph_for(label: &str) -> u8 {
+    label.bytes().next().map(|b| b.to_ascii_uppercase()).filter(u8::is_ascii_graphic).unwrap_or(b'#')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(stream: &str, label: &str, start: u64, end: u64) -> TraceSpan {
+        TraceSpan {
+            stream: stream.into(),
+            label: label.into(),
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+        }
+    }
+
+    #[test]
+    fn duration_is_end_minus_start() {
+        assert_eq!(span("s", "x", 10, 35).duration().as_nanos(), 25);
+    }
+
+    #[test]
+    fn renderer_emits_one_row_per_stream() {
+        let spans =
+            vec![span("compute", "exec", 0, 50), span("copy", "fetch", 0, 100), span("compute", "exec", 50, 80)];
+        let chart = render_timeline(&spans, 20);
+        assert_eq!(chart.lines().count(), 3); // two streams + time axis
+        assert!(chart.contains("compute"));
+        assert!(chart.contains("copy"));
+    }
+
+    #[test]
+    fn overlap_is_visible() {
+        let spans = vec![span("compute", "exec", 0, 100), span("copy", "fetch", 0, 100)];
+        let chart = render_timeline(&spans, 10);
+        // Both rows fully filled with their glyph.
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].contains("EEEEEEEEEE"));
+        assert!(lines[1].contains("FFFFFFFFFF"));
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        assert!(render_timeline(&[], 10).contains("empty"));
+    }
+}

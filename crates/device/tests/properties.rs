@@ -1,0 +1,114 @@
+//! Property-based tests for discrete-event-engine and allocator invariants.
+
+use pgmoe_device::{MemoryPool, SimDuration, SimEngine, SimTime, Tier};
+use proptest::prelude::*;
+
+/// A random op: (stream index 0/1, duration ns, wait on event k submissions ago).
+fn ops_strategy() -> impl Strategy<Value = Vec<(u8, u64, Option<u8>)>> {
+    proptest::collection::vec((0u8..2, 0u64..1_000, proptest::option::of(1u8..5)), 1..40)
+}
+
+proptest! {
+    #[test]
+    fn stream_tails_are_monotone_and_events_ordered(ops in ops_strategy()) {
+        let mut eng = SimEngine::new();
+        let r0 = eng.add_resource("gpu");
+        let r1 = eng.add_resource("dma");
+        let s = [eng.add_stream("compute", r0), eng.add_stream("copy", r1)];
+        let mut events = Vec::new();
+        let mut last_tail = [SimTime::ZERO; 2];
+        for (stream, dur, wait_back) in ops {
+            let waits: Vec<_> = wait_back
+                .and_then(|k| events.len().checked_sub(k as usize))
+                .map(|i| vec![events[i]])
+                .unwrap_or_default();
+            let ev = eng.submit(s[stream as usize], "op", SimDuration::from_nanos(dur), &waits);
+            let t = eng.event_time(ev);
+            // Stream order: completion times on one stream never decrease.
+            prop_assert!(t >= last_tail[stream as usize]);
+            last_tail[stream as usize] = t;
+            // Waited events complete no later than this op.
+            for w in &waits {
+                prop_assert!(eng.event_time(*w) <= t);
+            }
+            // Completion >= duration (no op finishes before it could start).
+            prop_assert!(t.as_nanos() >= dur);
+            events.push(ev);
+        }
+        // Horizon equals max stream tail.
+        prop_assert_eq!(eng.horizon(), last_tail[0].max(last_tail[1]));
+    }
+
+    #[test]
+    fn horizon_never_exceeds_serial_sum(ops in ops_strategy()) {
+        // Parallel execution can only help: the horizon is at most the sum of
+        // all durations (what a single serialized stream would take).
+        let mut eng = SimEngine::new();
+        let r0 = eng.add_resource("gpu");
+        let r1 = eng.add_resource("dma");
+        let s = [eng.add_stream("compute", r0), eng.add_stream("copy", r1)];
+        let mut events = Vec::new();
+        let mut total = 0u64;
+        for (stream, dur, wait_back) in ops {
+            let waits: Vec<_> = wait_back
+                .and_then(|k| events.len().checked_sub(k as usize))
+                .map(|i| vec![events[i]])
+                .unwrap_or_default();
+            let ev = eng.submit(s[stream as usize], "op", SimDuration::from_nanos(dur), &waits);
+            events.push(ev);
+            total += dur;
+        }
+        prop_assert!(eng.horizon().as_nanos() <= total);
+    }
+
+    #[test]
+    fn resource_busy_equals_sum_of_durations(durs in proptest::collection::vec(0u64..1_000, 1..30)) {
+        let mut eng = SimEngine::new();
+        let r = eng.add_resource("gpu");
+        let s = eng.add_stream("compute", r);
+        for d in &durs {
+            eng.submit(s, "op", SimDuration::from_nanos(*d), &[]);
+        }
+        prop_assert_eq!(eng.resource_busy(r).as_nanos(), durs.iter().sum::<u64>());
+        // A single stream on one resource runs fully serialized.
+        prop_assert_eq!(eng.horizon().as_nanos(), durs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn allocator_peak_and_used_invariants(
+        actions in proptest::collection::vec((any::<bool>(), 0u64..1_000), 1..60)
+    ) {
+        let mut pool = MemoryPool::new(Tier::Hbm, 16_384);
+        let mut live = Vec::new();
+        let mut model_used = 0u64;
+        let mut model_peak = 0u64;
+        for (is_alloc, bytes) in actions {
+            if is_alloc {
+                match pool.alloc(bytes) {
+                    Ok(id) => {
+                        live.push((id, bytes));
+                        model_used += bytes;
+                        model_peak = model_peak.max(model_used);
+                    }
+                    Err(_) => {
+                        // OOM must only happen when the request truly doesn't fit.
+                        prop_assert!(model_used + bytes > pool.capacity());
+                    }
+                }
+            } else if let Some((id, bytes)) = live.pop() {
+                pool.free(id).unwrap();
+                model_used -= bytes;
+            }
+            prop_assert_eq!(pool.used_bytes(), model_used);
+            prop_assert_eq!(pool.peak_bytes(), model_peak);
+            prop_assert!(pool.peak_bytes() >= pool.used_bytes());
+            prop_assert!(pool.used_bytes() <= pool.capacity());
+        }
+        // Freeing everything restores an empty pool; peak survives.
+        for (id, _) in live {
+            pool.free(id).unwrap();
+        }
+        prop_assert_eq!(pool.used_bytes(), 0);
+        prop_assert_eq!(pool.peak_bytes(), model_peak);
+    }
+}

@@ -1,0 +1,189 @@
+//! Analytic FLOPs and memory accounting behind Table I and Figs 2–3.
+
+use crate::ModelConfig;
+
+/// FLOPs required to process one sequence of `seq_len` tokens end to end
+/// (encoder over the sequence + one decoder pass per token), in floating
+/// point operations.
+///
+/// This is the quantity plotted in Fig 2 (GFLOPs/seq): because only `top_k`
+/// experts run per token, MoE FLOPs are *independent of the expert count*,
+/// while the dense model's FLOPs match the MoE's at `num_experts = 1`.
+pub fn flops_per_sequence(cfg: &ModelConfig, seq_len: usize) -> f64 {
+    // Encoder processes seq_len tokens, decoder generates seq_len tokens
+    // attending over growing context; per-token costs below.
+    let enc = seq_len as f64 * flops_per_token_encoder(cfg, seq_len);
+    let dec = seq_len as f64 * flops_per_token_decoder(cfg, seq_len);
+    enc + dec
+}
+
+/// FLOPs of one encoder token at context length `ctx`.
+fn flops_per_token_encoder(cfg: &ModelConfig, ctx: usize) -> f64 {
+    let d = cfg.d_model as f64;
+    let per_layer = attn_flops(d, ctx, false) + ffn_flops(cfg);
+    cfg.encoder_layers as f64 * per_layer
+}
+
+/// FLOPs of one decoder token at (average) context length `ctx`.
+fn flops_per_token_decoder(cfg: &ModelConfig, ctx: usize) -> f64 {
+    let d = cfg.d_model as f64;
+    let per_layer = attn_flops(d, ctx, true) + ffn_flops(cfg);
+    cfg.decoder_layers as f64 * per_layer
+}
+
+/// Attention FLOPs per token: projections (4d² MACs) + score/context terms;
+/// decoders add cross-attention.
+fn attn_flops(d: f64, ctx: usize, decoder: bool) -> f64 {
+    let proj = 2.0 * 4.0 * d * d;
+    let mix = 2.0 * 2.0 * d * ctx as f64;
+    let self_attn = proj + mix;
+    if decoder {
+        2.0 * self_attn // self + cross attention
+    } else {
+        self_attn
+    }
+}
+
+/// FFN FLOPs per token: `top_k` experts of `2·d·ff` MACs each (the dense
+/// model is the `num_experts = 1, top_k = 1` special case).
+fn ffn_flops(cfg: &ModelConfig) -> f64 {
+    2.0 * 2.0 * cfg.d_model as f64 * cfg.d_ff as f64 * cfg.top_k as f64
+}
+
+/// One row of the Fig 3 capacity decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityBreakdown {
+    /// Model name.
+    pub name: String,
+    /// Expert + gate parameter bytes.
+    pub moe_bytes: u64,
+    /// Everything else.
+    pub non_moe_bytes: u64,
+}
+
+impl CapacityBreakdown {
+    /// Computes the decomposition for a configuration.
+    pub fn of(cfg: &ModelConfig) -> Self {
+        CapacityBreakdown {
+            name: cfg.name.clone(),
+            moe_bytes: cfg.moe_bytes(),
+            non_moe_bytes: cfg.non_moe_bytes(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.moe_bytes + self.non_moe_bytes
+    }
+
+    /// Fraction of capacity held by MoE parameters.
+    pub fn moe_fraction(&self) -> f64 {
+        self.moe_bytes as f64 / self.total_bytes() as f64
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Model name.
+    pub name: String,
+    /// Experts per MoE block.
+    pub experts: usize,
+    /// MoE blocks in the model (Table I "Layers").
+    pub layers: usize,
+    /// Total parameters, billions.
+    pub params_b: f64,
+    /// Capacity, GB (decimal).
+    pub capacity_gb: f64,
+}
+
+impl Table1Row {
+    /// Computes the row for a configuration.
+    pub fn of(cfg: &ModelConfig) -> Self {
+        Table1Row {
+            name: cfg.name.clone(),
+            experts: cfg.num_experts,
+            layers: cfg.moe_layers(),
+            params_b: cfg.total_params() as f64 / 1e9,
+            capacity_gb: cfg.capacity_bytes() as f64 / 1e9,
+        }
+    }
+}
+
+/// The model zoo of Table I, in row order.
+pub fn table1_configs() -> Vec<ModelConfig> {
+    vec![
+        ModelConfig::switch_base(8),
+        ModelConfig::switch_base(64),
+        ModelConfig::switch_base(128),
+        ModelConfig::switch_large_128(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_moe_flops_independent_of_expert_count() {
+        let seq = 256;
+        let f8 = flops_per_sequence(&ModelConfig::switch_base(8), seq);
+        let f256 = flops_per_sequence(&ModelConfig::switch_base(256), seq);
+        assert!((f8 - f256).abs() / f8 < 1e-9, "MoE FLOPs must not scale with experts");
+    }
+
+    #[test]
+    fn fig2_dense_equivalent_matches_moe_flops() {
+        let seq = 256;
+        let moe = flops_per_sequence(&ModelConfig::switch_base(64), seq);
+        let dense = flops_per_sequence(&ModelConfig::switch_base(64).dense_equivalent(), seq);
+        // Dense has FFNs at every layer vs MoE every other layer, but each
+        // token runs exactly one expert either way: iso-FLOPs to within the
+        // dense/Moe FFN placement. The paper treats T5-Base as the
+        // FLOPs-equivalent of Switch-Base.
+        let ratio = dense / moe;
+        assert!((0.8..1.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fig2_base_magnitude_matches_paper_axis() {
+        // Paper's Fig 2 shows Switch-Base around ~100 GFLOPs/seq at seq 256.
+        let g = flops_per_sequence(&ModelConfig::switch_base(128), 256) / 1e9;
+        assert!((40.0..250.0).contains(&g), "got {g} GFLOPs/seq");
+    }
+
+    #[test]
+    fn fig2_large_is_several_times_base() {
+        let base = flops_per_sequence(&ModelConfig::switch_base(128), 256);
+        let large = flops_per_sequence(&ModelConfig::switch_large_128(), 256);
+        let ratio = large / base;
+        assert!((2.0..6.0).contains(&ratio), "Large/Base FLOPs ratio {ratio}");
+    }
+
+    #[test]
+    fn fig3_moe_fraction_grows_with_experts() {
+        let f8 = CapacityBreakdown::of(&ModelConfig::switch_base(8)).moe_fraction();
+        let f64_ = CapacityBreakdown::of(&ModelConfig::switch_base(64)).moe_fraction();
+        let f128 = CapacityBreakdown::of(&ModelConfig::switch_base(128)).moe_fraction();
+        assert!(f8 < f64_ && f64_ < f128);
+        assert!(f128 > 0.95);
+    }
+
+    #[test]
+    fn fig3_memory_ratio_vs_dense_is_large() {
+        // Paper: SwitchTransformer consumes up to 75× more memory than T5.
+        let moe = ModelConfig::switch_base(256).capacity_bytes() as f64;
+        let dense = ModelConfig::switch_base(256).dense_equivalent().capacity_bytes() as f64;
+        let ratio = moe / dense;
+        assert!(ratio > 25.0, "Switch-Base-256 / T5 capacity ratio {ratio}");
+    }
+
+    #[test]
+    fn table1_rows_have_expected_layer_counts() {
+        let rows: Vec<Table1Row> = table1_configs().iter().map(Table1Row::of).collect();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].layers, 12);
+        assert_eq!(rows[3].layers, 24);
+        assert!(rows[3].capacity_gb > 100.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Binary checkpointing for trainable networks.
+//!
+//! The paper's recipe starts every variant from one *pretrained* checkpoint
+//! (Section IV-B). This module gives that checkpoint a durable form: a
+//! simple versioned little-endian binary format (no external serializers)
+//! holding every parameter tensor in `visit_params` order.
+//!
+//! Format: magic `PGMOE\0` + u32 version + u64 tensor count, then per
+//! tensor: u32 rank, u64 extents…, f32 data….
+
+use pgmoe_tensor::nn::Layer;
+use pgmoe_tensor::Tensor;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 6] = b"PGMOE\0";
+const VERSION: u32 = 1;
+
+/// Error produced by checkpoint encode/decode.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a checkpoint or is of an unsupported version.
+    BadHeader,
+    /// The checkpoint's tensors do not match the target network's shapes.
+    ShapeMismatch {
+        /// Index of the mismatching tensor.
+        index: usize,
+    },
+    /// The checkpoint holds a different number of tensors than the network.
+    CountMismatch {
+        /// Tensors in the checkpoint.
+        stored: usize,
+        /// Parameters in the network.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadHeader => write!(f, "not a pgmoe checkpoint (bad magic/version)"),
+            CheckpointError::ShapeMismatch { index } => {
+                write!(f, "tensor {index} shape mismatch")
+            }
+            CheckpointError::CountMismatch { stored, expected } => {
+                write!(f, "checkpoint holds {stored} tensors, network has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serializes every parameter of `layer` into `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save_params<W: Write>(layer: &mut dyn Layer, w: &mut W) -> Result<(), CheckpointError> {
+    let mut tensors: Vec<Tensor> = Vec::new();
+    layer.visit_params(&mut |p| tensors.push(p.value.clone()));
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(tensors.len() as u64).to_le_bytes())?;
+    for t in &tensors {
+        w.write_all(&(t.dims().len() as u32).to_le_bytes())?;
+        for &d in t.dims() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for v in t.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Restores every parameter of `layer` from `r`, in `visit_params` order.
+///
+/// Gradients are zeroed (a restored checkpoint starts a fresh optimisation).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on malformed streams or shape mismatches; the
+/// network is left unmodified on any error.
+pub fn load_params<R: Read>(layer: &mut dyn Layer, r: &mut R) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 6];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadHeader);
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(CheckpointError::BadHeader);
+    }
+    let count = read_u64(r)? as usize;
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rank = read_u32(r)? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u64(r)? as usize);
+        }
+        let len: usize = dims.iter().product();
+        let mut data = vec![0f32; len];
+        for v in &mut data {
+            let mut buf = [0u8; 4];
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        tensors.push(Tensor::from_vec(dims, data).map_err(|_| CheckpointError::BadHeader)?);
+    }
+    // Validate against the target before mutating anything.
+    let mut shapes = Vec::new();
+    layer.visit_params(&mut |p| shapes.push(p.value.shape().clone()));
+    if shapes.len() != tensors.len() {
+        return Err(CheckpointError::CountMismatch { stored: tensors.len(), expected: shapes.len() });
+    }
+    for (i, (shape, t)) in shapes.iter().zip(&tensors).enumerate() {
+        if shape != t.shape() {
+            return Err(CheckpointError::ShapeMismatch { index: i });
+        }
+    }
+    let mut iter = tensors.into_iter();
+    layer.visit_params(&mut |p| {
+        p.value = iter.next().expect("validated count");
+        p.zero_grad();
+    });
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{SwitchNet, SwitchNetConfig};
+    use crate::GatingMode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> SwitchNet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SwitchNet::new(SwitchNetConfig::small(16, 6, 4, GatingMode::Conventional), &mut rng)
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+        let mut b = net(2); // different weights
+        load_params(&mut b, &mut buf.as_slice()).unwrap();
+        let tokens = [1usize, 2, 3, 4, 5, 0];
+        assert_eq!(a.forward_inference(&tokens), b.forward_inference(&tokens));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let mut n = net(1);
+        let garbage = vec![0u8; 64];
+        assert!(matches!(
+            load_params(&mut n, &mut garbage.as_slice()),
+            Err(CheckpointError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch_without_mutating() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+        // Different architecture: more experts.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b =
+            SwitchNet::new(SwitchNetConfig::small(16, 6, 8, GatingMode::Conventional), &mut rng);
+        let before = b.forward_inference(&[1, 2, 3, 4, 5, 0]);
+        let err = load_params(&mut b, &mut buf.as_slice());
+        assert!(err.is_err());
+        assert_eq!(b.forward_inference(&[1, 2, 3, 4, 5, 0]), before, "failed load must not mutate");
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let mut b = net(2);
+        assert!(matches!(load_params(&mut b, &mut buf.as_slice()), Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn checkpoint_grads_are_zeroed_on_load() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+        let mut b = net(2);
+        // Dirty b's grads.
+        b.visit_params(&mut |p| {
+            for g in p.grad.as_mut_slice() {
+                *g = 1.0;
+            }
+        });
+        load_params(&mut b, &mut buf.as_slice()).unwrap();
+        let mut total = 0.0;
+        b.visit_params(&mut |p| total += p.grad.norm_sq());
+        assert_eq!(total, 0.0);
+    }
+}

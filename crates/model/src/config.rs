@@ -1,0 +1,323 @@
+//! The paper's model zoo (Table I) as analytic configurations.
+
+/// Numeric precision of stored parameters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Precision {
+    /// 32-bit floats — Table I's capacity numbers (7.5 B params = 30 GB).
+    Fp32,
+    /// 16-bit floats.
+    Fp16,
+    /// Post-quantization storage at ~0.55 B/param, the paper's Switch-XXL
+    /// configuration ("217 GB in model size after quantization is applied",
+    /// Fig 16).
+    Quantized,
+}
+
+impl Precision {
+    /// Bytes per parameter.
+    pub fn bytes_per_param(self) -> f64 {
+        match self {
+            Precision::Fp32 => 4.0,
+            Precision::Fp16 => 2.0,
+            Precision::Quantized => 0.55,
+        }
+    }
+}
+
+/// An encoder-decoder SwitchTransformer (or dense T5) configuration.
+///
+/// Layer counting follows Table I: `moe_layers()` is the paper's "Layers"
+/// column — the number of MoE blocks in the whole model. Switch replaces
+/// every other FFN with an MoE block (`moe_every = 2`), so Switch-Base
+/// (12 encoder + 12 decoder transformer layers) has 12 MoE blocks and
+/// Switch-Large (24 + 24) has 24.
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_model::ModelConfig;
+///
+/// let cfg = ModelConfig::switch_base(128);
+/// assert_eq!(cfg.moe_layers(), 12);
+/// let billions = cfg.total_params() as f64 / 1e9;
+/// assert!((7.0..8.0).contains(&billions)); // Table I: 7.5 B
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable name ("Switch-Base-128").
+    pub name: String,
+    /// Hidden width.
+    pub d_model: usize,
+    /// Expert/FFN inner width.
+    pub d_ff: usize,
+    /// Attention heads (affects FLOPs accounting only).
+    pub num_heads: usize,
+    /// Encoder transformer layers.
+    pub encoder_layers: usize,
+    /// Decoder transformer layers.
+    pub decoder_layers: usize,
+    /// An MoE block replaces every `moe_every`-th FFN (2 for Switch; a value
+    /// larger than `encoder_layers + decoder_layers` yields a dense model).
+    pub moe_every: usize,
+    /// Experts per MoE block (1 for dense).
+    pub num_experts: usize,
+    /// Experts activated per token (Switch: top-1).
+    pub top_k: usize,
+    /// Vocabulary size (T5: 32 128).
+    pub vocab: usize,
+    /// Parameter storage precision.
+    pub precision: Precision,
+}
+
+impl ModelConfig {
+    /// Switch-Base with the given expert count (Table I rows 1–3, plus the
+    /// 256-expert point of Fig 12).
+    pub fn switch_base(num_experts: usize) -> Self {
+        ModelConfig {
+            name: format!("Switch-Base-{num_experts}"),
+            d_model: 768,
+            d_ff: 3072,
+            num_heads: 12,
+            encoder_layers: 12,
+            decoder_layers: 12,
+            moe_every: 2,
+            num_experts,
+            top_k: 1,
+            vocab: 32_128,
+            precision: Precision::Fp32,
+        }
+    }
+
+    /// Switch-Large-128 (Table I row 4).
+    pub fn switch_large_128() -> Self {
+        ModelConfig {
+            name: "Switch-Large-128".to_string(),
+            d_model: 1024,
+            d_ff: 4096,
+            num_heads: 16,
+            encoder_layers: 24,
+            decoder_layers: 24,
+            moe_every: 2,
+            num_experts: 128,
+            top_k: 1,
+            vocab: 32_128,
+            precision: Precision::Fp32,
+        }
+    }
+
+    /// Switch-XXL: Switch-Large with feature dimension and head count scaled
+    /// 4×, quantized storage — the 217 GB model of Fig 16.
+    pub fn switch_xxl() -> Self {
+        ModelConfig {
+            name: "Switch-XXL-128".to_string(),
+            d_model: 4096,
+            d_ff: 16_384,
+            num_heads: 64,
+            encoder_layers: 24,
+            decoder_layers: 24,
+            moe_every: 2,
+            num_experts: 128,
+            top_k: 1,
+            vocab: 32_128,
+            precision: Precision::Quantized,
+        }
+    }
+
+    /// The FLOPs-equivalent dense T5 (Fig 2/3's "Dense" bars): identical
+    /// stack with exactly one expert per FFN position.
+    pub fn dense_equivalent(&self) -> ModelConfig {
+        ModelConfig {
+            name: format!("{}-dense-T5", self.name),
+            moe_every: 1,
+            num_experts: 1,
+            top_k: 1,
+            ..self.clone()
+        }
+    }
+
+    /// Changes stored precision (builder style).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Structure
+    // ------------------------------------------------------------------
+
+    /// Total transformer layers (encoder + decoder).
+    pub fn total_layers(&self) -> usize {
+        self.encoder_layers + self.decoder_layers
+    }
+
+    /// Number of MoE blocks in the whole model (Table I's "Layers" column).
+    pub fn moe_layers(&self) -> usize {
+        self.total_layers() / self.moe_every
+    }
+
+    /// Number of MoE blocks executed per decoder iteration.
+    pub fn decoder_moe_layers(&self) -> usize {
+        self.decoder_layers / self.moe_every
+    }
+
+    /// Number of dense (non-MoE) FFN positions in the whole model.
+    pub fn dense_ffn_layers(&self) -> usize {
+        self.total_layers() - self.moe_layers()
+    }
+
+    // ------------------------------------------------------------------
+    // Parameter accounting (Table I, Fig 3)
+    // ------------------------------------------------------------------
+
+    /// Parameters of a single expert FFN (two projection matrices).
+    pub fn expert_params(&self) -> u64 {
+        2 * self.d_model as u64 * self.d_ff as u64
+    }
+
+    /// Bytes of a single expert at the configured precision — the unit of
+    /// CPU→GPU migration in every offloading design.
+    pub fn expert_bytes(&self) -> u64 {
+        (self.expert_params() as f64 * self.precision.bytes_per_param()).round() as u64
+    }
+
+    /// Parameters of one gate/pre-gate router (`d_model × num_experts`).
+    pub fn gate_params(&self) -> u64 {
+        self.d_model as u64 * self.num_experts as u64
+    }
+
+    /// All MoE parameters: experts + gate functions (the paper's Fig 3
+    /// "MoE parameters" series).
+    pub fn moe_params(&self) -> u64 {
+        self.moe_layers() as u64 * (self.num_experts as u64 * self.expert_params() + self.gate_params())
+    }
+
+    /// All non-MoE parameters: embeddings, attention, dense FFNs, norms.
+    pub fn non_moe_params(&self) -> u64 {
+        let d = self.d_model as u64;
+        let embedding = self.vocab as u64 * d;
+        // Encoder self-attention: 4 d² per layer. Decoder adds cross-attention.
+        let enc_attn = self.encoder_layers as u64 * 4 * d * d;
+        let dec_attn = self.decoder_layers as u64 * 8 * d * d;
+        let dense_ffn = self.dense_ffn_layers() as u64 * 2 * d * self.d_ff as u64;
+        let norms = (self.total_layers() as u64 * 2 + 1) * 2 * d;
+        embedding + enc_attn + dec_attn + dense_ffn + norms
+    }
+
+    /// Total parameters.
+    pub fn total_params(&self) -> u64 {
+        self.moe_params() + self.non_moe_params()
+    }
+
+    /// Model capacity in bytes at the configured precision (Table I's
+    /// "Capacity" column).
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.total_params() as f64 * self.precision.bytes_per_param()).round() as u64
+    }
+
+    /// Bytes of the non-MoE parameters (pinned in GPU memory under every
+    /// CPU-offloading design, Fig 4).
+    pub fn non_moe_bytes(&self) -> u64 {
+        (self.non_moe_params() as f64 * self.precision.bytes_per_param()).round() as u64
+    }
+
+    /// Bytes of the MoE parameters (offloaded to CPU/SSD).
+    pub fn moe_bytes(&self) -> u64 {
+        (self.moe_params() as f64 * self.precision.bytes_per_param()).round() as u64
+    }
+}
+
+impl std::fmt::Display for ModelConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table I cross-check: parameters (B) and capacity (GB).
+    #[test]
+    fn table1_switch_base_8() {
+        let cfg = ModelConfig::switch_base(8);
+        let b = cfg.total_params() as f64 / 1e9;
+        let gb = cfg.capacity_bytes() as f64 / 1e9;
+        assert!((0.55..0.85).contains(&b), "params {b} B vs Table I 0.7 B");
+        assert!((2.2..3.4).contains(&gb), "capacity {gb} GB vs Table I 2.8 GB");
+    }
+
+    #[test]
+    fn table1_switch_base_64() {
+        let cfg = ModelConfig::switch_base(64);
+        let b = cfg.total_params() as f64 / 1e9;
+        assert!((3.4..4.2).contains(&b), "params {b} B vs Table I 3.8 B");
+    }
+
+    #[test]
+    fn table1_switch_base_128() {
+        let cfg = ModelConfig::switch_base(128);
+        let b = cfg.total_params() as f64 / 1e9;
+        let gb = cfg.capacity_bytes() as f64 / 1e9;
+        assert!((7.0..8.0).contains(&b), "params {b} B vs Table I 7.5 B");
+        assert!((28.0..32.0).contains(&gb), "capacity {gb} GB vs Table I 30 GB");
+    }
+
+    #[test]
+    fn table1_switch_large_128() {
+        let cfg = ModelConfig::switch_large_128();
+        let b = cfg.total_params() as f64 / 1e9;
+        let gb = cfg.capacity_bytes() as f64 / 1e9;
+        assert!((25.0..27.5).contains(&b), "params {b} B vs Table I 26.4 B");
+        assert!((100.0..110.0).contains(&gb), "capacity {gb} GB vs Table I 105.6 GB");
+        assert_eq!(cfg.moe_layers(), 24);
+    }
+
+    #[test]
+    fn switch_xxl_is_about_400b_params_217gb() {
+        let cfg = ModelConfig::switch_xxl();
+        let b = cfg.total_params() as f64 / 1e9;
+        let gb = cfg.capacity_bytes() as f64 / 1e9;
+        assert!((390.0..430.0).contains(&b), "params {b} B vs paper 395 B");
+        assert!((210.0..240.0).contains(&gb), "capacity {gb} GB vs paper 217 GB");
+    }
+
+    #[test]
+    fn moe_params_dominate_capacity() {
+        // Fig 3's point: experts are the overwhelming majority of capacity.
+        for experts in [8, 64, 128] {
+            let cfg = ModelConfig::switch_base(experts);
+            let frac = cfg.moe_params() as f64 / cfg.total_params() as f64;
+            assert!(frac > 0.7, "{experts} experts: moe fraction {frac}");
+        }
+        let frac128 =
+            ModelConfig::switch_base(128).moe_params() as f64 / ModelConfig::switch_base(128).total_params() as f64;
+        assert!(frac128 > 0.95);
+    }
+
+    #[test]
+    fn dense_equivalent_has_one_expert_everywhere() {
+        let dense = ModelConfig::switch_base(128).dense_equivalent();
+        assert_eq!(dense.num_experts, 1);
+        assert_eq!(dense.moe_layers(), dense.total_layers());
+        assert_eq!(dense.dense_ffn_layers(), 0);
+        // ≈ T5-Base size (paper: MoE up to 75× larger than FLOPs-matched T5).
+        let ratio =
+            ModelConfig::switch_base(256).total_params() as f64 / dense.total_params() as f64;
+        assert!(ratio > 30.0, "Switch-Base-256 / T5-Base ratio {ratio}");
+    }
+
+    #[test]
+    fn expert_bytes_matches_hand_math() {
+        let cfg = ModelConfig::switch_base(8);
+        // 2 × 768 × 3072 × 4 B = 18 874 368 B ≈ 18.9 MB.
+        assert_eq!(cfg.expert_bytes(), 18_874_368);
+    }
+
+    #[test]
+    fn precision_changes_capacity_only() {
+        let fp32 = ModelConfig::switch_base(8);
+        let fp16 = fp32.clone().with_precision(Precision::Fp16);
+        assert_eq!(fp32.total_params(), fp16.total_params());
+        assert_eq!(fp16.capacity_bytes() * 2, fp32.capacity_bytes());
+    }
+}

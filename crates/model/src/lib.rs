@@ -1,0 +1,34 @@
+//! # pgmoe-model
+//!
+//! SwitchTransformer-style Mixture-of-Experts models for the Pre-gated MoE
+//! reproduction (ISCA 2024), at two scales:
+//!
+//! * **Paper scale, analytic** — [`ModelConfig`] describes the exact model
+//!   zoo of Table I (Switch-Base 8/64/128/256, Switch-Large-128, Switch-XXL)
+//!   plus FLOPs-equivalent dense T5 baselines, and [`analytics`] reproduces
+//!   the parameter/FLOPs/capacity numbers behind Table I and Figs 2–3.
+//!   These configs drive the inference-runtime experiments, which never
+//!   materialise weights.
+//! * **Trainable scale, numeric** — [`net`] implements a real, trainable
+//!   Switch transformer (embedding → attention → top-1-routed expert FFNs)
+//!   over `pgmoe-tensor`, with the paper's **pre-gate** wired per the
+//!   topology of Fig 6. This is what the accuracy experiments (Table II,
+//!   Fig 13) fine-tune.
+//!
+//! The gating topology itself — which block's input computes which block's
+//! expert selection — lives in [`topology`] and is shared by both scales, so
+//! the system simulated by `pgmoe-runtime` and the network trained by
+//! `pgmoe-train` agree on the algorithm by construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod checkpoint;
+pub mod config;
+pub mod net;
+pub mod topology;
+
+pub use checkpoint::{load_params, save_params, CheckpointError};
+pub use config::{ModelConfig, Precision};
+pub use topology::{GateTopology, GatingMode};

@@ -1,0 +1,116 @@
+//! A single expert: the two-matrix ReLU FFN of Switch/T5.
+
+use pgmoe_tensor::nn::{Layer, Linear, Param};
+use pgmoe_tensor::{ops, Tensor};
+use rand::Rng;
+
+/// One expert FFN: `lin2(relu(lin1(x)))`, dimensions `d → ff → d`.
+///
+/// Experts are the unit of routing, migration and caching throughout the
+/// reproduction; this is the trainable counterpart of the analytic
+/// [`crate::ModelConfig::expert_bytes`] descriptor.
+#[derive(Debug, Clone)]
+pub struct ExpertFfn {
+    lin1: Linear,
+    lin2: Linear,
+    cached_pre: Option<Tensor>,
+}
+
+impl ExpertFfn {
+    /// Creates an expert of width `d_model` with inner width `d_ff`.
+    pub fn new(d_model: usize, d_ff: usize, rng: &mut impl Rng) -> Self {
+        ExpertFfn {
+            lin1: Linear::new(d_model, d_ff, true, rng),
+            lin2: Linear::new(d_ff, d_model, true, rng),
+            cached_pre: None,
+        }
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.lin1.in_features()
+    }
+
+    /// Forward over a token batch `[n, d]`, caching for backward.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let pre = self.lin1.forward(x);
+        let act = ops::relu(&pre);
+        self.cached_pre = Some(pre);
+        self.lin2.forward(&act)
+    }
+
+    /// Inference-only forward (no caching).
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        self.lin2.forward_inference(&ops::relu(&self.lin1.forward_inference(x)))
+    }
+
+    /// Backward pass; accumulates grads, returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`ExpertFfn::forward`].
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let pre = self.cached_pre.take().expect("ExpertFfn::backward before forward");
+        let dact = self.lin2.backward(dy);
+        let dpre = ops::relu_backward(&pre, &dact);
+        self.lin1.backward(&dpre)
+    }
+}
+
+impl Layer for ExpertFfn {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.lin1.visit_params(f);
+        self.lin2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_round_trip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut e = ExpertFfn::new(8, 32, &mut rng);
+        let x = pgmoe_tensor::init::normal([5, 8], 0.0, 1.0, &mut rng);
+        let y = e.forward(&x);
+        assert_eq!(y.dims(), &[5, 8]);
+        let dx = e.backward(&Tensor::ones([5, 8]));
+        assert_eq!(dx.dims(), &[5, 8]);
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut e = ExpertFfn::new(4, 8, &mut rng);
+        let x = pgmoe_tensor::init::normal([3, 4], 0.0, 1.0, &mut rng);
+        let w = pgmoe_tensor::init::normal([3, 4], 0.0, 1.0, &mut rng);
+        let _ = e.forward(&x);
+        let dx = e.backward(&w);
+        let eps = 1e-2;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp = e.forward_inference(&xp).mul(&w).sum();
+            let lm = e.forward_inference(&xm).mul(&w).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (dx.as_slice()[i] - numeric).abs() < 3e-2,
+                "elem {i}: {} vs {numeric}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_matches_analytic_expert() {
+        // 2·d·ff weights + ff + d biases.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut e = ExpertFfn::new(16, 64, &mut rng);
+        assert_eq!(e.param_count(), 2 * 16 * 64 + 64 + 16);
+    }
+}

@@ -1,0 +1,288 @@
+//! The MoE FFN sub-layer: routed expert execution.
+
+use super::ExpertFfn;
+use pgmoe_tensor::nn::{Layer, Param};
+use pgmoe_tensor::Tensor;
+use rand::Rng;
+
+/// A per-token top-1 routing decision, produced by a [`super::Router`].
+///
+/// Carries the full softmax for the backward pass: Switch scales each
+/// expert's output by its gate probability, which is the path through which
+/// the router receives gradient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteDecision {
+    /// Selected expert per token.
+    pub expert: Vec<usize>,
+    /// Gate probability of the selected expert per token.
+    pub prob: Vec<f32>,
+    /// Full `[tokens, experts]` softmax (cached for backward).
+    pub probs_full: Tensor,
+}
+
+impl RouteDecision {
+    /// Builds the top-1 decision from a `[tokens, experts]` probability
+    /// matrix.
+    pub fn from_probs(probs: Tensor) -> Self {
+        let expert = probs.argmax_rows();
+        let prob = expert.iter().enumerate().map(|(t, &e)| probs.at(&[t, e])).collect();
+        RouteDecision { expert, prob, probs_full: probs }
+    }
+
+    /// Number of routed tokens.
+    pub fn num_tokens(&self) -> usize {
+        self.expert.len()
+    }
+
+    /// The distinct experts activated by this decision, sorted.
+    pub fn active_experts(&self) -> Vec<usize> {
+        let mut e = self.expert.clone();
+        e.sort_unstable();
+        e.dedup();
+        e
+    }
+}
+
+/// The expert bank of one MoE block: `num_experts` independent FFNs executed
+/// on the token subsets a [`RouteDecision`] assigns them.
+#[derive(Debug, Clone)]
+pub struct MoeFfn {
+    experts: Vec<ExpertFfn>,
+    cache: Option<MoeCache>,
+}
+
+#[derive(Debug, Clone)]
+struct MoeCache {
+    decision: RouteDecision,
+    groups: Vec<Vec<usize>>,
+    raw_out: Tensor,
+}
+
+impl MoeFfn {
+    /// Creates `num_experts` experts of shape `d_model → d_ff → d_model`.
+    pub fn new(num_experts: usize, d_model: usize, d_ff: usize, rng: &mut impl Rng) -> Self {
+        assert!(num_experts >= 1, "need at least one expert");
+        MoeFfn {
+            experts: (0..num_experts).map(|_| ExpertFfn::new(d_model, d_ff, rng)).collect(),
+            cache: None,
+        }
+    }
+
+    /// Number of experts in the bank.
+    pub fn num_experts(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// Immutable access to an expert (for weight surgery in tests/tools).
+    pub fn expert(&self, e: usize) -> &ExpertFfn {
+        &self.experts[e]
+    }
+
+    /// Executes the routed experts: token `t` flows through
+    /// `expert[decision.expert[t]]` and is scaled by `decision.prob[t]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decision's token count differs from `h.rows()` or an
+    /// expert index is out of range.
+    pub fn forward(&mut self, h: &Tensor, decision: &RouteDecision) -> Tensor {
+        assert_eq!(decision.num_tokens(), h.rows(), "decision/token mismatch");
+        let groups = self.group_tokens(decision);
+        let mut raw_out = Tensor::zeros([h.rows(), h.cols()]);
+        for (e, idxs) in groups.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let sub = h.gather_rows(idxs);
+            let out = self.experts[e].forward(&sub);
+            for (row, &t) in idxs.iter().enumerate() {
+                raw_out.row_mut(t).copy_from_slice(out.row(row));
+            }
+        }
+        let mut scaled = raw_out.clone();
+        for t in 0..scaled.rows() {
+            let p = decision.prob[t];
+            for v in scaled.row_mut(t) {
+                *v *= p;
+            }
+        }
+        self.cache = Some(MoeCache { decision: decision.clone(), groups, raw_out });
+        scaled
+    }
+
+    /// Inference-only forward (no caching).
+    pub fn forward_inference(&self, h: &Tensor, decision: &RouteDecision) -> Tensor {
+        assert_eq!(decision.num_tokens(), h.rows(), "decision/token mismatch");
+        let mut out = Tensor::zeros([h.rows(), h.cols()]);
+        for t in 0..h.rows() {
+            let e = decision.expert[t];
+            let row = Tensor::from_vec([1, h.cols()], h.row(t).to_vec()).expect("row tensor");
+            let y = self.experts[e].forward_inference(&row);
+            for (o, &v) in out.row_mut(t).iter_mut().zip(y.row(0)) {
+                *o = v * decision.prob[t];
+            }
+        }
+        out
+    }
+
+    /// Backward pass. Returns `(dh, dprob)`: the gradient w.r.t. the block
+    /// input and, per token, w.r.t. the selected gate probability (to be fed
+    /// to [`super::Router::backward`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`MoeFfn::forward`].
+    pub fn backward(&mut self, dy: &Tensor) -> (Tensor, Vec<f32>) {
+        let cache = self.cache.take().expect("MoeFfn::backward before forward");
+        let t_count = cache.decision.num_tokens();
+        assert_eq!(dy.rows(), t_count, "dy/token mismatch");
+        // dprob[t] = <dy[t], raw_out[t]>
+        let mut dprob = Vec::with_capacity(t_count);
+        for t in 0..t_count {
+            let dot: f32 = dy.row(t).iter().zip(cache.raw_out.row(t)).map(|(a, b)| a * b).sum();
+            dprob.push(dot);
+        }
+        // d_raw[t] = prob[t] · dy[t], routed back through each expert.
+        let mut dh = Tensor::zeros([dy.rows(), dy.cols()]);
+        for (e, idxs) in cache.groups.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mut d_sub = dy.gather_rows(idxs);
+            for (row, &t) in idxs.iter().enumerate() {
+                let p = cache.decision.prob[t];
+                for v in d_sub.row_mut(row) {
+                    *v *= p;
+                }
+            }
+            let dx_sub = self.experts[e].backward(&d_sub);
+            for (row, &t) in idxs.iter().enumerate() {
+                for (o, &v) in dh.row_mut(t).iter_mut().zip(dx_sub.row(row)) {
+                    *o += v;
+                }
+            }
+        }
+        (dh, dprob)
+    }
+
+    fn group_tokens(&self, decision: &RouteDecision) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.experts.len()];
+        for (t, &e) in decision.expert.iter().enumerate() {
+            assert!(e < self.experts.len(), "expert {e} out of range");
+            groups[e].push(t);
+        }
+        groups
+    }
+}
+
+impl Layer for MoeFfn {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for e in &mut self.experts {
+            e.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform_decision(tokens: usize, experts: &[usize], num_experts: usize) -> RouteDecision {
+        // Hand-built decision with prob 1.0 on given experts.
+        let mut probs = Tensor::zeros([tokens, num_experts]);
+        for (t, &e) in experts.iter().enumerate() {
+            probs.set(&[t, e], 1.0);
+        }
+        RouteDecision::from_probs(probs)
+    }
+
+    #[test]
+    fn tokens_flow_through_their_selected_expert() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut moe = MoeFfn::new(2, 4, 8, &mut rng);
+        let h = pgmoe_tensor::init::normal([3, 4], 0.0, 1.0, &mut rng);
+        let dec = uniform_decision(3, &[1, 0, 1], 2);
+        let out = moe.forward(&h, &dec);
+        // Compare against running each expert directly.
+        for (t, &e) in [1usize, 0, 1].iter().enumerate() {
+            let row = Tensor::from_vec([1, 4], h.row(t).to_vec()).unwrap();
+            let direct = moe.experts[e].forward_inference(&row);
+            for (a, b) in out.row(t).iter().zip(direct.row(0)) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn output_scales_with_gate_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut moe = MoeFfn::new(2, 4, 8, &mut rng);
+        let h = pgmoe_tensor::init::normal([1, 4], 0.0, 1.0, &mut rng);
+        let mut probs = Tensor::zeros([1, 2]);
+        probs.set(&[0, 0], 0.5);
+        probs.set(&[0, 1], 0.5); // tie → argmax picks 0
+        let dec = RouteDecision::from_probs(probs);
+        assert_eq!(dec.expert[0], 0);
+        let out_half = moe.forward(&h, &dec);
+        let full = uniform_decision(1, &[0], 2);
+        let out_full = moe.forward(&h, &full);
+        for (a, b) in out_half.row(0).iter().zip(out_full.row(0)) {
+            assert!((a * 2.0 - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_gradient_check_with_fixed_routing() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut moe = MoeFfn::new(3, 4, 6, &mut rng);
+        let h = pgmoe_tensor::init::normal([4, 4], 0.0, 1.0, &mut rng);
+        let dec = uniform_decision(4, &[2, 0, 1, 2], 3);
+        let w = pgmoe_tensor::init::normal([4, 4], 0.0, 1.0, &mut rng);
+        let _ = moe.forward(&h, &dec);
+        let (dh, _) = moe.backward(&w);
+        let eps = 1e-2;
+        for i in 0..h.len() {
+            let mut hp = h.clone();
+            hp.as_mut_slice()[i] += eps;
+            let mut hm = h.clone();
+            hm.as_mut_slice()[i] -= eps;
+            let lp = moe.forward_inference(&hp, &dec).mul(&w).sum();
+            let lm = moe.forward_inference(&hm, &dec).mul(&w).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (dh.as_slice()[i] - numeric).abs() < 3e-2,
+                "elem {i}: {} vs {numeric}",
+                dh.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn dprob_matches_directional_derivative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut moe = MoeFfn::new(2, 4, 6, &mut rng);
+        let h = pgmoe_tensor::init::normal([2, 4], 0.0, 1.0, &mut rng);
+        let dec = uniform_decision(2, &[0, 1], 2);
+        let w = pgmoe_tensor::init::normal([2, 4], 0.0, 1.0, &mut rng);
+        let _ = moe.forward(&h, &dec);
+        let (_, dprob) = moe.backward(&w);
+        // Perturb token 0's prob.
+        let eps = 1e-3;
+        let mut dec_p = dec.clone();
+        dec_p.prob[0] += eps;
+        let mut dec_m = dec.clone();
+        dec_m.prob[0] -= eps;
+        let lp = moe.forward_inference(&h, &dec_p).mul(&w).sum();
+        let lm = moe.forward_inference(&h, &dec_m).mul(&w).sum();
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!((dprob[0] - numeric).abs() < 1e-2, "{} vs {numeric}", dprob[0]);
+    }
+
+    #[test]
+    fn active_experts_deduplicates() {
+        let dec = uniform_decision(4, &[1, 1, 0, 1], 3);
+        assert_eq!(dec.active_experts(), vec![0, 1]);
+    }
+}

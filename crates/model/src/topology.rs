@@ -1,0 +1,214 @@
+//! The gating topology of Fig 6: which block computes which block's routing.
+//!
+//! In a conventional MoE, block `b`'s gate runs at block `b` and selects
+//! experts for block `b` — expert selection and expert execution are
+//! sequentially dependent within the block. The paper's pre-gate instead runs
+//! at block `b` and selects experts for block `b + N` (activation level `N`,
+//! default 1). Fig 6's consequences, encoded here:
+//!
+//! * the **first `N` blocks** keep a conventional "first gate" for their own
+//!   routing (there is no earlier block to pre-select for them) — and block
+//!   `b < N` *also* hosts the pre-gate targeting `b + N`, so the first block
+//!   carries two gate functions when `N = 1`;
+//! * the **last `N` blocks** host no gate at all (there is no block `b + N`
+//!   to pre-select for);
+//! * pre-gating never crosses a decoder-iteration boundary.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether gates select for their own block or `level` blocks ahead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GatingMode {
+    /// Conventional MoE: each block's gate selects for that block.
+    Conventional,
+    /// The paper's pre-gated MoE with activation level `level ≥ 1`
+    /// (Fig 13 evaluates levels 1–3; level 1 is the paper's default).
+    Pregated {
+        /// How many blocks ahead a pre-gate selects for.
+        level: usize,
+    },
+}
+
+impl GatingMode {
+    /// The activation level: 0 for conventional gating.
+    pub fn level(self) -> usize {
+        match self {
+            GatingMode::Conventional => 0,
+            GatingMode::Pregated { level } => level,
+        }
+    }
+}
+
+/// The complete gate wiring for a stack of MoE blocks.
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_model::{GateTopology, GatingMode};
+///
+/// // Fig 6: three pre-gated blocks at level 1.
+/// let topo = GateTopology::new(3, GatingMode::Pregated { level: 1 });
+/// assert_eq!(topo.gates_hosted_at(0), vec![0, 1]); // first gate + pre-gate
+/// assert_eq!(topo.gates_hosted_at(1), vec![2]);
+/// assert_eq!(topo.gates_hosted_at(2), vec![]);     // last block: no gate
+/// assert_eq!(topo.route_source(2), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GateTopology {
+    num_blocks: usize,
+    mode: GatingMode,
+}
+
+impl GateTopology {
+    /// Creates a topology over `num_blocks` MoE blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks == 0`, or if a pre-gated level is 0 or ≥
+    /// `num_blocks` (no block would ever be pre-selected).
+    pub fn new(num_blocks: usize, mode: GatingMode) -> Self {
+        assert!(num_blocks > 0, "topology needs at least one block");
+        if let GatingMode::Pregated { level } = mode {
+            assert!(level >= 1, "pre-gated level must be >= 1 (0 is conventional)");
+            assert!(level < num_blocks, "level {level} >= num_blocks {num_blocks}");
+        }
+        GateTopology { num_blocks, mode }
+    }
+
+    /// Conventional gating over `num_blocks` blocks.
+    pub fn conventional(num_blocks: usize) -> Self {
+        GateTopology::new(num_blocks, GatingMode::Conventional)
+    }
+
+    /// The paper's default: pre-gating at activation level 1.
+    pub fn pregated(num_blocks: usize) -> Self {
+        GateTopology::new(num_blocks, GatingMode::Pregated { level: 1 })
+    }
+
+    /// Number of MoE blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Gating mode.
+    pub fn mode(&self) -> GatingMode {
+        self.mode
+    }
+
+    /// The block at whose input block `b`'s expert selection is computed.
+    ///
+    /// Conventional: `b`. Pre-gated level N: `b − N`, except the first N
+    /// blocks which self-route through their "first gate".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= num_blocks`.
+    pub fn route_source(&self, b: usize) -> usize {
+        assert!(b < self.num_blocks, "block {b} out of range");
+        let level = self.mode.level();
+        if b < level {
+            b // "first gate": the first N blocks self-route (Fig 6)
+        } else {
+            b - level
+        }
+    }
+
+    /// Whether block `b`'s expert selection is known *before* block `b`
+    /// begins — the property that lets the runtime prefetch its experts.
+    pub fn is_preselected(&self, b: usize) -> bool {
+        self.route_source(b) < b
+    }
+
+    /// The routing targets whose gates are *hosted* (evaluated) at block `b`,
+    /// in execution order. Matches Fig 6: under level-1 pre-gating the first
+    /// block hosts two gates and the last hosts none.
+    pub fn gates_hosted_at(&self, b: usize) -> Vec<usize> {
+        assert!(b < self.num_blocks, "block {b} out of range");
+        (0..self.num_blocks).filter(|&target| self.route_source(target) == b).collect()
+    }
+
+    /// Total number of gate evaluations per pass over the stack (equals
+    /// `num_blocks` in every mode — pre-gating moves gates, it does not add
+    /// parameters beyond the first blocks' dual role).
+    pub fn total_gates(&self) -> usize {
+        (0..self.num_blocks).map(|b| self.gates_hosted_at(b).len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_routes_at_own_block() {
+        let topo = GateTopology::conventional(4);
+        for b in 0..4 {
+            assert_eq!(topo.route_source(b), b);
+            assert!(!topo.is_preselected(b));
+            assert_eq!(topo.gates_hosted_at(b), vec![b]);
+        }
+    }
+
+    #[test]
+    fn fig6_level1_first_block_has_two_gates_last_has_none() {
+        let topo = GateTopology::pregated(3);
+        assert_eq!(topo.gates_hosted_at(0), vec![0, 1]);
+        assert_eq!(topo.gates_hosted_at(1), vec![2]);
+        assert_eq!(topo.gates_hosted_at(2), Vec::<usize>::new());
+        assert!(!topo.is_preselected(0), "first block self-routes");
+        assert!(topo.is_preselected(1));
+        assert!(topo.is_preselected(2));
+    }
+
+    #[test]
+    fn level2_first_two_blocks_self_route() {
+        let topo = GateTopology::new(5, GatingMode::Pregated { level: 2 });
+        assert_eq!(topo.route_source(0), 0);
+        assert_eq!(topo.route_source(1), 1);
+        assert_eq!(topo.route_source(2), 0);
+        assert_eq!(topo.route_source(4), 2);
+        assert_eq!(topo.gates_hosted_at(0), vec![0, 2]);
+        assert_eq!(topo.gates_hosted_at(1), vec![1, 3]);
+        assert_eq!(topo.gates_hosted_at(3), Vec::<usize>::new());
+        assert_eq!(topo.gates_hosted_at(4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn every_block_is_routed_exactly_once() {
+        for num_blocks in [1usize, 2, 3, 6, 12] {
+            for mode in [
+                GatingMode::Conventional,
+                GatingMode::Pregated { level: 1 },
+                GatingMode::Pregated { level: 2 },
+                GatingMode::Pregated { level: 3 },
+            ] {
+                if mode.level() >= num_blocks {
+                    continue;
+                }
+                let topo = GateTopology::new(num_blocks, mode);
+                let mut routed = vec![0; num_blocks];
+                for host in 0..num_blocks {
+                    for target in topo.gates_hosted_at(host) {
+                        routed[target] += 1;
+                    }
+                }
+                assert!(routed.iter().all(|&c| c == 1), "{mode:?} × {num_blocks} blocks: {routed:?}");
+                assert_eq!(topo.total_gates(), num_blocks);
+            }
+        }
+    }
+
+    #[test]
+    fn route_source_never_after_target() {
+        let topo = GateTopology::new(8, GatingMode::Pregated { level: 3 });
+        for b in 0..8 {
+            assert!(topo.route_source(b) <= b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "level")]
+    fn level_must_be_smaller_than_stack() {
+        let _ = GateTopology::new(3, GatingMode::Pregated { level: 3 });
+    }
+}

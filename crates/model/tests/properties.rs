@@ -1,0 +1,132 @@
+//! Property-based tests for model-crate invariants: gate topology laws,
+//! parameter accounting and the trainable net's routing behaviour.
+
+use pgmoe_model::net::{SwitchNet, SwitchNetConfig};
+use pgmoe_model::{GateTopology, GatingMode, ModelConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every topology routes every block exactly once, from a source that is
+    /// never after the target — the well-formedness law of Fig 6.
+    #[test]
+    fn topology_routes_each_block_once(num_blocks in 1usize..16, level in 0usize..5) {
+        prop_assume!(level == 0 || level < num_blocks);
+        let mode = if level == 0 { GatingMode::Conventional } else { GatingMode::Pregated { level } };
+        let topo = GateTopology::new(num_blocks, mode);
+        let mut routed = vec![0usize; num_blocks];
+        for host in 0..num_blocks {
+            for target in topo.gates_hosted_at(host) {
+                prop_assert!(topo.route_source(target) == host);
+                routed[target] += 1;
+            }
+        }
+        prop_assert!(routed.iter().all(|&c| c == 1));
+        for b in 0..num_blocks {
+            prop_assert!(topo.route_source(b) <= b);
+            prop_assert_eq!(topo.is_preselected(b), topo.route_source(b) < b);
+        }
+        prop_assert_eq!(topo.total_gates(), num_blocks);
+    }
+
+    /// Under level-N pre-gating the first N blocks self-route and the last N
+    /// blocks host no gates.
+    #[test]
+    fn pregated_edges(num_blocks in 2usize..16, level in 1usize..5) {
+        prop_assume!(level < num_blocks);
+        let topo = GateTopology::new(num_blocks, GatingMode::Pregated { level });
+        for b in 0..level {
+            prop_assert_eq!(topo.route_source(b), b);
+        }
+        // The last `level` blocks host no pre-gates for later targets; when
+        // the stack is shallow (num_blocks < 2·level) a block can be in both
+        // the "first" and "last" windows and still hosts its own first gate.
+        for b in (num_blocks - level)..num_blocks {
+            let hosted = topo.gates_hosted_at(b);
+            if b < level {
+                prop_assert_eq!(hosted, vec![b]);
+            } else {
+                prop_assert!(hosted.is_empty());
+            }
+        }
+    }
+
+    /// Parameter accounting is monotone and decomposes exactly.
+    #[test]
+    fn capacity_accounting_laws(experts_log in 3usize..9) {
+        let experts = 1usize << experts_log;
+        let cfg = ModelConfig::switch_base(experts);
+        prop_assert_eq!(cfg.total_params(), cfg.moe_params() + cfg.non_moe_params());
+        // Doubling experts roughly doubles MoE params (gates add slack).
+        let double = ModelConfig::switch_base(experts * 2);
+        let ratio = double.moe_params() as f64 / cfg.moe_params() as f64;
+        prop_assert!((1.99..2.01).contains(&ratio), "ratio {ratio}");
+        // Non-MoE params don't depend on the expert count.
+        prop_assert_eq!(cfg.non_moe_params(), double.non_moe_params());
+    }
+
+    /// Training forward and inference forward agree exactly for every gate
+    /// topology (same weights, same routing, same numerics).
+    #[test]
+    fn train_and_inference_forward_agree(seed in 0u64..500, num_blocks in 2usize..5) {
+        let mode_strategy_level = seed as usize % num_blocks; // 0 = conventional
+        let mode = if mode_strategy_level == 0 {
+            GatingMode::Conventional
+        } else {
+            GatingMode::Pregated { level: mode_strategy_level }
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SwitchNetConfig {
+            vocab: 24,
+            d_model: 8,
+            d_ff: 16,
+            num_blocks,
+            num_experts: 4,
+            seq_len: 6,
+            mode,
+        };
+        let mut net = SwitchNet::new(cfg, &mut rng);
+        let tokens = [1usize, 3, 5, 7, 9, 11];
+        let train_out = net.forward(&tokens);
+        let infer_out = net.forward_inference(&tokens);
+        prop_assert_eq!(train_out, infer_out);
+    }
+
+    /// Rewiring never changes parameters, and rewiring back restores the
+    /// original routing decisions.
+    #[test]
+    fn rewire_round_trip(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SwitchNetConfig::small(24, 6, 4, GatingMode::Conventional);
+        let mut net = SwitchNet::new(cfg, &mut rng);
+        let tokens = [2usize, 4, 6, 8, 10, 1];
+        let (_, before) = net.forward_inference_traced(&tokens);
+        net.rewire(GatingMode::Pregated { level: 1 });
+        net.rewire(GatingMode::Conventional);
+        let (_, after) = net.forward_inference_traced(&tokens);
+        for (a, b) in before.iter().zip(&after) {
+            prop_assert_eq!(&a.expert, &b.expert);
+        }
+    }
+
+    /// Gate probabilities of selected experts are valid probabilities and
+    /// equal the max of each softmax row.
+    #[test]
+    fn selected_probs_are_row_maxima(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SwitchNetConfig::small(24, 6, 8, GatingMode::Pregated { level: 1 });
+        let net = SwitchNet::new(cfg, &mut rng);
+        let tokens = [1usize, 2, 3, 4, 5, 6];
+        let (_, routes) = net.forward_inference_traced(&tokens);
+        for dec in routes {
+            for (t, &p) in dec.prob.iter().enumerate() {
+                prop_assert!((0.0..=1.0).contains(&p));
+                let row_max = dec.probs_full.row(t).iter().cloned().fold(f32::MIN, f32::max);
+                prop_assert!((p - row_max).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,705 @@
+//! The inference simulator: schedules one serving run under a policy.
+
+use crate::{CacheStats, ExpertCache, ExpertKey, OffloadPolicy, PlacementPlan, Result, RuntimeError, SimOptions};
+use pgmoe_device::{AllocId, EventId, Machine, SimDuration, SimTime, Tier};
+use pgmoe_model::{GateTopology, ModelConfig};
+use pgmoe_workload::{DecodeRequest, RoutingTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Measurements from one simulated serving run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Model name.
+    pub model: String,
+    /// Policy that produced the run.
+    pub policy: OffloadPolicy,
+    /// Latency of every decoder MoE block execution, in submission order
+    /// (the population behind Fig 10's averages).
+    pub block_latencies: Vec<SimDuration>,
+    /// End-to-end generation throughput in output tokens per second
+    /// (Fig 11).
+    pub tokens_per_sec: f64,
+    /// Wall-clock (simulated) time for the whole run.
+    pub total_time: SimDuration,
+    /// Measured peak HBM usage (Fig 12).
+    pub peak_hbm_bytes: u64,
+    /// Equation-1 analytic prediction, for cross-validation.
+    pub predicted_peak_bytes: u64,
+    /// Cache statistics if a cache was configured (Fig 15).
+    pub cache_stats: Option<CacheStats>,
+    /// GPU busy time (compute-utilisation numerator).
+    pub gpu_busy: SimDuration,
+    /// PCIe DMA busy time.
+    pub pcie_busy: SimDuration,
+    /// ASCII execution timeline of the final decode iteration, when
+    /// requested (Fig 9).
+    pub timeline: Option<String>,
+}
+
+impl RunReport {
+    /// Mean decoder-MoE-block latency.
+    pub fn mean_block_latency(&self) -> SimDuration {
+        if self.block_latencies.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u64 = self.block_latencies.iter().map(|d| d.as_nanos()).sum();
+        SimDuration::from_nanos(total / self.block_latencies.len() as u64)
+    }
+}
+
+/// Simulates serving a model under a policy on the paper's machine.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct InferenceSim {
+    cfg: ModelConfig,
+    opts: SimOptions,
+}
+
+/// Per-MoE-block in-flight state for one decode iteration.
+#[derive(Debug, Default)]
+struct BlockInFlight {
+    fetch_done: Option<EventId>,
+    buffers: Vec<AllocId>,
+}
+
+impl InferenceSim {
+    /// Creates a simulator for `cfg` under `opts`.
+    pub fn new(cfg: ModelConfig, opts: SimOptions) -> Self {
+        InferenceSim { cfg, opts }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Runs `num_requests` back-to-back requests and reports measurements.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::OutOfMemory`] if the model does not fit the policy's
+    ///   HBM footprint (GPU-only on Switch-Large-128).
+    /// * [`RuntimeError::InvalidConfig`] for inconsistent options.
+    pub fn run(&self, request: DecodeRequest, num_requests: usize) -> Result<RunReport> {
+        self.validate(&request)?;
+        let cfg = &self.cfg;
+        let opts = &self.opts;
+        let mut machine = Machine::new(opts.machine.clone());
+        machine.set_trace_enabled(opts.trace_timeline);
+
+        let ctx = request.input_tokens + request.output_tokens;
+        let plan = PlacementPlan::new(cfg, opts, ctx, request.batch_size);
+        machine.pool_mut(Tier::Hbm).alloc(plan.hbm_static_bytes())?;
+        if plan.offload_bytes() > 0 {
+            machine.pool_mut(opts.offload_tier).alloc(plan.offload_bytes())?;
+        }
+
+        let k_active = plan.active_per_block();
+        let dec_blocks = cfg.decoder_moe_layers();
+        let topo = self.decoder_topology(dec_blocks)?;
+        let trace = RoutingTrace::generate(
+            request.output_tokens,
+            dec_blocks,
+            cfg.num_experts,
+            k_active,
+            opts.routing,
+            opts.seed,
+        );
+        let mut cache = opts
+            .cache
+            .map(|c| ExpertCache::new(plan.cache_experts(), c.replacement));
+
+        let mut block_latencies = Vec::new();
+        let mut ctx_len = request.input_tokens;
+        for req in 0..num_requests {
+            self.encoder_pass(&mut machine, &plan, &mut cache, request.input_tokens, req as u64)?;
+            for tok in 0..request.output_tokens {
+                // Keep the timeline bounded: retain only the final iteration.
+                if opts.trace_timeline {
+                    let is_last = req + 1 == num_requests && tok + 1 == request.output_tokens;
+                    if is_last {
+                        machine.clear_trace();
+                    }
+                }
+                self.decode_iteration(
+                    &mut machine,
+                    &plan,
+                    &topo,
+                    &trace,
+                    &mut cache,
+                    tok,
+                    ctx_len + tok,
+                    &mut block_latencies,
+                )?;
+            }
+            ctx_len = request.input_tokens; // next request starts fresh
+        }
+
+        let total_time = machine.horizon() - SimTime::ZERO;
+        let generated = (num_requests * request.output_tokens) as f64;
+        let timeline = opts
+            .trace_timeline
+            .then(|| pgmoe_device::render_timeline(machine.trace(), 100));
+        Ok(RunReport {
+            model: cfg.name.clone(),
+            policy: opts.policy,
+            block_latencies,
+            tokens_per_sec: generated / total_time.as_secs_f64(),
+            total_time,
+            peak_hbm_bytes: machine.pool(Tier::Hbm).peak_bytes(),
+            predicted_peak_bytes: plan.predicted_peak_bytes(),
+            cache_stats: cache.map(|c| c.stats()),
+            gpu_busy: machine.gpu_busy(),
+            pcie_busy: machine.pcie_busy(),
+            timeline,
+        })
+    }
+
+    fn validate(&self, request: &DecodeRequest) -> Result<()> {
+        if request.output_tokens == 0 || request.batch_size == 0 {
+            return Err(RuntimeError::InvalidConfig {
+                message: "request must generate at least one token with batch >= 1".into(),
+            });
+        }
+        if let Some(c) = self.opts.cache {
+            if !(0.0..=1.0).contains(&c.fraction) || c.fraction == 0.0 {
+                return Err(RuntimeError::InvalidConfig {
+                    message: format!("cache fraction {} outside (0, 1]", c.fraction),
+                });
+            }
+        }
+        if let Some(k) = self.opts.active_experts_override {
+            if k == 0 || k > self.cfg.num_experts {
+                return Err(RuntimeError::InvalidConfig {
+                    message: format!("active experts {k} outside 1..={}", self.cfg.num_experts),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn decoder_topology(&self, dec_blocks: usize) -> Result<GateTopology> {
+        match self.opts.policy {
+            OffloadPolicy::Pregated => {
+                let level = self.opts.gating.level().max(1);
+                if level >= dec_blocks {
+                    return Err(RuntimeError::InvalidConfig {
+                        message: format!(
+                            "pre-gate level {level} needs more than {dec_blocks} decoder MoE blocks"
+                        ),
+                    });
+                }
+                Ok(GateTopology::new(dec_blocks, pgmoe_model::GatingMode::Pregated { level }))
+            }
+            _ => Ok(GateTopology::conventional(dec_blocks)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel-cost helpers (all memory-bound at batch 1; see CostModel docs)
+    // ------------------------------------------------------------------
+
+    /// HBM bytes streamed by one decoder layer's attention (self + cross
+    /// projections read once, plus the KV cache scan).
+    fn attn_bytes(&self, ctx: usize) -> u64 {
+        let d = self.cfg.d_model as u64;
+        let bpp = self.cfg.precision.bytes_per_param();
+        let weights = (4 * d * d) as f64 * bpp;
+        let kv = (2 * ctx as u64 * d * 4) as f64;
+        (weights + kv) as u64
+    }
+
+    fn dense_ffn_bytes(&self) -> u64 {
+        let bpp = self.cfg.precision.bytes_per_param();
+        (2.0 * self.cfg.d_model as f64 * self.cfg.d_ff as f64 * bpp) as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Encoder
+    // ------------------------------------------------------------------
+
+    /// Simulates the encoder pass over the prompt. The encoder runs once per
+    /// request; under offloading policies its MoE blocks fetch the distinct
+    /// experts its `input_tokens` activate, with the same overlap structure
+    /// as the decoder.
+    fn encoder_pass(
+        &self,
+        machine: &mut Machine,
+        plan: &PlacementPlan,
+        cache: &mut Option<ExpertCache>,
+        input_tokens: usize,
+        request_seed: u64,
+    ) -> Result<()> {
+        let cfg = &self.cfg;
+        let enc_blocks = cfg.encoder_layers / cfg.moe_every;
+        let distinct = expected_distinct_experts(input_tokens * plan.active_per_block(), cfg.num_experts);
+        // Encoder expert staging: the prompt activates many distinct experts
+        // per block, but they are *streamed* through a small staging region
+        // (single buffer when fetches serialize with execution, double buffer
+        // when they overlap) — except MoE-Prefetch, which by design holds two
+        // entire blocks' expert sets. This keeps measured peaks on the
+        // decode-side Equation-1 footprint, as in the paper.
+        let staging_experts: u64 = match self.opts.policy {
+            OffloadPolicy::GpuOnly => 0,
+            OffloadPolicy::OnDemand => 1,
+            OffloadPolicy::Pregated => 2,
+            OffloadPolicy::PrefetchAll => 2 * cfg.num_experts as u64,
+        };
+        let staging = if staging_experts > 0 {
+            Some(machine.pool_mut(Tier::Hbm).alloc(staging_experts * plan.expert_bytes())?)
+        } else {
+            None
+        };
+        let mut rng = StdRng::seed_from_u64(self.opts.seed ^ request_seed.wrapping_mul(0x9E37));
+        // Token-parallel encoder kernels: flops scale with tokens, weight
+        // bytes are read once.
+        let tokens = input_tokens as f64;
+        let d = cfg.d_model as f64;
+        let attn_flops = tokens * 2.0 * (4.0 * d * d + 2.0 * d * tokens);
+        let ffn_flops_dense = tokens * 4.0 * d * cfg.d_ff as f64;
+        let mut moe_idx = 0usize;
+        let mut pending: Option<(EventId, Vec<AllocId>)> = None;
+        for layer in 0..cfg.encoder_layers {
+            let is_moe = layer % cfg.moe_every == cfg.moe_every - 1;
+            machine.launch_kernel("attn", attn_flops, self.attn_bytes(input_tokens), &[]);
+            if !is_moe {
+                machine.launch_kernel("ffn", ffn_flops_dense, self.dense_ffn_bytes(), &[]);
+                continue;
+            }
+            // Sample this block's distinct activated experts.
+            let experts = sample_distinct_experts(distinct, cfg.num_experts, &mut rng);
+            let exec_bytes = experts.len() as u64 * plan.expert_bytes();
+            let exec_flops = ffn_flops_dense * plan.active_per_block() as f64;
+            match self.opts.policy {
+                OffloadPolicy::GpuOnly => {
+                    let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
+                    machine.launch_kernel("expert", exec_flops, exec_bytes, &[gate]);
+                }
+                OffloadPolicy::OnDemand => {
+                    let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
+                    let (fetch, buffers) =
+                        self.fetch_experts(machine, plan, cache, moe_idx, &experts, &[gate], false);
+                    machine.launch_kernel("expert", exec_flops, exec_bytes, &[fetch]);
+                    free_buffers(machine, buffers);
+                }
+                OffloadPolicy::PrefetchAll | OffloadPolicy::Pregated => {
+                    // Both policies overlap the fetch with the preceding
+                    // layer's compute in the encoder; PrefetchAll moves every
+                    // expert, Pre-gated only the activated ones.
+                    let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
+                    let (fetch, buffers) = if self.opts.policy == OffloadPolicy::PrefetchAll {
+                        let all: Vec<usize> = (0..cfg.num_experts).collect();
+                        self.fetch_experts(machine, plan, cache, moe_idx, &all, &[], false)
+                    } else if let Some((ev, bufs)) = pending.take() {
+                        (ev, bufs)
+                    } else {
+                        // First encoder MoE block: serialized, like OnDemand.
+                        self.fetch_experts(machine, plan, cache, moe_idx, &experts, &[gate], false)
+                    };
+                    machine.launch_kernel("expert", exec_flops, exec_bytes, &[fetch, gate]);
+                    free_buffers(machine, buffers);
+                    // Pre-gate: issue the next encoder MoE block's fetch now.
+                    if self.opts.policy == OffloadPolicy::Pregated && moe_idx + 1 < enc_blocks {
+                        let next = sample_distinct_experts(distinct, cfg.num_experts, &mut rng);
+                        pending = Some(self.fetch_experts(
+                            machine,
+                            plan,
+                            cache,
+                            moe_idx + 1,
+                            &next,
+                            &[gate],
+                            false,
+                        ));
+                    }
+                }
+            }
+            moe_idx += 1;
+        }
+        if let Some((_, bufs)) = pending.take() {
+            free_buffers(machine, bufs);
+        }
+        if let Some(staging) = staging {
+            machine.pool_mut(Tier::Hbm).free(staging).expect("encoder staging double free");
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Decoder
+    // ------------------------------------------------------------------
+
+    /// Simulates one decode iteration (one output token) through the decoder
+    /// stack, recording each MoE block's latency.
+    #[allow(clippy::too_many_arguments)]
+    fn decode_iteration(
+        &self,
+        machine: &mut Machine,
+        plan: &PlacementPlan,
+        topo: &GateTopology,
+        trace: &RoutingTrace,
+        cache: &mut Option<ExpertCache>,
+        tok: usize,
+        ctx: usize,
+        block_latencies: &mut Vec<SimDuration>,
+    ) -> Result<()> {
+        let cfg = &self.cfg;
+        let dec_blocks = cfg.decoder_moe_layers();
+        // Decoder MoE blocks get cache keys disjoint from the encoder's:
+        // block ids are global across the whole model.
+        let enc_blocks = cfg.encoder_layers / cfg.moe_every;
+        let mut inflight: Vec<BlockInFlight> = (0..dec_blocks).map(|_| BlockInFlight::default()).collect();
+
+        // MoE-Prefetch: block 0's full-set prefetch is issued at iteration
+        // start (SE-MoE migrates ahead of use, without gate knowledge).
+        if self.opts.policy == OffloadPolicy::PrefetchAll {
+            let all: Vec<usize> = (0..cfg.num_experts).collect();
+            let (ev, bufs) = self.fetch_experts(machine, plan, cache, enc_blocks, &all, &[], true);
+            inflight[0] = BlockInFlight { fetch_done: Some(ev), buffers: bufs };
+        }
+
+        let mut moe_idx = 0usize;
+        for layer in 0..cfg.decoder_layers {
+            let is_moe = layer % cfg.moe_every == cfg.moe_every - 1;
+            let compute = machine.compute_stream();
+            let block_start = machine.engine_mut().stream_tail(compute);
+            machine.launch_kernel("attn", 0.0, self.attn_bytes(ctx), &[]);
+            if !is_moe {
+                machine.launch_kernel("ffn", 0.0, self.dense_ffn_bytes(), &[]);
+                continue;
+            }
+            let b = moe_idx;
+            let experts = trace.experts(tok, b).to_vec();
+            let exec_bytes = experts.len() as u64 * plan.expert_bytes();
+            let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
+
+            // Resolve this block's expert availability FIRST: a first-block
+            // serialized fetch is on the block's critical path and must not
+            // queue behind the next block's prefetch on the in-order copy
+            // stream.
+            let exec_waits: Vec<EventId> = match self.opts.policy {
+                OffloadPolicy::GpuOnly => vec![gate],
+                OffloadPolicy::OnDemand => {
+                    let (ev, bufs) = self.fetch_experts(machine, plan, cache, enc_blocks + b, &experts, &[gate], true);
+                    inflight[b].buffers = bufs;
+                    vec![ev, gate]
+                }
+                OffloadPolicy::PrefetchAll => {
+                    vec![inflight[b].fetch_done.expect("prefetch must be in flight"), gate]
+                }
+                OffloadPolicy::Pregated => {
+                    if let Some(ev) = inflight[b].fetch_done {
+                        vec![ev, gate]
+                    } else {
+                        // First block(s) of the iteration: no pre-selection
+                        // available — serialized fetch, like OnDemand
+                        // (footnote 1 of the paper).
+                        let (ev, bufs) = self.fetch_experts(machine, plan, cache, enc_blocks + b, &experts, &[gate], true);
+                        inflight[b].buffers = bufs;
+                        vec![ev, gate]
+                    }
+                }
+            };
+
+            // Then issue the fetches this block is responsible for: the
+            // pre-gated targets selected by gates hosted here, or the next
+            // block's full-set prefetch (MoE-Prefetch).
+            match self.opts.policy {
+                OffloadPolicy::Pregated => {
+                    for target in topo.gates_hosted_at(b) {
+                        if target == b {
+                            continue; // own routing: resolved above
+                        }
+                        let target_experts = trace.experts(tok, target).to_vec();
+                        let (ev, bufs) =
+                            self.fetch_experts(machine, plan, cache, enc_blocks + target, &target_experts, &[gate], true);
+                        inflight[target] = BlockInFlight { fetch_done: Some(ev), buffers: bufs };
+                    }
+                }
+                OffloadPolicy::PrefetchAll => {
+                    if b + 1 < dec_blocks {
+                        let all: Vec<usize> = (0..cfg.num_experts).collect();
+                        let (ev, bufs) = self.fetch_experts(machine, plan, cache, enc_blocks + b + 1, &all, &[], true);
+                        inflight[b + 1] = BlockInFlight { fetch_done: Some(ev), buffers: bufs };
+                    }
+                }
+                _ => {}
+            }
+            let exec = machine.launch_kernel("expert", 0.0, exec_bytes, &exec_waits);
+            let buffers = std::mem::take(&mut inflight[b].buffers);
+            free_buffers(machine, buffers);
+            block_latencies.push(machine.event_time(exec) - block_start);
+            moe_idx += 1;
+        }
+        Ok(())
+    }
+
+    /// Enqueues migration of `experts` of MoE block `block` to the GPU.
+    /// Cache-resident experts cost nothing; missed experts get a transient
+    /// HBM buffer and a copy from the offload tier. Returns the event after
+    /// which every requested expert is GPU-resident, plus buffers to free.
+    fn fetch_experts(
+        &self,
+        machine: &mut Machine,
+        plan: &PlacementPlan,
+        cache: &mut Option<ExpertCache>,
+        block: usize,
+        experts: &[usize],
+        waits: &[EventId],
+        alloc_buffers: bool,
+    ) -> (EventId, Vec<AllocId>) {
+        let mut buffers = Vec::new();
+        let mut last = None;
+        for &e in experts {
+            let hit = cache
+                .as_mut()
+                .map(|c| c.access(ExpertKey { block, expert: e }))
+                .unwrap_or(false);
+            if hit {
+                continue;
+            }
+            // Transient staging buffer; OOM here is a real capacity failure.
+            if alloc_buffers {
+                match machine.pool_mut(Tier::Hbm).alloc(plan.expert_bytes()) {
+                    Ok(id) => buffers.push(id),
+                    Err(err) => {
+                        // Surfacing OOM lazily keeps the hot path simple; the
+                        // static allocation catches the common failure first.
+                        free_buffers(machine, buffers);
+                        panic!("transient expert buffer OOM: {err}");
+                    }
+                }
+            }
+            let ev = machine.copy_to_gpu(
+                &format!("fetch-b{block}e{e}"),
+                plan.expert_bytes(),
+                self.opts.offload_tier,
+                waits,
+            );
+            last = Some(ev);
+        }
+        // All experts resident: the copy stream is in-order, so the last
+        // submitted copy dominates. All-hit fetches complete immediately
+        // relative to `waits` via a zero-length barrier.
+        let done = match last {
+            Some(ev) => ev,
+            None => {
+                let copy = machine.copy_stream();
+                machine.engine_mut().barrier(copy, waits)
+            }
+        };
+        (done, buffers)
+    }
+}
+
+fn free_buffers(machine: &mut Machine, buffers: Vec<AllocId>) {
+    for id in buffers {
+        machine
+            .pool_mut(Tier::Hbm)
+            .free(id)
+            .expect("expert buffer double free");
+    }
+}
+
+/// Expected number of distinct experts activated by `draws` independent
+/// uniform draws over `experts` (balls-in-bins).
+fn expected_distinct_experts(draws: usize, experts: usize) -> usize {
+    let e = experts as f64;
+    let expected = e * (1.0 - (1.0 - 1.0 / e).powi(draws as i32));
+    (expected.round() as usize).clamp(1, experts)
+}
+
+fn sample_distinct_experts(count: usize, experts: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..experts).collect();
+    for i in 0..count.min(experts) {
+        let j = rng.gen_range(i..experts);
+        pool.swap(i, j);
+    }
+    let mut chosen: Vec<usize> = pool[..count.min(experts)].to_vec();
+    chosen.sort_unstable();
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgmoe_model::ModelConfig;
+    use pgmoe_workload::DecodeRequest;
+
+    fn short_request() -> DecodeRequest {
+        DecodeRequest { input_tokens: 32, output_tokens: 8, batch_size: 1 }
+    }
+
+    fn run(policy: OffloadPolicy, experts: usize) -> RunReport {
+        let cfg = ModelConfig::switch_base(experts);
+        InferenceSim::new(cfg, SimOptions::new(policy)).run(short_request(), 1).expect("run")
+    }
+
+    #[test]
+    fn all_policies_complete_and_report() {
+        for policy in OffloadPolicy::ALL {
+            let r = run(policy, 8);
+            assert!(r.tokens_per_sec > 0.0, "{policy}");
+            assert_eq!(r.block_latencies.len(), 8 * 6, "{policy}: 8 tokens × 6 decoder blocks");
+            assert!(r.peak_hbm_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn fig10_latency_ordering() {
+        // GPU-only < Pre-gated < OnDemand < PrefetchAll under sparse
+        // activation — the core result of the paper.
+        let gpu = run(OffloadPolicy::GpuOnly, 64).mean_block_latency();
+        let pg = run(OffloadPolicy::Pregated, 64).mean_block_latency();
+        let od = run(OffloadPolicy::OnDemand, 64).mean_block_latency();
+        let pf = run(OffloadPolicy::PrefetchAll, 64).mean_block_latency();
+        assert!(gpu < pg, "GPU-only {gpu} !< Pre-gated {pg}");
+        assert!(pg < od, "Pre-gated {pg} !< OnDemand {od}");
+        assert!(od.as_nanos() * 5 < pf.as_nanos(), "OnDemand {od} should be ≪ Prefetch {pf}");
+    }
+
+    #[test]
+    fn fig10_bands_switch_base_64() {
+        let gpu = run(OffloadPolicy::GpuOnly, 64).mean_block_latency().as_nanos() as f64;
+        let pg = run(OffloadPolicy::Pregated, 64).mean_block_latency().as_nanos() as f64;
+        let od = run(OffloadPolicy::OnDemand, 64).mean_block_latency().as_nanos() as f64;
+        let pf = run(OffloadPolicy::PrefetchAll, 64).mean_block_latency().as_nanos() as f64;
+        let pg_ratio = pg / gpu;
+        let od_ratio = od / gpu;
+        let pf_ratio = pf / gpu;
+        assert!((1.0..1.45).contains(&pg_ratio), "Pre-gated/GPU-only {pg_ratio} (paper 1.2)");
+        assert!((1.6..2.6).contains(&od_ratio), "OnDemand/GPU-only {od_ratio} (paper ~1.9-2.0)");
+        assert!((30.0..90.0).contains(&pf_ratio), "Prefetch/GPU-only {pf_ratio} (paper 54)");
+    }
+
+    #[test]
+    fn gpu_only_ooms_on_switch_large() {
+        let cfg = ModelConfig::switch_large_128();
+        let err = InferenceSim::new(cfg, SimOptions::new(OffloadPolicy::GpuOnly))
+            .run(short_request(), 1)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::OutOfMemory(_)));
+    }
+
+    #[test]
+    fn offloading_policies_fit_switch_large() {
+        for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand, OffloadPolicy::PrefetchAll] {
+            let cfg = ModelConfig::switch_large_128();
+            let r = InferenceSim::new(cfg, SimOptions::new(policy)).run(short_request(), 1);
+            assert!(r.is_ok(), "{policy} should fit Switch-Large");
+        }
+    }
+
+    #[test]
+    fn measured_peak_matches_equation1_prediction() {
+        for policy in OffloadPolicy::ALL {
+            let r = run(policy, 64);
+            let measured = r.peak_hbm_bytes as f64;
+            let predicted = r.predicted_peak_bytes as f64;
+            let rel = (measured - predicted).abs() / predicted;
+            assert!(rel < 0.05, "{policy}: measured {measured} vs Eq.1 {predicted} ({rel})");
+        }
+    }
+
+    #[test]
+    fn pregated_peak_is_close_to_ondemand() {
+        let pg = run(OffloadPolicy::Pregated, 128).peak_hbm_bytes;
+        let od = run(OffloadPolicy::OnDemand, 128).peak_hbm_bytes;
+        let gpu = run(OffloadPolicy::GpuOnly, 128).peak_hbm_bytes;
+        assert!(pg > od);
+        let delta = (pg - od) as f64 / gpu as f64;
+        assert!(delta < 0.005, "Pre-gated ≈ OnDemand + one expert (delta {delta})");
+    }
+
+    #[test]
+    fn cache_improves_ondemand_more_than_pregated() {
+        use crate::{CacheConfig, Replacement};
+        use pgmoe_workload::RoutingKind;
+        let cfg = ModelConfig::switch_base(64);
+        let mk = |policy, cached: bool| {
+            let mut opts = SimOptions::new(policy).with_routing(RoutingKind::Zipf { s: 1.2 });
+            if cached {
+                opts = opts.with_cache(CacheConfig::new(0.2, Replacement::Lru));
+            }
+            InferenceSim::new(cfg.clone(), opts)
+                .run(DecodeRequest { input_tokens: 32, output_tokens: 16, batch_size: 1 }, 1)
+                .unwrap()
+                .tokens_per_sec
+        };
+        let od_gain = mk(OffloadPolicy::OnDemand, true) / mk(OffloadPolicy::OnDemand, false);
+        let pg_gain = mk(OffloadPolicy::Pregated, true) / mk(OffloadPolicy::Pregated, false);
+        assert!(od_gain > 1.02, "caching should speed up OnDemand (gain {od_gain})");
+        assert!(od_gain > pg_gain, "caching helps OnDemand more (od {od_gain} vs pg {pg_gain})");
+    }
+
+    #[test]
+    fn ssd_offload_degrades_throughput() {
+        let cfg = ModelConfig::switch_large_128();
+        let ddr = InferenceSim::new(cfg.clone(), SimOptions::new(OffloadPolicy::Pregated))
+            .run(short_request(), 1)
+            .unwrap();
+        let ssd = InferenceSim::new(cfg, SimOptions::new(OffloadPolicy::Pregated).with_ssd_offload())
+            .run(short_request(), 1)
+            .unwrap();
+        assert!(ssd.tokens_per_sec < ddr.tokens_per_sec / 2.0);
+    }
+
+    #[test]
+    fn fig14_full_activation_closes_prefetch_gap() {
+        let cfg = ModelConfig::switch_base(64);
+        let ratio = |policy, k| {
+            let r = InferenceSim::new(cfg.clone(), SimOptions::new(policy).with_active_experts(k))
+                .run(short_request(), 1)
+                .unwrap();
+            r.mean_block_latency().as_nanos() as f64
+        };
+        let gap_sparse = ratio(OffloadPolicy::PrefetchAll, 1) / ratio(OffloadPolicy::Pregated, 1);
+        let gap_dense = ratio(OffloadPolicy::PrefetchAll, 64) / ratio(OffloadPolicy::Pregated, 64);
+        assert!(gap_sparse > 10.0, "sparse gap {gap_sparse}");
+        assert!(gap_dense < 2.0, "dense gap {gap_dense} should collapse");
+    }
+
+    #[test]
+    fn timeline_renders_when_requested() {
+        let cfg = ModelConfig::switch_base(8);
+        let r = InferenceSim::new(cfg, SimOptions::new(OffloadPolicy::Pregated).with_timeline())
+            .run(short_request(), 1)
+            .unwrap();
+        let t = r.timeline.expect("timeline requested");
+        assert!(t.contains("compute"));
+        assert!(t.contains("copy"));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        use crate::{CacheConfig, Replacement};
+        let cfg = ModelConfig::switch_base(8);
+        let bad_cache = SimOptions::new(OffloadPolicy::Pregated)
+            .with_cache(CacheConfig::new(0.0, Replacement::Lru));
+        assert!(matches!(
+            InferenceSim::new(cfg.clone(), bad_cache).run(short_request(), 1),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+        let bad_k = SimOptions::new(OffloadPolicy::Pregated).with_active_experts(9);
+        assert!(matches!(
+            InferenceSim::new(cfg, bad_k).run(short_request(), 1),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(OffloadPolicy::Pregated, 64);
+        let b = run(OffloadPolicy::Pregated, 64);
+        assert_eq!(a.tokens_per_sec, b.tokens_per_sec);
+        assert_eq!(a.block_latencies, b.block_latencies);
+    }
+
+    #[test]
+    fn distinct_expert_expectation_is_sane() {
+        assert_eq!(expected_distinct_experts(1, 64), 1);
+        assert!(expected_distinct_experts(64, 64) > 30);
+        assert_eq!(expected_distinct_experts(10_000, 8), 8);
+    }
+}

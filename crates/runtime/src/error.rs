@@ -1,0 +1,62 @@
+//! Error types for the inference runtime.
+
+use std::fmt;
+
+/// Convenience alias for runtime results.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Error produced by the inference runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The simulated GPU ran out of memory — the paper's GPU-only baseline
+    /// hits this on Switch-Large-128 (Figs 10–12 mark it "OOM").
+    OutOfMemory(pgmoe_device::DeviceError),
+    /// The run was configured inconsistently (e.g. a cache fraction outside
+    /// `(0, 1]`, or a routing trace shorter than the request).
+    InvalidConfig {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::OutOfMemory(e) => write!(f, "simulated GPU OOM: {e}"),
+            RuntimeError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::OutOfMemory(e) => Some(e),
+            RuntimeError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<pgmoe_device::DeviceError> for RuntimeError {
+    fn from(e: pgmoe_device::DeviceError) -> Self {
+        RuntimeError::OutOfMemory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_wraps_device_error() {
+        let inner = pgmoe_device::DeviceError::OutOfMemory {
+            tier: pgmoe_device::Tier::Hbm,
+            requested: 10,
+            available: 5,
+            capacity: 5,
+        };
+        let e = RuntimeError::from(inner);
+        assert!(e.to_string().contains("OOM"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,58 @@
+//! # pgmoe-runtime
+//!
+//! The Pre-gated MoE inference system and its baselines (ISCA 2024), built on
+//! the `pgmoe-device` simulator and the `pgmoe-model` model zoo.
+//!
+//! Four execution policies, exactly the paper's design points (Section V):
+//!
+//! * [`OffloadPolicy::GpuOnly`] — the oracular upper bound: every parameter
+//!   in HBM, no migration (OOMs on Switch-Large-128's 105.6 GB).
+//! * [`OffloadPolicy::OnDemand`] — HuggingFace-Accelerate-style
+//!   fetch-on-demand: the gate must finish before the activated experts are
+//!   fetched, serializing selection → migration → execution.
+//! * [`OffloadPolicy::PrefetchAll`] — SE-MoE-style prefetch-all: the *entire*
+//!   next block's expert set migrates during the current block's execution.
+//! * [`OffloadPolicy::Pregated`] — the paper's co-design: the pre-gate at
+//!   block `N` selects block `N+1`'s experts, so only the *activated* experts
+//!   migrate, overlapped with block `N`'s execution (Figs 7–9).
+//!
+//! [`InferenceSim`] runs a decode workload under a policy and reports
+//! per-MoE-block latency (Fig 10), end-to-end throughput (Fig 11), and peak
+//! GPU memory (Fig 12, Equation 1). [`ExpertCache`] adds the LIFO/LFU/LRU
+//! expert-buffering study (Fig 15), and [`SimOptions::offload_tier`] switches
+//! CPU DRAM for SSD (Fig 16).
+//!
+//! # Example
+//!
+//! ```
+//! use pgmoe_model::ModelConfig;
+//! use pgmoe_runtime::{InferenceSim, OffloadPolicy, SimOptions};
+//! use pgmoe_workload::DecodeRequest;
+//!
+//! let cfg = ModelConfig::switch_base(8);
+//! let opts = SimOptions::new(OffloadPolicy::Pregated);
+//! let report = InferenceSim::new(cfg, opts).run(DecodeRequest::paper_default(), 1)?;
+//! assert!(report.tokens_per_sec > 0.0);
+//! # Ok::<(), pgmoe_runtime::RuntimeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod engine;
+mod error;
+mod memory;
+mod multi_gpu;
+mod policy;
+mod report;
+mod serve;
+
+pub use cache::{CacheStats, ExpertCache, ExpertKey};
+pub use engine::{InferenceSim, RunReport};
+pub use error::{Result, RuntimeError};
+pub use memory::PlacementPlan;
+pub use multi_gpu::{simulate_expert_parallel, ClusterConfig, ClusterReport};
+pub use policy::{CacheConfig, OffloadPolicy, Replacement, SimOptions};
+pub use report::{csv_block_latencies, csv_peak_memory, csv_throughputs, LatencySummary};
+pub use serve::{serve_stream, ServeStats};

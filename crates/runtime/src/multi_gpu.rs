@@ -1,0 +1,177 @@
+//! Multi-GPU expert parallelism — the paper's *motivation* baseline.
+//!
+//! Section III-A argues that the conventional fix for MoE's memory footprint
+//! — sharding experts across many GPUs ("expert parallelism", GShard/
+//! DeepSpeed-MoE style) — wastes the machines: with top-1 routing at batch 1
+//! "the number of experts actually executed by each GPU becomes very low",
+//! leaving most GPUs idle each block, and the all-to-all exchanges add
+//! latency. This module quantifies that claim with the same discrete-event
+//! substrate as the single-GPU policies, so the TCO argument of the paper
+//! (one GPU + CPU memory vs a GPU farm) can be reproduced rather than taken
+//! on faith.
+
+use crate::Result;
+use pgmoe_device::{CostModel, Link, MemoryPool, SimDuration, Tier};
+use pgmoe_model::ModelConfig;
+use pgmoe_workload::{RoutingKind, RoutingTrace};
+
+/// Configuration of an expert-parallel cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of GPUs holding expert shards.
+    pub num_gpus: usize,
+    /// Per-GPU HBM capacity in bytes (A100-80GB by default).
+    pub hbm_per_gpu: u64,
+    /// Inter-GPU interconnect for the all-to-all token exchange.
+    pub interconnect: Link,
+    /// Kernel cost model (shared with the single-GPU experiments).
+    pub cost: CostModel,
+}
+
+impl ClusterConfig {
+    /// `num_gpus` A100s over 600 GB/s NVLink-class links.
+    pub fn a100_nvlink(num_gpus: usize) -> Self {
+        ClusterConfig {
+            num_gpus,
+            hbm_per_gpu: 80 * (1 << 30),
+            interconnect: Link::new(600.0e9, SimDuration::from_micros(5)),
+            cost: CostModel::a100_pcie4(),
+        }
+    }
+}
+
+/// Measurements from an expert-parallel decode simulation.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// GPUs in the cluster.
+    pub num_gpus: usize,
+    /// Mean MoE-block latency (compute + two all-to-alls).
+    pub mean_block_latency: SimDuration,
+    /// Fraction of GPU-time doing useful expert work during MoE blocks,
+    /// averaged over GPUs — the paper's "low GPU compute utilization".
+    pub expert_utilization: f64,
+    /// Fraction of MoE blocks in which a given GPU had *no* expert activated
+    /// ("none of the experts in a GPU are activated, leaving GPU idle").
+    pub idle_block_fraction: f64,
+}
+
+/// Simulates batch-1 decoding over an expert-parallel cluster.
+///
+/// Experts of every MoE block are partitioned round-robin across GPUs; each
+/// decode step routes the token through one expert per block, requiring an
+/// all-to-all dispatch and combine over the interconnect when the activated
+/// expert lives on a remote GPU.
+///
+/// # Errors
+///
+/// Returns an error if the shards do not fit per-GPU HBM.
+pub fn simulate_expert_parallel(
+    cfg: &ModelConfig,
+    cluster: &ClusterConfig,
+    decode_tokens: usize,
+    seed: u64,
+) -> Result<ClusterReport> {
+    let g = cluster.num_gpus.max(1);
+    // Capacity check: each GPU holds non-MoE replica + its expert shard.
+    let shard_experts = cfg.num_experts.div_ceil(g);
+    let shard_bytes =
+        cfg.non_moe_bytes() + shard_experts as u64 * cfg.expert_bytes() * cfg.moe_layers() as u64;
+    let mut pool = MemoryPool::new(Tier::Hbm, cluster.hbm_per_gpu);
+    pool.alloc(shard_bytes).map_err(crate::RuntimeError::OutOfMemory)?;
+
+    let dec_blocks = cfg.decoder_moe_layers();
+    let trace = RoutingTrace::generate(
+        decode_tokens,
+        dec_blocks,
+        cfg.num_experts,
+        cfg.top_k,
+        RoutingKind::Uniform,
+        seed,
+    );
+
+    // Token activation vector is tiny (d_model floats); the all-to-all cost
+    // is latency-dominated at batch 1.
+    let bpp = cfg.precision.bytes_per_param();
+    let token_bytes = (cfg.d_model as f64 * bpp) as u64;
+    let expert_exec = cluster.cost.membound_time(cfg.expert_bytes());
+    let attn = cluster.cost.membound_time((4 * cfg.d_model * cfg.d_model) as f64 as u64);
+    let a2a = cluster.interconnect.transfer_time(token_bytes);
+
+    let mut total = SimDuration::ZERO;
+    let mut busy_expert = SimDuration::ZERO;
+    let mut idle_blocks = 0u64;
+    let mut blocks = 0u64;
+    for tok in 0..decode_tokens {
+        for b in 0..dec_blocks {
+            let experts = trace.experts(tok, b);
+            // Which GPUs execute this block? owner = expert % g.
+            let owners: std::collections::HashSet<usize> =
+                experts.iter().map(|e| e % g).collect();
+            // Block latency: attention (replicated) + dispatch + the slowest
+            // owner's expert work + combine.
+            let per_owner = experts.len().div_ceil(owners.len());
+            let exec = SimDuration::from_nanos(expert_exec.as_nanos() * per_owner as u64);
+            let block = attn + a2a + exec + a2a + cluster.cost.gate_overhead;
+            total += block;
+            busy_expert += exec; // only owners work; others idle
+            blocks += 1;
+            idle_blocks += (g - owners.len()) as u64;
+        }
+    }
+    let mean_block = SimDuration::from_nanos(total.as_nanos() / blocks.max(1));
+    // Utilization: expert-busy GPU-time over total GPU-time across g GPUs.
+    let utilization =
+        busy_expert.as_nanos() as f64 / (total.as_nanos() as f64 * g as f64);
+    Ok(ClusterReport {
+        num_gpus: g,
+        mean_block_latency: mean_block,
+        expert_utilization: utilization,
+        idle_block_fraction: idle_blocks as f64 / (blocks * g as u64) as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_base_128_needs_multiple_gpus() {
+        // 30 GB model: 1 GPU fits; but Switch-Large needs sharding.
+        let large = ModelConfig::switch_large_128();
+        let one = simulate_expert_parallel(&large, &ClusterConfig::a100_nvlink(1), 4, 1);
+        assert!(one.is_err(), "105.6 GB cannot fit one 80 GB GPU");
+        let four = simulate_expert_parallel(&large, &ClusterConfig::a100_nvlink(4), 4, 1);
+        assert!(four.is_ok(), "4-way sharding must fit");
+    }
+
+    #[test]
+    fn utilization_collapses_with_gpu_count() {
+        // Section III-A: top-1 at batch 1 leaves most GPUs idle.
+        let cfg = ModelConfig::switch_base(64);
+        let u2 = simulate_expert_parallel(&cfg, &ClusterConfig::a100_nvlink(2), 16, 2)
+            .unwrap()
+            .expert_utilization;
+        let u8 = simulate_expert_parallel(&cfg, &ClusterConfig::a100_nvlink(8), 16, 2)
+            .unwrap()
+            .expert_utilization;
+        assert!(u8 < u2, "more GPUs must mean lower utilization ({u2} vs {u8})");
+        assert!(u8 < 0.15, "8-way expert parallelism is mostly idle ({u8})");
+    }
+
+    #[test]
+    fn idle_fraction_matches_top1_math() {
+        // With top-1 routing, exactly one GPU owns the activated expert per
+        // block: g-1 of g GPUs idle → idle fraction = (g-1)/g.
+        let cfg = ModelConfig::switch_base(64);
+        let r = simulate_expert_parallel(&cfg, &ClusterConfig::a100_nvlink(4), 8, 3).unwrap();
+        assert!((r.idle_block_fraction - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ModelConfig::switch_base(8);
+        let a = simulate_expert_parallel(&cfg, &ClusterConfig::a100_nvlink(2), 8, 5).unwrap();
+        let b = simulate_expert_parallel(&cfg, &ClusterConfig::a100_nvlink(2), 8, 5).unwrap();
+        assert_eq!(a.mean_block_latency, b.mean_block_latency);
+    }
+}

@@ -1,0 +1,202 @@
+//! Execution policies and run options.
+
+use pgmoe_device::{MachineConfig, Tier};
+use pgmoe_model::GatingMode;
+use pgmoe_workload::RoutingKind;
+
+/// Where expert parameters live and how they reach the GPU — the paper's
+/// four design points (Section V, Fig 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OffloadPolicy {
+    /// Everything resident in GPU HBM; oracular performance upper bound.
+    GpuOnly,
+    /// Fetch activated experts after the gate resolves (HF Accelerate).
+    OnDemand,
+    /// Prefetch the *entire* next block's expert set during the current
+    /// block's execution (SE-MoE).
+    PrefetchAll,
+    /// The paper's system: pre-gate selects the next block's experts, so
+    /// only activated experts migrate, overlapped with execution.
+    Pregated,
+}
+
+impl OffloadPolicy {
+    /// All four policies in the paper's presentation order.
+    pub const ALL: [OffloadPolicy; 4] =
+        [OffloadPolicy::GpuOnly, OffloadPolicy::Pregated, OffloadPolicy::OnDemand, OffloadPolicy::PrefetchAll];
+
+    /// Display name matching the paper's figures.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            OffloadPolicy::GpuOnly => "GPU-only",
+            OffloadPolicy::OnDemand => "MoE-OnDemand",
+            OffloadPolicy::PrefetchAll => "MoE-Prefetch",
+            OffloadPolicy::Pregated => "Pre-gated MoE",
+        }
+    }
+
+    /// Whether expert parameters are offloaded off-GPU under this policy.
+    pub fn offloads_experts(self) -> bool {
+        !matches!(self, OffloadPolicy::GpuOnly)
+    }
+}
+
+impl std::fmt::Display for OffloadPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Replacement policy for the expert cache (Fig 15 evaluates all three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Replacement {
+    /// Last-in-first-out, as proposed by Huang et al. for expert buffering.
+    Lifo,
+    /// Least-frequently-used (SE-MoE's choice).
+    Lfu,
+    /// Least-recently-used.
+    Lru,
+}
+
+impl Replacement {
+    /// All replacement policies in Fig 15's order.
+    pub const ALL: [Replacement; 3] = [Replacement::Lifo, Replacement::Lfu, Replacement::Lru];
+}
+
+impl std::fmt::Display for Replacement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Replacement::Lifo => "LIFO",
+            Replacement::Lfu => "LFU",
+            Replacement::Lru => "LRU",
+        })
+    }
+}
+
+/// Expert-cache configuration: a fraction of all experts pinned in HBM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Fraction of the model's experts that fit in the cache (Fig 15 uses
+    /// 1 %, 10 %, 20 %).
+    pub fraction: f64,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Creates a cache covering `fraction` of all experts.
+    pub fn new(fraction: f64, replacement: Replacement) -> Self {
+        CacheConfig { fraction, replacement }
+    }
+}
+
+/// Options for one simulated inference run.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Execution policy.
+    pub policy: OffloadPolicy,
+    /// Gate topology used when `policy` is [`OffloadPolicy::Pregated`]
+    /// (level 1 unless running the Fig 13-style latency ablation).
+    pub gating: GatingMode,
+    /// Where offloaded experts live: [`Tier::Ddr`] (default) or
+    /// [`Tier::Ssd`] (Fig 16).
+    pub offload_tier: Tier,
+    /// Optional expert cache (Fig 15).
+    pub cache: Option<CacheConfig>,
+    /// Override the number of experts activated per token (Fig 14's sweep);
+    /// `None` uses the model's `top_k`.
+    pub active_experts_override: Option<usize>,
+    /// Simulated machine. Defaults to the paper's A100 + PCIe gen4 host.
+    pub machine: MachineConfig,
+    /// Retain the execution trace for timeline rendering (Fig 9).
+    pub trace_timeline: bool,
+    /// Routing statistics for the decode trace (Fig 15's caching study uses
+    /// a Zipf-skewed trace; everything else defaults to uniform).
+    pub routing: RoutingKind,
+    /// Seed for the routing trace.
+    pub seed: u64,
+}
+
+impl SimOptions {
+    /// Default options for a policy: DDR offload, no cache, level-1
+    /// pre-gating, the paper's machine.
+    pub fn new(policy: OffloadPolicy) -> Self {
+        SimOptions {
+            policy,
+            gating: GatingMode::Pregated { level: 1 },
+            offload_tier: Tier::Ddr,
+            cache: None,
+            active_experts_override: None,
+            machine: MachineConfig::a100_like(),
+            trace_timeline: false,
+            routing: RoutingKind::Uniform,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Builder: set the decode routing statistics.
+    pub fn with_routing(mut self, routing: RoutingKind) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Builder: offload experts to SSD instead of CPU DRAM.
+    pub fn with_ssd_offload(mut self) -> Self {
+        self.offload_tier = Tier::Ssd;
+        self
+    }
+
+    /// Builder: enable an expert cache.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Builder: force `k` active experts per token (Fig 14).
+    pub fn with_active_experts(mut self, k: usize) -> Self {
+        self.active_experts_override = Some(k);
+        self
+    }
+
+    /// Builder: keep the execution trace.
+    pub fn with_timeline(mut self) -> Self {
+        self.trace_timeline = true;
+        self
+    }
+
+    /// Builder: set the routing seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_names_match_figures() {
+        assert_eq!(OffloadPolicy::Pregated.paper_name(), "Pre-gated MoE");
+        assert_eq!(OffloadPolicy::PrefetchAll.to_string(), "MoE-Prefetch");
+    }
+
+    #[test]
+    fn gpu_only_does_not_offload() {
+        assert!(!OffloadPolicy::GpuOnly.offloads_experts());
+        assert!(OffloadPolicy::Pregated.offloads_experts());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let opts = SimOptions::new(OffloadPolicy::OnDemand)
+            .with_ssd_offload()
+            .with_cache(CacheConfig::new(0.1, Replacement::Lru))
+            .with_active_experts(4)
+            .with_seed(9);
+        assert_eq!(opts.offload_tier, Tier::Ssd);
+        assert_eq!(opts.cache.unwrap().replacement, Replacement::Lru);
+        assert_eq!(opts.active_experts_override, Some(4));
+        assert_eq!(opts.seed, 9);
+    }
+}

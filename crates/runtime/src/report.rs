@@ -1,0 +1,137 @@
+//! CSV emitters and latency summaries, matching the paper artifact's output
+//! files (`block_lats.csv`, `throughputs.csv`, `peak_mems.csv`).
+
+use crate::RunReport;
+use pgmoe_device::SimDuration;
+
+/// Order statistics over a block-latency population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Median.
+    pub p50: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+    /// Maximum.
+    pub max: SimDuration,
+}
+
+impl LatencySummary {
+    /// Summarises a latency population.
+    ///
+    /// Returns all-zero for an empty population.
+    pub fn of(latencies: &[SimDuration]) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary {
+                mean: SimDuration::ZERO,
+                p50: SimDuration::ZERO,
+                p99: SimDuration::ZERO,
+                max: SimDuration::ZERO,
+            };
+        }
+        let mut sorted: Vec<u64> = latencies.iter().map(|d| d.as_nanos()).collect();
+        sorted.sort_unstable();
+        let pick = |q: f64| {
+            let idx = ((sorted.len() - 1) as f64 * q).floor() as usize;
+            SimDuration::from_nanos(sorted[idx])
+        };
+        let mean = sorted.iter().sum::<u64>() / sorted.len() as u64;
+        LatencySummary {
+            mean: SimDuration::from_nanos(mean),
+            p50: pick(0.5),
+            p99: pick(0.99),
+            max: SimDuration::from_nanos(*sorted.last().expect("nonempty")),
+        }
+    }
+}
+
+/// Renders `block_lats.csv`: one row per (model, policy) with mean/p50/p99
+/// block latency in microseconds.
+pub fn csv_block_latencies(reports: &[RunReport]) -> String {
+    let mut out = String::from("model,policy,mean_us,p50_us,p99_us,max_us\n");
+    for r in reports {
+        let s = LatencySummary::of(&r.block_latencies);
+        out.push_str(&format!(
+            "{},{},{:.1},{:.1},{:.1},{:.1}\n",
+            r.model,
+            r.policy,
+            s.mean.as_micros_f64(),
+            s.p50.as_micros_f64(),
+            s.p99.as_micros_f64(),
+            s.max.as_micros_f64(),
+        ));
+    }
+    out
+}
+
+/// Renders `throughputs.csv`: tokens/s per (model, policy).
+pub fn csv_throughputs(reports: &[RunReport]) -> String {
+    let mut out = String::from("model,policy,tokens_per_sec\n");
+    for r in reports {
+        out.push_str(&format!("{},{},{:.2}\n", r.model, r.policy, r.tokens_per_sec));
+    }
+    out
+}
+
+/// Renders `peak_mems.csv`: measured and Equation-1 peaks in GB.
+pub fn csv_peak_memory(reports: &[RunReport]) -> String {
+    let mut out = String::from("model,policy,peak_gb,predicted_gb\n");
+    for r in reports {
+        out.push_str(&format!(
+            "{},{},{:.3},{:.3}\n",
+            r.model,
+            r.policy,
+            r.peak_hbm_bytes as f64 / 1e9,
+            r.predicted_peak_bytes as f64 / 1e9,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OffloadPolicy;
+
+    fn fake_report(policy: OffloadPolicy, lats_us: &[u64]) -> RunReport {
+        RunReport {
+            model: "test".into(),
+            policy,
+            block_latencies: lats_us.iter().map(|&u| SimDuration::from_micros(u)).collect(),
+            tokens_per_sec: 100.0,
+            total_time: SimDuration::from_millis(10),
+            peak_hbm_bytes: 2_000_000_000,
+            predicted_peak_bytes: 2_000_000_000,
+            cache_stats: None,
+            gpu_busy: SimDuration::ZERO,
+            pcie_busy: SimDuration::ZERO,
+            timeline: None,
+        }
+    }
+
+    #[test]
+    fn summary_orders_quantiles() {
+        let lats: Vec<SimDuration> = (1..=100).map(SimDuration::from_micros).collect();
+        let s = LatencySummary::of(&lats);
+        assert!(s.p50 <= s.p99);
+        assert!(s.p99 <= s.max);
+        assert_eq!(s.max, SimDuration::from_micros(100));
+        assert_eq!(s.p50, SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn empty_population_is_all_zero() {
+        let s = LatencySummary::of(&[]);
+        assert_eq!(s.mean, SimDuration::ZERO);
+        assert_eq!(s.max, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn csv_headers_match_artifact_names() {
+        let reports = vec![fake_report(OffloadPolicy::Pregated, &[500, 600])];
+        assert!(csv_block_latencies(&reports).starts_with("model,policy,mean_us"));
+        assert!(csv_throughputs(&reports).contains("Pre-gated MoE,100.00"));
+        assert!(csv_peak_memory(&reports).contains("2.000"));
+    }
+}

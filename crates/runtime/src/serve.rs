@@ -1,0 +1,188 @@
+//! Multi-request serving with QoS statistics.
+//!
+//! The paper motivates offloading by *quality of service*: "CPU offloading …
+//! comes with a significant increase in inference latency, deteriorating
+//! quality of service (QoS) to end users" (Section I). This module serves a
+//! stream of requests through [`InferenceSim`] and reports the request-level
+//! latency distribution a serving operator would monitor.
+
+use crate::{InferenceSim, Result, SimOptions};
+use pgmoe_device::SimDuration;
+use pgmoe_model::ModelConfig;
+use pgmoe_workload::DecodeRequest;
+
+/// Request-level latency/throughput statistics for a served stream.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Per-request end-to-end latencies, in arrival order.
+    pub request_latencies: Vec<SimDuration>,
+    /// Total generated tokens across the stream.
+    pub total_tokens: usize,
+    /// Aggregate throughput over the busy period (tokens/s).
+    pub tokens_per_sec: f64,
+    /// Peak HBM across the stream.
+    pub peak_hbm_bytes: u64,
+}
+
+impl ServeStats {
+    /// Latency at quantile `q ∈ [0, 1]` (nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no requests were served or `q` is outside `[0, 1]`.
+    pub fn latency_quantile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        assert!(!self.request_latencies.is_empty(), "no requests served");
+        let mut sorted: Vec<u64> = self.request_latencies.iter().map(|d| d.as_nanos()).collect();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q).floor() as usize;
+        SimDuration::from_nanos(sorted[idx])
+    }
+
+    /// Mean request latency.
+    pub fn mean_latency(&self) -> SimDuration {
+        let total: u64 = self.request_latencies.iter().map(|d| d.as_nanos()).sum();
+        SimDuration::from_nanos(total / self.request_latencies.len().max(1) as u64)
+    }
+}
+
+/// Serves a finite request stream back-to-back under one policy and gathers
+/// QoS statistics.
+///
+/// Requests are served sequentially (batch-1 serving, the paper's operating
+/// point); each request's latency covers its encoder pass and all of its
+/// decode iterations.
+///
+/// # Errors
+///
+/// Propagates the first simulator error (e.g. OOM under GPU-only).
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_model::ModelConfig;
+/// use pgmoe_runtime::{serve_stream, OffloadPolicy, SimOptions};
+/// use pgmoe_workload::{DecodeRequest, RequestStream};
+///
+/// let stream = RequestStream::new(
+///     DecodeRequest { input_tokens: 16, output_tokens: 4, batch_size: 1 }, 2, 7);
+/// let stats = serve_stream(
+///     ModelConfig::switch_base(8),
+///     SimOptions::new(OffloadPolicy::Pregated),
+///     stream.take(5),
+/// )?;
+/// assert_eq!(stats.request_latencies.len(), 5);
+/// # Ok::<(), pgmoe_runtime::RuntimeError>(())
+/// ```
+pub fn serve_stream(
+    cfg: ModelConfig,
+    opts: SimOptions,
+    requests: impl IntoIterator<Item = DecodeRequest>,
+) -> Result<ServeStats> {
+    let mut latencies = Vec::new();
+    let mut total_tokens = 0usize;
+    let mut busy = SimDuration::ZERO;
+    let mut peak = 0u64;
+    for (i, request) in requests.into_iter().enumerate() {
+        // Each request runs on a fresh simulated timeline; back-to-back
+        // serving sums the busy periods (no idle gaps at saturation).
+        let mut opts_i = opts.clone();
+        opts_i.seed = opts.seed.wrapping_add(i as u64);
+        let report = InferenceSim::new(cfg.clone(), opts_i).run(request, 1)?;
+        latencies.push(report.total_time);
+        busy += report.total_time;
+        total_tokens += request.output_tokens;
+        peak = peak.max(report.peak_hbm_bytes);
+    }
+    let tokens_per_sec = if busy == SimDuration::ZERO {
+        0.0
+    } else {
+        total_tokens as f64 / busy.as_secs_f64()
+    };
+    Ok(ServeStats { request_latencies: latencies, total_tokens, tokens_per_sec, peak_hbm_bytes: peak })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OffloadPolicy;
+    use pgmoe_workload::RequestStream;
+
+    fn small_stream(n: usize) -> Vec<DecodeRequest> {
+        RequestStream::new(
+            DecodeRequest { input_tokens: 16, output_tokens: 4, batch_size: 1 },
+            2,
+            9,
+        )
+        .take(n)
+        .collect()
+    }
+
+    #[test]
+    fn serves_all_requests_and_sums_tokens() {
+        let stats = serve_stream(
+            ModelConfig::switch_base(8),
+            SimOptions::new(OffloadPolicy::Pregated),
+            small_stream(6),
+        )
+        .unwrap();
+        assert_eq!(stats.request_latencies.len(), 6);
+        assert!(stats.total_tokens >= 6 * 2);
+        assert!(stats.tokens_per_sec > 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let stats = serve_stream(
+            ModelConfig::switch_base(8),
+            SimOptions::new(OffloadPolicy::OnDemand),
+            small_stream(10),
+        )
+        .unwrap();
+        let p50 = stats.latency_quantile(0.5);
+        let p99 = stats.latency_quantile(0.99);
+        assert!(p50 <= p99);
+        assert!(stats.mean_latency() >= p50.saturating_sub(stats.mean_latency()));
+    }
+
+    #[test]
+    fn pregated_beats_ondemand_qos() {
+        // The QoS motivation: tail latency under Pre-gated is lower.
+        let pg = serve_stream(
+            ModelConfig::switch_base(64),
+            SimOptions::new(OffloadPolicy::Pregated),
+            small_stream(8),
+        )
+        .unwrap();
+        let od = serve_stream(
+            ModelConfig::switch_base(64),
+            SimOptions::new(OffloadPolicy::OnDemand),
+            small_stream(8),
+        )
+        .unwrap();
+        assert!(pg.latency_quantile(0.9) < od.latency_quantile(0.9));
+        assert!(pg.tokens_per_sec > od.tokens_per_sec);
+    }
+
+    #[test]
+    fn gpu_only_oom_propagates() {
+        let err = serve_stream(
+            ModelConfig::switch_large_128(),
+            SimOptions::new(OffloadPolicy::GpuOnly),
+            small_stream(1),
+        );
+        assert!(matches!(err, Err(crate::RuntimeError::OutOfMemory(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "no requests served")]
+    fn quantile_of_empty_stream_panics() {
+        let stats = serve_stream(
+            ModelConfig::switch_base(8),
+            SimOptions::new(OffloadPolicy::Pregated),
+            std::iter::empty(),
+        )
+        .unwrap();
+        let _ = stats.latency_quantile(0.5);
+    }
+}

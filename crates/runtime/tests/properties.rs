@@ -1,0 +1,137 @@
+//! Property-based tests for runtime invariants: policy orderings, byte
+//! accounting, cache behaviour and Equation 1, across randomized
+//! model/workload configurations.
+
+use pgmoe_model::ModelConfig;
+use pgmoe_runtime::{
+    CacheConfig, ExpertCache, ExpertKey, InferenceSim, OffloadPolicy, Replacement, SimOptions,
+};
+use pgmoe_workload::DecodeRequest;
+use proptest::prelude::*;
+
+fn request(output_tokens: usize) -> DecodeRequest {
+    DecodeRequest { input_tokens: 16, output_tokens, batch_size: 1 }
+}
+
+fn arb_model() -> impl Strategy<Value = ModelConfig> {
+    prop_oneof![
+        (1usize..5).prop_map(|i| ModelConfig::switch_base(1 << (i + 2))), // 8..64
+        Just(ModelConfig::switch_base(128)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The paper's core ordering holds for any expert count and seed under
+    /// sparse (top-1) activation.
+    #[test]
+    fn policy_latency_ordering_is_invariant(cfg in arb_model(), seed in 0u64..1_000, toks in 2usize..6) {
+        let lat = |policy| {
+            InferenceSim::new(cfg.clone(), SimOptions::new(policy).with_seed(seed))
+                .run(request(toks), 1)
+                .unwrap()
+                .mean_block_latency()
+        };
+        let gpu = lat(OffloadPolicy::GpuOnly);
+        let pg = lat(OffloadPolicy::Pregated);
+        let od = lat(OffloadPolicy::OnDemand);
+        let pf = lat(OffloadPolicy::PrefetchAll);
+        prop_assert!(gpu <= pg, "GPU-only {gpu} > Pre-gated {pg}");
+        prop_assert!(pg < od, "Pre-gated {pg} >= OnDemand {od}");
+        prop_assert!(od < pf, "OnDemand {od} >= Prefetch {pf}");
+    }
+
+    /// Pre-gated and OnDemand move exactly the same expert bytes (activated
+    /// experts only) for identical routing seeds — the co-design changes
+    /// *when* bytes move, never *how many*.
+    #[test]
+    fn pregated_matches_ondemand_bytes(seed in 0u64..1_000, toks in 2usize..6) {
+        let cfg = ModelConfig::switch_base(32);
+        let busy = |policy| {
+            InferenceSim::new(cfg.clone(), SimOptions::new(policy).with_seed(seed))
+                .run(request(toks), 1)
+                .unwrap()
+                .pcie_busy
+        };
+        let pg = busy(OffloadPolicy::Pregated);
+        let od = busy(OffloadPolicy::OnDemand);
+        let rel = (pg.as_nanos() as f64 - od.as_nanos() as f64).abs() / od.as_nanos() as f64;
+        prop_assert!(rel < 0.02, "PCIe busy differs: {pg} vs {od}");
+    }
+
+    /// Measured peak never exceeds HBM capacity, and Equation 1 predicts it
+    /// within tolerance whenever the run fits.
+    #[test]
+    fn equation1_holds_for_any_seed(cfg in arb_model(), seed in 0u64..1_000) {
+        for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand, OffloadPolicy::PrefetchAll] {
+            let r = InferenceSim::new(cfg.clone(), SimOptions::new(policy).with_seed(seed))
+                .run(request(3), 1)
+                .unwrap();
+            prop_assert!(r.peak_hbm_bytes <= 80 * (1 << 30));
+            let rel = (r.peak_hbm_bytes as f64 - r.predicted_peak_bytes as f64).abs()
+                / r.predicted_peak_bytes as f64;
+            prop_assert!(rel < 0.06, "{policy}: Eq.1 off by {rel}");
+        }
+    }
+
+    /// Longer generations amortise the serialized first block: Pre-gated's
+    /// overhead *relative to GPU-only* (which shares the same KV-cache
+    /// growth) never increases with generation length.
+    #[test]
+    fn pregated_overhead_amortises_with_length(seed in 0u64..200) {
+        let cfg = ModelConfig::switch_base(16);
+        let ratio = |toks: usize| {
+            let pg = InferenceSim::new(cfg.clone(), SimOptions::new(OffloadPolicy::Pregated).with_seed(seed))
+                .run(request(toks), 1)
+                .unwrap()
+                .mean_block_latency();
+            let gpu = InferenceSim::new(cfg.clone(), SimOptions::new(OffloadPolicy::GpuOnly).with_seed(seed))
+                .run(request(toks), 1)
+                .unwrap()
+                .mean_block_latency();
+            pg.as_nanos() as f64 / gpu.as_nanos() as f64
+        };
+        prop_assert!(ratio(8) <= ratio(2) * 1.001);
+    }
+
+    /// Cache: hit + miss counts equal accesses; hits never exceed capacity
+    /// semantics (cold start misses at least the working-set size).
+    #[test]
+    fn cache_counters_are_consistent(
+        capacity in 0usize..32,
+        keys in proptest::collection::vec((0usize..4, 0usize..64), 1..200),
+    ) {
+        for policy in Replacement::ALL {
+            let mut cache = ExpertCache::new(capacity, policy);
+            let mut distinct = std::collections::HashSet::new();
+            for &(block, expert) in &keys {
+                cache.access(ExpertKey { block, expert });
+                distinct.insert((block, expert));
+            }
+            let stats = cache.stats();
+            prop_assert_eq!(stats.hits + stats.misses, keys.len() as u64);
+            prop_assert!(stats.misses >= distinct.len().min(capacity.max(1)) as u64 || capacity == 0);
+            prop_assert!(cache.len() <= capacity);
+        }
+    }
+
+    /// A cached run is never slower than an uncached one under OnDemand
+    /// (cache hits only remove PCIe work).
+    #[test]
+    fn cache_never_hurts_ondemand(seed in 0u64..200, fraction in 0.05f64..0.5) {
+        let cfg = ModelConfig::switch_base(32);
+        let tput = |cache: Option<CacheConfig>| {
+            let mut opts = SimOptions::new(OffloadPolicy::OnDemand)
+                .with_seed(seed)
+                .with_routing(pgmoe_workload::RoutingKind::Zipf { s: 1.4 });
+            if let Some(c) = cache {
+                opts = opts.with_cache(c);
+            }
+            InferenceSim::new(cfg.clone(), opts).run(request(6), 1).unwrap().tokens_per_sec
+        };
+        let plain = tput(None);
+        let cached = tput(Some(CacheConfig::new(fraction, Replacement::Lru)));
+        prop_assert!(cached >= plain * 0.999, "cache hurt: {plain} -> {cached}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Convenience alias for results returned by fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Error produced by shape-checked tensor operations.
+///
+/// Most operators in this crate have two spellings: a panicking method used
+/// in model code where a shape mismatch is a programming error (e.g.
+/// [`crate::Tensor::matmul`]) and a `try_` variant returning `TensorError`
+/// for callers that construct shapes dynamically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: Vec<usize>,
+        /// Shape of the right/second operand.
+        rhs: Vec<usize>,
+    },
+    /// The requested shape does not match the number of elements provided.
+    ElementCount {
+        /// Requested shape.
+        shape: Vec<usize>,
+        /// Number of elements actually provided.
+        elements: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// Shape of the tensor being indexed.
+        shape: Vec<usize>,
+    },
+    /// The operation requires a tensor of a different rank.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// A parameter was outside its valid domain (e.g. `k = 0` for top-k).
+    InvalidArgument {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in `{op}`: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::ElementCount { shape, elements } => write!(
+                f,
+                "shape {shape:?} requires {} elements but {elements} were provided",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "`{op}` expects rank {expected} but tensor has rank {actual}")
+            }
+            TensorError::InvalidArgument { op, message } => {
+                write!(f, "invalid argument to `{op}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![4, 5] };
+        let text = err.to_string();
+        assert!(text.contains("matmul"));
+        assert!(text.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

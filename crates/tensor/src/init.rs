@@ -1,0 +1,102 @@
+//! Seeded weight initialisation.
+//!
+//! All initialisers take an explicit RNG so every experiment in the
+//! reproduction is deterministic given its seed (Section V of the paper fixes
+//! the fine-tuning recipe; we additionally fix the randomness).
+
+use crate::Tensor;
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Samples a tensor with i.i.d. normal entries `N(mean, std²)`.
+pub fn normal(shape: impl Into<crate::Shape>, mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    let dist = NormalApprox { mean, std };
+    let mut t = Tensor::zeros(shape);
+    for v in t.as_mut_slice() {
+        *v = dist.sample(rng);
+    }
+    t
+}
+
+/// Samples a tensor with i.i.d. uniform entries in `[lo, hi)`.
+pub fn uniform(shape: impl Into<crate::Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    let mut t = Tensor::zeros(shape);
+    for v in t.as_mut_slice() {
+        *v = rng.gen_range(lo..hi);
+    }
+    t
+}
+
+/// Xavier/Glorot-uniform initialisation for a `[fan_in, fan_out]` weight.
+///
+/// Bound is `sqrt(6 / (fan_in + fan_out))` — the standard choice for layers
+/// followed by (near-)linear activations such as the router logits.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform([fan_in, fan_out], -bound, bound, rng)
+}
+
+/// He/Kaiming-normal initialisation for a `[fan_in, fan_out]` weight.
+///
+/// Std is `sqrt(2 / fan_in)` — the standard choice for ReLU expert FFNs.
+pub fn he_normal(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    normal([fan_in, fan_out], 0.0, (2.0 / fan_in as f32).sqrt(), rng)
+}
+
+/// Box–Muller normal sampler.
+///
+/// `rand` 0.8 ships `Standard`/`Uniform` but the Gaussian lives in the
+/// separate `rand_distr` crate, which the offline dependency policy excludes;
+/// a Box–Muller transform over two uniforms is exact and adequate here.
+struct NormalApprox {
+    mean: f32,
+    std: f32,
+}
+
+impl Distribution<f32> for NormalApprox {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        self.mean + self.std * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_requested_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = normal([100, 100], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = xavier_uniform(300, 300, &mut rng);
+        let bound = (6.0 / 600.0f32).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = he_normal(16, 16, &mut StdRng::seed_from_u64(42));
+        let b = he_normal(16, 16, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = uniform([64, 64], -0.5, 0.5, &mut rng);
+        assert!(t.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+}

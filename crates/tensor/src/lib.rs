@@ -1,0 +1,47 @@
+//! # pgmoe-tensor
+//!
+//! A small, dependency-light dense `f32` tensor library with manual
+//! backpropagation, built as the numeric substrate for the Pre-gated MoE
+//! reproduction (ISCA 2024).
+//!
+//! The crate provides:
+//!
+//! * [`Tensor`] — a row-major dense `f32` tensor with shape-checked algebra
+//!   (matmul, broadcasting adds, reductions, softmax, layer-norm, top-k).
+//! * [`nn`] — gradient-carrying layers (`Linear`, `Embedding`, `LayerNorm`,
+//!   `CausalSelfAttention`, activations, cross-entropy) used by the trainable
+//!   scaled-down MoE models in `pgmoe-train`.
+//! * [`nn::optim`] — `Sgd` and `Adam` optimizers keyed by stable parameter ids.
+//! * [`init`] — seeded Xavier/He/normal initialisation.
+//!
+//! # Example
+//!
+//! ```
+//! use pgmoe_tensor::Tensor;
+//!
+//! let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! ```
+//!
+//! Design note: the inference-side experiments of the paper (Figs 10–12,
+//! 14–16) run at *paper scale* through the analytic device simulator and never
+//! materialise weights; this crate is used where real numerics matter — the
+//! accuracy experiments (Table II, Fig 13) and functional validation of the
+//! runtime's routing logic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod init;
+pub mod nn;
+pub mod ops;
+
+pub use error::{Result, TensorError};
+pub use shape::Shape;
+pub use tensor::Tensor;

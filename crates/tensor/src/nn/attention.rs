@@ -1,0 +1,184 @@
+//! Single-head causal self-attention with manual backprop.
+
+use super::{Layer, Linear, Param};
+use crate::ops::softmax_backward;
+use crate::Tensor;
+use rand::Rng;
+
+/// Single-head causal self-attention over one sequence `[t, dim] → [t, dim]`.
+///
+/// This is the sequence-mixing layer of the trainable scaled-down Switch
+/// models used for the accuracy experiments (Table II, Fig 13). A single head
+/// keeps the manual backward pass auditable; the systems-side experiments use
+/// the analytic cost model in `pgmoe-device` for multi-head attention timing,
+/// so head count does not affect any reproduced figure.
+///
+/// Batched input is handled by the caller looping over sequences (batch sizes
+/// in the accuracy experiments are small).
+#[derive(Debug, Clone)]
+pub struct CausalSelfAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    scale: f32,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct AttnCache {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    attn: Tensor,
+}
+
+impl CausalSelfAttention {
+    /// Creates an attention layer of width `dim`.
+    pub fn new(dim: usize, rng: &mut impl Rng) -> Self {
+        CausalSelfAttention {
+            wq: Linear::new(dim, dim, false, rng),
+            wk: Linear::new(dim, dim, false, rng),
+            wv: Linear::new(dim, dim, false, rng),
+            wo: Linear::new(dim, dim, false, rng),
+            scale: 1.0 / (dim as f32).sqrt(),
+            cache: None,
+        }
+    }
+
+    /// Model width.
+    pub fn dim(&self) -> usize {
+        self.wq.in_features()
+    }
+
+    /// Forward pass over one sequence `[t, dim]`, caching for backward.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let attn = self.masked_attention(&q, &k);
+        let ctx = attn.matmul(&v);
+        let y = self.wo.forward(&ctx);
+        self.cache = Some(AttnCache { q, k, v, attn });
+        y
+    }
+
+    /// Inference-only forward pass that skips caching.
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        let q = self.wq.forward_inference(x);
+        let k = self.wk.forward_inference(x);
+        let v = self.wv.forward_inference(x);
+        let attn = self.masked_attention(&q, &k);
+        let ctx = attn.matmul(&v);
+        self.wo.forward_inference(&ctx)
+    }
+
+    fn masked_attention(&self, q: &Tensor, k: &Tensor) -> Tensor {
+        let t = q.rows();
+        let mut scores = q.matmul(&k.transpose()).scale(self.scale);
+        for i in 0..t {
+            for j in (i + 1)..t {
+                scores.set(&[i, j], f32::NEG_INFINITY);
+            }
+        }
+        scores.softmax_rows()
+    }
+
+    /// Backward pass; accumulates projection grads, returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`CausalSelfAttention::forward`].
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("CausalSelfAttention::backward before forward");
+        let dctx = self.wo.backward(dy);
+        // ctx = attn · v
+        let dattn = dctx.matmul(&cache.v.transpose());
+        let dv = cache.attn.transpose().matmul(&dctx);
+        // Masked positions have attn == 0, so softmax_backward already yields
+        // zero gradient there; no explicit re-masking is needed.
+        let dscores = softmax_backward(&cache.attn, &dattn).scale(self.scale);
+        let dq = dscores.matmul(&cache.k);
+        let dk = dscores.transpose().matmul(&cache.q);
+        let dx_q = self.wq.backward(&dq);
+        let dx_k = self.wk.backward(&dk);
+        let dx_v = self.wv.backward(&dv);
+        dx_q.add(&dx_k).add(&dx_v)
+    }
+}
+
+impl Layer for CausalSelfAttention {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut attn = CausalSelfAttention::new(8, &mut rng);
+        let x = crate::init::normal([5, 8], 0.0, 1.0, &mut rng);
+        let y = attn.forward(&x);
+        assert_eq!(y.dims(), &[5, 8]);
+    }
+
+    #[test]
+    fn causality_first_token_ignores_future() {
+        // Changing later tokens must not change the first output row.
+        let mut rng = StdRng::seed_from_u64(1);
+        let attn = CausalSelfAttention::new(4, &mut rng);
+        let mut x = crate::init::normal([3, 4], 0.0, 1.0, &mut rng);
+        let y1 = attn.forward_inference(&x);
+        for j in 0..4 {
+            x.set(&[2, j], 99.0);
+        }
+        let y2 = attn.forward_inference(&x);
+        for j in 0..4 {
+            assert!((y1.at(&[0, j]) - y2.at(&[0, j])).abs() < 1e-6);
+            assert!((y1.at(&[1, j]) - y2.at(&[1, j])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut attn = CausalSelfAttention::new(4, &mut rng);
+        let x = crate::init::normal([3, 4], 0.0, 1.0, &mut rng);
+        let w = crate::init::normal([3, 4], 0.0, 1.0, &mut rng);
+
+        let _ = attn.forward(&x);
+        let dx = attn.backward(&w);
+
+        let eps = 1e-2;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp = attn.forward_inference(&xp).mul(&w).sum();
+            let lm = attn.forward_inference(&xm).mul(&w).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (dx.as_slice()[i] - numeric).abs() < 3e-2,
+                "elem {i}: analytic {} vs numeric {numeric}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_is_four_projections() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut attn = CausalSelfAttention::new(6, &mut rng);
+        assert_eq!(attn.param_count(), 4 * 6 * 6);
+    }
+}

@@ -1,0 +1,95 @@
+//! Token-embedding layer with scatter-add backward.
+
+use super::{Layer, Param};
+use crate::{init, Tensor};
+use rand::Rng;
+
+/// A lookup table mapping token ids to dense vectors.
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_tensor::nn::Embedding;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut emb = Embedding::new(10, 4, &mut StdRng::seed_from_u64(0));
+/// let x = emb.forward(&[1, 2, 1]);
+/// assert_eq!(x.dims(), &[3, 4]);
+/// assert_eq!(x.row(0), x.row(2)); // same token, same vector
+/// ```
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// Table of shape `[vocab, dim]`.
+    pub table: Param,
+    cached_ids: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Creates a table with `N(0, 0.02²)` entries (GPT-style init).
+    pub fn new(vocab: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        Embedding { table: Param::new(init::normal([vocab, dim], 0.0, 0.02, rng)), cached_ids: None }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.value.dims()[0]
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.value.dims()[1]
+    }
+
+    /// Looks up `ids`, producing `[ids.len(), dim]`, caching for backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of vocabulary.
+    pub fn forward(&mut self, ids: &[usize]) -> Tensor {
+        self.cached_ids = Some(ids.to_vec());
+        self.table.value.gather_rows(ids)
+    }
+
+    /// Backward pass: scatter-adds `dy` rows into the table gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Embedding::forward`].
+    pub fn backward(&mut self, dy: &Tensor) {
+        let ids = self.cached_ids.as_ref().expect("Embedding::backward before forward");
+        self.table.grad.scatter_add_rows(ids, dy);
+    }
+}
+
+impl Layer for Embedding {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn repeated_ids_accumulate_grads() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut emb = Embedding::new(4, 2, &mut rng);
+        let _ = emb.forward(&[1, 1, 3]);
+        let dy = Tensor::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 5.0]]);
+        emb.backward(&dy);
+        assert_eq!(emb.table.grad.row(1), &[2.0, 0.0]);
+        assert_eq!(emb.table.grad.row(3), &[0.0, 5.0]);
+        assert_eq!(emb.table.grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_vocab_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut emb = Embedding::new(4, 2, &mut rng);
+        let _ = emb.forward(&[4]);
+    }
+}

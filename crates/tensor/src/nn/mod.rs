@@ -1,0 +1,42 @@
+//! Gradient-carrying neural-network layers.
+//!
+//! The layers here follow one uniform contract instead of a full autograd
+//! tape: `forward` caches whatever the backward pass needs, `backward` takes
+//! the upstream gradient, **accumulates** parameter gradients in place and
+//! returns the input gradient. Call [`Layer::zero_grad`] between optimizer
+//! steps. This is deliberate — the trainable models in this reproduction are
+//! small feed-forward stacks where a manual tape is simpler, faster to debug
+//! and easy to gradient-check.
+
+mod attention;
+mod embedding;
+mod layer_norm;
+mod linear;
+mod param;
+
+pub mod optim;
+
+pub use attention::CausalSelfAttention;
+pub use embedding::Embedding;
+pub use layer_norm::LayerNorm;
+pub use linear::Linear;
+pub use param::{Param, ParamId};
+
+/// Common behaviour shared by gradient-carrying layers.
+pub trait Layer {
+    /// Visits every parameter of the layer (used by optimizers and
+    /// serialisation).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Clears accumulated gradients on every parameter.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of scalar parameters in the layer.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+}

@@ -1,0 +1,198 @@
+//! First-order optimizers keyed by stable parameter ids.
+//!
+//! Both optimizers follow the same usage pattern: run forward/backward to
+//! accumulate gradients, call [`Sgd::step`]/[`Adam::step`] on every parameter
+//! (layers expose them via [`crate::nn::Layer::visit_params`]), then zero
+//! grads.
+
+use super::{Param, ParamId};
+use crate::Tensor;
+use std::collections::HashMap;
+
+/// Plain stochastic gradient descent with optional gradient clipping.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// If set, each gradient tensor is clipped to this global L2 norm.
+    pub clip_norm: Option<f32>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, clip_norm: None }
+    }
+
+    /// Applies one descent step to `param` using its accumulated gradient.
+    pub fn step(&mut self, param: &mut Param) {
+        let scale = clip_scale(&param.grad, self.clip_norm);
+        param.value.add_scaled_inplace(&param.grad, -self.lr * scale);
+    }
+}
+
+/// Adam optimizer (Kingma & Ba), the paper's fine-tuning setup uses a constant
+/// learning rate of 1e-4 (Section V), which is this type's default.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (paper default 1e-4).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// If set, each gradient tensor is clipped to this global L2 norm.
+    pub clip_norm: Option<f32>,
+    t: u64,
+    state: HashMap<ParamId, Moments>,
+}
+
+#[derive(Debug, Clone)]
+struct Moments {
+    m: Tensor,
+    v: Tensor,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the given learning rate and standard
+    /// betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip_norm: Some(1.0), t: 0, state: HashMap::new() }
+    }
+
+    /// Creates the paper's fine-tuning configuration (constant lr = 1e-4).
+    pub fn paper_finetune() -> Self {
+        Adam::new(1e-4)
+    }
+
+    /// Advances the shared timestep. Call once per optimisation step, before
+    /// the per-parameter [`Adam::step`] calls.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Applies one Adam update to `param` using its accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Adam::begin_step`] has never been called.
+    pub fn step(&mut self, param: &mut Param) {
+        assert!(self.t > 0, "Adam::step before begin_step");
+        let scale = clip_scale(&param.grad, self.clip_norm);
+        let entry = self.state.entry(param.id()).or_insert_with(|| Moments {
+            m: Tensor::zeros(param.value.shape().clone()),
+            v: Tensor::zeros(param.value.shape().clone()),
+        });
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let n = param.value.len();
+        let g = param.grad.as_slice();
+        let m = entry.m.as_mut_slice();
+        let v = entry.v.as_mut_slice();
+        let w = param.value.as_mut_slice();
+        for i in 0..n {
+            let gi = g[i] * scale;
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * gi;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * gi * gi;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            w[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// Number of optimisation steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+fn clip_scale(grad: &Tensor, clip_norm: Option<f32>) -> f32 {
+    match clip_norm {
+        Some(limit) => {
+            let norm = grad.norm_sq().sqrt();
+            if norm > limit && norm > 0.0 {
+                limit / norm
+            } else {
+                1.0
+            }
+        }
+        None => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(start: f32) -> Param {
+        Param::new(Tensor::vector(&[start]))
+    }
+
+    /// d/dw (w - 3)^2 = 2(w - 3)
+    fn quadratic_grad(p: &mut Param) {
+        let w = p.value.as_slice()[0];
+        p.grad = Tensor::vector(&[2.0 * (w - 3.0)]);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = quadratic_param(0.0);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            quadratic_grad(&mut p);
+            opt.step(&mut p);
+        }
+        assert!((p.value.as_slice()[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = quadratic_param(0.0);
+        let mut opt = Adam::new(0.05);
+        opt.clip_norm = None;
+        for _ in 0..500 {
+            quadratic_grad(&mut p);
+            opt.begin_step();
+            opt.step(&mut p);
+        }
+        assert!((p.value.as_slice()[0] - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn adam_state_is_per_param() {
+        let mut p1 = quadratic_param(0.0);
+        let mut p2 = quadratic_param(10.0);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..10 {
+            quadratic_grad(&mut p1);
+            quadratic_grad(&mut p2);
+            opt.begin_step();
+            opt.step(&mut p1);
+            opt.step(&mut p2);
+        }
+        assert_eq!(opt.state.len(), 2);
+        // Both move toward 3 from opposite sides.
+        assert!(p1.value.as_slice()[0] > 0.0);
+        assert!(p2.value.as_slice()[0] < 10.0);
+    }
+
+    #[test]
+    fn clipping_limits_update_magnitude() {
+        let mut p = Param::new(Tensor::vector(&[0.0]));
+        p.grad = Tensor::vector(&[1000.0]);
+        let mut opt = Sgd::new(1.0);
+        opt.clip_norm = Some(1.0);
+        opt.step(&mut p);
+        assert!((p.value.as_slice()[0] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_step")]
+    fn adam_requires_begin_step() {
+        let mut p = quadratic_param(0.0);
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut p);
+    }
+}

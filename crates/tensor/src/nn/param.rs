@@ -1,0 +1,89 @@
+//! Trainable parameters with stable identities.
+
+use crate::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique identifier for a [`Param`].
+///
+/// Optimizers key their per-parameter state (e.g. Adam moments) by `ParamId`,
+/// which stays stable even as layers move in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(u64);
+
+/// A trainable tensor together with its accumulated gradient.
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_tensor::{nn::Param, Tensor};
+///
+/// let mut p = Param::new(Tensor::zeros([2, 2]));
+/// p.grad.as_mut_slice()[0] = 1.0;
+/// p.zero_grad();
+/// assert_eq!(p.grad.as_slice(), &[0.0; 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient accumulated since the last [`Param::zero_grad`].
+    pub grad: Tensor,
+    id: ParamId,
+}
+
+impl Param {
+    /// Wraps a tensor as a trainable parameter with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        let id = ParamId(NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed));
+        Param { value, grad, id }
+    }
+
+    /// The parameter's stable identity.
+    pub fn id(&self) -> ParamId {
+        self.id
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.as_mut_slice() {
+            *g = 0.0;
+        }
+    }
+
+    /// Accumulates `g` into the gradient. Panics on shape mismatch.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        self.grad.add_scaled_inplace(g, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Param::new(Tensor::zeros([1]));
+        let b = Param::new(Tensor::zeros([1]));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn clone_preserves_id() {
+        // Cloned params share optimizer state on purpose: a clone represents
+        // the same logical parameter (e.g. checkpoint restore).
+        let a = Param::new(Tensor::zeros([1]));
+        let b = a.clone();
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let mut p = Param::new(Tensor::zeros([2]));
+        p.accumulate(&Tensor::vector(&[1.0, 2.0]));
+        p.accumulate(&Tensor::vector(&[0.5, 0.5]));
+        assert_eq!(p.grad.as_slice(), &[1.5, 2.5]);
+    }
+}

@@ -1,0 +1,295 @@
+//! Pure functional neural-network operations and their backward passes.
+//!
+//! Layers in [`crate::nn`] wrap these functions with parameter/grad storage;
+//! the functions themselves are kept free-standing so they can be
+//! gradient-checked in isolation (see the integration tests).
+
+use crate::Tensor;
+
+/// Rectified linear unit, elementwise.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Backward pass of [`relu`]: `dx = dy ⊙ 1[x > 0]`.
+///
+/// # Panics
+///
+/// Panics if `x` and `dy` shapes differ.
+pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    x.zip(dy, |xi, di| if xi > 0.0 { di } else { 0.0 }).expect("relu_backward: shape mismatch")
+}
+
+/// Gaussian error linear unit (tanh approximation), elementwise.
+///
+/// This is the activation used inside T5/Switch FFN experts.
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(gelu_scalar)
+}
+
+fn gelu_scalar(v: f32) -> f32 {
+    const C: f32 = 0.797_884_56; // sqrt(2/pi)
+    0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh())
+}
+
+/// Backward pass of [`gelu`] using the analytic derivative of the tanh form.
+///
+/// # Panics
+///
+/// Panics if `x` and `dy` shapes differ.
+pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    x.zip(dy, |v, d| {
+        const C: f32 = 0.797_884_56;
+        let inner = C * (v + 0.044715 * v * v * v);
+        let t = inner.tanh();
+        let dinner = C * (1.0 + 3.0 * 0.044715 * v * v);
+        let dg = 0.5 * (1.0 + t) + 0.5 * v * (1.0 - t * t) * dinner;
+        d * dg
+    })
+    .expect("gelu_backward: shape mismatch")
+}
+
+/// Cached statistics from [`layer_norm_forward`] needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    /// Normalised activations `(x - μ) / σ`, shape `[rows, cols]`.
+    pub x_hat: Tensor,
+    /// Per-row inverse standard deviation `1/σ`, length `rows`.
+    pub inv_std: Vec<f32>,
+}
+
+/// Row-wise layer normalisation: `y = γ ⊙ (x − μ)/σ + β`.
+///
+/// Returns the output and the cache consumed by [`layer_norm_backward`].
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from `x.cols()`.
+pub fn layer_norm_forward(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> (Tensor, LayerNormCache) {
+    let cols = x.cols();
+    assert_eq!(gamma.len(), cols, "layer_norm: gamma width mismatch");
+    assert_eq!(beta.len(), cols, "layer_norm: beta width mismatch");
+    let mut y = x.clone();
+    let mut x_hat = x.clone();
+    let mut inv_std = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        inv_std.push(istd);
+        let xh = x_hat.row_mut(r);
+        for (i, v) in xh.iter_mut().enumerate() {
+            *v = (row[i] - mean) * istd;
+        }
+        let yr = y.row_mut(r);
+        for i in 0..cols {
+            yr[i] = gamma.as_slice()[i] * x_hat.row(r)[i] + beta.as_slice()[i];
+        }
+    }
+    (y, LayerNormCache { x_hat, inv_std })
+}
+
+/// Backward pass of [`layer_norm_forward`].
+///
+/// Returns `(dx, dgamma, dbeta)`.
+pub fn layer_norm_backward(
+    cache: &LayerNormCache,
+    gamma: &Tensor,
+    dy: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let rows = dy.rows();
+    let cols = dy.cols();
+    let mut dx = Tensor::zeros([rows, cols]);
+    let mut dgamma = Tensor::zeros([cols]);
+    let mut dbeta = Tensor::zeros([cols]);
+    for r in 0..rows {
+        let dyr = dy.row(r);
+        let xh = cache.x_hat.row(r);
+        let istd = cache.inv_std[r];
+        // Accumulate parameter grads.
+        for i in 0..cols {
+            dgamma.as_mut_slice()[i] += dyr[i] * xh[i];
+            dbeta.as_mut_slice()[i] += dyr[i];
+        }
+        // dx for the normalised row: standard layer-norm backward identity.
+        let dxhat: Vec<f32> = (0..cols).map(|i| dyr[i] * gamma.as_slice()[i]).collect();
+        let sum_dxhat: f32 = dxhat.iter().sum();
+        let sum_dxhat_xhat: f32 = dxhat.iter().zip(xh).map(|(a, b)| a * b).sum();
+        let n = cols as f32;
+        let dxr = dx.row_mut(r);
+        for i in 0..cols {
+            dxr[i] = istd / n * (n * dxhat[i] - sum_dxhat - xh[i] * sum_dxhat_xhat);
+        }
+    }
+    (dx, dgamma, dbeta)
+}
+
+/// Backward pass of a row-wise softmax given its *output* `y` and upstream
+/// gradient `dy`: `dx_i = y_i (dy_i − Σ_j dy_j y_j)` per row.
+pub fn softmax_backward(y: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(y.dims(), dy.dims(), "softmax_backward: shape mismatch");
+    let mut dx = y.clone();
+    let cols = y.cols();
+    for r in 0..y.rows() {
+        let yr = y.row(r);
+        let dyr = dy.row(r);
+        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+        let dxr = dx.row_mut(r);
+        for i in 0..cols {
+            dxr[i] = yr[i] * (dyr[i] - dot);
+        }
+    }
+    dx
+}
+
+/// Mean cross-entropy between `logits` (`[n, classes]`) and integer targets.
+///
+/// Returns `(loss, dlogits)` where `dlogits` already includes the `1/n`
+/// mean-reduction factor, so it can be fed straight into backward passes.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or a target is out of range.
+pub fn cross_entropy_from_logits(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    let n = logits.rows();
+    assert_eq!(targets.len(), n, "cross_entropy: target count mismatch");
+    let probs = logits.softmax_rows();
+    let mut dlogits = probs.clone();
+    let mut loss = 0.0;
+    let inv_n = 1.0 / n as f32;
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < logits.cols(), "cross_entropy: target {t} out of range");
+        let p = probs.at(&[r, t]).max(1e-12);
+        loss -= p.ln();
+        let row = dlogits.row_mut(r);
+        row[t] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= inv_n;
+        }
+    }
+    (loss * inv_n, dlogits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central-difference gradient check helper shared by the op tests.
+    fn numeric_grad(f: impl Fn(&Tensor) -> f32, x: &Tensor, eps: f32) -> Tensor {
+        let mut g = Tensor::zeros(x.shape().clone());
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            g.as_mut_slice()[i] = (f(&xp) - f(&xm)) / (2.0 * eps);
+        }
+        g
+    }
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let x = Tensor::vector(&[-1.0, 0.0, 2.0]);
+        assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let x = Tensor::vector(&[-1.0, 0.5]);
+        let dy = Tensor::vector(&[3.0, 3.0]);
+        assert_eq!(relu_backward(&x, &dy).as_slice(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values from the tanh-approximate GELU.
+        let x = Tensor::vector(&[0.0, 1.0, -1.0]);
+        let y = gelu(&x);
+        assert!((y.as_slice()[0]).abs() < 1e-6);
+        assert!((y.as_slice()[1] - 0.8412).abs() < 1e-3);
+        assert!((y.as_slice()[2] + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_gradient_check() {
+        let x = Tensor::vector(&[-1.5, -0.2, 0.0, 0.7, 2.0]);
+        let dy = Tensor::ones([5]);
+        let analytic = gelu_backward(&x, &dy);
+        let numeric = numeric_grad(|t| gelu(t).sum(), &x, 1e-3);
+        for (a, n) in analytic.as_slice().iter().zip(numeric.as_slice()) {
+            assert!((a - n).abs() < 1e-2, "analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_normalises_rows() {
+        let x = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let gamma = Tensor::ones([4]);
+        let beta = Tensor::zeros([4]);
+        let (y, _) = layer_norm_forward(&x, &gamma, &beta, 1e-5);
+        let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
+        let var: f32 = y.row(0).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_gradient_check() {
+        let x = Tensor::from_rows(&[&[0.5, -1.0, 2.0, 0.1], &[3.0, 0.0, -2.0, 1.0]]);
+        let gamma = Tensor::vector(&[1.1, 0.9, 1.0, 1.2]);
+        let beta = Tensor::vector(&[0.1, -0.1, 0.0, 0.2]);
+        // Loss = weighted sum so the upstream gradient is non-uniform.
+        let w = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[-1.0, 1.0, -1.0, 1.0]]);
+        let loss = |t: &Tensor| {
+            let (y, _) = layer_norm_forward(t, &gamma, &beta, 1e-5);
+            y.mul(&w).sum()
+        };
+        let (_, cache) = layer_norm_forward(&x, &gamma, &beta, 1e-5);
+        let (dx, _, _) = layer_norm_backward(&cache, &gamma, &w);
+        let numeric = numeric_grad(loss, &x, 1e-2);
+        for (a, n) in dx.as_slice().iter().zip(numeric.as_slice()) {
+            assert!((a - n).abs() < 2e-2, "analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn softmax_backward_gradient_check() {
+        let x = Tensor::from_rows(&[&[0.2, -0.5, 1.0]]);
+        let w = Tensor::from_rows(&[&[3.0, 1.0, -2.0]]);
+        let loss = |t: &Tensor| t.softmax_rows().mul(&w).sum();
+        let y = x.softmax_rows();
+        let dx = softmax_backward(&y, &w);
+        let numeric = numeric_grad(loss, &x, 1e-3);
+        for (a, n) in dx.as_slice().iter().zip(numeric.as_slice()) {
+            assert!((a - n).abs() < 1e-3, "analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_minimised_at_target() {
+        let good = Tensor::from_rows(&[&[10.0, 0.0, 0.0]]);
+        let bad = Tensor::from_rows(&[&[0.0, 10.0, 0.0]]);
+        let (l_good, _) = cross_entropy_from_logits(&good, &[0]);
+        let (l_bad, _) = cross_entropy_from_logits(&bad, &[0]);
+        assert!(l_good < 0.01);
+        assert!(l_bad > 5.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_check() {
+        let x = Tensor::from_rows(&[&[0.3, -0.2, 0.9], &[1.0, 1.0, -1.0]]);
+        let targets = [2usize, 0usize];
+        let loss = |t: &Tensor| cross_entropy_from_logits(t, &targets).0;
+        let (_, dx) = cross_entropy_from_logits(&x, &targets);
+        let numeric = numeric_grad(loss, &x, 1e-3);
+        for (a, n) in dx.as_slice().iter().zip(numeric.as_slice()) {
+            assert!((a - n).abs() < 1e-3, "analytic {a} vs numeric {n}");
+        }
+    }
+}

@@ -1,0 +1,632 @@
+//! The dense `f32` tensor type.
+
+use crate::{Result, Shape, TensorError};
+
+/// A dense, row-major `f32` tensor.
+///
+/// `Tensor` is the workhorse value type of the reproduction's numeric stack.
+/// It is deliberately simple: owned storage, row-major layout, shape-checked
+/// operators. Operations come in panicking form (for model code where a
+/// mismatch is a bug) and, where useful, `try_` form returning
+/// [`TensorError`].
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_tensor::Tensor;
+///
+/// let x = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// let y = x.scale(2.0);
+/// assert_eq!(y.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+/// # Ok::<(), pgmoe_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let len = shape.len();
+        Tensor { shape, data: vec![0.0; len] }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let len = shape.len();
+        Tensor { shape, data: vec![value; len] }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros([n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from a flat vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCount`] if `data.len()` does not equal
+    /// the product of the shape's extents.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
+        let shape = shape.into();
+        shape.check_elements(data.len())?;
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-2 tensor from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Tensor { shape: Shape::matrix(rows.len(), cols), data }
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn vector(values: &[f32]) -> Self {
+        Tensor { shape: Shape::new(vec![values.len()]), data: values.to_vec() }
+    }
+
+    /// Creates a rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: vec![value] }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents, as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of rows; valid for rank ≥ 1 (rank-1 tensors are one row).
+    pub fn rows(&self) -> usize {
+        match self.shape.rank() {
+            0 | 1 => 1,
+            _ => self.shape.dim(0),
+        }
+    }
+
+    /// Number of columns of a rank-2 tensor (or length of a rank-1 tensor).
+    ///
+    /// # Panics
+    ///
+    /// Panics for rank 0 or rank ≥ 3.
+    pub fn cols(&self) -> usize {
+        match self.shape.rank() {
+            1 => self.shape.dim(0),
+            2 => self.shape.dim(1),
+            r => panic!("cols() requires rank 1 or 2, got rank {r}"),
+        }
+    }
+
+    /// Borrows the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds; use [`Shape::offset`] with
+    /// [`Tensor::as_slice`] for a fallible path.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        let off = self
+            .shape
+            .offset(index)
+            .unwrap_or_else(|| panic!("index {index:?} out of bounds for {}", self.shape));
+        self.data[off]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self
+            .shape
+            .offset(index)
+            .unwrap_or_else(|| panic!("index {index:?} out of bounds for {}", self.shape));
+        self.data[off] = value;
+    }
+
+    /// Borrows row `r` of a rank-2 tensor (or the whole rank-1 tensor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let cols = self.cols();
+        assert!(r < self.rows(), "row {r} out of bounds ({} rows)", self.rows());
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutably borrows row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let cols = self.cols();
+        assert!(r < self.rows(), "row {r} out of bounds ({} rows)", self.rows());
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCount`] if the element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        shape.check_elements(self.data.len())?;
+        Ok(Tensor { shape, data: self.data.clone() })
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor has rank 2.
+    pub fn transpose(&self) -> Tensor {
+        let (rows, cols) = self.shape.as_matrix().expect("transpose requires rank 2");
+        let mut out = Tensor::zeros([cols, rows]);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        out
+    }
+
+    /// Vertically concatenates rank-2 tensors with equal column counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `parts` is empty or column counts differ.
+    pub fn concat_rows(parts: &[&Tensor]) -> Result<Tensor> {
+        let first = parts.first().ok_or_else(|| TensorError::InvalidArgument {
+            op: "concat_rows",
+            message: "no tensors provided".into(),
+        })?;
+        let cols = first.cols();
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for part in parts {
+            if part.cols() != cols {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat_rows",
+                    lhs: first.dims().to_vec(),
+                    rhs: part.dims().to_vec(),
+                });
+            }
+            rows += part.rows();
+            data.extend_from_slice(&part.data);
+        }
+        Ok(Tensor { shape: Shape::matrix(rows, cols), data })
+    }
+
+    /// Gathers rows by index into a new tensor (`out[i] = self[indices[i]]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let cols = self.cols();
+        let mut out = Tensor::zeros([indices.len(), cols]);
+        for (i, &src) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Scatter-adds rows of `src` into `self` (`self[indices[i]] += src[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column mismatch or out-of-bounds indices.
+    pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Tensor) {
+        assert_eq!(self.cols(), src.cols(), "scatter_add_rows: column mismatch");
+        assert_eq!(indices.len(), src.rows(), "scatter_add_rows: row-count mismatch");
+        for (i, &dst) in indices.iter().enumerate() {
+            let cols = self.cols();
+            let src_row = src.row(i);
+            let dst_row = &mut self.as_mut_slice()[dst * cols..(dst + 1) * cols];
+            for (d, s) in dst_row.iter_mut().zip(src_row) {
+                *d += s;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise algebra
+    // ------------------------------------------------------------------
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "zip",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+
+    /// Elementwise sum. Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b).expect("add: shape mismatch")
+    }
+
+    /// Elementwise difference. Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b).expect("sub: shape mismatch")
+    }
+
+    /// Elementwise (Hadamard) product. Panics on shape mismatch.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b).expect("mul: shape mismatch")
+    }
+
+    /// Multiplies every element by `k`.
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|v| v * k)
+    }
+
+    /// Accumulates `other * k` into `self` (axpy). Panics on shape mismatch.
+    pub fn add_scaled_inplace(&mut self, other: &Tensor, k: f32) {
+        assert_eq!(self.shape, other.shape, "add_scaled_inplace: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * k;
+        }
+    }
+
+    /// Adds a rank-1 `bias` to every row of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(bias.len(), self.cols(), "add_row_broadcast: width mismatch");
+        let mut out = self.clone();
+        let cols = out.cols();
+        for r in 0..out.rows() {
+            let row = &mut out.data[r * cols..(r + 1) * cols];
+            for (v, b) in row.iter_mut().zip(bias.as_slice()) {
+                *v += b;
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix product of two rank-2 tensors: `[m,k] × [k,n] → [m,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or inner-dimension mismatch; see [`Tensor::try_matmul`].
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.try_matmul(other).expect("matmul: incompatible shapes")
+    }
+
+    /// Fallible matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] or [`TensorError::RankMismatch`]
+    /// when the operands are not conformable rank-2 tensors.
+    pub fn try_matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k1) = self.shape.as_matrix()?;
+        let (k2, n) = other.shape.as_matrix()?;
+        if k1 != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let mut out = Tensor::zeros([m, n]);
+        // ikj loop order: stream through contiguous rows of `other` for cache
+        // friendliness without resorting to unsafe blocking.
+        for i in 0..m {
+            let a_row = &self.data[i * k1..(i + 1) * k1];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Index of the maximum element of a rank-1 tensor (ties → lowest index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Per-row argmax of a rank-2 tensor.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows())
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Indices of the `k` largest elements of a rank-1 tensor, descending.
+    ///
+    /// Ties resolve to the lowest index first, matching a stable sort on
+    /// `(value desc, index asc)` — the determinism the routing code relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `k == 0` or `k > len`.
+    pub fn topk(&self, k: usize) -> Result<Vec<usize>> {
+        if k == 0 || k > self.data.len() {
+            return Err(TensorError::InvalidArgument {
+                op: "topk",
+                message: format!("k = {k} out of range for length {}", self.data.len()),
+            });
+        }
+        let mut idx: Vec<usize> = (0..self.data.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.data[b].partial_cmp(&self.data[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        Ok(idx)
+    }
+
+    /// Row-wise softmax of a rank-2 tensor (numerically stabilised).
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        let cols = out.cols();
+        for r in 0..out.rows() {
+            let row = &mut out.data[r * cols..(r + 1) * cols];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                denom += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= denom;
+            }
+        }
+        out
+    }
+
+    /// Checks that every element is finite (no NaN/∞) — a training guard.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{}", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_computed() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_rows(&[&[1.5, -2.0, 3.0], &[0.0, 4.0, -1.0]]);
+        let c = a.matmul(&Tensor::eye(3));
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matches!(a.try_matmul(&b), Err(TensorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().dims(), &[3, 2]);
+        assert_eq!(a.transpose().at(&[2, 1]), 6.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let x = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 100.0]]);
+        let s = x.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+        assert!(s.at(&[0, 2]) > s.at(&[0, 1]));
+        assert!(s.at(&[1, 2]) > 0.99);
+    }
+
+    #[test]
+    fn topk_is_descending_and_tie_stable() {
+        let v = Tensor::vector(&[0.5, 0.9, 0.9, 0.1]);
+        assert_eq!(v.topk(3).unwrap(), vec![1, 2, 0]);
+        assert!(v.topk(0).is_err());
+        assert!(v.topk(5).is_err());
+    }
+
+    #[test]
+    fn gather_then_scatter_restores_rows() {
+        let src = Tensor::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let picked = src.gather_rows(&[2, 0]);
+        assert_eq!(picked.row(0), &[3.0, 3.0]);
+        let mut acc = Tensor::zeros([3, 2]);
+        acc.scatter_add_rows(&[2, 0], &picked);
+        assert_eq!(acc.row(2), &[3.0, 3.0]);
+        assert_eq!(acc.row(0), &[1.0, 1.0]);
+        assert_eq!(acc.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias_to_each_row() {
+        let x = Tensor::zeros([2, 3]);
+        let b = Tensor::vector(&[1.0, 2.0, 3.0]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(y.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_on_tie() {
+        let x = Tensor::from_rows(&[&[1.0, 3.0, 3.0], &[5.0, 0.0, 2.0]]);
+        assert_eq!(x.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn reshape_checks_element_count() {
+        let x = Tensor::zeros([2, 3]);
+        assert!(x.reshape([3, 2]).is_ok());
+        assert!(x.reshape([4, 2]).is_err());
+    }
+
+    #[test]
+    fn concat_rows_stacks_vertically() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let c = Tensor::concat_rows(&[&a, &b]).unwrap();
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for tensor algebra invariants.
+
+use pgmoe_tensor::{ops, Shape, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec([r, c], data).unwrap())
+    })
+}
+
+fn conformable_pair(max_dim: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-5.0f32..5.0, m * k)
+            .prop_map(move |d| Tensor::from_vec([m, k], d).unwrap());
+        let b = proptest::collection::vec(-5.0f32..5.0, k * n)
+            .prop_map(move |d| Tensor::from_vec([k, n], d).unwrap());
+        (a, b)
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_output_shape((a, b) in conformable_pair(6)) {
+        let c = a.matmul(&b);
+        prop_assert_eq!(c.dims(), &[a.rows(), b.cols()]);
+    }
+
+    #[test]
+    fn matmul_identity_right((a, _) in conformable_pair(6)) {
+        let id = Tensor::eye(a.cols());
+        let c = a.matmul(&id);
+        for (x, y) in c.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition((a, b) in conformable_pair(5), (c, _) in conformable_pair(5)) {
+        // Rebuild c with b's shape so (b + c) conforms.
+        prop_assume!(c.len() >= b.len());
+        let c = Tensor::from_vec(b.shape().clone(), c.as_slice()[..b.len()].to_vec()).unwrap();
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_involution(a in small_matrix(8)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_swaps_matmul((a, b) in conformable_pair(5)) {
+        // (A B)^T = B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_distributions(a in small_matrix(8)) {
+        let s = a.softmax_rows();
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(a in small_matrix(6), shift in -5.0f32..5.0) {
+        let s1 = a.softmax_rows();
+        let s2 = a.map(|v| v + shift).softmax_rows();
+        for (x, y) in s1.as_slice().iter().zip(s2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn topk_returns_descending_values(a in proptest::collection::vec(-100.0f32..100.0, 1..32), k in 1usize..8) {
+        prop_assume!(k <= a.len());
+        let t = Tensor::vector(&a);
+        let idx = t.topk(k).unwrap();
+        prop_assert_eq!(idx.len(), k);
+        for w in idx.windows(2) {
+            prop_assert!(a[w[0]] >= a[w[1]]);
+        }
+        // Every non-selected element is <= the smallest selected one.
+        let min_sel = a[*idx.last().unwrap()];
+        for (i, &v) in a.iter().enumerate() {
+            if !idx.contains(&i) {
+                prop_assert!(v <= min_sel);
+            }
+        }
+    }
+
+    #[test]
+    fn layer_norm_rows_have_zero_mean_unit_var(a in small_matrix(8)) {
+        prop_assume!(a.cols() >= 2);
+        // Skip degenerate constant rows where variance ~ 0.
+        for r in 0..a.rows() {
+            let row = a.row(r);
+            let mean = row.iter().sum::<f32>() / row.len() as f32;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / row.len() as f32;
+            prop_assume!(var > 1e-3);
+        }
+        let gamma = Tensor::ones([a.cols()]);
+        let beta = Tensor::zeros([a.cols()]);
+        let (y, _) = ops::layer_norm_forward(&a, &gamma, &beta, 1e-5);
+        for r in 0..y.rows() {
+            let row = y.row(r);
+            let mean = row.iter().sum::<f32>() / row.len() as f32;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / row.len() as f32;
+            prop_assert!(mean.abs() < 1e-3, "row {r} mean {mean}");
+            prop_assert!((var - 1.0).abs() < 0.05, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn gather_scatter_adjoint(a in small_matrix(6), seed in 0u64..1000) {
+        // <gather(A, idx), B> == <A, scatter(B, idx)> — the adjoint identity
+        // that makes embedding backward correct.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 4usize;
+        let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..a.rows())).collect();
+        let gathered = a.gather_rows(&idx);
+        let b = Tensor::ones([n, a.cols()]);
+        let lhs: f32 = gathered.mul(&b).sum();
+        let mut scattered = Tensor::zeros([a.rows(), a.cols()]);
+        scattered.scatter_add_rows(&idx, &b);
+        let rhs: f32 = a.mul(&scattered).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_grads_sum_to_zero_per_row(a in small_matrix(6), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let targets: Vec<usize> = (0..a.rows()).map(|_| rng.gen_range(0..a.cols())).collect();
+        let (loss, d) = ops::cross_entropy_from_logits(&a, &targets);
+        prop_assert!(loss >= 0.0);
+        for r in 0..d.rows() {
+            let s: f32 = d.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn shape_offset_bijective(dims in proptest::collection::vec(1usize..5, 1..4)) {
+        let shape = Shape::new(dims.clone());
+        let mut seen = std::collections::HashSet::new();
+        let mut index = vec![0usize; dims.len()];
+        loop {
+            let off = shape.offset(&index).unwrap();
+            prop_assert!(off < shape.len());
+            prop_assert!(seen.insert(off), "duplicate offset {off}");
+            // Odometer increment.
+            let mut axis = dims.len();
+            loop {
+                if axis == 0 { break; }
+                axis -= 1;
+                index[axis] += 1;
+                if index[axis] < dims[axis] { break; }
+                index[axis] = 0;
+                if axis == 0 { break; }
+            }
+            if index.iter().all(|&i| i == 0) { break; }
+        }
+        prop_assert_eq!(seen.len(), shape.len());
+    }
+}

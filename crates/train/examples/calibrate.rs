@@ -1,0 +1,17 @@
+//! Quick calibration: does Fig 13's shape emerge?
+use pgmoe_train::experiments::{fig13, table2, ModelScale};
+use pgmoe_train::TrainerConfig;
+use pgmoe_workload::TaskKind;
+
+fn main() {
+    let cfg = TrainerConfig::default();
+    println!("== Fig 13 (SQuAD-like, Base-8 analogue) ==");
+    for p in fig13(&cfg, 3) {
+        println!("level {}: EM {:.1} F1 {:.1}", p.level, p.scores.exact_match, p.scores.f1);
+    }
+    println!("== Table 2 sample (WebQA-like, Base-8) ==");
+    for c in table2(&cfg, &[ModelScale::BASE_8], &[TaskKind::WebQaLike, TaskKind::XsumLike]) {
+        println!("{:?} {:?}: EM {:.1} F1 {:.1} R1 {:.1} R2 {:.1} agree {:.2}",
+            c.task, c.mode, c.scores.exact_match, c.scores.f1, c.scores.rouge1, c.scores.rouge2, c.routing_agreement);
+    }
+}

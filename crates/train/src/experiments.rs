@@ -1,0 +1,150 @@
+//! Drivers for the paper's accuracy experiments (Table II, Fig 13).
+
+use crate::metrics::Scores;
+use crate::{Trainer, TrainerConfig};
+use pgmoe_model::GatingMode;
+use pgmoe_workload::{TaskKind, TaskSpec};
+
+/// A scaled-down analogue of one of Table II's model sizes.
+///
+/// The paper's rows are Switch-Base-8, Switch-Base-128 and Switch-Large-128;
+/// the analogues scale expert count and depth down to what a CPU can
+/// fine-tune in seconds while preserving the comparison structure
+/// (same pretrained checkpoint, same fine-tuning recipe per variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelScale {
+    /// Display name tying the row back to Table II.
+    pub name: &'static str,
+    /// Experts per MoE block.
+    pub num_experts: usize,
+    /// Transformer blocks.
+    pub num_blocks: usize,
+    /// Hidden width.
+    pub d_model: usize,
+}
+
+impl ModelScale {
+    /// Analogue of Switch-Base with 8 experts.
+    pub const BASE_8: ModelScale =
+        ModelScale { name: "Base-8 (analogue)", num_experts: 8, num_blocks: 4, d_model: 32 };
+    /// Analogue of Switch-Base with 128 experts (scaled to 16).
+    pub const BASE_128: ModelScale =
+        ModelScale { name: "Base-128 (analogue)", num_experts: 16, num_blocks: 4, d_model: 32 };
+    /// Analogue of Switch-Large with 128 experts (scaled to 16, deeper/wider).
+    pub const LARGE_128: ModelScale =
+        ModelScale { name: "Large-128 (analogue)", num_experts: 16, num_blocks: 6, d_model: 48 };
+
+    /// Table II's three rows.
+    pub const TABLE2: [ModelScale; 3] = [Self::BASE_8, Self::BASE_128, Self::LARGE_128];
+}
+
+/// One (model, task, variant) cell of Table II.
+#[derive(Debug, Clone)]
+pub struct Table2Cell {
+    /// Model-scale row.
+    pub scale: ModelScale,
+    /// Dataset analogue.
+    pub task: TaskKind,
+    /// Gating variant (conventional baseline or pre-gated).
+    pub mode: GatingMode,
+    /// Evaluation scores.
+    pub scores: Scores,
+    /// Routing agreement with the conventional baseline.
+    pub routing_agreement: f64,
+}
+
+/// Regenerates Table II: for each model scale and task, fine-tune the
+/// conventional and pre-gated (level 1) variants from a shared pretrained
+/// checkpoint and score both.
+pub fn table2(cfg: &TrainerConfig, scales: &[ModelScale], tasks: &[TaskKind]) -> Vec<Table2Cell> {
+    let mut cells = Vec::new();
+    for &scale in scales {
+        for &task_kind in tasks {
+            let task = TaskSpec::new(task_kind, 4, cfg.seed ^ task_seed(task_kind));
+            let mut trainer = Trainer::new(task, scale.num_experts, cfg.clone())
+                .with_net_config(|c| {
+                    c.num_blocks = scale.num_blocks;
+                    c.d_model = scale.d_model;
+                    c.d_ff = 2 * scale.d_model;
+                });
+            let outcomes =
+                trainer.run(&[GatingMode::Conventional, GatingMode::Pregated { level: 1 }]);
+            for o in outcomes {
+                cells.push(Table2Cell {
+                    scale,
+                    task: task_kind,
+                    mode: o.mode,
+                    scores: o.scores,
+                    routing_agreement: o.routing_agreement,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// One point of Fig 13: scores at a given pre-gate activation level.
+#[derive(Debug, Clone)]
+pub struct Fig13Point {
+    /// Activation level (0 = conventional MoE).
+    pub level: usize,
+    /// Evaluation scores (the paper plots ExactMatch and F1).
+    pub scores: Scores,
+}
+
+/// Regenerates Fig 13: Base-8-analogue on the SQuAD-like task, activation
+/// levels 0 (conventional) through `max_level`.
+pub fn fig13(cfg: &TrainerConfig, max_level: usize) -> Vec<Fig13Point> {
+    let scale = ModelScale::BASE_8;
+    let task = TaskSpec::new(TaskKind::SquadLike, 4, cfg.seed ^ 0x5AD);
+    let mut trainer = Trainer::new(task, scale.num_experts, cfg.clone()).with_net_config(|c| {
+        c.num_blocks = scale.num_blocks.max(max_level + 1);
+        c.d_model = scale.d_model;
+        c.d_ff = 2 * scale.d_model;
+    });
+    let modes: Vec<GatingMode> = (0..=max_level)
+        .map(|l| if l == 0 { GatingMode::Conventional } else { GatingMode::Pregated { level: l } })
+        .collect();
+    trainer
+        .run(&modes)
+        .into_iter()
+        .map(|o| Fig13Point { level: o.mode.level(), scores: o.scores })
+        .collect()
+}
+
+fn task_seed(kind: TaskKind) -> u64 {
+    match kind {
+        TaskKind::XsumLike => 0x1111,
+        TaskKind::WebQaLike => 0x2222,
+        TaskKind::SquadLike => 0x3333,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_produces_two_variants_per_cell() {
+        let cfg = TrainerConfig::smoke();
+        let cells = table2(&cfg, &[ModelScale::BASE_8], &[TaskKind::WebQaLike]);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].mode, GatingMode::Conventional);
+        assert_eq!(cells[1].mode, GatingMode::Pregated { level: 1 });
+    }
+
+    #[test]
+    fn fig13_levels_are_monotone_in_level_index() {
+        let cfg = TrainerConfig::smoke();
+        let points = fig13(&cfg, 2);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].level, 0);
+        assert_eq!(points[2].level, 2);
+    }
+
+    #[test]
+    fn scales_carry_paper_row_names() {
+        assert!(ModelScale::TABLE2[0].name.contains("Base-8"));
+        assert!(ModelScale::TABLE2[2].name.contains("Large-128"));
+    }
+}

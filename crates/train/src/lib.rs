@@ -1,0 +1,29 @@
+//! # pgmoe-train
+//!
+//! Fine-tuning and accuracy evaluation for the Pre-gated MoE reproduction
+//! (ISCA 2024) — the numeric side of the paper: Table II and Fig 13.
+//!
+//! The paper's recipe (Sections IV-B and V):
+//!
+//! 1. start from *pretrained conventional* SwitchTransformer weights;
+//! 2. re-wire the gate topology into the pre-gated architecture (weights
+//!    kept as-is);
+//! 3. fine-tune every variant — conventional and pre-gated — with the same
+//!    data, steps and constant learning rate;
+//! 4. compare downstream metrics (Rouge for summarization, ExactMatch/F1
+//!    for QA).
+//!
+//! This crate reproduces that recipe end to end on trainable scaled-down
+//! Switch models (`pgmoe-model::net`) over synthetic domain-structured tasks
+//! (`pgmoe-workload::task`): [`Trainer`] implements the optimisation loop,
+//! [`metrics`] the scoring functions, and [`experiments`] the drivers that
+//! regenerate Table II and Fig 13.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+mod trainer;
+
+pub use trainer::{FinetuneOutcome, Trainer, TrainerConfig};

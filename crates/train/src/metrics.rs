@@ -1,0 +1,150 @@
+//! Scoring functions: ExactMatch, F1, Rouge-1, Rouge-2.
+//!
+//! These are token-level analogues of the paper's evaluation metrics
+//! (Section V): ExactMatch/F1 for the closed-book QA tasks, Rouge-1/Rouge-2
+//! for summarization. Inputs are token-id sequences rather than words, which
+//! preserves the metrics' comparative behaviour.
+
+/// Exact match: 1.0 if prediction equals the reference exactly, else 0.0.
+pub fn exact_match(prediction: &[usize], reference: &[usize]) -> f64 {
+    if prediction == reference {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Token-level F1: harmonic mean of precision and recall over token
+/// multisets (the SQuAD scoring rule, over token ids).
+pub fn f1(prediction: &[usize], reference: &[usize]) -> f64 {
+    if prediction.is_empty() && reference.is_empty() {
+        return 1.0;
+    }
+    let overlap = multiset_overlap(prediction, reference);
+    if overlap == 0 {
+        return 0.0;
+    }
+    let precision = overlap as f64 / prediction.len() as f64;
+    let recall = overlap as f64 / reference.len() as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Rouge-N recall-oriented overlap: n-gram overlap F1 between prediction and
+/// reference (Rouge-1 for `n = 1`, Rouge-2 for `n = 2`).
+pub fn rouge_n(prediction: &[usize], reference: &[usize], n: usize) -> f64 {
+    assert!(n >= 1, "rouge order must be >= 1");
+    let pred_grams = ngrams(prediction, n);
+    let ref_grams = ngrams(reference, n);
+    if pred_grams.is_empty() && ref_grams.is_empty() {
+        return 1.0;
+    }
+    let overlap = multiset_overlap(&pred_grams, &ref_grams);
+    if overlap == 0 {
+        return 0.0;
+    }
+    let precision = overlap as f64 / pred_grams.len() as f64;
+    let recall = overlap as f64 / ref_grams.len() as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+fn ngrams(tokens: &[usize], n: usize) -> Vec<Vec<usize>> {
+    if tokens.len() < n {
+        return Vec::new();
+    }
+    tokens.windows(n).map(|w| w.to_vec()).collect()
+}
+
+fn multiset_overlap<T: PartialEq + Clone>(a: &[T], b: &[T]) -> usize {
+    let mut remaining: Vec<T> = b.to_vec();
+    let mut overlap = 0;
+    for item in a {
+        if let Some(pos) = remaining.iter().position(|r| r == item) {
+            remaining.swap_remove(pos);
+            overlap += 1;
+        }
+    }
+    overlap
+}
+
+/// Aggregate evaluation scores over a test set (all in `[0, 100]`, matching
+/// the paper's Table II presentation).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Scores {
+    /// Mean exact match × 100.
+    pub exact_match: f64,
+    /// Mean token F1 × 100.
+    pub f1: f64,
+    /// Mean Rouge-1 × 100.
+    pub rouge1: f64,
+    /// Mean Rouge-2 × 100.
+    pub rouge2: f64,
+}
+
+impl Scores {
+    /// Averages per-example metric tuples.
+    pub fn aggregate(per_example: &[(f64, f64, f64, f64)]) -> Scores {
+        if per_example.is_empty() {
+            return Scores::default();
+        }
+        let n = per_example.len() as f64;
+        Scores {
+            exact_match: 100.0 * per_example.iter().map(|t| t.0).sum::<f64>() / n,
+            f1: 100.0 * per_example.iter().map(|t| t.1).sum::<f64>() / n,
+            rouge1: 100.0 * per_example.iter().map(|t| t.2).sum::<f64>() / n,
+            rouge2: 100.0 * per_example.iter().map(|t| t.3).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_is_all_or_nothing() {
+        assert_eq!(exact_match(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(exact_match(&[1, 3], &[1, 2]), 0.0);
+        assert_eq!(exact_match(&[1], &[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn f1_rewards_partial_overlap() {
+        assert_eq!(f1(&[1, 2], &[1, 2]), 1.0);
+        let half = f1(&[1, 3], &[1, 2]);
+        assert!((half - 0.5).abs() < 1e-9);
+        assert_eq!(f1(&[3, 4], &[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn f1_handles_duplicates_as_multisets() {
+        // prediction [1,1] vs reference [1,2]: overlap 1, P=0.5, R=0.5.
+        assert!((f1(&[1, 1], &[1, 2]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rouge1_equals_f1_on_unigrams() {
+        let p = [1, 2, 3];
+        let r = [2, 3, 4];
+        assert!((rouge_n(&p, &r, 1) - f1(&p, &r)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rouge2_requires_adjacent_pairs() {
+        assert_eq!(rouge_n(&[1, 2, 3], &[1, 2, 3], 2), 1.0);
+        // Same tokens, different order: no common bigram.
+        assert_eq!(rouge_n(&[3, 2, 1], &[1, 2, 3], 2), 0.0);
+    }
+
+    #[test]
+    fn rouge_of_too_short_sequences() {
+        assert_eq!(rouge_n(&[1], &[1], 2), 1.0); // both empty bigram sets
+        assert_eq!(rouge_n(&[1, 2], &[1], 2), 0.0);
+    }
+
+    #[test]
+    fn aggregate_scales_to_percent() {
+        let s = Scores::aggregate(&[(1.0, 1.0, 1.0, 1.0), (0.0, 0.5, 0.5, 0.0)]);
+        assert!((s.exact_match - 50.0).abs() < 1e-9);
+        assert!((s.f1 - 75.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,28 @@
+//! # pgmoe-workload
+//!
+//! Synthetic workloads for the Pre-gated MoE reproduction (ISCA 2024).
+//!
+//! The paper evaluates on three NLP datasets (Xsum summarization, CB Web QA
+//! and SQuAD closed-book question answering) plus routing traces implied by
+//! real SwitchTransformer inference. None of those datasets ship with this
+//! repository, and per the substitution policy in DESIGN.md we replace them
+//! with *seeded synthetic equivalents that exercise the same mechanisms*:
+//!
+//! * [`task`] — sequence-to-sequence tasks with **latent domain structure**,
+//!   so that expert routing is learnable and the pre-gate function has a real
+//!   signal to predict (Table II, Fig 13).
+//! * [`routing`] — expert-selection traces with uniform, Zipf-skewed (hot
+//!   experts, Fig 15's caching study) or domain-conditioned statistics.
+//! * [`requests`] — batch-1 decode request streams, the paper's serving
+//!   point (Section VI-A).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod requests;
+pub mod routing;
+pub mod task;
+
+pub use requests::{DecodeRequest, RequestStream};
+pub use routing::{RoutingKind, RoutingTrace};
+pub use task::{Example, TaskKind, TaskSpec};

@@ -1,0 +1,90 @@
+//! Decode request streams for the serving experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One inference request: a prompt to encode and a number of decoder
+/// iterations to run.
+///
+/// The paper serves batch 1 ("real-world production ML serving systems are
+/// optimized for a batch size of 1", Section VI-A), so batch size defaults
+/// to 1 and the throughput experiments never change it; the batch-size
+/// ablation bench raises it explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeRequest {
+    /// Number of input tokens processed by the encoder.
+    pub input_tokens: usize,
+    /// Number of output tokens generated (= decoder iterations).
+    pub output_tokens: usize,
+    /// Sequences decoded together.
+    pub batch_size: usize,
+}
+
+impl DecodeRequest {
+    /// The paper's fine-tuning/serving shape: 256-token inputs, 64 generated
+    /// tokens, batch 1.
+    pub fn paper_default() -> Self {
+        DecodeRequest { input_tokens: 256, output_tokens: 64, batch_size: 1 }
+    }
+
+    /// A request with a custom output length, batch 1.
+    pub fn with_output_tokens(output_tokens: usize) -> Self {
+        DecodeRequest { output_tokens, ..DecodeRequest::paper_default() }
+    }
+}
+
+/// A seeded stream of decode requests with jittered output lengths, for
+/// multi-request serving simulations.
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    rng: StdRng,
+    base: DecodeRequest,
+    jitter: usize,
+}
+
+impl RequestStream {
+    /// Creates a stream around `base`, jittering output length by ±`jitter`.
+    pub fn new(base: DecodeRequest, jitter: usize, seed: u64) -> Self {
+        RequestStream { rng: StdRng::seed_from_u64(seed), base, jitter }
+    }
+}
+
+impl Iterator for RequestStream {
+    type Item = DecodeRequest;
+
+    fn next(&mut self) -> Option<DecodeRequest> {
+        let jitter = if self.jitter == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=2 * self.jitter) as isize - self.jitter as isize
+        };
+        let output = (self.base.output_tokens as isize + jitter).max(1) as usize;
+        Some(DecodeRequest { output_tokens: output, ..self.base })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_batch_one() {
+        let r = DecodeRequest::paper_default();
+        assert_eq!(r.batch_size, 1);
+        assert_eq!(r.input_tokens, 256);
+    }
+
+    #[test]
+    fn stream_jitters_within_bounds() {
+        let stream = RequestStream::new(DecodeRequest::paper_default(), 8, 1);
+        for r in stream.take(100) {
+            assert!((56..=72).contains(&r.output_tokens));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_constant() {
+        let stream = RequestStream::new(DecodeRequest::paper_default(), 0, 1);
+        assert!(stream.take(10).all(|r| r.output_tokens == 64));
+    }
+}

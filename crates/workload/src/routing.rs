@@ -1,0 +1,276 @@
+//! Expert-routing traces for the systems experiments.
+//!
+//! The inference-side experiments (Figs 10–12, 14–16) need to know *which*
+//! experts each token activates at every MoE block, but not the weight
+//! values. A [`RoutingTrace`] supplies those decisions with controllable
+//! statistics:
+//!
+//! * [`RoutingKind::Uniform`] — every expert equally likely; the conservative
+//!   assumption used for the latency/memory experiments.
+//! * [`RoutingKind::Zipf`] — a few hot experts dominate, the behaviour Huang
+//!   et al. observed and that the paper's Fig 15 caching study relies on.
+//! * [`RoutingKind::DomainSticky`] — consecutive tokens tend to reuse the
+//!   previous token's expert (temporal locality across decode iterations).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Statistical family of a routing trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutingKind {
+    /// Independent uniform choice over experts.
+    Uniform,
+    /// Independent Zipf-distributed choice with exponent `s` (rank 1 is the
+    /// hottest expert). `s ≈ 1.0` reproduces the "few hot experts" shape.
+    Zipf {
+        /// Zipf exponent; larger = more skew.
+        s: f64,
+    },
+    /// Markovian reuse: with probability `stickiness` a token keeps its
+    /// previous block's expert, otherwise it re-samples uniformly.
+    DomainSticky {
+        /// Probability of reusing the previous expert.
+        stickiness: f64,
+    },
+}
+
+/// A complete routing decision tensor: `trace[token][block]` is the sorted
+/// set of experts activated by decode-token `token` at MoE block `block`.
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_workload::{RoutingKind, RoutingTrace};
+///
+/// let trace = RoutingTrace::generate(16, 12, 64, 1, RoutingKind::Uniform, 7);
+/// assert_eq!(trace.num_tokens(), 16);
+/// assert_eq!(trace.num_blocks(), 12);
+/// assert_eq!(trace.experts(0, 0).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingTrace {
+    num_experts: usize,
+    top_k: usize,
+    decisions: Vec<Vec<Vec<usize>>>,
+}
+
+impl RoutingTrace {
+    /// Generates a seeded trace for `num_tokens` decode iterations over
+    /// `num_blocks` MoE blocks, activating `top_k` of `num_experts` experts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `top_k == 0` or `top_k > num_experts`.
+    pub fn generate(
+        num_tokens: usize,
+        num_blocks: usize,
+        num_experts: usize,
+        top_k: usize,
+        kind: RoutingKind,
+        seed: u64,
+    ) -> Self {
+        assert!(top_k >= 1 && top_k <= num_experts, "top_k out of range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let zipf_cdf = match kind {
+            RoutingKind::Zipf { s } => Some(zipf_cdf(num_experts, s)),
+            _ => None,
+        };
+        let mut decisions = Vec::with_capacity(num_tokens);
+        let mut prev: Vec<Vec<usize>> = Vec::new();
+        for token in 0..num_tokens {
+            let mut per_block = Vec::with_capacity(num_blocks);
+            for block in 0..num_blocks {
+                let experts = match kind {
+                    RoutingKind::Uniform => sample_distinct(num_experts, top_k, &mut rng, |r| {
+                        r.gen_range(0..num_experts)
+                    }),
+                    RoutingKind::Zipf { .. } => {
+                        let cdf = zipf_cdf.as_ref().expect("zipf cdf");
+                        sample_distinct(num_experts, top_k, &mut rng, |r| sample_from_cdf(cdf, r))
+                    }
+                    RoutingKind::DomainSticky { stickiness } => {
+                        if token > 0 && rng.gen_bool(stickiness.clamp(0.0, 1.0)) {
+                            prev[block].clone()
+                        } else {
+                            sample_distinct(num_experts, top_k, &mut rng, |r| {
+                                r.gen_range(0..num_experts)
+                            })
+                        }
+                    }
+                };
+                per_block.push(experts);
+            }
+            prev = per_block.clone();
+            decisions.push(per_block);
+        }
+        RoutingTrace { num_experts, top_k, decisions }
+    }
+
+    /// Number of decode iterations in the trace.
+    pub fn num_tokens(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Number of MoE blocks per iteration.
+    pub fn num_blocks(&self) -> usize {
+        self.decisions.first().map_or(0, Vec::len)
+    }
+
+    /// Number of experts per block.
+    pub fn num_experts(&self) -> usize {
+        self.num_experts
+    }
+
+    /// Experts activated per token per block (`top_k` of them).
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// The sorted expert set activated by `token` at `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn experts(&self, token: usize, block: usize) -> &[usize] {
+        &self.decisions[token][block]
+    }
+
+    /// Per-expert activation counts across the whole trace (for skew
+    /// diagnostics and cache-hit analysis).
+    pub fn activation_histogram(&self) -> Vec<u64> {
+        let mut hist = vec![0u64; self.num_experts];
+        for per_block in &self.decisions {
+            for experts in per_block {
+                for &e in experts {
+                    hist[e] += 1;
+                }
+            }
+        }
+        hist
+    }
+}
+
+/// Draws `k` *distinct* experts using `draw`, resampling duplicates; sorted.
+fn sample_distinct(
+    num_experts: usize,
+    k: usize,
+    rng: &mut StdRng,
+    mut draw: impl FnMut(&mut StdRng) -> usize,
+) -> Vec<usize> {
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    // Resampling terminates quickly because k ≪ num_experts in every
+    // experiment; fall back to a linear fill for k close to num_experts.
+    let mut attempts = 0;
+    while chosen.len() < k {
+        let e = draw(rng);
+        if !chosen.contains(&e) {
+            chosen.push(e);
+        }
+        attempts += 1;
+        if attempts > 64 * k {
+            for e in 0..num_experts {
+                if chosen.len() == k {
+                    break;
+                }
+                if !chosen.contains(&e) {
+                    chosen.push(e);
+                }
+            }
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Cumulative distribution of a Zipf law over ranks `0..n` with exponent `s`.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for w in weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    cdf
+}
+
+fn sample_from_cdf(cdf: &[f64], rng: &mut StdRng) -> usize {
+    let u: f64 = rng.gen();
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_requested_dimensions() {
+        let t = RoutingTrace::generate(8, 6, 32, 2, RoutingKind::Uniform, 1);
+        assert_eq!(t.num_tokens(), 8);
+        assert_eq!(t.num_blocks(), 6);
+        assert_eq!(t.top_k(), 2);
+        for token in 0..8 {
+            for block in 0..6 {
+                let e = t.experts(token, block);
+                assert_eq!(e.len(), 2);
+                assert!(e.windows(2).all(|w| w[0] < w[1]), "distinct & sorted");
+                assert!(e.iter().all(|&x| x < 32));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = RoutingTrace::generate(4, 4, 16, 1, RoutingKind::Zipf { s: 1.2 }, 9);
+        let b = RoutingTrace::generate(4, 4, 16, 1, RoutingKind::Zipf { s: 1.2 }, 9);
+        let c = RoutingTrace::generate(4, 4, 16, 1, RoutingKind::Zipf { s: 1.2 }, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_concentrates_on_hot_experts() {
+        let t = RoutingTrace::generate(500, 4, 64, 1, RoutingKind::Zipf { s: 1.2 }, 3);
+        let hist = t.activation_histogram();
+        let total: u64 = hist.iter().sum();
+        let mut sorted = hist.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top8: u64 = sorted.iter().take(8).sum();
+        assert!(
+            top8 as f64 / total as f64 > 0.5,
+            "top-8 experts should dominate a Zipf(1.2) trace, got {top8}/{total}"
+        );
+        // Uniform comparison: top-8 of 64 ≈ 12.5 %.
+        let u = RoutingTrace::generate(500, 4, 64, 1, RoutingKind::Uniform, 3);
+        let uh = u.activation_histogram();
+        let mut us = uh.clone();
+        us.sort_unstable_by(|a, b| b.cmp(a));
+        let utop8: u64 = us.iter().take(8).sum();
+        assert!(top8 > utop8);
+    }
+
+    #[test]
+    fn sticky_routing_reuses_previous_experts() {
+        let t = RoutingTrace::generate(200, 2, 32, 1, RoutingKind::DomainSticky { stickiness: 0.9 }, 5);
+        let mut reused = 0;
+        for token in 1..200 {
+            if t.experts(token, 0) == t.experts(token - 1, 0) {
+                reused += 1;
+            }
+        }
+        assert!(reused > 120, "expected heavy reuse, got {reused}/199");
+    }
+
+    #[test]
+    fn full_activation_uses_every_expert() {
+        let t = RoutingTrace::generate(2, 2, 8, 8, RoutingKind::Uniform, 1);
+        assert_eq!(t.experts(0, 0), &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k out of range")]
+    fn zero_top_k_panics() {
+        let _ = RoutingTrace::generate(1, 1, 4, 0, RoutingKind::Uniform, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for workload generators.
+
+use pgmoe_workload::{DecodeRequest, RequestStream, RoutingKind, RoutingTrace, TaskKind, TaskSpec};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = RoutingKind> {
+    prop_oneof![
+        Just(RoutingKind::Uniform),
+        (0.5f64..2.5).prop_map(|s| RoutingKind::Zipf { s }),
+        (0.0f64..1.0).prop_map(|stickiness| RoutingKind::DomainSticky { stickiness }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Traces are well-formed for every kind: right dimensions, distinct
+    /// sorted experts in range, exact top-k cardinality.
+    #[test]
+    fn routing_traces_are_well_formed(
+        kind in arb_kind(),
+        tokens in 1usize..16,
+        blocks in 1usize..8,
+        experts_log in 2usize..7,
+        seed in 0u64..1_000,
+    ) {
+        let experts = 1usize << experts_log;
+        let top_k = 1 + (seed as usize % 2.min(experts - 1).max(1));
+        let trace = RoutingTrace::generate(tokens, blocks, experts, top_k, kind, seed);
+        prop_assert_eq!(trace.num_tokens(), tokens);
+        prop_assert_eq!(trace.num_blocks(), blocks);
+        for t in 0..tokens {
+            for b in 0..blocks {
+                let e = trace.experts(t, b);
+                prop_assert_eq!(e.len(), top_k);
+                prop_assert!(e.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(e.iter().all(|&x| x < experts));
+            }
+        }
+        let hist = trace.activation_histogram();
+        prop_assert_eq!(hist.iter().sum::<u64>(), (tokens * blocks * top_k) as u64);
+    }
+
+    /// Zipf skew is monotone in the exponent: larger `s` concentrates more
+    /// activations on the hottest experts.
+    #[test]
+    fn zipf_skew_monotone_in_exponent(seed in 0u64..200) {
+        let mass_top4 = |s: f64| {
+            let t = RoutingTrace::generate(400, 2, 64, 1, RoutingKind::Zipf { s }, seed);
+            let mut h = t.activation_histogram();
+            h.sort_unstable_by(|a, b| b.cmp(a));
+            h.iter().take(4).sum::<u64>() as f64 / h.iter().sum::<u64>() as f64
+        };
+        prop_assert!(mass_top4(1.8) > mass_top4(0.6));
+    }
+
+    /// Task examples are well-formed for every kind/domain-count/seed.
+    #[test]
+    fn task_examples_are_well_formed(
+        kind in prop_oneof![Just(TaskKind::XsumLike), Just(TaskKind::WebQaLike), Just(TaskKind::SquadLike)],
+        domains in 1usize..8,
+        seed in 0u64..1_000,
+        index in 0u64..1_000,
+    ) {
+        let task = TaskSpec::new(kind, domains, seed);
+        let ex = task.sample_indexed(index);
+        prop_assert_eq!(ex.input.len(), task.seq_len());
+        prop_assert_eq!(ex.target.len(), task.answer_len());
+        prop_assert!(ex.domain < domains);
+        prop_assert!(ex.input.iter().all(|&t| t < task.vocab_size()));
+        prop_assert!(ex.target.iter().all(|&t| t < task.vocab_size()));
+        // Answers are always content tokens of the example's own domain.
+        for &t in &ex.target {
+            if kind == TaskKind::XsumLike && t == task.domain_marker(ex.domain) {
+                continue;
+            }
+            prop_assert_eq!(task.domain_of_token(t), Some(ex.domain));
+        }
+    }
+
+    /// The example stream is reproducible and index-disjoint: distinct
+    /// indices (almost always) give distinct examples, same index always
+    /// gives the same example.
+    #[test]
+    fn task_stream_is_deterministic(seed in 0u64..1_000, index in 0u64..1_000) {
+        let a = TaskSpec::new(TaskKind::SquadLike, 4, seed).sample_indexed(index);
+        let b = TaskSpec::new(TaskKind::SquadLike, 4, seed).sample_indexed(index);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Request streams jitter within bounds and never produce empty
+    /// generations.
+    #[test]
+    fn request_stream_respects_bounds(jitter in 0usize..32, seed in 0u64..1_000) {
+        let base = DecodeRequest { input_tokens: 8, output_tokens: 16, batch_size: 1 };
+        let stream = RequestStream::new(base, jitter, seed);
+        for r in stream.take(50) {
+            prop_assert!(r.output_tokens >= 1);
+            let lo = 16isize - jitter as isize;
+            let hi = 16isize + jitter as isize;
+            prop_assert!((r.output_tokens as isize) >= lo.max(1) && (r.output_tokens as isize) <= hi);
+            prop_assert_eq!(r.input_tokens, 8);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Policy shootout across the Table I model zoo: every policy × every model,
+//! plus the expert-cache study on a Zipf-skewed routing trace.
+//!
+//! ```sh
+//! cargo run --release --example policy_shootout
+//! ```
+
+use pregated_moe::prelude::*;
+use pregated_moe::runtime::RuntimeError;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let request = DecodeRequest { input_tokens: 32, output_tokens: 16, batch_size: 1 };
+    let zoo = [
+        ModelConfig::switch_base(8),
+        ModelConfig::switch_base(64),
+        ModelConfig::switch_base(128),
+        ModelConfig::switch_large_128(),
+    ];
+
+    println!("== Throughput (tokens/s) ==");
+    print!("{:<18}", "model");
+    for policy in OffloadPolicy::ALL {
+        print!("{:>15}", policy.paper_name());
+    }
+    println!();
+    for model in &zoo {
+        print!("{:<18}", model.name);
+        for policy in OffloadPolicy::ALL {
+            let out = InferenceSim::new(model.clone(), SimOptions::new(policy)).run(request, 1);
+            match out {
+                Ok(r) => print!("{:>15.1}", r.tokens_per_sec),
+                Err(RuntimeError::OutOfMemory(_)) => print!("{:>15}", "OOM"),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        println!();
+    }
+
+    println!("\n== Expert caching on Switch-Large-128, Zipf(1.2)-hot routing ==");
+    println!("(throughput normalized to Pre-gated MoE without cache, as in Fig 15)");
+    let model = ModelConfig::switch_large_128();
+    let hot = RoutingKind::Zipf { s: 1.2 };
+    let base = InferenceSim::new(model.clone(), SimOptions::new(OffloadPolicy::Pregated).with_routing(hot))
+        .run(request, 1)?
+        .tokens_per_sec;
+    for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand] {
+        let none = InferenceSim::new(model.clone(), SimOptions::new(policy).with_routing(hot))
+            .run(request, 1)?;
+        println!("{:<16} w/o cache: {:.2}", policy.paper_name(), none.tokens_per_sec / base);
+        for replacement in Replacement::ALL {
+            for fraction in [0.01, 0.10, 0.20] {
+                let r = InferenceSim::new(
+                    model.clone(),
+                    SimOptions::new(policy)
+                        .with_routing(hot)
+                        .with_cache(CacheConfig::new(fraction, replacement)),
+                )
+                .run(request, 1)?;
+                let hit = r.cache_stats.map(|s| s.hit_rate()).unwrap_or(0.0);
+                println!(
+                    "{:<16} {replacement} {:>3.0}%: {:.2}  (hit rate {:.0}%)",
+                    policy.paper_name(),
+                    fraction * 100.0,
+                    r.tokens_per_sec / base,
+                    hit * 100.0
+                );
+            }
+        }
+    }
+    Ok(())
+}

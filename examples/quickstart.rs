@@ -1,0 +1,60 @@
+//! Quickstart: run one model under all four policies and print a report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pregated_moe::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let request = DecodeRequest { input_tokens: 32, output_tokens: 32, batch_size: 1 };
+    let model = ModelConfig::switch_base(64);
+    println!(
+        "model: {model}  ({:.1} GB, {} experts × {} MoE blocks)\n",
+        model.capacity_bytes() as f64 / 1e9,
+        model.num_experts,
+        model.moe_layers()
+    );
+    println!("{:<16} {:>10} {:>16} {:>12}", "policy", "tokens/s", "block latency", "peak HBM");
+
+    let mut gpu_only_latency = None;
+    for policy in OffloadPolicy::ALL {
+        let sim = InferenceSim::new(model.clone(), SimOptions::new(policy));
+        match sim.run(request, 1) {
+            Ok(report) => {
+                let lat = report.mean_block_latency();
+                if policy == OffloadPolicy::GpuOnly {
+                    gpu_only_latency = Some(lat);
+                }
+                let vs = gpu_only_latency
+                    .map(|g| format!("{:.2}x", lat.as_nanos() as f64 / g.as_nanos() as f64))
+                    .unwrap_or_default();
+                println!(
+                    "{:<16} {:>10.1} {:>9} {vs:>6} {:>9.2} GB",
+                    policy.paper_name(),
+                    report.tokens_per_sec,
+                    format!("{lat}"),
+                    report.peak_hbm_bytes as f64 / 1e9,
+                );
+            }
+            Err(e) => println!("{:<16} {e}", policy.paper_name()),
+        }
+    }
+
+    // The headline: Pre-gated MoE serves a model GPU-only cannot.
+    let large = ModelConfig::switch_large_128();
+    println!("\n{large}: {:.1} GB vs 80 GB HBM", large.capacity_bytes() as f64 / 1e9);
+    let oom =
+        InferenceSim::new(large.clone(), SimOptions::new(OffloadPolicy::GpuOnly)).run(request, 1);
+    println!(
+        "  GPU-only      -> {}",
+        oom.err().map(|e| e.to_string()).unwrap_or_else(|| "ran?!".into())
+    );
+    let ok = InferenceSim::new(large, SimOptions::new(OffloadPolicy::Pregated)).run(request, 1)?;
+    println!(
+        "  Pre-gated MoE -> {:.0} tokens/s at {:.1} GB peak HBM",
+        ok.tokens_per_sec,
+        ok.peak_hbm_bytes as f64 / 1e9
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+pub use pregated_moe as pgmoe;

@@ -1,0 +1,103 @@
+//! Integration tests of the accuracy pipeline (workload → model → train):
+//! smoke-scale versions of Table II / Fig 13 with shape assertions that are
+//! robust at tiny training budgets.
+
+use pregated_moe::model::net::{SwitchNet, SwitchNetConfig};
+use pregated_moe::model::GatingMode;
+use pregated_moe::prelude::*;
+use pregated_moe::train::{Trainer, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn pretrain_rewire_finetune_protocol_runs() {
+    let task = TaskSpec::new(TaskKind::WebQaLike, 2, 77);
+    let mut trainer = Trainer::new(task, 4, TrainerConfig::smoke());
+    let outcomes = trainer.run(&[
+        GatingMode::Conventional,
+        GatingMode::Pregated { level: 1 },
+        GatingMode::Pregated { level: 2 },
+    ]);
+    assert_eq!(outcomes.len(), 3);
+    for o in &outcomes {
+        assert!(o.final_loss.is_finite(), "{:?} produced NaN loss", o.mode);
+        assert!((0.0..=100.0).contains(&o.scores.exact_match));
+        assert!((0.0..=1.0).contains(&o.routing_agreement));
+    }
+}
+
+#[test]
+fn xsum_task_learns_at_smoke_scale() {
+    // The summarization analogue converges quickly, so even the smoke budget
+    // must beat an untrained net clearly — catches silent training breakage.
+    let task = TaskSpec::new(TaskKind::XsumLike, 4, 7);
+    let cfg = TrainerConfig { pretrain_steps: 250, ..TrainerConfig::smoke() };
+    let mut trainer = Trainer::new(task.clone(), 8, cfg);
+    let outcomes = trainer.run(&[GatingMode::Conventional, GatingMode::Pregated { level: 1 }]);
+    for o in &outcomes {
+        assert!(
+            o.scores.rouge1 > 40.0,
+            "{:?}: Rouge-1 {} too low — training regressed",
+            o.mode,
+            o.scores.rouge1
+        );
+    }
+    // Paper claim at this model size (Table II Base-8): pre-gated within a
+    // few points of conventional.
+    let diff = (outcomes[0].scores.rouge1 - outcomes[1].scores.rouge1).abs();
+    assert!(diff < 25.0, "variants diverged: {diff}");
+}
+
+#[test]
+fn pregated_net_routes_with_earlier_activations() {
+    // Functional check that the pre-gate algorithm is really wired per
+    // Fig 6: a level-1 net's block-b routing must be computable from block
+    // b-1's activations, i.e. the traced decisions of blocks 1.. must be
+    // reproducible before those blocks run. We verify the weaker observable:
+    // re-running inference twice yields identical routing (determinism), and
+    // the first block self-routes while later blocks are preselected.
+    let mut rng = StdRng::seed_from_u64(3);
+    let cfg = SwitchNetConfig::small(32, 10, 4, GatingMode::Pregated { level: 1 });
+    let net = SwitchNet::new(cfg, &mut rng);
+    let tokens: Vec<usize> = (0..10).map(|i| i % 32).collect();
+    let (_, routes_a) = net.forward_inference_traced(&tokens);
+    let (_, routes_b) = net.forward_inference_traced(&tokens);
+    assert_eq!(routes_a.len(), 4);
+    for (a, b) in routes_a.iter().zip(&routes_b) {
+        assert_eq!(a.expert, b.expert);
+    }
+    let topo = net.topology();
+    assert!(!topo.is_preselected(0));
+    for b in 1..4 {
+        assert!(topo.is_preselected(b));
+    }
+}
+
+#[test]
+fn metrics_match_hand_scored_examples() {
+    use pregated_moe::train::metrics::{exact_match, f1, rouge_n};
+    // A miniature hand-checked scoring table.
+    assert_eq!(exact_match(&[4, 5], &[4, 5]), 1.0);
+    assert_eq!(exact_match(&[4, 6], &[4, 5]), 0.0);
+    assert!((f1(&[4, 6], &[4, 5]) - 0.5).abs() < 1e-12);
+    assert_eq!(rouge_n(&[1, 2, 3], &[2, 3, 4], 2), 0.5);
+}
+
+#[test]
+fn routing_trace_and_net_agree_on_expert_count_domain() {
+    // The systems side (RoutingTrace) and the numeric side (SwitchNet) must
+    // agree on what "top-1 over E experts" means.
+    let trace = RoutingTrace::generate(4, 3, 8, 1, RoutingKind::Uniform, 1);
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = SwitchNet::new(SwitchNetConfig::small(16, 6, 8, GatingMode::Conventional), &mut rng);
+    let (_, routes) = net.forward_inference_traced(&[1, 2, 3, 4, 5, 0]);
+    for token in 0..4 {
+        for block in 0..3 {
+            assert_eq!(trace.experts(token, block).len(), 1);
+            assert!(trace.experts(token, block)[0] < 8);
+        }
+    }
+    for dec in routes {
+        assert!(dec.expert.iter().all(|&e| e < 8));
+    }
+}

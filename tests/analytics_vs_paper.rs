@@ -1,0 +1,72 @@
+//! Integration tests pinning the analytic side (Table I, Figs 2–3) to the
+//! paper's published numbers.
+
+use pregated_moe::model::analytics::{flops_per_sequence, CapacityBreakdown, Table1Row};
+use pregated_moe::prelude::*;
+
+#[test]
+fn table1_rows_match_published_values() {
+    // (config, params B, capacity GB) from Table I; 10 % tolerance covers
+    // bookkeeping differences (norms, relative-position tables).
+    let expected: [(ModelConfig, f64, f64); 4] = [
+        (ModelConfig::switch_base(8), 0.7, 2.8),
+        (ModelConfig::switch_base(64), 3.8, 15.2),
+        (ModelConfig::switch_base(128), 7.5, 30.0),
+        (ModelConfig::switch_large_128(), 26.4, 105.6),
+    ];
+    for (cfg, params_b, capacity_gb) in expected {
+        let row = Table1Row::of(&cfg);
+        let p_err = (row.params_b - params_b).abs() / params_b;
+        let c_err = (row.capacity_gb - capacity_gb).abs() / capacity_gb;
+        assert!(p_err < 0.15, "{}: {} B vs paper {params_b} B", cfg.name, row.params_b);
+        assert!(c_err < 0.15, "{}: {} GB vs paper {capacity_gb} GB", cfg.name, row.capacity_gb);
+    }
+}
+
+#[test]
+fn fig2_constant_flops_and_dense_equivalence() {
+    let seq = 256;
+    let mut last = None;
+    for experts in [1usize, 8, 16, 32, 64, 128, 256] {
+        let mut cfg = ModelConfig::switch_base(experts.max(2));
+        cfg.num_experts = experts;
+        let f = flops_per_sequence(&cfg, seq);
+        if let Some(prev) = last {
+            let prev: f64 = prev;
+            assert!((f - prev).abs() / prev < 1e-9, "{experts} experts changed FLOPs");
+        }
+        last = Some(f);
+    }
+}
+
+#[test]
+fn fig3_moe_capacity_dominates_and_dwarfs_dense() {
+    let cfg = ModelConfig::switch_base(128);
+    let breakdown = CapacityBreakdown::of(&cfg);
+    assert!(breakdown.moe_fraction() > 0.95);
+    let dense = ModelConfig::switch_base(128).dense_equivalent();
+    let ratio = cfg.capacity_bytes() as f64 / dense.capacity_bytes() as f64;
+    assert!(
+        (10.0..80.0).contains(&ratio),
+        "Switch-Base-128 vs dense T5 capacity ratio {ratio} (paper: up to 75×)"
+    );
+}
+
+#[test]
+fn expert_migration_unit_cost_matches_section5() {
+    // Section V: PCIe gen4 at 32 GB/s; a Switch-Base fp32 expert is 18.9 MB,
+    // so one migration ≈ 590 µs — the quantum every latency figure builds on.
+    let cfg = ModelConfig::switch_base(64);
+    let machine = MachineConfig::a100_like();
+    let t = machine.pcie.transfer_time(cfg.expert_bytes());
+    let us = t.as_micros_f64();
+    assert!((550.0..650.0).contains(&us), "expert migration {us} µs");
+}
+
+#[test]
+fn xxl_quantized_capacity_matches_fig16_caption() {
+    let cfg = ModelConfig::switch_xxl();
+    let gb = cfg.capacity_bytes() as f64 / 1e9;
+    assert!((200.0..240.0).contains(&gb), "Switch-XXL {gb} GB (paper: 217 GB)");
+    assert_eq!(cfg.precision, Precision::Quantized);
+}
