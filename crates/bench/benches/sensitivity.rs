@@ -12,7 +12,8 @@ fn bench_active_experts(c: &mut Criterion) {
     group.sample_size(10);
     let cfg = ModelConfig::switch_base(64);
     for k in [1usize, 4, 16, 32, 64] {
-        for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand, OffloadPolicy::PrefetchAll] {
+        for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand, OffloadPolicy::PrefetchAll]
+        {
             group.bench_function(BenchmarkId::new(policy.paper_name(), k), |b| {
                 b.iter(|| {
                     InferenceSim::new(cfg.clone(), SimOptions::new(policy).with_active_experts(k))
@@ -62,7 +63,8 @@ fn bench_ssd(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(500));
     group.sample_size(10);
     for cfg in [ModelConfig::switch_large_128(), ModelConfig::switch_xxl()] {
-        for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand, OffloadPolicy::PrefetchAll] {
+        for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand, OffloadPolicy::PrefetchAll]
+        {
             group.bench_function(BenchmarkId::new(policy.paper_name(), &cfg.name), |b| {
                 b.iter(|| {
                     InferenceSim::new(cfg.clone(), SimOptions::new(policy).with_ssd_offload())

@@ -5,7 +5,6 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pregated_moe::device::{SimDuration, SimEngine};
 use pregated_moe::prelude::*;
 use pregated_moe::runtime::{ExpertCache, ExpertKey};
-use pregated_moe::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -46,7 +45,8 @@ fn bench_engine(c: &mut Criterion) {
                     Some(prev) => vec![f, prev],
                     None => vec![f],
                 };
-                last = Some(eng.submit(compute, "e", SimDuration::from_nanos(400 + (i % 7)), &waits));
+                last =
+                    Some(eng.submit(compute, "e", SimDuration::from_nanos(400 + (i % 7)), &waits));
             }
             black_box(eng.horizon())
         })
@@ -82,9 +82,10 @@ fn bench_routing(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_millis(500));
     for kind in [RoutingKind::Uniform, RoutingKind::Zipf { s: 1.2 }] {
-        group.bench_function(BenchmarkId::new("generate_64tok_24blk_128e", format!("{kind:?}")), |b| {
-            b.iter(|| black_box(RoutingTrace::generate(64, 24, 128, 1, kind, 7)))
-        });
+        group.bench_function(
+            BenchmarkId::new("generate_64tok_24blk_128e", format!("{kind:?}")),
+            |b| b.iter(|| black_box(RoutingTrace::generate(64, 24, 128, 1, kind, 7))),
+        );
     }
     group.finish();
 }

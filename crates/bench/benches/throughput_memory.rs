@@ -12,14 +12,18 @@ fn bench_throughput(c: &mut Criterion) {
     for experts in [8usize, 64, 128] {
         let cfg = ModelConfig::switch_base(experts);
         for policy in OffloadPolicy::ALL {
-            group.bench_with_input(BenchmarkId::new(policy.paper_name(), experts), &cfg, |b, cfg| {
-                b.iter(|| {
-                    InferenceSim::new(cfg.clone(), SimOptions::new(policy))
-                        .run(smoke_request(), 1)
-                        .map(|r| r.tokens_per_sec)
-                        .ok()
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new(policy.paper_name(), experts),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        InferenceSim::new(cfg.clone(), SimOptions::new(policy))
+                            .run(smoke_request(), 1)
+                            .map(|r| r.tokens_per_sec)
+                            .ok()
+                    })
+                },
+            );
         }
     }
     group.finish();
@@ -33,14 +37,18 @@ fn bench_peak_memory(c: &mut Criterion) {
     for experts in [8usize, 64, 128, 256] {
         let cfg = ModelConfig::switch_base(experts);
         for policy in OffloadPolicy::ALL {
-            group.bench_with_input(BenchmarkId::new(policy.paper_name(), experts), &cfg, |b, cfg| {
-                b.iter(|| {
-                    InferenceSim::new(cfg.clone(), SimOptions::new(policy))
-                        .run(smoke_request(), 1)
-                        .map(|r| r.peak_hbm_bytes)
-                        .ok()
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new(policy.paper_name(), experts),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        InferenceSim::new(cfg.clone(), SimOptions::new(policy))
+                            .run(smoke_request(), 1)
+                            .map(|r| r.peak_hbm_bytes)
+                            .ok()
+                    })
+                },
+            );
         }
     }
     group.finish();

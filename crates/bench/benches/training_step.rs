@@ -24,11 +24,11 @@ fn bench_training_step(c: &mut Criterion) {
     ] {
         group.bench_function(BenchmarkId::new("step", format!("{mode:?}")), |b| {
             let mut rng = StdRng::seed_from_u64(2);
-            let cfg =
-                SwitchNetConfig::small(task.vocab_size(), task.seq_len(), 8, mode);
+            let cfg = SwitchNetConfig::small(task.vocab_size(), task.seq_len(), 8, mode);
             let mut net = SwitchNet::new(cfg, &mut rng);
             let mut opt = Adam::new(1e-3);
-            let positions: Vec<usize> = (task.seq_len() - task.answer_len()..task.seq_len()).collect();
+            let positions: Vec<usize> =
+                (task.seq_len() - task.answer_len()..task.seq_len()).collect();
             let mut idx = 0u64;
             b.iter(|| {
                 net.zero_grad();

@@ -55,8 +55,10 @@ pub fn level_sweep() -> String {
             r.mean_block_latency()
         ));
     }
-    out.push_str("shape: latency is flat in N at PCIe gen4 — the level-1 window already\n\
-                  hides the fetch, so deeper lookahead only buys slack, not speed.\n");
+    out.push_str(
+        "shape: latency is flat in N at PCIe gen4 — the level-1 window already\n\
+                  hides the fetch, so deeper lookahead only buys slack, not speed.\n",
+    );
     out
 }
 
@@ -93,10 +95,13 @@ pub fn batch_sweep() -> String {
 pub fn topk_sweep() -> String {
     let cfg = ModelConfig::switch_base(64);
     let request = crate::smoke_request();
-    let mut out = String::from("== Ablation: top-k routing (NLLB-style top-2 vs Switch top-1) ==\n");
+    let mut out =
+        String::from("== Ablation: top-k routing (NLLB-style top-2 vs Switch top-1) ==\n");
     for k in [1usize, 2, 4] {
-        let pg = run(&cfg, SimOptions::new(OffloadPolicy::Pregated).with_active_experts(k), request);
-        let od = run(&cfg, SimOptions::new(OffloadPolicy::OnDemand).with_active_experts(k), request);
+        let pg =
+            run(&cfg, SimOptions::new(OffloadPolicy::Pregated).with_active_experts(k), request);
+        let od =
+            run(&cfg, SimOptions::new(OffloadPolicy::OnDemand).with_active_experts(k), request);
         out.push_str(&format!(
             "top-{k}: Pre-gated {} vs OnDemand {}  (advantage {:.2}x)\n",
             pg.mean_block_latency(),

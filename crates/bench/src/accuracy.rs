@@ -48,7 +48,8 @@ pub fn table2(full: bool) -> String {
 /// Fig 13: accuracy vs pre-gate activation level N (0 = conventional).
 pub fn fig13(full: bool) -> String {
     let cfg = if full { TrainerConfig::paper() } else { TrainerConfig::default() };
-    let mut out = String::from("== Fig 13: accuracy vs pre-gate activation level (SQuAD-like) ==\n");
+    let mut out =
+        String::from("== Fig 13: accuracy vs pre-gate activation level (SQuAD-like) ==\n");
     out.push_str(&format!("{:<26} {:>7} {:>7}\n", "variant", "EM", "F1"));
     for p in fig13_points(&cfg, 3) {
         let name = if p.level == 0 {

@@ -47,7 +47,8 @@ fn main() {
         "motivation" => print!("{}", ablations::multi_gpu_motivation()),
         "csv" => {
             let dir = args.get(1).cloned().unwrap_or_else(|| "repro-out".to_string());
-            let paths = figures::write_artifact_csvs(std::path::Path::new(&dir)).expect("write CSVs");
+            let paths =
+                figures::write_artifact_csvs(std::path::Path::new(&dir)).expect("write CSVs");
             for p in paths {
                 println!("wrote {}", p.display());
             }

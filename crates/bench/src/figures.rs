@@ -14,7 +14,11 @@ fn zoo() -> Vec<ModelConfig> {
     ]
 }
 
-fn run(model: &ModelConfig, opts: SimOptions, request: DecodeRequest) -> Result<RunReport, RuntimeError> {
+fn run(
+    model: &ModelConfig,
+    opts: SimOptions,
+    request: DecodeRequest,
+) -> Result<RunReport, RuntimeError> {
     InferenceSim::new(model.clone(), opts).run(request, 1)
 }
 
@@ -57,7 +61,10 @@ pub fn fig2() -> String {
 /// Fig 3: memory capacity decomposition (MoE vs non-MoE parameters).
 pub fn fig3() -> String {
     let mut out = String::from("== Fig 3: model capacity decomposition ==\n");
-    out.push_str(&format!("{:<18} {:>10} {:>12} {:>10}\n", "model", "MoE (GB)", "non-MoE (GB)", "MoE frac"));
+    out.push_str(&format!(
+        "{:<18} {:>10} {:>12} {:>10}\n",
+        "model", "MoE (GB)", "non-MoE (GB)", "MoE frac"
+    ));
     let mut configs = zoo();
     configs.insert(3, ModelConfig::switch_base(256));
     for cfg in configs {
@@ -74,8 +81,11 @@ pub fn fig3() -> String {
     out
 }
 
+/// Per-model sweep rows: each policy paired with its report (None = OOM).
+pub type PolicySweepRow = (ModelConfig, Vec<(OffloadPolicy, Option<RunReport>)>);
+
 /// Runs the four policies over the zoo, returning reports (None = OOM).
-pub fn policy_sweep(request: DecodeRequest) -> Vec<(ModelConfig, Vec<(OffloadPolicy, Option<RunReport>)>)> {
+pub fn policy_sweep(request: DecodeRequest) -> Vec<PolicySweepRow> {
     zoo()
         .into_iter()
         .map(|cfg| {
@@ -216,8 +226,10 @@ pub fn fig14() -> String {
             lat(OffloadPolicy::PrefetchAll) / gpu,
         ));
     }
-    out.push_str("shape: all offloading designs degrade as activation density rises;\n\
-                  the Prefetch↔Pre-gated gap closes at 100% (paper Section VI-D).\n");
+    out.push_str(
+        "shape: all offloading designs degrade as activation density rises;\n\
+                  the Prefetch↔Pre-gated gap closes at 100% (paper Section VI-D).\n",
+    );
     out
 }
 
@@ -231,11 +243,18 @@ pub fn fig15() -> String {
     let base = run(&cfg, SimOptions::new(OffloadPolicy::Pregated).with_routing(hot), request)
         .expect("base run")
         .tokens_per_sec;
-    let mut out = String::from("== Fig 15: expert caching, Switch-Large-128, Zipf-hot routing ==\n");
+    let mut out =
+        String::from("== Fig 15: expert caching, Switch-Large-128, Zipf-hot routing ==\n");
     out.push_str("(normalized to Pre-gated MoE w/o cache; paper shows OnDemand gaining most)\n");
     for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand] {
         let none = run(&cfg, SimOptions::new(policy).with_routing(hot), request).expect("run");
-        out.push_str(&format!("{:<16} {:<6} {:>5}: {:>5.2}\n", policy.paper_name(), "none", "-", none.tokens_per_sec / base));
+        out.push_str(&format!(
+            "{:<16} {:<6} {:>5}: {:>5.2}\n",
+            policy.paper_name(),
+            "none",
+            "-",
+            none.tokens_per_sec / base
+        ));
         for replacement in Replacement::ALL {
             for fraction in [0.01, 0.10, 0.20] {
                 let r = run(
@@ -298,7 +317,11 @@ pub fn timeline() -> String {
     for policy in OffloadPolicy::ALL {
         match run(&cfg, SimOptions::new(policy).with_timeline(), request) {
             Ok(r) => {
-                out.push_str(&format!("\n-- {} --\n{}", policy.paper_name(), r.timeline.unwrap_or_default()));
+                out.push_str(&format!(
+                    "\n-- {} --\n{}",
+                    policy.paper_name(),
+                    r.timeline.unwrap_or_default()
+                ));
             }
             Err(e) => out.push_str(&format!("\n-- {} -- {e}\n", policy.paper_name())),
         }

@@ -56,10 +56,12 @@ pub mod prelude {
     pub use pgmoe_device::{Machine, MachineConfig, SimDuration, SimTime, Tier};
     pub use pgmoe_model::{GateTopology, GatingMode, ModelConfig, Precision};
     pub use pgmoe_runtime::{
-        CacheConfig, InferenceSim, OffloadPolicy, Replacement, RunReport, SimOptions,
+        serve_batched, serve_stream, BatchConfig, BatchScheduler, CacheConfig, InferenceSim,
+        OffloadPolicy, Replacement, RunReport, ServeStats, SimOptions,
     };
     pub use pgmoe_train::{Trainer, TrainerConfig};
     pub use pgmoe_workload::{
-        DecodeRequest, RequestStream, RoutingKind, RoutingTrace, TaskKind, TaskSpec,
+        ArrivalProcess, ArrivalStream, ArrivedRequest, DecodeRequest, RequestStream, RoutingKind,
+        RoutingTrace, TaskKind, TaskSpec,
     };
 }

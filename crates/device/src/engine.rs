@@ -101,11 +101,7 @@ impl SimEngine {
     /// Registers an in-order stream bound to `resource`.
     pub fn add_stream(&mut self, name: &str, resource: ResourceId) -> StreamId {
         assert!(resource.0 < self.resources.len(), "unknown resource");
-        self.streams.push(StreamState {
-            name: name.to_string(),
-            resource,
-            tail: SimTime::ZERO,
-        });
+        self.streams.push(StreamState { name: name.to_string(), resource, tail: SimTime::ZERO });
         StreamId(self.streams.len() - 1)
     }
 

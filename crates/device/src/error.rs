@@ -58,7 +58,12 @@ mod tests {
 
     #[test]
     fn display_mentions_tier_and_bytes() {
-        let e = DeviceError::OutOfMemory { tier: Tier::Hbm, requested: 100, available: 10, capacity: 50 };
+        let e = DeviceError::OutOfMemory {
+            tier: Tier::Hbm,
+            requested: 100,
+            available: 10,
+            capacity: 50,
+        };
         let s = e.to_string();
         assert!(s.contains("Hbm"));
         assert!(s.contains("100"));

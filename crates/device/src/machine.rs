@@ -155,7 +155,13 @@ impl Machine {
     /// [`Tier::Ssd`] ride the SSD path. A transfer "from" HBM is a
     /// device-local no-op costing only the sync overhead (used when an
     /// expert is cache-resident).
-    pub fn copy_to_gpu(&mut self, label: &str, bytes: u64, source: Tier, waits: &[EventId]) -> EventId {
+    pub fn copy_to_gpu(
+        &mut self,
+        label: &str,
+        bytes: u64,
+        source: Tier,
+        waits: &[EventId],
+    ) -> EventId {
         let dur = match source {
             Tier::Ddr => self.pcie.transfer_time(bytes),
             Tier::Ssd => self.ssd_link.transfer_time(bytes),

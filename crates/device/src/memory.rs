@@ -163,7 +163,12 @@ mod tests {
         let err = pool.alloc(40).unwrap_err();
         assert_eq!(
             err,
-            DeviceError::OutOfMemory { tier: Tier::Hbm, requested: 40, available: 30, capacity: 100 }
+            DeviceError::OutOfMemory {
+                tier: Tier::Hbm,
+                requested: 40,
+                available: 30,
+                capacity: 100
+            }
         );
     }
 

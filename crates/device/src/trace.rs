@@ -88,7 +88,12 @@ pub fn render_timeline(spans: &[TraceSpan], width: usize) -> String {
 }
 
 fn glyph_for(label: &str) -> u8 {
-    label.bytes().next().map(|b| b.to_ascii_uppercase()).filter(u8::is_ascii_graphic).unwrap_or(b'#')
+    label
+        .bytes()
+        .next()
+        .map(|b| b.to_ascii_uppercase())
+        .filter(u8::is_ascii_graphic)
+        .unwrap_or(b'#')
 }
 
 #[cfg(test)]
@@ -111,8 +116,11 @@ mod tests {
 
     #[test]
     fn renderer_emits_one_row_per_stream() {
-        let spans =
-            vec![span("compute", "exec", 0, 50), span("copy", "fetch", 0, 100), span("compute", "exec", 50, 80)];
+        let spans = vec![
+            span("compute", "exec", 0, 50),
+            span("copy", "fetch", 0, 100),
+            span("compute", "exec", 50, 80),
+        ];
         let chart = render_timeline(&spans, 20);
         assert_eq!(chart.lines().count(), 3); // two streams + time axis
         assert!(chart.contains("compute"));

@@ -23,9 +23,21 @@ fn loss(net: &SwitchNet, tokens: &[usize], targets: &[usize]) -> f32 {
 fn main() {
     let tokens = [1usize, 2, 3, 4, 5, 0];
     let targets = [7usize, 9];
-    for mode in [GatingMode::Conventional, GatingMode::Pregated { level: 1 }, GatingMode::Pregated { level: 2 }] {
+    for mode in [
+        GatingMode::Conventional,
+        GatingMode::Pregated { level: 1 },
+        GatingMode::Pregated { level: 2 },
+    ] {
         let mut rng = StdRng::seed_from_u64(7);
-        let cfg = SwitchNetConfig { vocab: 16, d_model: 8, d_ff: 16, num_blocks: 3, num_experts: 4, seq_len: 6, mode };
+        let cfg = SwitchNetConfig {
+            vocab: 16,
+            d_model: 8,
+            d_ff: 16,
+            num_blocks: 3,
+            num_experts: 4,
+            seq_len: 6,
+            mode,
+        };
         let mut net = SwitchNet::new(cfg, &mut rng);
         net.zero_grad();
         let logits = net.forward(&tokens);
@@ -51,11 +63,17 @@ fn main() {
             let flipped_m = routes(&net, &tokens) != base;
             let lm = loss(&net, &tokens, &targets);
             net.pos_emb_mut().value = orig;
-            if flipped_p || flipped_m { skipped += 1; continue; }
+            if flipped_p || flipped_m {
+                skipped += 1;
+                continue;
+            }
             let numeric = (lp - lm) / (2.0 * eps);
             let diff = (gv - numeric).abs();
             let scale = gv.abs().max(numeric.abs()).max(0.1);
-            assert!(diff / scale < 0.15, "{mode:?} trial {trial}: analytic {gv} vs numeric {numeric}");
+            assert!(
+                diff / scale < 0.15,
+                "{mode:?} trial {trial}: analytic {gv} vs numeric {numeric}"
+            );
             ok += 1;
         }
         println!("{mode:?}: {ok} directional checks passed, {skipped} skipped (flips)");

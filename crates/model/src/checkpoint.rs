@@ -121,7 +121,10 @@ pub fn load_params<R: Read>(layer: &mut dyn Layer, r: &mut R) -> Result<(), Chec
     let mut shapes = Vec::new();
     layer.visit_params(&mut |p| shapes.push(p.value.shape().clone()));
     if shapes.len() != tensors.len() {
-        return Err(CheckpointError::CountMismatch { stored: tensors.len(), expected: shapes.len() });
+        return Err(CheckpointError::CountMismatch {
+            stored: tensors.len(),
+            expected: shapes.len(),
+        });
     }
     for (i, (shape, t)) in shapes.iter().zip(&tensors).enumerate() {
         if shape != t.shape() {

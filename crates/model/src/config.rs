@@ -188,7 +188,8 @@ impl ModelConfig {
     /// All MoE parameters: experts + gate functions (the paper's Fig 3
     /// "MoE parameters" series).
     pub fn moe_params(&self) -> u64 {
-        self.moe_layers() as u64 * (self.num_experts as u64 * self.expert_params() + self.gate_params())
+        self.moe_layers() as u64
+            * (self.num_experts as u64 * self.expert_params() + self.gate_params())
     }
 
     /// All non-MoE parameters: embeddings, attention, dense FFNs, norms.
@@ -289,8 +290,8 @@ mod tests {
             let frac = cfg.moe_params() as f64 / cfg.total_params() as f64;
             assert!(frac > 0.7, "{experts} experts: moe fraction {frac}");
         }
-        let frac128 =
-            ModelConfig::switch_base(128).moe_params() as f64 / ModelConfig::switch_base(128).total_params() as f64;
+        let frac128 = ModelConfig::switch_base(128).moe_params() as f64
+            / ModelConfig::switch_base(128).total_params() as f64;
         assert!(frac128 > 0.95);
     }
 

@@ -113,12 +113,10 @@ mod tests {
             hm.as_mut_slice()[i] -= eps;
             // Hold the original selection fixed (routing is piecewise
             // constant; gradients flow through the probability only).
-            let lp: f32 = (0..2)
-                .map(|t| r.route_inference(&hp).probs_full.at(&[t, dec0.expert[t]]))
-                .sum();
-            let lm: f32 = (0..2)
-                .map(|t| r.route_inference(&hm).probs_full.at(&[t, dec0.expert[t]]))
-                .sum();
+            let lp: f32 =
+                (0..2).map(|t| r.route_inference(&hp).probs_full.at(&[t, dec0.expert[t]])).sum();
+            let lm: f32 =
+                (0..2).map(|t| r.route_inference(&hm).probs_full.at(&[t, dec0.expert[t]])).sum();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (dx.as_slice()[i] - numeric).abs() < 1e-2,

@@ -282,7 +282,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny(mode: GatingMode) -> SwitchNet {
-        let mut rng = StdRng::seed_from_u64(7);
+        tiny_seeded(mode, 7)
+    }
+
+    fn tiny_seeded(mode: GatingMode, seed: u64) -> SwitchNet {
+        let mut rng = StdRng::seed_from_u64(seed);
         let cfg = SwitchNetConfig {
             vocab: 16,
             d_model: 8,
@@ -297,7 +301,11 @@ mod tests {
 
     #[test]
     fn forward_shapes_for_all_modes() {
-        for mode in [GatingMode::Conventional, GatingMode::Pregated { level: 1 }, GatingMode::Pregated { level: 2 }] {
+        for mode in [
+            GatingMode::Conventional,
+            GatingMode::Pregated { level: 1 },
+            GatingMode::Pregated { level: 2 },
+        ] {
             let mut net = tiny(mode);
             let logits = net.forward(&[1, 2, 3, 4, 5, 0]);
             assert_eq!(logits.dims(), &[6, 16], "{mode:?}");
@@ -375,7 +383,10 @@ mod tests {
         // pointwise checks of a piecewise-smooth loss.
         let tokens = [1usize, 2, 3, 4, 5, 0];
         let targets = [7usize, 9];
-        let mut net = tiny(GatingMode::Pregated { level: 1 });
+        // Seed chosen so the finite-difference probe stays inside one
+        // routing region of the piecewise-smooth loss (seed-sensitive by
+        // nature; see the eps comment below).
+        let mut net = tiny_seeded(GatingMode::Pregated { level: 1 }, 11);
         net.zero_grad();
         let logits = net.forward(&tokens);
         let (_, dans) = ops::cross_entropy_from_logits(&logits.gather_rows(&[4, 5]), &targets);

@@ -192,7 +192,10 @@ mod tests {
                         routed[target] += 1;
                     }
                 }
-                assert!(routed.iter().all(|&c| c == 1), "{mode:?} × {num_blocks} blocks: {routed:?}");
+                assert!(
+                    routed.iter().all(|&c| c == 1),
+                    "{mode:?} × {num_blocks} blocks: {routed:?}"
+                );
                 assert_eq!(topo.total_gates(), num_blocks);
             }
         }

@@ -1,6 +1,9 @@
 //! The inference simulator: schedules one serving run under a policy.
 
-use crate::{CacheStats, ExpertCache, ExpertKey, OffloadPolicy, PlacementPlan, Result, RuntimeError, SimOptions};
+use crate::{
+    CacheStats, ExpertCache, ExpertKey, OffloadPolicy, PlacementPlan, Result, RuntimeError,
+    SimOptions,
+};
 use pgmoe_device::{AllocId, EventId, Machine, SimDuration, SimTime, Tier};
 use pgmoe_model::{GateTopology, ModelConfig};
 use pgmoe_workload::{DecodeRequest, RoutingTrace};
@@ -22,6 +25,10 @@ pub struct RunReport {
     pub tokens_per_sec: f64,
     /// Wall-clock (simulated) time for the whole run.
     pub total_time: SimDuration,
+    /// Time from run start until the first request's first output token
+    /// completed (encoder pass + one decode iteration) — the per-request
+    /// TTFT building block the serving layer aggregates.
+    pub time_to_first_token: SimDuration,
     /// Measured peak HBM usage (Fig 12).
     pub peak_hbm_bytes: u64,
     /// Equation-1 analytic prediction, for cross-validation.
@@ -107,12 +114,11 @@ impl InferenceSim {
             opts.routing,
             opts.seed,
         );
-        let mut cache = opts
-            .cache
-            .map(|c| ExpertCache::new(plan.cache_experts(), c.replacement));
+        let mut cache = opts.cache.map(|c| ExpertCache::new(plan.cache_experts(), c.replacement));
 
         let mut block_latencies = Vec::new();
         let mut ctx_len = request.input_tokens;
+        let mut first_token_time: Option<SimTime> = None;
         for req in 0..num_requests {
             self.encoder_pass(&mut machine, &plan, &mut cache, request.input_tokens, req as u64)?;
             for tok in 0..request.output_tokens {
@@ -133,21 +139,24 @@ impl InferenceSim {
                     ctx_len + tok,
                     &mut block_latencies,
                 )?;
+                if first_token_time.is_none() {
+                    first_token_time = Some(machine.horizon());
+                }
             }
             ctx_len = request.input_tokens; // next request starts fresh
         }
 
         let total_time = machine.horizon() - SimTime::ZERO;
         let generated = (num_requests * request.output_tokens) as f64;
-        let timeline = opts
-            .trace_timeline
-            .then(|| pgmoe_device::render_timeline(machine.trace(), 100));
+        let timeline =
+            opts.trace_timeline.then(|| pgmoe_device::render_timeline(machine.trace(), 100));
         Ok(RunReport {
             model: cfg.name.clone(),
             policy: opts.policy,
             block_latencies,
             tokens_per_sec: generated / total_time.as_secs_f64(),
             total_time,
+            time_to_first_token: first_token_time.unwrap_or(SimTime::ZERO) - SimTime::ZERO,
             peak_hbm_bytes: machine.pool(Tier::Hbm).peak_bytes(),
             predicted_peak_bytes: plan.predicted_peak_bytes(),
             cache_stats: cache.map(|c| c.stats()),
@@ -204,16 +213,11 @@ impl InferenceSim {
     /// HBM bytes streamed by one decoder layer's attention (self + cross
     /// projections read once, plus the KV cache scan).
     fn attn_bytes(&self, ctx: usize) -> u64 {
-        let d = self.cfg.d_model as u64;
-        let bpp = self.cfg.precision.bytes_per_param();
-        let weights = (4 * d * d) as f64 * bpp;
-        let kv = (2 * ctx as u64 * d * 4) as f64;
-        (weights + kv) as u64
+        attn_bytes_for(&self.cfg, [ctx])
     }
 
     fn dense_ffn_bytes(&self) -> u64 {
-        let bpp = self.cfg.precision.bytes_per_param();
-        (2.0 * self.cfg.d_model as f64 * self.cfg.d_ff as f64 * bpp) as u64
+        dense_ffn_bytes_for(&self.cfg)
     }
 
     // ------------------------------------------------------------------
@@ -234,7 +238,8 @@ impl InferenceSim {
     ) -> Result<()> {
         let cfg = &self.cfg;
         let enc_blocks = cfg.encoder_layers / cfg.moe_every;
-        let distinct = expected_distinct_experts(input_tokens * plan.active_per_block(), cfg.num_experts);
+        let distinct =
+            expected_distinct_experts(input_tokens * plan.active_per_block(), cfg.num_experts);
         // Encoder expert staging: the prompt activates many distinct experts
         // per block, but they are *streamed* through a small staging region
         // (single buffer when fetches serialize with execution, double buffer
@@ -349,7 +354,8 @@ impl InferenceSim {
         // Decoder MoE blocks get cache keys disjoint from the encoder's:
         // block ids are global across the whole model.
         let enc_blocks = cfg.encoder_layers / cfg.moe_every;
-        let mut inflight: Vec<BlockInFlight> = (0..dec_blocks).map(|_| BlockInFlight::default()).collect();
+        let mut inflight: Vec<BlockInFlight> =
+            (0..dec_blocks).map(|_| BlockInFlight::default()).collect();
 
         // MoE-Prefetch: block 0's full-set prefetch is issued at iteration
         // start (SE-MoE migrates ahead of use, without gate knowledge).
@@ -381,7 +387,15 @@ impl InferenceSim {
             let exec_waits: Vec<EventId> = match self.opts.policy {
                 OffloadPolicy::GpuOnly => vec![gate],
                 OffloadPolicy::OnDemand => {
-                    let (ev, bufs) = self.fetch_experts(machine, plan, cache, enc_blocks + b, &experts, &[gate], true);
+                    let (ev, bufs) = self.fetch_experts(
+                        machine,
+                        plan,
+                        cache,
+                        enc_blocks + b,
+                        &experts,
+                        &[gate],
+                        true,
+                    );
                     inflight[b].buffers = bufs;
                     vec![ev, gate]
                 }
@@ -395,7 +409,15 @@ impl InferenceSim {
                         // First block(s) of the iteration: no pre-selection
                         // available — serialized fetch, like OnDemand
                         // (footnote 1 of the paper).
-                        let (ev, bufs) = self.fetch_experts(machine, plan, cache, enc_blocks + b, &experts, &[gate], true);
+                        let (ev, bufs) = self.fetch_experts(
+                            machine,
+                            plan,
+                            cache,
+                            enc_blocks + b,
+                            &experts,
+                            &[gate],
+                            true,
+                        );
                         inflight[b].buffers = bufs;
                         vec![ev, gate]
                     }
@@ -412,17 +434,30 @@ impl InferenceSim {
                             continue; // own routing: resolved above
                         }
                         let target_experts = trace.experts(tok, target).to_vec();
-                        let (ev, bufs) =
-                            self.fetch_experts(machine, plan, cache, enc_blocks + target, &target_experts, &[gate], true);
+                        let (ev, bufs) = self.fetch_experts(
+                            machine,
+                            plan,
+                            cache,
+                            enc_blocks + target,
+                            &target_experts,
+                            &[gate],
+                            true,
+                        );
                         inflight[target] = BlockInFlight { fetch_done: Some(ev), buffers: bufs };
                     }
                 }
-                OffloadPolicy::PrefetchAll => {
-                    if b + 1 < dec_blocks {
-                        let all: Vec<usize> = (0..cfg.num_experts).collect();
-                        let (ev, bufs) = self.fetch_experts(machine, plan, cache, enc_blocks + b + 1, &all, &[], true);
-                        inflight[b + 1] = BlockInFlight { fetch_done: Some(ev), buffers: bufs };
-                    }
+                OffloadPolicy::PrefetchAll if b + 1 < dec_blocks => {
+                    let all: Vec<usize> = (0..cfg.num_experts).collect();
+                    let (ev, bufs) = self.fetch_experts(
+                        machine,
+                        plan,
+                        cache,
+                        enc_blocks + b + 1,
+                        &all,
+                        &[],
+                        true,
+                    );
+                    inflight[b + 1] = BlockInFlight { fetch_done: Some(ev), buffers: bufs };
                 }
                 _ => {}
             }
@@ -449,68 +484,117 @@ impl InferenceSim {
         waits: &[EventId],
         alloc_buffers: bool,
     ) -> (EventId, Vec<AllocId>) {
-        let mut buffers = Vec::new();
-        let mut last = None;
-        for &e in experts {
-            let hit = cache
-                .as_mut()
-                .map(|c| c.access(ExpertKey { block, expert: e }))
-                .unwrap_or(false);
-            if hit {
-                continue;
-            }
-            // Transient staging buffer; OOM here is a real capacity failure.
-            if alloc_buffers {
-                match machine.pool_mut(Tier::Hbm).alloc(plan.expert_bytes()) {
-                    Ok(id) => buffers.push(id),
-                    Err(err) => {
-                        // Surfacing OOM lazily keeps the hot path simple; the
-                        // static allocation catches the common failure first.
-                        free_buffers(machine, buffers);
-                        panic!("transient expert buffer OOM: {err}");
-                    }
-                }
-            }
-            let ev = machine.copy_to_gpu(
-                &format!("fetch-b{block}e{e}"),
-                plan.expert_bytes(),
-                self.opts.offload_tier,
-                waits,
-            );
-            last = Some(ev);
+        match fetch_experts_on(
+            machine,
+            plan,
+            cache,
+            self.opts.offload_tier,
+            block,
+            experts,
+            waits,
+            alloc_buffers,
+        ) {
+            Ok(done) => done,
+            // Surfacing OOM lazily keeps the hot path simple; the static
+            // allocation catches the common failure first.
+            Err(err) => panic!("transient expert buffer OOM: {err}"),
         }
-        // All experts resident: the copy stream is in-order, so the last
-        // submitted copy dominates. All-hit fetches complete immediately
-        // relative to `waits` via a zero-length barrier.
-        let done = match last {
-            Some(ev) => ev,
-            None => {
-                let copy = machine.copy_stream();
-                machine.engine_mut().barrier(copy, waits)
-            }
-        };
-        (done, buffers)
     }
 }
 
-fn free_buffers(machine: &mut Machine, buffers: Vec<AllocId>) {
+/// HBM bytes streamed by one decoder attention layer: the projection
+/// weights are read once regardless of batch size, the KV cache is scanned
+/// per live context (one entry per batched request).
+pub(crate) fn attn_bytes_for(cfg: &ModelConfig, ctx_lens: impl IntoIterator<Item = usize>) -> u64 {
+    let d = cfg.d_model as u64;
+    let bpp = cfg.precision.bytes_per_param();
+    let weights = (4 * d * d) as f64 * bpp;
+    let kv: u64 = ctx_lens.into_iter().map(|ctx| 2 * ctx as u64 * d * 4).sum();
+    (weights + kv as f64) as u64
+}
+
+/// HBM bytes streamed by one dense FFN layer (weights read once).
+pub(crate) fn dense_ffn_bytes_for(cfg: &ModelConfig) -> u64 {
+    let bpp = cfg.precision.bytes_per_param();
+    (2.0 * cfg.d_model as f64 * cfg.d_ff as f64 * bpp) as u64
+}
+
+/// Enqueues migration of `experts` of MoE block `block` to the GPU —
+/// shared by the batch-1 serving path and the continuous-batching
+/// scheduler so their cost models cannot drift. Cache-resident experts
+/// cost nothing; missed experts get a transient HBM buffer (when
+/// `alloc_buffers`) and a copy from `offload_tier`. Returns the event
+/// after which every requested expert is GPU-resident plus the buffers to
+/// free; transient-buffer OOM propagates (the engine panics on it, the
+/// scheduler surfaces it as a runtime error).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fetch_experts_on(
+    machine: &mut Machine,
+    plan: &PlacementPlan,
+    cache: &mut Option<ExpertCache>,
+    offload_tier: Tier,
+    block: usize,
+    experts: &[usize],
+    waits: &[EventId],
+    alloc_buffers: bool,
+) -> std::result::Result<(EventId, Vec<AllocId>), pgmoe_device::DeviceError> {
+    let mut buffers = Vec::new();
+    let mut last = None;
+    for &e in experts {
+        let hit = cache.as_mut().map(|c| c.access(ExpertKey { block, expert: e })).unwrap_or(false);
+        if hit {
+            continue;
+        }
+        // Transient staging buffer; OOM here is a real capacity failure.
+        if alloc_buffers {
+            match machine.pool_mut(Tier::Hbm).alloc(plan.expert_bytes()) {
+                Ok(id) => buffers.push(id),
+                Err(err) => {
+                    free_buffers(machine, buffers);
+                    return Err(err);
+                }
+            }
+        }
+        let ev = machine.copy_to_gpu(
+            &format!("fetch-b{block}e{e}"),
+            plan.expert_bytes(),
+            offload_tier,
+            waits,
+        );
+        last = Some(ev);
+    }
+    // All experts resident: the copy stream is in-order, so the last
+    // submitted copy dominates. All-hit fetches complete immediately
+    // relative to `waits` via a zero-length barrier.
+    let done = match last {
+        Some(ev) => ev,
+        None => {
+            let copy = machine.copy_stream();
+            machine.engine_mut().barrier(copy, waits)
+        }
+    };
+    Ok((done, buffers))
+}
+
+pub(crate) fn free_buffers(machine: &mut Machine, buffers: Vec<AllocId>) {
     for id in buffers {
-        machine
-            .pool_mut(Tier::Hbm)
-            .free(id)
-            .expect("expert buffer double free");
+        machine.pool_mut(Tier::Hbm).free(id).expect("expert buffer double free");
     }
 }
 
 /// Expected number of distinct experts activated by `draws` independent
 /// uniform draws over `experts` (balls-in-bins).
-fn expected_distinct_experts(draws: usize, experts: usize) -> usize {
+pub(crate) fn expected_distinct_experts(draws: usize, experts: usize) -> usize {
     let e = experts as f64;
     let expected = e * (1.0 - (1.0 - 1.0 / e).powi(draws as i32));
     (expected.round() as usize).clamp(1, experts)
 }
 
-fn sample_distinct_experts(count: usize, experts: usize, rng: &mut StdRng) -> Vec<usize> {
+pub(crate) fn sample_distinct_experts(
+    count: usize,
+    experts: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
     let mut pool: Vec<usize> = (0..experts).collect();
     for i in 0..count.min(experts) {
         let j = rng.gen_range(i..experts);
@@ -584,7 +668,8 @@ mod tests {
 
     #[test]
     fn offloading_policies_fit_switch_large() {
-        for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand, OffloadPolicy::PrefetchAll] {
+        for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand, OffloadPolicy::PrefetchAll]
+        {
             let cfg = ModelConfig::switch_large_128();
             let r = InferenceSim::new(cfg, SimOptions::new(policy)).run(short_request(), 1);
             assert!(r.is_ok(), "{policy} should fit Switch-Large");
@@ -639,9 +724,10 @@ mod tests {
         let ddr = InferenceSim::new(cfg.clone(), SimOptions::new(OffloadPolicy::Pregated))
             .run(short_request(), 1)
             .unwrap();
-        let ssd = InferenceSim::new(cfg, SimOptions::new(OffloadPolicy::Pregated).with_ssd_offload())
-            .run(short_request(), 1)
-            .unwrap();
+        let ssd =
+            InferenceSim::new(cfg, SimOptions::new(OffloadPolicy::Pregated).with_ssd_offload())
+                .run(short_request(), 1)
+                .unwrap();
         assert!(ssd.tokens_per_sec < ddr.tokens_per_sec / 2.0);
     }
 

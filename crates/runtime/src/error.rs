@@ -23,7 +23,9 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::OutOfMemory(e) => write!(f, "simulated GPU OOM: {e}"),
-            RuntimeError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            RuntimeError::InvalidConfig { message } => {
+                write!(f, "invalid configuration: {message}")
+            }
         }
     }
 }

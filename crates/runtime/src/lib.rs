@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cache;
 mod engine;
 mod error;
@@ -48,6 +49,7 @@ mod policy;
 mod report;
 mod serve;
 
+pub use batch::{serve_batched, BatchConfig, BatchScheduler};
 pub use cache::{CacheStats, ExpertCache, ExpertKey};
 pub use engine::{InferenceSim, RunReport};
 pub use error::{Result, RuntimeError};

@@ -27,7 +27,8 @@ impl PlacementPlan {
     /// Builds the plan for a model under `opts`, serving requests with
     /// `ctx_tokens` of live context and the given batch size.
     pub fn new(cfg: &ModelConfig, opts: &SimOptions, ctx_tokens: usize, batch: usize) -> Self {
-        let active_per_block = opts.active_experts_override.unwrap_or(cfg.top_k).min(cfg.num_experts);
+        let active_per_block =
+            opts.active_experts_override.unwrap_or(cfg.top_k).min(cfg.num_experts);
         let cache_experts = opts
             .cache
             .map(|c| {
@@ -62,6 +63,20 @@ impl PlacementPlan {
     /// Bytes of one expert at the model's precision.
     pub fn expert_bytes(&self) -> u64 {
         self.expert_bytes
+    }
+
+    /// Activation/KV-cache bytes this plan reserves (the `ctx_tokens` ×
+    /// `batch` dependent part of [`PlacementPlan::hbm_static_bytes`]).
+    pub fn activation_bytes(&self) -> u64 {
+        self.activation_bytes
+    }
+
+    /// HBM bytes that do not depend on live context: non-MoE parameters,
+    /// the pinned expert cache, and (under GPU-only) the full MoE weights.
+    /// The continuous-batching scheduler reserves this once and accounts
+    /// activations per admitted request on top.
+    pub fn static_non_activation_bytes(&self) -> u64 {
+        self.hbm_static_bytes() - self.activation_bytes
     }
 
     /// Experts pinned in the cache region.

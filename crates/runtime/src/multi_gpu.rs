@@ -105,8 +105,7 @@ pub fn simulate_expert_parallel(
         for b in 0..dec_blocks {
             let experts = trace.experts(tok, b);
             // Which GPUs execute this block? owner = expert % g.
-            let owners: std::collections::HashSet<usize> =
-                experts.iter().map(|e| e % g).collect();
+            let owners: std::collections::HashSet<usize> = experts.iter().map(|e| e % g).collect();
             // Block latency: attention (replicated) + dispatch + the slowest
             // owner's expert work + combine.
             let per_owner = experts.len().div_ceil(owners.len());
@@ -120,8 +119,7 @@ pub fn simulate_expert_parallel(
     }
     let mean_block = SimDuration::from_nanos(total.as_nanos() / blocks.max(1));
     // Utilization: expert-busy GPU-time over total GPU-time across g GPUs.
-    let utilization =
-        busy_expert.as_nanos() as f64 / (total.as_nanos() as f64 * g as f64);
+    let utilization = busy_expert.as_nanos() as f64 / (total.as_nanos() as f64 * g as f64);
     Ok(ClusterReport {
         num_gpus: g,
         mean_block_latency: mean_block,

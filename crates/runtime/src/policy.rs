@@ -22,8 +22,12 @@ pub enum OffloadPolicy {
 
 impl OffloadPolicy {
     /// All four policies in the paper's presentation order.
-    pub const ALL: [OffloadPolicy; 4] =
-        [OffloadPolicy::GpuOnly, OffloadPolicy::Pregated, OffloadPolicy::OnDemand, OffloadPolicy::PrefetchAll];
+    pub const ALL: [OffloadPolicy; 4] = [
+        OffloadPolicy::GpuOnly,
+        OffloadPolicy::Pregated,
+        OffloadPolicy::OnDemand,
+        OffloadPolicy::PrefetchAll,
+    ];
 
     /// Display name matching the paper's figures.
     pub fn paper_name(self) -> &'static str {

@@ -101,6 +101,7 @@ mod tests {
             block_latencies: lats_us.iter().map(|&u| SimDuration::from_micros(u)).collect(),
             tokens_per_sec: 100.0,
             total_time: SimDuration::from_millis(10),
+            time_to_first_token: SimDuration::from_micros(500),
             peak_hbm_bytes: 2_000_000_000,
             predicted_peak_bytes: 2_000_000_000,
             cache_stats: None,

@@ -12,10 +12,22 @@ use pgmoe_model::ModelConfig;
 use pgmoe_workload::DecodeRequest;
 
 /// Request-level latency/throughput statistics for a served stream.
+///
+/// Produced by both serving paths: the closed-loop batch-1
+/// [`serve_stream`] (requests queued at time zero, served back-to-back) and
+/// the open-loop continuous-batching [`crate::BatchScheduler`] (requests
+/// arrive over time and are interleaved).
 #[derive(Debug, Clone)]
 pub struct ServeStats {
-    /// Per-request end-to-end latencies, in arrival order.
+    /// Per-request end-to-end latencies (arrival → last token), in arrival
+    /// order.
     pub request_latencies: Vec<SimDuration>,
+    /// Per-request queueing delay (arrival → admission into the running
+    /// batch), in arrival order.
+    pub queueing_delays: Vec<SimDuration>,
+    /// Per-request time to first token (arrival → first output token), in
+    /// arrival order.
+    pub ttfts: Vec<SimDuration>,
     /// Total generated tokens across the stream.
     pub total_tokens: usize,
     /// Aggregate throughput over the busy period (tokens/s).
@@ -24,25 +36,68 @@ pub struct ServeStats {
     pub peak_hbm_bytes: u64,
 }
 
+fn quantile_of(samples: &[SimDuration], q: f64) -> SimDuration {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    assert!(!samples.is_empty(), "no requests served");
+    let mut sorted: Vec<u64> = samples.iter().map(|d| d.as_nanos()).collect();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() - 1) as f64 * q).floor() as usize;
+    SimDuration::from_nanos(sorted[idx])
+}
+
+fn mean_of(samples: &[SimDuration]) -> SimDuration {
+    let total: u64 = samples.iter().map(|d| d.as_nanos()).sum();
+    SimDuration::from_nanos(total / samples.len().max(1) as u64)
+}
+
 impl ServeStats {
-    /// Latency at quantile `q ∈ [0, 1]` (nearest-rank).
+    /// End-to-end latency at quantile `q ∈ [0, 1]` (nearest-rank).
     ///
     /// # Panics
     ///
     /// Panics if no requests were served or `q` is outside `[0, 1]`.
     pub fn latency_quantile(&self, q: f64) -> SimDuration {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range");
-        assert!(!self.request_latencies.is_empty(), "no requests served");
-        let mut sorted: Vec<u64> = self.request_latencies.iter().map(|d| d.as_nanos()).collect();
-        sorted.sort_unstable();
-        let idx = ((sorted.len() - 1) as f64 * q).floor() as usize;
-        SimDuration::from_nanos(sorted[idx])
+        quantile_of(&self.request_latencies, q)
+    }
+
+    /// Median end-to-end latency.
+    pub fn p50(&self) -> SimDuration {
+        self.latency_quantile(0.50)
+    }
+
+    /// 95th-percentile end-to-end latency — the serving SLO the paper's QoS
+    /// motivation is about.
+    pub fn p95(&self) -> SimDuration {
+        self.latency_quantile(0.95)
+    }
+
+    /// 99th-percentile end-to-end latency.
+    pub fn p99(&self) -> SimDuration {
+        self.latency_quantile(0.99)
+    }
+
+    /// Time-to-first-token at quantile `q ∈ [0, 1]` (nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no requests were served or `q` is outside `[0, 1]`.
+    pub fn ttft_quantile(&self, q: f64) -> SimDuration {
+        quantile_of(&self.ttfts, q)
     }
 
     /// Mean request latency.
     pub fn mean_latency(&self) -> SimDuration {
-        let total: u64 = self.request_latencies.iter().map(|d| d.as_nanos()).sum();
-        SimDuration::from_nanos(total / self.request_latencies.len().max(1) as u64)
+        mean_of(&self.request_latencies)
+    }
+
+    /// Mean queueing delay (arrival → admission).
+    pub fn mean_queueing_delay(&self) -> SimDuration {
+        mean_of(&self.queueing_delays)
+    }
+
+    /// Mean time to first token.
+    pub fn mean_ttft(&self) -> SimDuration {
+        mean_of(&self.ttfts)
     }
 }
 
@@ -50,8 +105,12 @@ impl ServeStats {
 /// QoS statistics.
 ///
 /// Requests are served sequentially (batch-1 serving, the paper's operating
-/// point); each request's latency covers its encoder pass and all of its
-/// decode iterations.
+/// point) in a *closed loop*: the whole stream is queued at time zero and
+/// request `i` waits for requests `0..i` to finish. Its queueing delay is
+/// therefore the sum of the earlier service times, its TTFT adds the
+/// encoder pass plus one decode iteration, and its end-to-end latency adds
+/// its full service time. For open-loop arrivals (Poisson/bursty) and
+/// continuous batching, use [`crate::BatchScheduler`].
 ///
 /// # Errors
 ///
@@ -80,6 +139,8 @@ pub fn serve_stream(
     requests: impl IntoIterator<Item = DecodeRequest>,
 ) -> Result<ServeStats> {
     let mut latencies = Vec::new();
+    let mut queueing_delays = Vec::new();
+    let mut ttfts = Vec::new();
     let mut total_tokens = 0usize;
     let mut busy = SimDuration::ZERO;
     let mut peak = 0u64;
@@ -89,17 +150,24 @@ pub fn serve_stream(
         let mut opts_i = opts.clone();
         opts_i.seed = opts.seed.wrapping_add(i as u64);
         let report = InferenceSim::new(cfg.clone(), opts_i).run(request, 1)?;
-        latencies.push(report.total_time);
+        // Closed loop: request i's queueing delay is the busy period so far.
+        queueing_delays.push(busy);
+        ttfts.push(busy + report.time_to_first_token);
+        latencies.push(busy + report.total_time);
         busy += report.total_time;
         total_tokens += request.output_tokens;
         peak = peak.max(report.peak_hbm_bytes);
     }
-    let tokens_per_sec = if busy == SimDuration::ZERO {
-        0.0
-    } else {
-        total_tokens as f64 / busy.as_secs_f64()
-    };
-    Ok(ServeStats { request_latencies: latencies, total_tokens, tokens_per_sec, peak_hbm_bytes: peak })
+    let tokens_per_sec =
+        if busy == SimDuration::ZERO { 0.0 } else { total_tokens as f64 / busy.as_secs_f64() };
+    Ok(ServeStats {
+        request_latencies: latencies,
+        queueing_delays,
+        ttfts,
+        total_tokens,
+        tokens_per_sec,
+        peak_hbm_bytes: peak,
+    })
 }
 
 #[cfg(test)]
@@ -184,5 +252,76 @@ mod tests {
         )
         .unwrap();
         let _ = stats.latency_quantile(0.5);
+    }
+
+    /// A hand-built stats value with known latencies, for quantile edge
+    /// cases that should not depend on the simulator.
+    fn fixed_stats(lats_us: &[u64]) -> ServeStats {
+        let lats: Vec<SimDuration> = lats_us.iter().map(|&u| SimDuration::from_micros(u)).collect();
+        ServeStats {
+            queueing_delays: vec![SimDuration::ZERO; lats.len()],
+            ttfts: lats.clone(),
+            request_latencies: lats,
+            total_tokens: lats_us.len(),
+            tokens_per_sec: 1.0,
+            peak_hbm_bytes: 1,
+        }
+    }
+
+    #[test]
+    fn quantile_edges_are_min_and_max() {
+        let stats = fixed_stats(&[40, 10, 30, 20]);
+        assert_eq!(stats.latency_quantile(0.0), SimDuration::from_micros(10));
+        assert_eq!(stats.latency_quantile(1.0), SimDuration::from_micros(40));
+        assert_eq!(stats.p50(), SimDuration::from_micros(20));
+        assert!(stats.p50() <= stats.p95() && stats.p95() <= stats.p99());
+    }
+
+    #[test]
+    fn quantile_of_single_request_is_that_request() {
+        let stats = fixed_stats(&[17]);
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(stats.latency_quantile(q), SimDuration::from_micros(17));
+        }
+        assert_eq!(stats.mean_latency(), SimDuration::from_micros(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_above_one_panics() {
+        let _ = fixed_stats(&[1]).latency_quantile(1.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn negative_quantile_panics() {
+        let _ = fixed_stats(&[1]).latency_quantile(-0.01);
+    }
+
+    #[test]
+    fn closed_loop_queueing_and_ttft_accounting() {
+        // Deterministic trace: three identical requests queued at time zero.
+        // Queueing delays must be the cumulative service times, TTFT must
+        // sit strictly between queueing delay and completion, and the
+        // accounting identity latency = queue + service must hold.
+        let requests = vec![DecodeRequest { input_tokens: 16, output_tokens: 3, batch_size: 1 }; 3];
+        let stats = serve_stream(
+            ModelConfig::switch_base(8),
+            SimOptions::new(OffloadPolicy::Pregated),
+            requests,
+        )
+        .unwrap();
+        assert_eq!(stats.queueing_delays[0], SimDuration::ZERO);
+        let services: Vec<SimDuration> = (0..3)
+            .map(|i| stats.request_latencies[i].saturating_sub(stats.queueing_delays[i]))
+            .collect();
+        assert_eq!(stats.queueing_delays[1], services[0]);
+        assert_eq!(stats.queueing_delays[2], services[0] + services[1]);
+        for i in 0..3 {
+            assert!(stats.ttfts[i] > stats.queueing_delays[i], "TTFT covers queueing at {i}");
+            assert!(stats.ttfts[i] < stats.request_latencies[i], "TTFT precedes completion at {i}");
+        }
+        assert!(stats.mean_queueing_delay() < stats.mean_ttft());
+        assert_eq!(stats.ttft_quantile(0.0), stats.ttfts[0]);
     }
 }

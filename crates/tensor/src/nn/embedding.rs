@@ -27,7 +27,10 @@ pub struct Embedding {
 impl Embedding {
     /// Creates a table with `N(0, 0.02²)` entries (GPT-style init).
     pub fn new(vocab: usize, dim: usize, rng: &mut impl Rng) -> Self {
-        Embedding { table: Param::new(init::normal([vocab, dim], 0.0, 0.02, rng)), cached_ids: None }
+        Embedding {
+            table: Param::new(init::normal([vocab, dim], 0.0, 0.02, rng)),
+            cached_ids: None,
+        }
     }
 
     /// Vocabulary size.

@@ -49,11 +49,7 @@ impl Linear {
         if let Some(b) = &bias {
             assert_eq!(b.len(), out, "Linear bias width mismatch");
         }
-        Linear {
-            weight: Param::new(weight),
-            bias: bias.map(Param::new),
-            cached_input: None,
-        }
+        Linear { weight: Param::new(weight), bias: bias.map(Param::new), cached_input: None }
     }
 
     /// Input width.

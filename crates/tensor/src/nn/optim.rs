@@ -59,7 +59,15 @@ impl Adam {
     /// Creates an Adam optimizer with the given learning rate and standard
     /// betas (0.9, 0.999).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip_norm: Some(1.0), t: 0, state: HashMap::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: Some(1.0),
+            t: 0,
+            state: HashMap::new(),
+        }
     }
 
     /// Creates the paper's fine-tuning configuration (constant lr = 1e-4).

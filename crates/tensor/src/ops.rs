@@ -28,7 +28,7 @@ pub fn gelu(x: &Tensor) -> Tensor {
 }
 
 fn gelu_scalar(v: f32) -> f32 {
-    const C: f32 = 0.797_884_56; // sqrt(2/pi)
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh())
 }
 
@@ -39,7 +39,7 @@ fn gelu_scalar(v: f32) -> f32 {
 /// Panics if `x` and `dy` shapes differ.
 pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
     x.zip(dy, |v, d| {
-        const C: f32 = 0.797_884_56;
+        const C: f32 = 0.797_884_6;
         let inner = C * (v + 0.044715 * v * v * v);
         let t = inner.tanh();
         let dinner = C * (1.0 + 3.0 * 0.044715 * v * v);

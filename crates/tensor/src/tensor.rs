@@ -496,7 +496,10 @@ impl Tensor {
         }
         let mut idx: Vec<usize> = (0..self.data.len()).collect();
         idx.sort_by(|&a, &b| {
-            self.data[b].partial_cmp(&self.data[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            self.data[b]
+                .partial_cmp(&self.data[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
         idx.truncate(k);
         Ok(idx)

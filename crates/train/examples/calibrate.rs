@@ -11,7 +11,15 @@ fn main() {
     }
     println!("== Table 2 sample (WebQA-like, Base-8) ==");
     for c in table2(&cfg, &[ModelScale::BASE_8], &[TaskKind::WebQaLike, TaskKind::XsumLike]) {
-        println!("{:?} {:?}: EM {:.1} F1 {:.1} R1 {:.1} R2 {:.1} agree {:.2}",
-            c.task, c.mode, c.scores.exact_match, c.scores.f1, c.scores.rouge1, c.scores.rouge2, c.routing_agreement);
+        println!(
+            "{:?} {:?}: EM {:.1} F1 {:.1} R1 {:.1} R2 {:.1} agree {:.2}",
+            c.task,
+            c.mode,
+            c.scores.exact_match,
+            c.scores.f1,
+            c.scores.rouge1,
+            c.scores.rouge2,
+            c.routing_agreement
+        );
     }
 }

@@ -61,8 +61,8 @@ pub fn table2(cfg: &TrainerConfig, scales: &[ModelScale], tasks: &[TaskKind]) ->
     for &scale in scales {
         for &task_kind in tasks {
             let task = TaskSpec::new(task_kind, 4, cfg.seed ^ task_seed(task_kind));
-            let mut trainer = Trainer::new(task, scale.num_experts, cfg.clone())
-                .with_net_config(|c| {
+            let mut trainer =
+                Trainer::new(task, scale.num_experts, cfg.clone()).with_net_config(|c| {
                     c.num_blocks = scale.num_blocks;
                     c.d_model = scale.d_model;
                     c.d_ff = 2 * scale.d_model;

@@ -155,7 +155,12 @@ impl Trainer {
                 };
                 let scores = self.evaluate(&net);
                 let routing_agreement = self.routing_agreement(&baseline.0, &net);
-                FinetuneOutcome { mode, scores, final_loss: net_loss(final_loss), routing_agreement }
+                FinetuneOutcome {
+                    mode,
+                    scores,
+                    final_loss: net_loss(final_loss),
+                    routing_agreement,
+                }
             })
             .collect()
     }
@@ -277,8 +282,7 @@ mod tests {
     fn finetuned_variants_share_pretrained_history() {
         let task = TaskSpec::new(TaskKind::WebQaLike, 2, 12);
         let mut trainer = Trainer::new(task, 4, TrainerConfig::smoke());
-        let outcomes =
-            trainer.run(&[GatingMode::Conventional, GatingMode::Pregated { level: 1 }]);
+        let outcomes = trainer.run(&[GatingMode::Conventional, GatingMode::Pregated { level: 1 }]);
         assert_eq!(outcomes.len(), 2);
         for o in &outcomes {
             assert!(o.final_loss.is_finite());

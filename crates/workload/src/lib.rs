@@ -13,8 +13,9 @@
 //!   signal to predict (Table II, Fig 13).
 //! * [`routing`] — expert-selection traces with uniform, Zipf-skewed (hot
 //!   experts, Fig 15's caching study) or domain-conditioned statistics.
-//! * [`requests`] — batch-1 decode request streams, the paper's serving
-//!   point (Section VI-A).
+//! * [`requests`] — decode request streams (batch-1 is the paper's serving
+//!   point, Section VI-A) and open-loop arrival processes (Poisson/bursty)
+//!   for the continuous-batching serving experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +24,6 @@ pub mod requests;
 pub mod routing;
 pub mod task;
 
-pub use requests::{DecodeRequest, RequestStream};
+pub use requests::{ArrivalProcess, ArrivalStream, ArrivedRequest, DecodeRequest, RequestStream};
 pub use routing::{RoutingKind, RoutingTrace};
 pub use task::{Example, TaskKind, TaskSpec};

@@ -63,6 +63,137 @@ impl Iterator for RequestStream {
     }
 }
 
+/// A request stamped with its (simulated) arrival time, for open-loop
+/// serving experiments where requests arrive while earlier ones are still
+/// decoding.
+///
+/// Arrival times are plain nanoseconds so this crate stays independent of
+/// the device simulator's clock types; the runtime converts them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivedRequest {
+    /// Arrival instant, in nanoseconds since the start of the experiment.
+    pub arrival_ns: u64,
+    /// The request itself.
+    pub request: DecodeRequest,
+}
+
+impl ArrivedRequest {
+    /// A request arriving at `arrival_ns` — handy for deterministic traces
+    /// in tests.
+    pub fn at_nanos(arrival_ns: u64, request: DecodeRequest) -> Self {
+        ArrivedRequest { arrival_ns, request }
+    }
+}
+
+/// Statistical family of an arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential inter-arrival gaps with the given
+    /// mean rate — the standard open-loop load model for serving systems.
+    Poisson {
+        /// Mean arrival rate in requests per second.
+        rate_per_sec: f64,
+    },
+    /// Bursty arrivals: groups of `burst` requests arrive together, with
+    /// exponential gaps between groups scaled so the *mean* rate still
+    /// equals `rate_per_sec` — stresses queueing and admission much harder
+    /// than Poisson at the same average load.
+    Bursty {
+        /// Mean arrival rate in requests per second (across bursts).
+        rate_per_sec: f64,
+        /// Requests per burst (>= 1).
+        burst: usize,
+    },
+    /// Deterministic arrivals with a fixed inter-arrival gap.
+    Uniform {
+        /// Gap between consecutive arrivals, nanoseconds.
+        interval_ns: u64,
+    },
+}
+
+/// A seeded open-loop arrival stream: request shapes from a
+/// [`RequestStream`], arrival instants from an [`ArrivalProcess`].
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_workload::{ArrivalProcess, ArrivalStream, DecodeRequest};
+///
+/// let stream = ArrivalStream::new(
+///     ArrivalProcess::Poisson { rate_per_sec: 10.0 },
+///     DecodeRequest { input_tokens: 16, output_tokens: 4, batch_size: 1 },
+///     1,
+///     42,
+/// );
+/// let arrivals: Vec<_> = stream.take(8).collect();
+/// assert!(arrivals.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    process: ArrivalProcess,
+    requests: RequestStream,
+    rng: StdRng,
+    clock_ns: u64,
+    burst_left: usize,
+}
+
+impl ArrivalStream {
+    /// Creates a stream around `base`, jittering output length by ±`jitter`
+    /// (see [`RequestStream::new`]) and drawing arrival gaps per `process`.
+    pub fn new(process: ArrivalProcess, base: DecodeRequest, jitter: usize, seed: u64) -> Self {
+        match process {
+            ArrivalProcess::Poisson { rate_per_sec }
+            | ArrivalProcess::Bursty { rate_per_sec, .. } => {
+                assert!(rate_per_sec > 0.0, "arrival rate must be positive");
+            }
+            ArrivalProcess::Uniform { .. } => {}
+        }
+        if let ArrivalProcess::Bursty { burst, .. } = process {
+            assert!(burst >= 1, "burst size must be >= 1");
+        }
+        ArrivalStream {
+            process,
+            requests: RequestStream::new(base, jitter, seed ^ 0xA5A5_5A5A),
+            rng: StdRng::seed_from_u64(seed),
+            clock_ns: 0,
+            burst_left: 0,
+        }
+    }
+
+    /// One exponential gap with the given mean rate, in nanoseconds.
+    fn exp_gap_ns(&mut self, rate_per_sec: f64) -> u64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        ((-u.ln() / rate_per_sec) * 1e9).round() as u64
+    }
+}
+
+impl Iterator for ArrivalStream {
+    type Item = ArrivedRequest;
+
+    fn next(&mut self) -> Option<ArrivedRequest> {
+        match self.process {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                self.clock_ns += self.exp_gap_ns(rate_per_sec);
+            }
+            ArrivalProcess::Uniform { interval_ns } => {
+                self.clock_ns += interval_ns;
+            }
+            ArrivalProcess::Bursty { rate_per_sec, burst } => {
+                if self.burst_left == 0 {
+                    // Gaps separate whole bursts: mean gap = burst/rate keeps
+                    // the long-run request rate at `rate_per_sec`.
+                    let burst_rate = rate_per_sec / burst as f64;
+                    self.clock_ns += self.exp_gap_ns(burst_rate);
+                    self.burst_left = burst;
+                }
+                self.burst_left -= 1;
+            }
+        }
+        let request = self.requests.next()?;
+        Some(ArrivedRequest { arrival_ns: self.clock_ns, request })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +217,78 @@ mod tests {
     fn zero_jitter_is_constant() {
         let stream = RequestStream::new(DecodeRequest::paper_default(), 0, 1);
         assert!(stream.take(10).all(|r| r.output_tokens == 64));
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let rate = 100.0; // 10 ms mean gap
+        let n = 4_000;
+        let stream = ArrivalStream::new(
+            ArrivalProcess::Poisson { rate_per_sec: rate },
+            DecodeRequest::paper_default(),
+            0,
+            7,
+        );
+        let arrivals: Vec<_> = stream.take(n).collect();
+        let span_s = arrivals.last().unwrap().arrival_ns as f64 / 1e9;
+        let measured = n as f64 / span_s;
+        assert!((measured / rate - 1.0).abs() < 0.1, "measured rate {measured} vs {rate}");
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_deterministic() {
+        let mk = || {
+            ArrivalStream::new(
+                ArrivalProcess::Poisson { rate_per_sec: 50.0 },
+                DecodeRequest::paper_default(),
+                4,
+                9,
+            )
+            .take(64)
+            .collect::<Vec<_>>()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+    }
+
+    #[test]
+    fn bursty_clusters_arrivals_at_equal_mean_rate() {
+        let rate = 200.0;
+        let n = 4_000;
+        let burst = 8;
+        let arrivals: Vec<_> = ArrivalStream::new(
+            ArrivalProcess::Bursty { rate_per_sec: rate, burst },
+            DecodeRequest::paper_default(),
+            0,
+            13,
+        )
+        .take(n)
+        .collect();
+        // Mean rate preserved.
+        let span_s = arrivals.last().unwrap().arrival_ns as f64 / 1e9;
+        let measured = n as f64 / span_s;
+        assert!((measured / rate - 1.0).abs() < 0.15, "measured rate {measured} vs {rate}");
+        // Bursts: most consecutive gaps are zero.
+        let zero_gaps = arrivals.windows(2).filter(|w| w[1].arrival_ns == w[0].arrival_ns).count();
+        assert!(
+            zero_gaps >= n * (burst - 1) / burst - 1,
+            "expected clustered arrivals, saw {zero_gaps} zero gaps"
+        );
+    }
+
+    #[test]
+    fn uniform_interval_is_exact() {
+        let arrivals: Vec<_> = ArrivalStream::new(
+            ArrivalProcess::Uniform { interval_ns: 1_000 },
+            DecodeRequest::paper_default(),
+            0,
+            1,
+        )
+        .take(5)
+        .collect();
+        let times: Vec<u64> = arrivals.iter().map(|a| a.arrival_ns).collect();
+        assert_eq!(times, vec![1_000, 2_000, 3_000, 4_000, 5_000]);
     }
 }

@@ -252,7 +252,8 @@ mod tests {
 
     #[test]
     fn sticky_routing_reuses_previous_experts() {
-        let t = RoutingTrace::generate(200, 2, 32, 1, RoutingKind::DomainSticky { stickiness: 0.9 }, 5);
+        let t =
+            RoutingTrace::generate(200, 2, 32, 1, RoutingKind::DomainSticky { stickiness: 0.9 }, 5);
         let mut reused = 0;
         for token in 1..200 {
             if t.experts(token, 0) == t.experts(token - 1, 0) {

@@ -241,9 +241,7 @@ impl TaskSpec {
             self.content_token(d, rotated)
         };
         let target: Vec<usize> = match self.kind {
-            TaskKind::SquadLike => {
-                (0..self.answer_len).map(|i| answer_tok(probe_val, i)).collect()
-            }
+            TaskKind::SquadLike => (0..self.answer_len).map(|i| answer_tok(probe_val, i)).collect(),
             _ => (0..self.answer_len).map(|i| answer_tok(probe_val, i + 1)).collect(),
         };
         Example { input, target, domain: d }

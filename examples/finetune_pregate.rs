@@ -6,14 +6,13 @@
 //! cargo run --release --example finetune_pregate
 //! ```
 
-use pregated_moe::prelude::*;
 use pregated_moe::model::GatingMode;
+use pregated_moe::prelude::*;
 
 fn main() {
     let task = TaskSpec::new(TaskKind::WebQaLike, 4, 42);
     println!(
-        "task: {} ({} domains, vocab {}, seq {})",
-        "CB-WebQA-like key-value recall",
+        "task: CB-WebQA-like key-value recall ({} domains, vocab {}, seq {})",
         task.num_domains(),
         task.vocab_size(),
         task.seq_len()
@@ -33,7 +32,10 @@ fn main() {
         GatingMode::Pregated { level: 2 },
     ]);
 
-    println!("{:<26} {:>8} {:>8} {:>12} {:>14}", "variant", "EM", "F1", "final loss", "route agree");
+    println!(
+        "{:<26} {:>8} {:>8} {:>12} {:>14}",
+        "variant", "EM", "F1", "final loss", "route agree"
+    );
     for o in &outcomes {
         let name = match o.mode {
             GatingMode::Conventional => "Conventional MoE".to_string(),

@@ -40,9 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(throughput normalized to Pre-gated MoE without cache, as in Fig 15)");
     let model = ModelConfig::switch_large_128();
     let hot = RoutingKind::Zipf { s: 1.2 };
-    let base = InferenceSim::new(model.clone(), SimOptions::new(OffloadPolicy::Pregated).with_routing(hot))
-        .run(request, 1)?
-        .tokens_per_sec;
+    let base = InferenceSim::new(
+        model.clone(),
+        SimOptions::new(OffloadPolicy::Pregated).with_routing(hot),
+    )
+    .run(request, 1)?
+    .tokens_per_sec;
     for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand] {
         let none = InferenceSim::new(model.clone(), SimOptions::new(policy).with_routing(hot))
             .run(request, 1)?;

@@ -44,11 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Execution timeline of the final decode iteration (Fig 9): F = expert
     // fetch on the copy stream, A/G/E = attention/gate/expert on compute.
     println!("\n=== Pre-gated MoE execution timeline (final decode iteration) ===");
-    let traced = InferenceSim::new(
-        model.clone(),
-        SimOptions::new(OffloadPolicy::Pregated).with_timeline(),
-    )
-    .run(DecodeRequest { output_tokens: 2, ..request }, 1)?;
+    let traced =
+        InferenceSim::new(model.clone(), SimOptions::new(OffloadPolicy::Pregated).with_timeline())
+            .run(DecodeRequest { output_tokens: 2, ..request }, 1)?;
     print!("{}", traced.timeline.expect("timeline requested"));
     println!("\n=== MoE-OnDemand timeline (same iteration) — note serialized fetches ===");
     let traced = InferenceSim::new(model, SimOptions::new(OffloadPolicy::OnDemand).with_timeline())

@@ -1,1 +1,19 @@
+//! Workspace facade for the Pre-gated MoE (ISCA 2024) reproduction.
+//!
+//! Re-exports the [`pregated_moe`] crate (and aliases it as `pgmoe`) so the
+//! root examples and integration tests can use either spelling:
+//!
+//! ```
+//! use pregated_moe_repro::pgmoe::prelude::*;
+//!
+//! let report = InferenceSim::new(
+//!     ModelConfig::switch_base(8),
+//!     SimOptions::new(OffloadPolicy::Pregated),
+//! )
+//! .run(DecodeRequest { input_tokens: 16, output_tokens: 2, batch_size: 1 }, 1)?;
+//! assert!(report.tokens_per_sec > 0.0);
+//! # Ok::<(), pregated_moe_repro::pgmoe::runtime::RuntimeError>(())
+//! ```
+
+pub use pregated_moe;
 pub use pregated_moe as pgmoe;

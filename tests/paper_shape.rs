@@ -78,9 +78,11 @@ fn fig11_throughput_bands() {
 fn fig12_peak_memory_bands() {
     for experts in [8usize, 64, 128, 256] {
         let cfg = ModelConfig::switch_base(experts);
-        let gpu = report(cfg.clone(), SimOptions::new(OffloadPolicy::GpuOnly)).peak_hbm_bytes as f64;
+        let gpu =
+            report(cfg.clone(), SimOptions::new(OffloadPolicy::GpuOnly)).peak_hbm_bytes as f64;
         let pg = report(cfg.clone(), SimOptions::new(OffloadPolicy::Pregated));
-        let od = report(cfg.clone(), SimOptions::new(OffloadPolicy::OnDemand)).peak_hbm_bytes as f64;
+        let od =
+            report(cfg.clone(), SimOptions::new(OffloadPolicy::OnDemand)).peak_hbm_bytes as f64;
         let pf = report(cfg, SimOptions::new(OffloadPolicy::PrefetchAll)).peak_hbm_bytes as f64;
         let pg_peak = pg.peak_hbm_bytes as f64;
         assert!(pg_peak < gpu, "{experts}: Pre-gated must beat GPU-only");
@@ -91,7 +93,11 @@ fn fig12_peak_memory_bands() {
         let rel = (pg_peak - pg.predicted_peak_bytes as f64).abs() / pg.predicted_peak_bytes as f64;
         assert!(rel < 0.05, "{experts}: Eq.1 mismatch {rel}");
         if experts >= 128 {
-            assert!(pg_peak / gpu < 0.10, "{experts}: saving should be large, got {}", pg_peak / gpu);
+            assert!(
+                pg_peak / gpu < 0.10,
+                "{experts}: saving should be large, got {}",
+                pg_peak / gpu
+            );
         }
     }
 }
@@ -101,9 +107,8 @@ fn fig12_peak_memory_bands() {
 #[test]
 fn fig14_active_expert_sweep_shape() {
     let cfg = ModelConfig::switch_base(64);
-    let run = |policy, k| {
-        mean_us(&report(cfg.clone(), SimOptions::new(policy).with_active_experts(k)))
-    };
+    let run =
+        |policy, k| mean_us(&report(cfg.clone(), SimOptions::new(policy).with_active_experts(k)));
     let mut last_gap = f64::INFINITY;
     for k in [1usize, 4, 16, 64] {
         let gpu = run(OffloadPolicy::GpuOnly, k);
@@ -129,8 +134,9 @@ fn fig16_ssd_offload_shape() {
             .tokens_per_sec;
         let od = report(cfg.clone(), SimOptions::new(OffloadPolicy::OnDemand).with_ssd_offload())
             .tokens_per_sec;
-        let pf = report(cfg.clone(), SimOptions::new(OffloadPolicy::PrefetchAll).with_ssd_offload())
-            .tokens_per_sec;
+        let pf =
+            report(cfg.clone(), SimOptions::new(OffloadPolicy::PrefetchAll).with_ssd_offload())
+                .tokens_per_sec;
         assert!(pg > od, "{}: Pre-gated still wins on SSD", cfg.name);
         assert!(od / pg > 0.7, "{}: gap narrows on SSD (od/pg {})", cfg.name, od / pg);
         assert!(pf / pg < 0.05, "{}: Prefetch collapses on SSD ({})", cfg.name, pf / pg);

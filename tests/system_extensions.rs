@@ -43,8 +43,10 @@ fn checkpoint_transfers_pretrained_weights_across_topologies() {
     save_params(&mut teacher, &mut buf).unwrap();
 
     let mut rng2 = StdRng::seed_from_u64(99);
-    let mut student =
-        SwitchNet::new(SwitchNetConfig { mode: GatingMode::Pregated { level: 1 }, ..cfg }, &mut rng2);
+    let mut student = SwitchNet::new(
+        SwitchNetConfig { mode: GatingMode::Pregated { level: 1 }, ..cfg },
+        &mut rng2,
+    );
     load_params(&mut student, &mut buf.as_slice()).unwrap();
 
     let mut a = Vec::new();

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` derive macros (no-ops) and marker
+//! traits with blanket impls, so `#[derive(serde::Serialize)]` annotations
+//! compile without the real crates-io dependency. Swap for real serde when
+//! the build environment gains network access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
