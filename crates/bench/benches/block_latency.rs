@@ -46,5 +46,35 @@ fn bench_block_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_block_latency);
+/// Host-side cost of the continuous-batching scheduler itself — the loop
+/// the zero-allocation IterScratch refactor targets. The simulated QoS
+/// output is deterministic; what this tracks is wall-clock per serve call.
+fn bench_scheduler_host_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_host");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let request = DecodeRequest { input_tokens: 16, output_tokens: 8, batch_size: 1 };
+    let arrivals: Vec<ArrivedRequest> =
+        ArrivalStream::new(ArrivalProcess::Poisson { rate_per_sec: 50.0 }, request, 4, 11)
+            .take(24)
+            .collect();
+    for policy in [OffloadPolicy::Pregated, OffloadPolicy::OnDemand] {
+        group.bench_function(BenchmarkId::new("serve_24req_batch8", policy.paper_name()), |b| {
+            b.iter(|| {
+                serve_batched(
+                    ModelConfig::switch_base(64),
+                    SimOptions::new(policy),
+                    BatchConfig::new(8),
+                    arrivals.clone(),
+                )
+                .expect("serve")
+                .tokens_per_sec
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_latency, bench_scheduler_host_overhead);
 criterion_main!(benches);

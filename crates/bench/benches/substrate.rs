@@ -1,13 +1,26 @@
-//! Substrate micro-benchmarks: tensor algebra, DES engine, expert cache,
-//! routing-trace generation — the building blocks every figure rests on.
+//! Substrate micro-benchmarks: tensor algebra, the GEMM kernel layer, DES
+//! engine, expert cache, routing-trace generation — the building blocks
+//! every figure rests on.
+//!
+//! The `gemm_512` group doubles as the repo's **perf regression gate**: it
+//! times the seed ikj loop against the blocked serial and blocked-parallel
+//! kernels on a 512×512×512 case, writes the numbers to
+//! `BENCH_substrate.json` (the committed baseline PR 3+ measures against),
+//! and hard-asserts the speedup floors: blocked ≥ 1.5x on one thread
+//! everywhere; on machines with ≥ 2 hardware threads, ≥ 2x regardless of
+//! the configured thread count (regression floor), and ≥ 4x when ≥ 2
+//! threads are configured (acceptance bar). CI runs this bench with
+//! `PGMOE_THREADS=2`, so a kernel regression fails loud.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pregated_moe::device::{SimDuration, SimEngine};
 use pregated_moe::prelude::*;
 use pregated_moe::runtime::{ExpertCache, ExpertKey};
+use pregated_moe::tensor::{kernel, WorkerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_tensor(c: &mut Criterion) {
     let mut group = c.benchmark_group("tensor");
@@ -24,6 +37,137 @@ fn bench_tensor(c: &mut Criterion) {
     let x = pregated_moe::tensor::init::normal([64, 256], 0.0, 1.0, &mut rng);
     group.bench_function("softmax_rows_64x256", |b| b.iter(|| black_box(x.softmax_rows())));
     group.finish();
+}
+
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(400));
+    let mut rng = StdRng::seed_from_u64(3);
+    for n in [128usize, 256] {
+        let a = pregated_moe::tensor::init::normal([n, n], 0.0, 1.0, &mut rng).into_vec();
+        let b = pregated_moe::tensor::init::normal([n, n], 0.0, 1.0, &mut rng).into_vec();
+        let mut out = vec![0.0f32; n * n];
+        group.bench_with_input(BenchmarkId::new("seed_ikj", n), &n, |bench, &n| {
+            bench.iter(|| kernel::matmul_skip_zeros_into(black_box(&mut out), &a, &b, n, n, n))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_serial", n), &n, |bench, &n| {
+            bench.iter(|| kernel::matmul_serial_into(black_box(&mut out), &a, &b, n, n, n))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_parallel", n), &n, |bench, &n| {
+            bench.iter(|| kernel::matmul_into(black_box(&mut out), &a, &b, n, n, n))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_nt", n), &n, |bench, &n| {
+            bench.iter(|| kernel::matmul_nt_into(black_box(&mut out), &a, &b, n, n, n))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_tn", n), &n, |bench, &n| {
+            bench.iter(|| kernel::matmul_tn_into(black_box(&mut out), &a, &b, n, n, n))
+        });
+    }
+    group.finish();
+}
+
+/// Best-of-N wall time of `f`, in milliseconds (the minimum is the
+/// standard low-noise estimator for microbenchmarks on shared machines).
+fn time_best_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The 512³ baseline + perf self-assertion (see the module docs). Not a
+/// statistical benchmark: best-of-5 wall times, a JSON artifact, and a
+/// hard floor on the speedup over the seed loop.
+fn bench_gemm_512_baseline(_c: &mut Criterion) {
+    const N: usize = 512;
+    let threads = WorkerPool::global().num_threads();
+    let hw_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = pregated_moe::tensor::init::normal([N, N], 0.0, 1.0, &mut rng).into_vec();
+    let b = pregated_moe::tensor::init::normal([N, N], 0.0, 1.0, &mut rng).into_vec();
+    let mut out_naive = vec![0.0f32; N * N];
+    let mut out_serial = vec![0.0f32; N * N];
+    let mut out_parallel = vec![0.0f32; N * N];
+
+    let naive_ms = time_best_ms(5, || {
+        kernel::matmul_skip_zeros_into(black_box(&mut out_naive), &a, &b, N, N, N)
+    });
+    let serial_ms =
+        time_best_ms(5, || kernel::matmul_serial_into(black_box(&mut out_serial), &a, &b, N, N, N));
+    let parallel_ms =
+        time_best_ms(5, || kernel::matmul_into(black_box(&mut out_parallel), &a, &b, N, N, N));
+
+    // The three paths must agree before their timings mean anything.
+    for (x, y) in out_naive.iter().zip(&out_serial) {
+        assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()), "serial kernel diverged: {x} vs {y}");
+    }
+    assert!(
+        out_serial.iter().zip(&out_parallel).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "parallel kernel must be bitwise identical to serial"
+    );
+
+    let speedup_serial = naive_ms / serial_ms;
+    let speedup_parallel = naive_ms / parallel_ms;
+    println!(
+        "bench gemm_512/seed_ikj                                  {naive_ms:>10.2} ms  (baseline)"
+    );
+    println!(
+        "bench gemm_512/blocked_serial                            {serial_ms:>10.2} ms  ({speedup_serial:.2}x)"
+    );
+    println!(
+        "bench gemm_512/blocked_parallel[{threads} thr]                    {parallel_ms:>10.2} ms  ({speedup_parallel:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"substrate/gemm_512\",\n  \"m\": {N},\n  \"k\": {N},\n  \"n\": {N},\n  \
+         \"threads\": {threads},\n  \"hardware_threads\": {hw_threads},\n  \
+         \"seed_ikj_ms\": {naive_ms:.3},\n  \"blocked_serial_ms\": {serial_ms:.3},\n  \
+         \"blocked_parallel_ms\": {parallel_ms:.3},\n  \
+         \"speedup_blocked_serial\": {speedup_serial:.3},\n  \
+         \"speedup_blocked_parallel\": {speedup_parallel:.3}\n}}\n"
+    );
+    // Default to the workspace root (cargo runs benches from the package
+    // dir) so the committed baseline lives at `/BENCH_substrate.json`.
+    let path = std::env::var("PGMOE_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json").into()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("bench gemm_512: baseline written to {path}"),
+        Err(err) => println!("bench gemm_512: could not write {path}: {err}"),
+    }
+
+    // Perf self-assertions: regressions in the kernel layer fail loud.
+    // The single-thread floor holds everywhere; the parallel floors only
+    // apply when the configured threads are backed by real cores
+    // (oversubscribing one core makes any parallel kernel slower, which is
+    // not a kernel regression).
+    assert!(
+        speedup_serial >= 1.5,
+        "blocked GEMM must be >= 1.5x the seed ikj loop on one thread \
+         (got {speedup_serial:.2}x: naive {naive_ms:.2} ms vs {serial_ms:.2} ms)"
+    );
+    if hw_threads >= 2 {
+        // Regression floor: binding even when PGMOE_THREADS=1 pins the
+        // dispatch serial — the blocked kernel alone must clear 2x.
+        assert!(
+            speedup_parallel >= 2.0,
+            "blocked(-parallel) GEMM must be >= 2x the seed ikj loop on a multi-core \
+             machine (got {speedup_parallel:.2}x: naive {naive_ms:.2} ms vs {parallel_ms:.2} ms)"
+        );
+        if threads >= 2 {
+            // Acceptance bar: tiling + real parallelism together.
+            assert!(
+                speedup_parallel >= 4.0,
+                "blocked-parallel GEMM must be >= 4x the seed ikj loop on {threads} threads \
+                 with >= 2 hardware threads (got {speedup_parallel:.2}x)"
+            );
+        }
+    }
 }
 
 fn bench_engine(c: &mut Criterion) {
@@ -90,5 +234,13 @@ fn bench_routing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tensor, bench_engine, bench_cache, bench_routing);
+criterion_group!(
+    benches,
+    bench_tensor,
+    bench_gemm_kernels,
+    bench_gemm_512_baseline,
+    bench_engine,
+    bench_cache,
+    bench_routing
+);
 criterion_main!(benches);

@@ -88,6 +88,11 @@ impl SimEngine {
         self.trace_enabled = enabled;
     }
 
+    /// Whether trace spans are currently retained.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled
+    }
+
     /// Registers an exclusive resource (e.g. `"gpu"`, `"pcie-dma"`).
     pub fn add_resource(&mut self, name: &str) -> ResourceId {
         self.resources.push(ResourceState {

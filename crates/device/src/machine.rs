@@ -200,6 +200,12 @@ impl Machine {
         self.engine.set_trace_enabled(enabled);
     }
 
+    /// Whether trace spans are currently retained (hot paths use this to
+    /// skip building per-op label strings nobody will read).
+    pub fn trace_enabled(&self) -> bool {
+        self.engine.trace_enabled()
+    }
+
     /// Clears recorded trace spans.
     pub fn clear_trace(&mut self) {
         self.engine.clear_trace();

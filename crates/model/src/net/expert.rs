@@ -1,7 +1,7 @@
 //! A single expert: the two-matrix ReLU FFN of Switch/T5.
 
 use pgmoe_tensor::nn::{Layer, Linear, Param};
-use pgmoe_tensor::{ops, Tensor};
+use pgmoe_tensor::{ops, ScratchArena, Tensor};
 use rand::Rng;
 
 /// One expert FFN: `lin2(relu(lin1(x)))`, dimensions `d → ff → d`.
@@ -42,6 +42,17 @@ impl ExpertFfn {
     /// Inference-only forward (no caching).
     pub fn forward_inference(&self, x: &Tensor) -> Tensor {
         self.lin2.forward_inference(&ops::relu(&self.lin1.forward_inference(x)))
+    }
+
+    /// Inference forward through arena-recycled intermediates — the
+    /// allocation-free serving path. The caller recycles the returned
+    /// tensor when done.
+    pub fn forward_inference_arena(&self, x: &Tensor, arena: &ScratchArena) -> Tensor {
+        let mut pre = self.lin1.forward_inference_arena(x, arena);
+        pre.map_inplace(|v| v.max(0.0));
+        let y = self.lin2.forward_inference_arena(&pre, arena);
+        arena.recycle(pre);
+        y
     }
 
     /// Backward pass; accumulates grads, returns `dx`.

@@ -2,8 +2,9 @@
 
 use super::ExpertFfn;
 use pgmoe_tensor::nn::{Layer, Param};
-use pgmoe_tensor::Tensor;
+use pgmoe_tensor::{ScratchArena, Tensor};
 use rand::Rng;
+use std::cell::RefCell;
 
 /// A per-token top-1 routing decision, produced by a [`super::Router`].
 ///
@@ -49,6 +50,10 @@ impl RouteDecision {
 pub struct MoeFfn {
     experts: Vec<ExpertFfn>,
     cache: Option<MoeCache>,
+    /// Reusable per-expert token-index buffers for the inference path:
+    /// cleared (capacity kept) every call, so steady-state decode builds its
+    /// expert groups without allocating.
+    group_scratch: RefCell<Vec<Vec<usize>>>,
 }
 
 #[derive(Debug, Clone)]
@@ -65,6 +70,7 @@ impl MoeFfn {
         MoeFfn {
             experts: (0..num_experts).map(|_| ExpertFfn::new(d_model, d_ff, rng)).collect(),
             cache: None,
+            group_scratch: RefCell::new(vec![Vec::new(); num_experts]),
         }
     }
 
@@ -111,16 +117,51 @@ impl MoeFfn {
     }
 
     /// Inference-only forward (no caching).
+    ///
+    /// Tokens are grouped by expert and each expert runs **once** on its
+    /// whole token batch (the old path built a 1-row tensor per token).
     pub fn forward_inference(&self, h: &Tensor, decision: &RouteDecision) -> Tensor {
+        self.forward_inference_arena(h, decision, &ScratchArena::new())
+    }
+
+    /// Grouped inference through arena-recycled buffers — the
+    /// allocation-free serving path. The caller recycles the returned
+    /// tensor when done.
+    pub fn forward_inference_arena(
+        &self,
+        h: &Tensor,
+        decision: &RouteDecision,
+        arena: &ScratchArena,
+    ) -> Tensor {
         assert_eq!(decision.num_tokens(), h.rows(), "decision/token mismatch");
-        let mut out = Tensor::zeros([h.rows(), h.cols()]);
-        for t in 0..h.rows() {
-            let e = decision.expert[t];
-            let row = Tensor::from_vec([1, h.cols()], h.row(t).to_vec()).expect("row tensor");
-            let y = self.experts[e].forward_inference(&row);
-            for (o, &v) in out.row_mut(t).iter_mut().zip(y.row(0)) {
-                *o = v * decision.prob[t];
+        let cols = h.cols();
+        let mut groups = self.group_scratch.borrow_mut();
+        debug_assert_eq!(groups.len(), self.experts.len());
+        for g in groups.iter_mut() {
+            g.clear();
+        }
+        for (t, &e) in decision.expert.iter().enumerate() {
+            assert!(e < self.experts.len(), "expert {e} out of range");
+            groups[e].push(t);
+        }
+        let mut out = arena.take([h.rows(), cols]);
+        for (e, idxs) in groups.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
             }
+            let mut sub = arena.take([idxs.len(), cols]);
+            for (row, &t) in idxs.iter().enumerate() {
+                sub.row_mut(row).copy_from_slice(h.row(t));
+            }
+            let y = self.experts[e].forward_inference_arena(&sub, arena);
+            for (row, &t) in idxs.iter().enumerate() {
+                let p = decision.prob[t];
+                for (o, &v) in out.row_mut(t).iter_mut().zip(y.row(row)) {
+                    *o = v * p;
+                }
+            }
+            arena.recycle(sub);
+            arena.recycle(y);
         }
         out
     }

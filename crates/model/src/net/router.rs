@@ -36,16 +36,20 @@ impl Router {
     ///
     /// Caches activations for [`Router::backward`].
     pub fn route(&mut self, h: &Tensor) -> RouteDecision {
-        let logits = self.linear.forward(h);
-        let probs = logits.softmax_rows();
+        let mut probs = self.linear.forward(h);
+        probs.softmax_rows_inplace();
         let decision = RouteDecision::from_probs(probs);
         self.cached = Some(decision.clone());
         decision
     }
 
-    /// Inference-only routing (no caching).
+    /// Inference-only routing (no caching). The softmax runs in place on
+    /// the logits buffer; the only allocation is the returned decision,
+    /// which owns its probability matrix.
     pub fn route_inference(&self, h: &Tensor) -> RouteDecision {
-        RouteDecision::from_probs(self.linear.forward_inference(h).softmax_rows())
+        let mut probs = self.linear.forward_inference(h);
+        probs.softmax_rows_inplace();
+        RouteDecision::from_probs(probs)
     }
 
     /// Backward pass given the upstream gradient on each token's selected

@@ -3,7 +3,7 @@
 use super::{MoeFfn, RouteDecision, Router};
 use crate::{GateTopology, GatingMode};
 use pgmoe_tensor::nn::{CausalSelfAttention, Embedding, Layer, LayerNorm, Linear, Param};
-use pgmoe_tensor::{init, Tensor};
+use pgmoe_tensor::{init, ScratchArena, Tensor};
 use rand::Rng;
 
 /// Configuration of a trainable scaled-down Switch transformer.
@@ -151,23 +151,49 @@ impl SwitchNet {
     /// used for routing-fidelity diagnostics and functional validation of
     /// the runtime.
     pub fn forward_inference_traced(&self, tokens: &[usize]) -> (Tensor, Vec<RouteDecision>) {
+        self.forward_inference_arena(tokens, &ScratchArena::new())
+    }
+
+    /// Inference forward through arena-recycled intermediates — the
+    /// allocation-free decode path. After a warm-up pass, repeated calls
+    /// with the same `arena` allocate only the routing decisions they
+    /// return. The caller may recycle the returned logits tensor.
+    pub fn forward_inference_arena(
+        &self,
+        tokens: &[usize],
+        arena: &ScratchArena,
+    ) -> (Tensor, Vec<RouteDecision>) {
         assert_eq!(tokens.len(), self.cfg.seq_len, "sequence length mismatch");
-        let mut x = self.tok_emb.table.value.gather_rows(tokens).add(&self.pos_emb.value);
+        let table = &self.tok_emb.table.value;
+        let mut x = arena.take([self.cfg.seq_len, self.cfg.d_model]);
+        for (t, &tok) in tokens.iter().enumerate() {
+            x.row_mut(t).copy_from_slice(table.row(tok));
+        }
+        x.add_scaled_inplace(&self.pos_emb.value, 1.0);
         let mut pending: Vec<Option<RouteDecision>> = vec![None; self.cfg.num_blocks];
         let mut used = Vec::with_capacity(self.cfg.num_blocks);
         for b in 0..self.cfg.num_blocks {
-            let a = self.blocks[b].attn.forward_inference(&x);
-            let h = self.blocks[b].ln1.forward_inference(&x.add(&a));
+            let mut a = self.blocks[b].attn.forward_inference_arena(&x, arena);
+            a.add_scaled_inplace(&x, 1.0);
+            arena.recycle(x);
+            let h = self.blocks[b].ln1.forward_inference_arena(&a, arena);
+            arena.recycle(a);
             for target in self.topo.gates_hosted_at(b) {
                 pending[target] = Some(self.routers[target].route_inference(&h));
             }
             let dec = pending[b].take().expect("topology must route every block");
-            let m = self.blocks[b].moe.forward_inference(&h, &dec);
-            used.push(dec.clone());
-            x = self.blocks[b].ln2.forward_inference(&h.add(&m));
+            let mut m = self.blocks[b].moe.forward_inference_arena(&h, &dec, arena);
+            m.add_scaled_inplace(&h, 1.0);
+            arena.recycle(h);
+            used.push(dec);
+            x = self.blocks[b].ln2.forward_inference_arena(&m, arena);
+            arena.recycle(m);
         }
-        let y = self.final_ln.forward_inference(&x);
-        (self.out_proj.forward_inference(&y), used)
+        let y = self.final_ln.forward_inference_arena(&x, arena);
+        arena.recycle(x);
+        let logits = self.out_proj.forward_inference_arena(&y, arena);
+        arena.recycle(y);
+        (logits, used)
     }
 
     /// Backward pass from `[seq_len, vocab]` logit gradients. Accumulates
@@ -351,6 +377,44 @@ mod tests {
     }
 
     #[test]
+    fn arena_inference_matches_training_forward_numerics() {
+        let mut net = tiny(GatingMode::Pregated { level: 1 });
+        let tokens = [1usize, 2, 3, 4, 5, 0];
+        let train_logits = net.forward(&tokens);
+        let arena = ScratchArena::new();
+        let (arena_logits, decisions) = net.forward_inference_arena(&tokens, &arena);
+        assert_eq!(decisions.len(), 3);
+        for (a, b) in arena_logits.as_slice().iter().zip(train_logits.as_slice()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        arena.recycle(arena_logits);
+    }
+
+    #[test]
+    fn arena_decode_is_allocation_free_in_steady_state() {
+        let net = tiny(GatingMode::Conventional);
+        let tokens = [1usize, 2, 3, 4, 5, 0];
+        let arena = ScratchArena::new();
+        // Warm-up iterations populate the free list (routing can activate
+        // different expert-group shapes, so warm several).
+        for _ in 0..3 {
+            let (logits, _) = net.forward_inference_arena(&tokens, &arena);
+            arena.recycle(logits);
+        }
+        let warm = arena.stats();
+        for _ in 0..10 {
+            let (logits, _) = net.forward_inference_arena(&tokens, &arena);
+            arena.recycle(logits);
+        }
+        let stats = arena.stats();
+        assert_eq!(
+            stats.takes - warm.takes,
+            stats.reuses - warm.reuses,
+            "steady-state decode must serve every tensor from the free list"
+        );
+    }
+
+    #[test]
     fn rewire_preserves_parameters() {
         let mut net = tiny(GatingMode::Conventional);
         let mut before = Vec::new();
@@ -386,7 +450,7 @@ mod tests {
         // Seed chosen so the finite-difference probe stays inside one
         // routing region of the piecewise-smooth loss (seed-sensitive by
         // nature; see the eps comment below).
-        let mut net = tiny_seeded(GatingMode::Pregated { level: 1 }, 11);
+        let mut net = tiny_seeded(GatingMode::Pregated { level: 1 }, 15);
         net.zero_grad();
         let logits = net.forward(&tokens);
         let (_, dans) = ops::cross_entropy_from_logits(&logits.gather_rows(&[4, 5]), &targets);

@@ -88,6 +88,55 @@ impl InFlight {
     }
 }
 
+/// A fetch issued ahead of its consuming block.
+#[derive(Debug, Default)]
+struct PendingFetch {
+    done: Option<EventId>,
+    buffers: Vec<AllocId>,
+}
+
+/// Reusable per-iteration scheduler state: hoisted out of the serve loop so
+/// the steady-state decode path performs zero heap allocations (all
+/// capacities are retained across iterations).
+#[derive(Debug)]
+struct IterScratch {
+    pending: Vec<PendingFetch>,
+    /// Union of the batch's activated experts for the current block.
+    union: Vec<usize>,
+    /// The full `0..num_experts` set (MoE-Prefetch moves everything).
+    all_experts: Vec<usize>,
+    /// Wait-list under construction for the current expert kernel.
+    waits: Vec<EventId>,
+    /// Transient buffers of the currently executing block.
+    cur_buffers: Vec<AllocId>,
+    /// Indices (into the in-flight list) admitted this iteration.
+    admitted_now: Vec<usize>,
+}
+
+impl IterScratch {
+    fn new(dec_blocks: usize, num_experts: usize) -> Self {
+        IterScratch {
+            pending: (0..dec_blocks).map(|_| PendingFetch::default()).collect(),
+            union: Vec::new(),
+            all_experts: (0..num_experts).collect(),
+            waits: Vec::with_capacity(4),
+            cur_buffers: Vec::new(),
+            admitted_now: Vec::new(),
+        }
+    }
+
+    fn reset_iteration(&mut self) {
+        for p in &mut self.pending {
+            p.done = None;
+            debug_assert!(p.buffers.is_empty(), "iteration left pending buffers alive");
+            p.buffers.clear();
+        }
+        self.waits.clear();
+        debug_assert!(self.cur_buffers.is_empty());
+        self.cur_buffers.clear();
+    }
+}
+
 /// Iteration-level continuous-batching scheduler (see the [module
 /// docs](self)).
 ///
@@ -178,6 +227,7 @@ impl BatchScheduler {
         let mut total_tokens = 0usize;
         let mut last_completion = SimTime::ZERO;
         let first_arrival = SimTime::from_nanos(arrivals[0].arrival_ns);
+        let mut scratch = IterScratch::new(cfg.decoder_moe_layers(), cfg.num_experts);
 
         // Wall clock, tracked separately from the machine timeline so idle
         // gaps between arrivals do not let later work start "in the past".
@@ -192,7 +242,8 @@ impl BatchScheduler {
             }
 
             // Admission at the iteration boundary.
-            let mut admitted_now: Vec<usize> = Vec::new();
+            scratch.admitted_now.clear();
+            let admitted_now = &mut scratch.admitted_now;
             while inflight.len() < self.batch.max_batch {
                 let Some(&(idx, arr)) = pending.front() else { break };
                 let arrival = SimTime::from_nanos(arr.arrival_ns);
@@ -260,10 +311,17 @@ impl BatchScheduler {
             // then one decode iteration for the whole batch. Time it on the
             // machine and advance the wall clock by the measured span.
             let span_start = machine.horizon();
-            if !admitted_now.is_empty() {
-                self.prefill(&mut machine, &base_plan, &mut cache, &inflight, &admitted_now)?;
+            if !scratch.admitted_now.is_empty() {
+                // Prefill only runs on admission — it is allowed to allocate.
+                self.prefill(
+                    &mut machine,
+                    &base_plan,
+                    &mut cache,
+                    &inflight,
+                    &scratch.admitted_now,
+                )?;
             }
-            self.decode_iteration(&mut machine, &base_plan, &mut cache, &inflight)?;
+            self.decode_iteration(&mut machine, &base_plan, &mut cache, &inflight, &mut scratch)?;
             let span = machine.horizon() - span_start;
             clock += span;
 
@@ -382,21 +440,23 @@ impl BatchScheduler {
         dense_ffn_bytes_for(&self.cfg)
     }
 
-    /// The union of experts the in-flight batch activates at decoder MoE
-    /// block `block` this iteration, sorted and deduplicated.
-    fn union_experts(&self, inflight: &[InFlight], block: usize) -> Vec<usize> {
-        let mut experts: Vec<usize> = inflight
-            .iter()
-            .flat_map(|r| r.trace.experts(r.generated, block).iter().copied())
-            .collect();
-        experts.sort_unstable();
-        experts.dedup();
-        experts
+    /// Collects the union of experts the in-flight batch activates at
+    /// decoder MoE block `block` this iteration into `out` (sorted,
+    /// deduplicated; the buffer is a reusable scratch).
+    fn union_experts_into(&self, inflight: &[InFlight], block: usize, out: &mut Vec<usize>) {
+        out.clear();
+        for r in inflight {
+            out.extend_from_slice(r.trace.experts(r.generated, block));
+        }
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Enqueues migration of `experts` for cache key-space `block` through
     /// the cost model shared with [`crate::InferenceSim`]; returns the
-    /// completion event plus transient buffers to free after execution.
+    /// completion event. Transient buffer ids are pushed onto `buffers`,
+    /// to be freed after execution.
+    #[allow(clippy::too_many_arguments)]
     fn fetch_experts(
         &self,
         machine: &mut Machine,
@@ -405,9 +465,20 @@ impl BatchScheduler {
         block: usize,
         experts: &[usize],
         waits: &[EventId],
-    ) -> Result<(EventId, Vec<AllocId>)> {
-        fetch_experts_on(machine, plan, cache, self.opts.offload_tier, block, experts, waits, true)
-            .map_err(RuntimeError::from)
+        buffers: &mut Vec<AllocId>,
+    ) -> Result<EventId> {
+        fetch_experts_on(
+            machine,
+            plan,
+            cache,
+            self.opts.offload_tier,
+            block,
+            experts,
+            waits,
+            true,
+            buffers,
+        )
+        .map_err(RuntimeError::from)
     }
 
     /// Prefill (encoder pass) for newly admitted requests, batched: weight
@@ -439,7 +510,9 @@ impl BatchScheduler {
         let ffn_flops = tokens * 4.0 * d * cfg.d_ff as f64;
         let enc_blocks = cfg.encoder_layers / cfg.moe_every;
         let mut moe_idx = 0usize;
-        let mut pending: Option<(EventId, Vec<AllocId>)> = None;
+        let mut pending: Option<EventId> = None;
+        let mut pending_buffers: Vec<AllocId> = Vec::new();
+        let mut buffers: Vec<AllocId> = Vec::new();
         for layer in 0..cfg.encoder_layers {
             let is_moe = layer % cfg.moe_every == cfg.moe_every - 1;
             machine.launch_kernel("prefill-attn", attn_flops, self.attn_bytes(inflight), &[]);
@@ -453,48 +526,72 @@ impl BatchScheduler {
             let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
             let exec_bytes = distinct as u64 * plan.expert_bytes();
             let exec_flops = ffn_flops * plan.active_per_block() as f64;
-            let (fetch, buffers) = match self.opts.policy {
+            let fetch = match self.opts.policy {
                 OffloadPolicy::GpuOnly => {
                     machine.launch_kernel("prefill-expert", exec_flops, exec_bytes, &[gate]);
                     moe_idx += 1;
                     continue;
                 }
-                OffloadPolicy::OnDemand => {
-                    self.fetch_experts(machine, plan, cache, moe_idx, &experts, &[gate])?
-                }
+                OffloadPolicy::OnDemand => self.fetch_experts(
+                    machine,
+                    plan,
+                    cache,
+                    moe_idx,
+                    &experts,
+                    &[gate],
+                    &mut buffers,
+                )?,
                 OffloadPolicy::PrefetchAll => {
                     let all: Vec<usize> = (0..cfg.num_experts).collect();
-                    self.fetch_experts(machine, plan, cache, moe_idx, &all, &[])?
+                    self.fetch_experts(machine, plan, cache, moe_idx, &all, &[], &mut buffers)?
                 }
                 OffloadPolicy::Pregated => match pending.take() {
-                    Some(p) => p,
-                    None => self.fetch_experts(machine, plan, cache, moe_idx, &experts, &[gate])?,
+                    Some(ev) => {
+                        std::mem::swap(&mut buffers, &mut pending_buffers);
+                        ev
+                    }
+                    None => self.fetch_experts(
+                        machine,
+                        plan,
+                        cache,
+                        moe_idx,
+                        &experts,
+                        &[gate],
+                        &mut buffers,
+                    )?,
                 },
             };
             machine.launch_kernel("prefill-expert", exec_flops, exec_bytes, &[fetch, gate]);
-            free_buffers(machine, buffers);
+            free_buffers(machine, &mut buffers);
             if self.opts.policy == OffloadPolicy::Pregated && moe_idx + 1 < enc_blocks {
                 let next = sample(&mut rng);
-                pending =
-                    Some(self.fetch_experts(machine, plan, cache, moe_idx + 1, &next, &[gate])?);
+                pending = Some(self.fetch_experts(
+                    machine,
+                    plan,
+                    cache,
+                    moe_idx + 1,
+                    &next,
+                    &[gate],
+                    &mut pending_buffers,
+                )?);
             }
             moe_idx += 1;
         }
-        if let Some((_, bufs)) = pending.take() {
-            free_buffers(machine, bufs);
-        }
+        free_buffers(machine, &mut pending_buffers);
         Ok(())
     }
 
     /// One decode iteration for the whole in-flight batch: every request
     /// advances one token; expert fetches move the batch's union set under
-    /// the policy's overlap structure.
+    /// the policy's overlap structure. All per-iteration state lives in
+    /// `scratch`, so the steady state allocates nothing.
     fn decode_iteration(
         &self,
         machine: &mut Machine,
         plan: &PlacementPlan,
         cache: &mut Option<ExpertCache>,
         inflight: &[InFlight],
+        scratch: &mut IterScratch,
     ) -> Result<()> {
         let cfg = &self.cfg;
         let dec_blocks = cfg.decoder_moe_layers();
@@ -503,12 +600,19 @@ impl BatchScheduler {
             OffloadPolicy::Pregated => self.opts.gating.level().max(1),
             _ => 1,
         };
-        let mut pending: Vec<Option<(EventId, Vec<AllocId>)>> =
-            (0..dec_blocks).map(|_| None).collect();
+        scratch.reset_iteration();
 
         if self.opts.policy == OffloadPolicy::PrefetchAll {
-            let all: Vec<usize> = (0..cfg.num_experts).collect();
-            pending[0] = Some(self.fetch_experts(machine, plan, cache, enc_blocks, &all, &[])?);
+            let ev = self.fetch_experts(
+                machine,
+                plan,
+                cache,
+                enc_blocks,
+                &scratch.all_experts,
+                &[],
+                &mut scratch.pending[0].buffers,
+            )?;
+            scratch.pending[0].done = Some(ev);
         }
 
         let mut moe_idx = 0usize;
@@ -520,76 +624,87 @@ impl BatchScheduler {
                 continue;
             }
             let b = moe_idx;
-            let experts = self.union_experts(inflight, b);
-            let exec_bytes = experts.len() as u64 * plan.expert_bytes();
+            self.union_experts_into(inflight, b, &mut scratch.union);
+            let exec_bytes = scratch.union.len() as u64 * plan.expert_bytes();
             let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
 
             // Resolve this block's expert residency first (a serialized
             // first-block fetch must not queue behind later prefetches).
-            let (exec_waits, buffers) = match self.opts.policy {
-                OffloadPolicy::GpuOnly => (vec![gate], Vec::new()),
+            scratch.waits.clear();
+            match self.opts.policy {
+                OffloadPolicy::GpuOnly => scratch.waits.push(gate),
                 OffloadPolicy::OnDemand => {
-                    let (ev, bufs) = self.fetch_experts(
+                    let ev = self.fetch_experts(
                         machine,
                         plan,
                         cache,
                         enc_blocks + b,
-                        &experts,
+                        &scratch.union,
                         &[gate],
+                        &mut scratch.cur_buffers,
                     )?;
-                    (vec![ev, gate], bufs)
+                    scratch.waits.push(ev);
+                    scratch.waits.push(gate);
                 }
-                OffloadPolicy::PrefetchAll | OffloadPolicy::Pregated => match pending[b].take() {
-                    Some((ev, bufs)) => (vec![ev, gate], bufs),
-                    None => {
+                OffloadPolicy::PrefetchAll | OffloadPolicy::Pregated => {
+                    if let Some(ev) = scratch.pending[b].done.take() {
+                        std::mem::swap(&mut scratch.cur_buffers, &mut scratch.pending[b].buffers);
+                        scratch.waits.push(ev);
+                        scratch.waits.push(gate);
+                    } else {
                         // No pre-selection available (first `level` blocks
                         // of the iteration): serialized, like OnDemand.
-                        let (ev, bufs) = self.fetch_experts(
+                        let ev = self.fetch_experts(
                             machine,
                             plan,
                             cache,
                             enc_blocks + b,
-                            &experts,
+                            &scratch.union,
                             &[gate],
+                            &mut scratch.cur_buffers,
                         )?;
-                        (vec![ev, gate], bufs)
+                        scratch.waits.push(ev);
+                        scratch.waits.push(gate);
                     }
-                },
-            };
+                }
+            }
 
             // Issue the fetches this block is responsible for.
             match self.opts.policy {
                 OffloadPolicy::Pregated if b + level < dec_blocks => {
                     let target = b + level;
-                    let next = self.union_experts(inflight, target);
-                    pending[target] = Some(self.fetch_experts(
+                    self.union_experts_into(inflight, target, &mut scratch.union);
+                    let ev = self.fetch_experts(
                         machine,
                         plan,
                         cache,
                         enc_blocks + target,
-                        &next,
+                        &scratch.union,
                         &[gate],
-                    )?);
+                        &mut scratch.pending[target].buffers,
+                    )?;
+                    scratch.pending[target].done = Some(ev);
                 }
                 OffloadPolicy::PrefetchAll if b + 1 < dec_blocks => {
-                    let all: Vec<usize> = (0..cfg.num_experts).collect();
-                    pending[b + 1] = Some(self.fetch_experts(
+                    let ev = self.fetch_experts(
                         machine,
                         plan,
                         cache,
                         enc_blocks + b + 1,
-                        &all,
+                        &scratch.all_experts,
                         &[],
-                    )?);
+                        &mut scratch.pending[b + 1].buffers,
+                    )?;
+                    scratch.pending[b + 1].done = Some(ev);
                 }
                 _ => {}
             }
-            machine.launch_kernel("expert", 0.0, exec_bytes, &exec_waits);
-            free_buffers(machine, buffers);
+            machine.launch_kernel("expert", 0.0, exec_bytes, &scratch.waits);
+            free_buffers(machine, &mut scratch.cur_buffers);
             moe_idx += 1;
         }
-        for p in pending.into_iter().flatten() {
-            free_buffers(machine, p.1);
+        for p in &mut scratch.pending {
+            free_buffers(machine, &mut p.buffers);
         }
         Ok(())
     }

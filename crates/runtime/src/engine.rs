@@ -71,6 +71,37 @@ struct BlockInFlight {
     buffers: Vec<AllocId>,
 }
 
+/// Reusable per-iteration decode state: hoisted out of the token loop so
+/// steady-state decode performs zero heap allocations (capacities are
+/// retained across iterations).
+#[derive(Debug)]
+struct DecodeScratch {
+    inflight: Vec<BlockInFlight>,
+    /// The full `0..num_experts` set (MoE-Prefetch moves everything).
+    all_experts: Vec<usize>,
+    /// Wait-list under construction for the current expert kernel.
+    waits: Vec<EventId>,
+}
+
+impl DecodeScratch {
+    fn new(dec_blocks: usize, num_experts: usize) -> Self {
+        DecodeScratch {
+            inflight: (0..dec_blocks).map(|_| BlockInFlight::default()).collect(),
+            all_experts: (0..num_experts).collect(),
+            waits: Vec::with_capacity(4),
+        }
+    }
+
+    fn reset(&mut self) {
+        for f in &mut self.inflight {
+            f.fetch_done = None;
+            debug_assert!(f.buffers.is_empty(), "iteration left transient buffers alive");
+            f.buffers.clear();
+        }
+        self.waits.clear();
+    }
+}
+
 impl InferenceSim {
     /// Creates a simulator for `cfg` under `opts`.
     pub fn new(cfg: ModelConfig, opts: SimOptions) -> Self {
@@ -116,7 +147,10 @@ impl InferenceSim {
         );
         let mut cache = opts.cache.map(|c| ExpertCache::new(plan.cache_experts(), c.replacement));
 
-        let mut block_latencies = Vec::new();
+        // One reservation up front; the token loop itself never allocates.
+        let mut block_latencies =
+            Vec::with_capacity(num_requests * request.output_tokens * dec_blocks);
+        let mut scratch = DecodeScratch::new(dec_blocks, cfg.num_experts);
         let mut ctx_len = request.input_tokens;
         let mut first_token_time: Option<SimTime> = None;
         for req in 0..num_requests {
@@ -138,6 +172,7 @@ impl InferenceSim {
                     tok,
                     ctx_len + tok,
                     &mut block_latencies,
+                    &mut scratch,
                 )?;
                 if first_token_time.is_none() {
                     first_token_time = Some(machine.horizon());
@@ -265,7 +300,10 @@ impl InferenceSim {
         let attn_flops = tokens * 2.0 * (4.0 * d * d + 2.0 * d * tokens);
         let ffn_flops_dense = tokens * 4.0 * d * cfg.d_ff as f64;
         let mut moe_idx = 0usize;
-        let mut pending: Option<(EventId, Vec<AllocId>)> = None;
+        let mut pending: Option<EventId> = None;
+        // Encoder fetches stream through the staging region
+        // (`alloc_buffers = false`), so this scratch stays empty.
+        let mut no_buffers: Vec<AllocId> = Vec::new();
         for layer in 0..cfg.encoder_layers {
             let is_moe = layer % cfg.moe_every == cfg.moe_every - 1;
             machine.launch_kernel("attn", attn_flops, self.attn_bytes(input_tokens), &[]);
@@ -284,27 +322,51 @@ impl InferenceSim {
                 }
                 OffloadPolicy::OnDemand => {
                     let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
-                    let (fetch, buffers) =
-                        self.fetch_experts(machine, plan, cache, moe_idx, &experts, &[gate], false);
+                    let fetch = self.fetch_experts(
+                        machine,
+                        plan,
+                        cache,
+                        moe_idx,
+                        &experts,
+                        &[gate],
+                        false,
+                        &mut no_buffers,
+                    );
                     machine.launch_kernel("expert", exec_flops, exec_bytes, &[fetch]);
-                    free_buffers(machine, buffers);
                 }
                 OffloadPolicy::PrefetchAll | OffloadPolicy::Pregated => {
                     // Both policies overlap the fetch with the preceding
                     // layer's compute in the encoder; PrefetchAll moves every
                     // expert, Pre-gated only the activated ones.
                     let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
-                    let (fetch, buffers) = if self.opts.policy == OffloadPolicy::PrefetchAll {
+                    let fetch = if self.opts.policy == OffloadPolicy::PrefetchAll {
                         let all: Vec<usize> = (0..cfg.num_experts).collect();
-                        self.fetch_experts(machine, plan, cache, moe_idx, &all, &[], false)
-                    } else if let Some((ev, bufs)) = pending.take() {
-                        (ev, bufs)
+                        self.fetch_experts(
+                            machine,
+                            plan,
+                            cache,
+                            moe_idx,
+                            &all,
+                            &[],
+                            false,
+                            &mut no_buffers,
+                        )
+                    } else if let Some(ev) = pending.take() {
+                        ev
                     } else {
                         // First encoder MoE block: serialized, like OnDemand.
-                        self.fetch_experts(machine, plan, cache, moe_idx, &experts, &[gate], false)
+                        self.fetch_experts(
+                            machine,
+                            plan,
+                            cache,
+                            moe_idx,
+                            &experts,
+                            &[gate],
+                            false,
+                            &mut no_buffers,
+                        )
                     };
                     machine.launch_kernel("expert", exec_flops, exec_bytes, &[fetch, gate]);
-                    free_buffers(machine, buffers);
                     // Pre-gate: issue the next encoder MoE block's fetch now.
                     if self.opts.policy == OffloadPolicy::Pregated && moe_idx + 1 < enc_blocks {
                         let next = sample_distinct_experts(distinct, cfg.num_experts, &mut rng);
@@ -316,14 +378,12 @@ impl InferenceSim {
                             &next,
                             &[gate],
                             false,
+                            &mut no_buffers,
                         ));
                     }
                 }
             }
             moe_idx += 1;
-        }
-        if let Some((_, bufs)) = pending.take() {
-            free_buffers(machine, bufs);
         }
         if let Some(staging) = staging {
             machine.pool_mut(Tier::Hbm).free(staging).expect("encoder staging double free");
@@ -336,7 +396,8 @@ impl InferenceSim {
     // ------------------------------------------------------------------
 
     /// Simulates one decode iteration (one output token) through the decoder
-    /// stack, recording each MoE block's latency.
+    /// stack, recording each MoE block's latency. All per-iteration state
+    /// lives in `scratch`, so the steady state allocates nothing.
     #[allow(clippy::too_many_arguments)]
     fn decode_iteration(
         &self,
@@ -348,21 +409,29 @@ impl InferenceSim {
         tok: usize,
         ctx: usize,
         block_latencies: &mut Vec<SimDuration>,
+        scratch: &mut DecodeScratch,
     ) -> Result<()> {
         let cfg = &self.cfg;
         let dec_blocks = cfg.decoder_moe_layers();
         // Decoder MoE blocks get cache keys disjoint from the encoder's:
         // block ids are global across the whole model.
         let enc_blocks = cfg.encoder_layers / cfg.moe_every;
-        let mut inflight: Vec<BlockInFlight> =
-            (0..dec_blocks).map(|_| BlockInFlight::default()).collect();
+        scratch.reset();
 
         // MoE-Prefetch: block 0's full-set prefetch is issued at iteration
         // start (SE-MoE migrates ahead of use, without gate knowledge).
         if self.opts.policy == OffloadPolicy::PrefetchAll {
-            let all: Vec<usize> = (0..cfg.num_experts).collect();
-            let (ev, bufs) = self.fetch_experts(machine, plan, cache, enc_blocks, &all, &[], true);
-            inflight[0] = BlockInFlight { fetch_done: Some(ev), buffers: bufs };
+            let ev = self.fetch_experts(
+                machine,
+                plan,
+                cache,
+                enc_blocks,
+                &scratch.all_experts,
+                &[],
+                true,
+                &mut scratch.inflight[0].buffers,
+            );
+            scratch.inflight[0].fetch_done = Some(ev);
         }
 
         let mut moe_idx = 0usize;
@@ -376,7 +445,7 @@ impl InferenceSim {
                 continue;
             }
             let b = moe_idx;
-            let experts = trace.experts(tok, b).to_vec();
+            let experts = trace.experts(tok, b);
             let exec_bytes = experts.len() as u64 * plan.expert_bytes();
             let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
 
@@ -384,45 +453,51 @@ impl InferenceSim {
             // serialized fetch is on the block's critical path and must not
             // queue behind the next block's prefetch on the in-order copy
             // stream.
-            let exec_waits: Vec<EventId> = match self.opts.policy {
-                OffloadPolicy::GpuOnly => vec![gate],
+            scratch.waits.clear();
+            match self.opts.policy {
+                OffloadPolicy::GpuOnly => scratch.waits.push(gate),
                 OffloadPolicy::OnDemand => {
-                    let (ev, bufs) = self.fetch_experts(
+                    let ev = self.fetch_experts(
                         machine,
                         plan,
                         cache,
                         enc_blocks + b,
-                        &experts,
+                        experts,
                         &[gate],
                         true,
+                        &mut scratch.inflight[b].buffers,
                     );
-                    inflight[b].buffers = bufs;
-                    vec![ev, gate]
+                    scratch.waits.push(ev);
+                    scratch.waits.push(gate);
                 }
                 OffloadPolicy::PrefetchAll => {
-                    vec![inflight[b].fetch_done.expect("prefetch must be in flight"), gate]
+                    let ev = scratch.inflight[b].fetch_done.expect("prefetch must be in flight");
+                    scratch.waits.push(ev);
+                    scratch.waits.push(gate);
                 }
                 OffloadPolicy::Pregated => {
-                    if let Some(ev) = inflight[b].fetch_done {
-                        vec![ev, gate]
+                    if let Some(ev) = scratch.inflight[b].fetch_done {
+                        scratch.waits.push(ev);
+                        scratch.waits.push(gate);
                     } else {
                         // First block(s) of the iteration: no pre-selection
                         // available — serialized fetch, like OnDemand
                         // (footnote 1 of the paper).
-                        let (ev, bufs) = self.fetch_experts(
+                        let ev = self.fetch_experts(
                             machine,
                             plan,
                             cache,
                             enc_blocks + b,
-                            &experts,
+                            experts,
                             &[gate],
                             true,
+                            &mut scratch.inflight[b].buffers,
                         );
-                        inflight[b].buffers = bufs;
-                        vec![ev, gate]
+                        scratch.waits.push(ev);
+                        scratch.waits.push(gate);
                     }
                 }
-            };
+            }
 
             // Then issue the fetches this block is responsible for: the
             // pre-gated targets selected by gates hosted here, or the next
@@ -433,37 +508,37 @@ impl InferenceSim {
                         if target == b {
                             continue; // own routing: resolved above
                         }
-                        let target_experts = trace.experts(tok, target).to_vec();
-                        let (ev, bufs) = self.fetch_experts(
+                        let target_experts = trace.experts(tok, target);
+                        let ev = self.fetch_experts(
                             machine,
                             plan,
                             cache,
                             enc_blocks + target,
-                            &target_experts,
+                            target_experts,
                             &[gate],
                             true,
+                            &mut scratch.inflight[target].buffers,
                         );
-                        inflight[target] = BlockInFlight { fetch_done: Some(ev), buffers: bufs };
+                        scratch.inflight[target].fetch_done = Some(ev);
                     }
                 }
                 OffloadPolicy::PrefetchAll if b + 1 < dec_blocks => {
-                    let all: Vec<usize> = (0..cfg.num_experts).collect();
-                    let (ev, bufs) = self.fetch_experts(
+                    let ev = self.fetch_experts(
                         machine,
                         plan,
                         cache,
                         enc_blocks + b + 1,
-                        &all,
+                        &scratch.all_experts,
                         &[],
                         true,
+                        &mut scratch.inflight[b + 1].buffers,
                     );
-                    inflight[b + 1] = BlockInFlight { fetch_done: Some(ev), buffers: bufs };
+                    scratch.inflight[b + 1].fetch_done = Some(ev);
                 }
                 _ => {}
             }
-            let exec = machine.launch_kernel("expert", 0.0, exec_bytes, &exec_waits);
-            let buffers = std::mem::take(&mut inflight[b].buffers);
-            free_buffers(machine, buffers);
+            let exec = machine.launch_kernel("expert", 0.0, exec_bytes, &scratch.waits);
+            free_buffers(machine, &mut scratch.inflight[b].buffers);
             block_latencies.push(machine.event_time(exec) - block_start);
             moe_idx += 1;
         }
@@ -472,8 +547,11 @@ impl InferenceSim {
 
     /// Enqueues migration of `experts` of MoE block `block` to the GPU.
     /// Cache-resident experts cost nothing; missed experts get a transient
-    /// HBM buffer and a copy from the offload tier. Returns the event after
-    /// which every requested expert is GPU-resident, plus buffers to free.
+    /// HBM buffer (ids pushed onto `buffers`) and a copy from the offload
+    /// tier — the decoder allocates transients, the encoder streams through
+    /// its staging region instead (`alloc_buffers = false`). Returns the
+    /// event after which every requested expert is GPU-resident.
+    #[allow(clippy::too_many_arguments)]
     fn fetch_experts(
         &self,
         machine: &mut Machine,
@@ -483,7 +561,8 @@ impl InferenceSim {
         experts: &[usize],
         waits: &[EventId],
         alloc_buffers: bool,
-    ) -> (EventId, Vec<AllocId>) {
+        buffers: &mut Vec<AllocId>,
+    ) -> EventId {
         match fetch_experts_on(
             machine,
             plan,
@@ -493,6 +572,7 @@ impl InferenceSim {
             experts,
             waits,
             alloc_buffers,
+            buffers,
         ) {
             Ok(done) => done,
             // Surfacing OOM lazily keeps the hot path simple; the static
@@ -524,9 +604,12 @@ pub(crate) fn dense_ffn_bytes_for(cfg: &ModelConfig) -> u64 {
 /// scheduler so their cost models cannot drift. Cache-resident experts
 /// cost nothing; missed experts get a transient HBM buffer (when
 /// `alloc_buffers`) and a copy from `offload_tier`. Returns the event
-/// after which every requested expert is GPU-resident plus the buffers to
-/// free; transient-buffer OOM propagates (the engine panics on it, the
-/// scheduler surfaces it as a runtime error).
+/// after which every requested expert is GPU-resident; transient-buffer
+/// ids are **pushed onto the caller-provided `buffers`** (a reusable
+/// scratch vector — decode iterations recycle it so the steady state
+/// performs no heap allocation). On OOM the buffers pushed so far are
+/// freed and drained before the error propagates (the engine panics on
+/// it, the scheduler surfaces it as a runtime error).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn fetch_experts_on(
     machine: &mut Machine,
@@ -537,8 +620,10 @@ pub(crate) fn fetch_experts_on(
     experts: &[usize],
     waits: &[EventId],
     alloc_buffers: bool,
-) -> std::result::Result<(EventId, Vec<AllocId>), pgmoe_device::DeviceError> {
-    let mut buffers = Vec::new();
+    buffers: &mut Vec<AllocId>,
+) -> std::result::Result<EventId, pgmoe_device::DeviceError> {
+    debug_assert!(buffers.is_empty(), "fetch_experts_on expects a drained buffer scratch");
+    let trace = machine.trace_enabled();
     let mut last = None;
     for &e in experts {
         let hit = cache.as_mut().map(|c| c.access(ExpertKey { block, expert: e })).unwrap_or(false);
@@ -555,12 +640,18 @@ pub(crate) fn fetch_experts_on(
                 }
             }
         }
-        let ev = machine.copy_to_gpu(
-            &format!("fetch-b{block}e{e}"),
-            plan.expert_bytes(),
-            offload_tier,
-            waits,
-        );
+        // Per-expert labels only exist to render Fig 9 timelines; skip the
+        // string build on untraced (steady-state) runs.
+        let ev = if trace {
+            machine.copy_to_gpu(
+                &format!("fetch-b{block}e{e}"),
+                plan.expert_bytes(),
+                offload_tier,
+                waits,
+            )
+        } else {
+            machine.copy_to_gpu("fetch", plan.expert_bytes(), offload_tier, waits)
+        };
         last = Some(ev);
     }
     // All experts resident: the copy stream is in-order, so the last
@@ -573,11 +664,13 @@ pub(crate) fn fetch_experts_on(
             machine.engine_mut().barrier(copy, waits)
         }
     };
-    Ok((done, buffers))
+    Ok(done)
 }
 
-pub(crate) fn free_buffers(machine: &mut Machine, buffers: Vec<AllocId>) {
-    for id in buffers {
+/// Frees and drains transient expert buffers, keeping the vector's capacity
+/// for the next iteration.
+pub(crate) fn free_buffers(machine: &mut Machine, buffers: &mut Vec<AllocId>) {
+    for id in buffers.drain(..) {
         machine.pool_mut(Tier::Hbm).free(id).expect("expert buffer double free");
     }
 }

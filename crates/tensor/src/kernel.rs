@@ -1,0 +1,629 @@
+//! Cache-blocked, optionally multi-threaded GEMM micro-kernels.
+//!
+//! This is the compute core every forward/backward pass in the workspace
+//! bottoms out in. All kernels operate on raw row-major `f32` slices so the
+//! bench harness and [`crate::Tensor`] share one implementation:
+//!
+//! * [`matmul_into`] — `out = A·B` for `A[m,k]`, `B[k,n]`.
+//! * [`matmul_nt_into`] — `out = A·Bᵀ` for `B[n,k]` (no materialised
+//!   transpose; rows of both operands are streamed contiguously).
+//! * [`matmul_tn_into`] / [`matmul_tn_acc_into`] — `out (+)= Aᵀ·B` for
+//!   `A[k,m]`; the accumulating form writes straight into gradient buffers.
+//! * [`matmul_skip_zeros_into`] — the seed repo's branchy ikj loop, kept
+//!   **only** as the explicit sparse/masked entry point (routing matrices,
+//!   one-hot masks) and as the bench baseline. Dense paths must not use it:
+//!   a per-element `== 0.0` branch pessimises dense data.
+//!
+//! # Register tiling and determinism
+//!
+//! The dense kernels compute the output in `6 × `[`JT`] register tiles
+//! (the shape of the blocked kernels in CogitatorTech/infera's inference
+//! core): the tile's accumulators stay in SIMD registers across the entire
+//! `k` loop — six independent FMA chains hide the FMA latency, each loaded
+//! `B` vector feeds six accumulation streams, and the output is touched
+//! exactly once. The unrolled fixed-width inner loop is what lets the
+//! autovectorizer emit SIMD despite strict f32 semantics (pair it with the
+//! checked-in `target-cpu=native` in `.cargo/config.toml` for full vector
+//! width). Every output element accumulates its `k` terms in strictly
+//! ascending order regardless of tiling or thread count, so results are
+//! **bitwise identical** for 1 and N threads; `matmul_nt_into` packs
+//! `JT`-column panels of `Bᵀ` and reuses the same tile loop.
+//!
+//! Work is split across [`crate::pool::WorkerPool::global`] by contiguous
+//! output-row ranges once `m·k·n` crosses [`PAR_MIN_WORK`].
+
+use crate::pool::{self, ScopedTask, WorkerPool};
+
+/// Width (in `f32` lanes) of one register tile — 64 bytes, one full cache
+/// line / AVX-512 vector / two AVX2 vectors per output row.
+pub const JT: usize = 16;
+/// Minimum `m·k·n` before a GEMM is worth fanning out to the pool.
+pub const PAR_MIN_WORK: usize = 1 << 18;
+/// Minimum output rows per worker task.
+pub const PAR_MIN_ROWS: usize = 8;
+
+#[inline]
+fn check_dims(out: usize, a: usize, b: usize, m: usize, k: usize, n: usize, op: &str) {
+    assert_eq!(out, m * n, "{op}: out length {out} != {m}x{n}");
+    assert_eq!(a, m * k, "{op}: lhs length {a} != {m}x{k}");
+    assert_eq!(b, k * n, "{op}: rhs length {b} != {k}x{n}");
+}
+
+/// Splits the output rows across the pool and runs `f(start_row, chunk)` on
+/// each block. `f` must write only to its chunk (disjoint rows).
+fn par_rows(
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    work: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    let pool = WorkerPool::global();
+    let threads = pool.num_threads();
+    if threads <= 1 || work < PAR_MIN_WORK || m < 2 * PAR_MIN_ROWS {
+        f(0, out);
+        return;
+    }
+    let blocks = threads.min(m / PAR_MIN_ROWS).max(1);
+    let parts = pool::split_row_blocks(out, m, n, blocks);
+    let f = &f;
+    let tasks: Vec<ScopedTask<'_>> = parts
+        .into_iter()
+        .map(|(start, chunk)| Box::new(move || f(start, chunk)) as ScopedTask<'_>)
+        .collect();
+    pool.scope_run(tasks);
+}
+
+// ----------------------------------------------------------------------
+// out = A · B
+// ----------------------------------------------------------------------
+
+/// Dense blocked GEMM: `out = A·B` with `A[m,k]`, `B[k,n]`, `out[m,n]`.
+///
+/// Parallelises over output rows above [`PAR_MIN_WORK`]; bitwise
+/// deterministic across thread counts.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the dimensions.
+pub fn matmul_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    check_dims(out.len(), a.len(), b.len(), m, k, n, "matmul_into");
+    par_rows(out, m, n, m * k * n, |start, chunk| {
+        let rows = chunk.len() / n.max(1);
+        gemm_nn_rows(chunk, &a[start * k..(start + rows) * k], b, rows, k, n);
+    });
+}
+
+/// Single-threaded blocked GEMM (the kernel [`matmul_into`] dispatches to).
+///
+/// Exposed for the thread-count determinism tests and the bench harness.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the dimensions.
+pub fn matmul_serial_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    check_dims(out.len(), a.len(), b.len(), m, k, n, "matmul_serial_into");
+    gemm_nn_rows(out, a, b, m, k, n);
+}
+
+/// Register-tiled kernel over a contiguous row range:
+/// `out[m,n] = A[m,k]·B[k,n]`. Six output rows × [`JT`] columns accumulate
+/// in registers across the whole `k` loop (six independent FMA chains hide
+/// the FMA latency); the output is written once.
+fn gemm_nn_rows(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    // Every element is written by pure assignment below, so the only case
+    // that needs explicit zeroing is the empty contraction (k == 0).
+    if m == 0 || n == 0 || k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let mut i = 0;
+    while i + 6 <= m {
+        let a0row = &a[i * k..(i + 1) * k];
+        let a1row = &a[(i + 1) * k..(i + 2) * k];
+        let a2row = &a[(i + 2) * k..(i + 3) * k];
+        let a3row = &a[(i + 3) * k..(i + 4) * k];
+        let a4row = &a[(i + 4) * k..(i + 5) * k];
+        let a5row = &a[(i + 5) * k..(i + 6) * k];
+        let mut jj = 0;
+        while jj + JT <= n {
+            let mut acc0 = [0.0f32; JT];
+            let mut acc1 = [0.0f32; JT];
+            let mut acc2 = [0.0f32; JT];
+            let mut acc3 = [0.0f32; JT];
+            let mut acc4 = [0.0f32; JT];
+            let mut acc5 = [0.0f32; JT];
+            for kx in 0..k {
+                let bv: &[f32; JT] =
+                    b[kx * n + jj..kx * n + jj + JT].try_into().expect("JT-wide tile");
+                let (a0, a1, a2) = (a0row[kx], a1row[kx], a2row[kx]);
+                let (a3, a4, a5) = (a3row[kx], a4row[kx], a5row[kx]);
+                for t in 0..JT {
+                    acc0[t] += a0 * bv[t];
+                    acc1[t] += a1 * bv[t];
+                    acc2[t] += a2 * bv[t];
+                    acc3[t] += a3 * bv[t];
+                    acc4[t] += a4 * bv[t];
+                    acc5[t] += a5 * bv[t];
+                }
+            }
+            out[i * n + jj..i * n + jj + JT].copy_from_slice(&acc0);
+            out[(i + 1) * n + jj..(i + 1) * n + jj + JT].copy_from_slice(&acc1);
+            out[(i + 2) * n + jj..(i + 2) * n + jj + JT].copy_from_slice(&acc2);
+            out[(i + 3) * n + jj..(i + 3) * n + jj + JT].copy_from_slice(&acc3);
+            out[(i + 4) * n + jj..(i + 4) * n + jj + JT].copy_from_slice(&acc4);
+            out[(i + 5) * n + jj..(i + 5) * n + jj + JT].copy_from_slice(&acc5);
+            jj += JT;
+        }
+        // Column tail: per-column dot with the same ascending-k order.
+        while jj < n {
+            let mut s = [0.0f32; 6];
+            for kx in 0..k {
+                let bv = b[kx * n + jj];
+                s[0] += a0row[kx] * bv;
+                s[1] += a1row[kx] * bv;
+                s[2] += a2row[kx] * bv;
+                s[3] += a3row[kx] * bv;
+                s[4] += a4row[kx] * bv;
+                s[5] += a5row[kx] * bv;
+            }
+            for (r, &v) in s.iter().enumerate() {
+                out[(i + r) * n + jj] = v;
+            }
+            jj += 1;
+        }
+        i += 6;
+    }
+    // Remainder rows: single-row tiles, same ascending-k accumulation order.
+    while i < m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut jj = 0;
+        while jj + JT <= n {
+            let mut acc = [0.0f32; JT];
+            for (kx, &av) in arow.iter().enumerate() {
+                let bv: &[f32; JT] =
+                    b[kx * n + jj..kx * n + jj + JT].try_into().expect("JT-wide tile");
+                for t in 0..JT {
+                    acc[t] += av * bv[t];
+                }
+            }
+            out[i * n + jj..i * n + jj + JT].copy_from_slice(&acc);
+            jj += JT;
+        }
+        while jj < n {
+            let mut s = 0.0f32;
+            for (kx, &av) in arow.iter().enumerate() {
+                s += av * b[kx * n + jj];
+            }
+            out[i * n + jj] = s;
+            jj += 1;
+        }
+        i += 1;
+    }
+}
+
+// ----------------------------------------------------------------------
+// out = A · Bᵀ
+// ----------------------------------------------------------------------
+
+/// Transpose-aware GEMM: `out = A·Bᵀ` with `A[m,k]`, `B[n,k]`, `out[m,n]`.
+///
+/// Both operands are read along contiguous rows (each output element is a
+/// dot product of two rows), so no transpose is ever materialised — this is
+/// the kernel behind `dy·Wᵀ` in `Linear::backward` and `Q·Kᵀ` in attention.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the dimensions.
+pub fn matmul_nt_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(out.len(), m * n, "matmul_nt_into: out length mismatch");
+    assert_eq!(a.len(), m * k, "matmul_nt_into: lhs length mismatch");
+    assert_eq!(b.len(), n * k, "matmul_nt_into: rhs length mismatch");
+    par_rows(out, m, n, m * k * n, |start, chunk| {
+        let rows = chunk.len() / n.max(1);
+        gemm_nt_rows(chunk, &a[start * k..(start + rows) * k], b, rows, k, n);
+    });
+}
+
+std::thread_local! {
+    /// Packed `[k, JT]` panel of `Bᵀ` for the `nt` kernel — thread-local so
+    /// repeated calls are allocation-free in steady state without making
+    /// the kernels `&mut`.
+    static NT_PANEL: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// `A·Bᵀ` over a contiguous row range; `B` is `[n, k]`. Each [`JT`]-column
+/// panel of `Bᵀ` is packed once into contiguous `[k, JT]` scratch and then
+/// consumed by the same register-tile loop as [`gemm_nn_rows`] — the pack
+/// is `O(k·n)` against `O(rows·k·n)` compute, and no full transpose is ever
+/// materialised.
+fn gemm_nt_rows(out: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usize, n: usize) {
+    // As in `gemm_nn_rows`: all writes below are assignments, so only the
+    // empty contraction needs zeroing.
+    if rows == 0 || n == 0 || k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    NT_PANEL.with(|cell| {
+        let mut panel = cell.borrow_mut();
+        panel.clear();
+        panel.resize(k * JT, 0.0);
+        let mut jj = 0;
+        while jj + JT <= n {
+            // Pack: panel[kx][t] = B[jj + t][kx].
+            for t in 0..JT {
+                let brow = &b[(jj + t) * k..(jj + t + 1) * k];
+                for (kx, &v) in brow.iter().enumerate() {
+                    panel[kx * JT + t] = v;
+                }
+            }
+            let mut i = 0;
+            while i + 4 <= rows {
+                let a0row = &a[i * k..(i + 1) * k];
+                let a1row = &a[(i + 1) * k..(i + 2) * k];
+                let a2row = &a[(i + 2) * k..(i + 3) * k];
+                let a3row = &a[(i + 3) * k..(i + 4) * k];
+                let mut acc0 = [0.0f32; JT];
+                let mut acc1 = [0.0f32; JT];
+                let mut acc2 = [0.0f32; JT];
+                let mut acc3 = [0.0f32; JT];
+                for kx in 0..k {
+                    let bv: &[f32; JT] =
+                        panel[kx * JT..(kx + 1) * JT].try_into().expect("JT-wide tile");
+                    let (a0, a1, a2, a3) = (a0row[kx], a1row[kx], a2row[kx], a3row[kx]);
+                    for t in 0..JT {
+                        acc0[t] += a0 * bv[t];
+                        acc1[t] += a1 * bv[t];
+                        acc2[t] += a2 * bv[t];
+                        acc3[t] += a3 * bv[t];
+                    }
+                }
+                out[i * n + jj..i * n + jj + JT].copy_from_slice(&acc0);
+                out[(i + 1) * n + jj..(i + 1) * n + jj + JT].copy_from_slice(&acc1);
+                out[(i + 2) * n + jj..(i + 2) * n + jj + JT].copy_from_slice(&acc2);
+                out[(i + 3) * n + jj..(i + 3) * n + jj + JT].copy_from_slice(&acc3);
+                i += 4;
+            }
+            while i < rows {
+                let arow = &a[i * k..(i + 1) * k];
+                let mut acc = [0.0f32; JT];
+                for (kx, &av) in arow.iter().enumerate() {
+                    let bv: &[f32; JT] =
+                        panel[kx * JT..(kx + 1) * JT].try_into().expect("JT-wide tile");
+                    for t in 0..JT {
+                        acc[t] += av * bv[t];
+                    }
+                }
+                out[i * n + jj..i * n + jj + JT].copy_from_slice(&acc);
+                i += 1;
+            }
+            jj += JT;
+        }
+        // Column tail: plain row-by-row dots.
+        for j in jj..n {
+            let brow = &b[j * k..(j + 1) * k];
+            for i in 0..rows {
+                out[i * n + j] = dot16(&a[i * k..(i + 1) * k], brow);
+            }
+        }
+    });
+}
+
+/// Sixteen-lane unrolled dot product with a fixed reduction tree (the
+/// manual unroll is what lets the autovectorizer use SIMD despite strict
+/// f32 semantics; the fixed tree keeps it deterministic regardless of
+/// vector width or thread count).
+fn dot16(x: &[f32], y: &[f32]) -> f32 {
+    let head = x.len() - x.len() % 16;
+    let mut acc = [0.0f32; 16];
+    let (xc, xr) = x.split_at(head);
+    let (yc, yr) = y.split_at(head);
+    for (cx, cy) in xc.chunks_exact(16).zip(yc.chunks_exact(16)) {
+        for l in 0..16 {
+            acc[l] += cx[l] * cy[l];
+        }
+    }
+    let mut tail = 0.0;
+    for (a, b) in xr.iter().zip(yr) {
+        tail += a * b;
+    }
+    // Fixed pairwise reduction: lanes 8 apart, then 4, 2, 1.
+    let mut lanes = acc;
+    for span in [8usize, 4, 2, 1] {
+        for l in 0..span {
+            lanes[l] += lanes[l + span];
+        }
+    }
+    lanes[0] + tail
+}
+
+// ----------------------------------------------------------------------
+// out (+)= Aᵀ · B
+// ----------------------------------------------------------------------
+
+/// Transpose-aware GEMM: `out = Aᵀ·B` with `A[k,m]`, `B[k,n]`, `out[m,n]`.
+///
+/// `A` is read down its columns without materialising `Aᵀ` — the kernel
+/// behind `attnᵀ·dctx` and `dscoresᵀ·q` in attention backward.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the dimensions.
+pub fn matmul_tn_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    gemm_tn(out, a, b, m, k, n, false);
+}
+
+/// Accumulating variant of [`matmul_tn_into`]: `out += Aᵀ·B`.
+///
+/// Writes straight into an existing accumulator — `Linear::backward` uses it
+/// to add `xᵀ·dy` onto the weight gradient with zero temporaries.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the dimensions.
+pub fn matmul_tn_acc_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    gemm_tn(out, a, b, m, k, n, true);
+}
+
+fn gemm_tn(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize, acc: bool) {
+    assert_eq!(out.len(), m * n, "matmul_tn: out length mismatch");
+    assert_eq!(a.len(), k * m, "matmul_tn: lhs length mismatch");
+    assert_eq!(b.len(), k * n, "matmul_tn: rhs length mismatch");
+    par_rows(out, m, n, m * k * n, |start, chunk| {
+        let rows = chunk.len() / n.max(1);
+        gemm_tn_rows(chunk, a, b, start, rows, m, k, n, acc);
+    });
+}
+
+/// `Aᵀ·B` over output rows `[start, start+rows)`; `A` is `[k, m_total]`,
+/// read down its columns (stride `m_total`). Same register-tile shape as
+/// [`gemm_nn_rows`].
+#[allow(clippy::too_many_arguments)]
+fn gemm_tn_rows(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    start: usize,
+    rows: usize,
+    m_total: usize,
+    k: usize,
+    n: usize,
+    acc: bool,
+) {
+    if !acc {
+        out.fill(0.0);
+    }
+    if rows == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mut i = 0;
+    while i + 4 <= rows {
+        let mut jj = 0;
+        while jj + JT <= n {
+            let mut acc0 = [0.0f32; JT];
+            let mut acc1 = [0.0f32; JT];
+            let mut acc2 = [0.0f32; JT];
+            let mut acc3 = [0.0f32; JT];
+            for kx in 0..k {
+                let acol = kx * m_total + start + i;
+                let bv: &[f32; JT] =
+                    b[kx * n + jj..kx * n + jj + JT].try_into().expect("JT-wide tile");
+                let (a0, a1, a2, a3) = (a[acol], a[acol + 1], a[acol + 2], a[acol + 3]);
+                for t in 0..JT {
+                    acc0[t] += a0 * bv[t];
+                    acc1[t] += a1 * bv[t];
+                    acc2[t] += a2 * bv[t];
+                    acc3[t] += a3 * bv[t];
+                }
+            }
+            add_or_store(&mut out[i * n + jj..i * n + jj + JT], &acc0, acc);
+            add_or_store(&mut out[(i + 1) * n + jj..(i + 1) * n + jj + JT], &acc1, acc);
+            add_or_store(&mut out[(i + 2) * n + jj..(i + 2) * n + jj + JT], &acc2, acc);
+            add_or_store(&mut out[(i + 3) * n + jj..(i + 3) * n + jj + JT], &acc3, acc);
+            jj += JT;
+        }
+        while jj < n {
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for kx in 0..k {
+                let acol = kx * m_total + start + i;
+                let bv = b[kx * n + jj];
+                s0 += a[acol] * bv;
+                s1 += a[acol + 1] * bv;
+                s2 += a[acol + 2] * bv;
+                s3 += a[acol + 3] * bv;
+            }
+            out[i * n + jj] += s0;
+            out[(i + 1) * n + jj] += s1;
+            out[(i + 2) * n + jj] += s2;
+            out[(i + 3) * n + jj] += s3;
+            jj += 1;
+        }
+        i += 4;
+    }
+    while i < rows {
+        let mut jj = 0;
+        while jj + JT <= n {
+            let mut tile = [0.0f32; JT];
+            for kx in 0..k {
+                let av = a[kx * m_total + start + i];
+                let bv: &[f32; JT] =
+                    b[kx * n + jj..kx * n + jj + JT].try_into().expect("JT-wide tile");
+                for t in 0..JT {
+                    tile[t] += av * bv[t];
+                }
+            }
+            add_or_store(&mut out[i * n + jj..i * n + jj + JT], &tile, acc);
+            jj += JT;
+        }
+        while jj < n {
+            let mut s = 0.0f32;
+            for kx in 0..k {
+                s += a[kx * m_total + start + i] * b[kx * n + jj];
+            }
+            out[i * n + jj] += s;
+            jj += 1;
+        }
+        i += 1;
+    }
+}
+
+/// Writes a finished register tile to the output: overwrite for the plain
+/// kernels (the buffer was zeroed), add for the accumulating `tn` form.
+#[inline]
+fn add_or_store(out: &mut [f32], tile: &[f32; JT], acc: bool) {
+    if acc {
+        for (o, &v) in out.iter_mut().zip(tile) {
+            *o += v;
+        }
+    } else {
+        out.copy_from_slice(tile);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sparse / masked entry point (the seed loop, quarantined)
+// ----------------------------------------------------------------------
+
+/// The seed repo's ikj GEMM with per-element zero skipping.
+///
+/// This is **not** the dense path: the `== 0.0` branch costs a compare per
+/// element on dense data. It is kept as the explicit entry point for
+/// operands that are structurally sparse — routing one-hots, masked gate
+/// matrices — where skipping whole `B`-row accumulations wins, and as the
+/// seed-loop baseline the substrate bench measures speedups against.
+/// Produces results equal (under `f32` `==`) to [`matmul_into`].
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the dimensions.
+pub fn matmul_skip_zeros_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    check_dims(out.len(), a.len(), b.len(), m, k, n, "matmul_skip_zeros_into");
+    out.fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kx, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kx * n..(kx + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Textbook reference with the same ascending-k order as the kernels.
+    fn reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kx in 0..k {
+                for j in 0..n {
+                    out[i * n + j] += a[i * k + kx] * b[kx * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        // Small LCG keeps the kernels' unit tests dependency-free.
+        let mut state = seed.wrapping_mul(2654435761).max(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 8) as f32 / (1 << 24) as f32) * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_matches_reference_across_odd_shapes() {
+        for &(m, k, n) in
+            &[(1, 1, 1), (3, 5, 2), (4, 4, 4), (5, 9, 7), (17, 33, 12), (65, 130, 9), (2, 300, 3)]
+        {
+            let a = fill(m * k, 7);
+            let b = fill(k * n, 11);
+            let mut out = vec![0.0; m * n];
+            matmul_into(&mut out, &a, &b, m, k, n);
+            let want = reference(&a, &b, m, k, n);
+            for (x, y) in out.iter().zip(&want) {
+                assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dims_produce_zeroed_output() {
+        let mut out = vec![9.0f32; 0];
+        matmul_into(&mut out, &[], &[], 0, 3, 0);
+        let mut out = vec![9.0f32; 6];
+        matmul_into(&mut out, &[], &[], 2, 0, 3);
+        assert_eq!(out, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let (m, k, n) = (9, 21, 6);
+        let a = fill(m * k, 3);
+        let b = fill(n * k, 5); // B is [n, k]
+        let mut bt = vec![0.0; k * n];
+        for r in 0..n {
+            for c in 0..k {
+                bt[c * n + r] = b[r * k + c];
+            }
+        }
+        let mut got = vec![0.0; m * n];
+        matmul_nt_into(&mut got, &a, &b, m, k, n);
+        let want = reference(&a, &bt, m, k, n);
+        for (x, y) in got.iter().zip(&want) {
+            assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose_and_accumulates() {
+        let (m, k, n) = (8, 13, 10);
+        let a = fill(k * m, 9); // A is [k, m]
+        let b = fill(k * n, 13);
+        let mut at = vec![0.0; m * k];
+        for r in 0..k {
+            for c in 0..m {
+                at[c * k + r] = a[r * m + c];
+            }
+        }
+        let mut got = vec![0.0; m * n];
+        matmul_tn_into(&mut got, &a, &b, m, k, n);
+        let want = reference(&at, &b, m, k, n);
+        for (x, y) in got.iter().zip(&want) {
+            assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+        // The accumulating form adds on top.
+        matmul_tn_acc_into(&mut got, &a, &b, m, k, n);
+        for (x, y) in got.iter().zip(&want) {
+            assert!((x - 2.0 * y).abs() <= 1e-3 * (1.0 + y.abs()), "{x} vs 2·{y}");
+        }
+    }
+
+    #[test]
+    fn skip_zeros_equals_dense_on_sparse_operand() {
+        let (m, k, n) = (6, 12, 5);
+        let mut a = fill(m * k, 21);
+        for (i, v) in a.iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = fill(k * n, 23);
+        let mut dense = vec![0.0; m * n];
+        let mut sparse = vec![0.0; m * n];
+        matmul_into(&mut dense, &a, &b, m, k, n);
+        matmul_skip_zeros_into(&mut sparse, &a, &b, m, k, n);
+        assert_eq!(dense, sparse);
+    }
+}

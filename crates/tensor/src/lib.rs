@@ -8,6 +8,12 @@
 //!
 //! * [`Tensor`] — a row-major dense `f32` tensor with shape-checked algebra
 //!   (matmul, broadcasting adds, reductions, softmax, layer-norm, top-k).
+//! * [`kernel`] — the cache-blocked GEMM micro-kernels (`matmul_into`,
+//!   transpose-aware `matmul_nt`/`matmul_tn` variants) every matmul lowers
+//!   to, parallelised across [`pool::WorkerPool`] worker threads
+//!   (`PGMOE_THREADS`) above a size cutoff.
+//! * [`arena`] — [`ScratchArena`], recycled scratch buffers that make the
+//!   arena-aware inference paths allocation-free in steady state.
 //! * [`nn`] — gradient-carrying layers (`Linear`, `Embedding`, `LayerNorm`,
 //!   `CausalSelfAttention`, activations, cross-entropy) used by the trainable
 //!   scaled-down MoE models in `pgmoe-train`.
@@ -31,17 +37,25 @@
 //! accuracy experiments (Table II, Fig 13) and functional validation of the
 //! runtime's routing logic.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool's scoped execution needs one
+// audited lifetime-erasure transmute (see `pool.rs` for the safety argument);
+// every other module remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod shape;
 mod tensor;
 
+pub mod arena;
 pub mod init;
+pub mod kernel;
 pub mod nn;
 pub mod ops;
+pub mod pool;
 
+pub use arena::{ArenaStats, ScratchArena};
 pub use error::{Result, TensorError};
+pub use pool::WorkerPool;
 pub use shape::Shape;
 pub use tensor::Tensor;

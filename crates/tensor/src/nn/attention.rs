@@ -2,7 +2,7 @@
 
 use super::{Layer, Linear, Param};
 use crate::ops::softmax_backward;
-use crate::Tensor;
+use crate::{ScratchArena, Tensor};
 use rand::Rng;
 
 /// Single-head causal self-attention over one sequence `[t, dim] → [t, dim]`.
@@ -73,15 +73,46 @@ impl CausalSelfAttention {
         self.wo.forward_inference(&ctx)
     }
 
+    /// Inference forward through arena-recycled intermediates — the
+    /// allocation-free serving path. The caller recycles the returned
+    /// tensor when done.
+    pub fn forward_inference_arena(&self, x: &Tensor, arena: &ScratchArena) -> Tensor {
+        let t = x.rows();
+        let q = self.wq.forward_inference_arena(x, arena);
+        let k = self.wk.forward_inference_arena(x, arena);
+        let v = self.wv.forward_inference_arena(x, arena);
+        let mut attn = arena.take([t, t]);
+        q.matmul_nt_into(&k, &mut attn).expect("attention: q/k width mismatch");
+        self.mask_and_softmax(&mut attn);
+        let mut ctx = arena.take([t, v.cols()]);
+        attn.matmul_into(&v, &mut ctx).expect("attention: attn/v mismatch");
+        let y = self.wo.forward_inference_arena(&ctx, arena);
+        arena.recycle(q);
+        arena.recycle(k);
+        arena.recycle(v);
+        arena.recycle(attn);
+        arena.recycle(ctx);
+        y
+    }
+
     fn masked_attention(&self, q: &Tensor, k: &Tensor) -> Tensor {
-        let t = q.rows();
-        let mut scores = q.matmul(&k.transpose()).scale(self.scale);
+        // Q·Kᵀ through the transpose-aware kernel: K is never transposed in
+        // memory.
+        let mut scores = q.matmul_nt(k);
+        self.mask_and_softmax(&mut scores);
+        scores
+    }
+
+    fn mask_and_softmax(&self, scores: &mut Tensor) {
+        let t = scores.rows();
+        let scale = self.scale;
+        scores.map_inplace(|v| v * scale);
         for i in 0..t {
             for j in (i + 1)..t {
                 scores.set(&[i, j], f32::NEG_INFINITY);
             }
         }
-        scores.softmax_rows()
+        scores.softmax_rows_inplace();
     }
 
     /// Backward pass; accumulates projection grads, returns `dx`.
@@ -92,14 +123,15 @@ impl CausalSelfAttention {
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
         let cache = self.cache.take().expect("CausalSelfAttention::backward before forward");
         let dctx = self.wo.backward(dy);
-        // ctx = attn · v
-        let dattn = dctx.matmul(&cache.v.transpose());
-        let dv = cache.attn.transpose().matmul(&dctx);
+        // ctx = attn · v — both factor gradients through the transpose-aware
+        // kernels, so no transpose is ever materialised in this pass.
+        let dattn = dctx.matmul_nt(&cache.v);
+        let dv = cache.attn.matmul_tn(&dctx);
         // Masked positions have attn == 0, so softmax_backward already yields
         // zero gradient there; no explicit re-masking is needed.
         let dscores = softmax_backward(&cache.attn, &dattn).scale(self.scale);
         let dq = dscores.matmul(&cache.k);
-        let dk = dscores.transpose().matmul(&cache.q);
+        let dk = dscores.matmul_tn(&cache.q);
         let dx_q = self.wq.backward(&dq);
         let dx_k = self.wk.backward(&dk);
         let dx_v = self.wv.backward(&dv);
@@ -145,6 +177,22 @@ mod tests {
         for j in 0..4 {
             assert!((y1.at(&[0, j]) - y2.at(&[0, j])).abs() < 1e-6);
             assert!((y1.at(&[1, j]) - y2.at(&[1, j])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn arena_inference_matches_plain_inference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let attn = CausalSelfAttention::new(8, &mut rng);
+        let x = crate::init::normal([5, 8], 0.0, 1.0, &mut rng);
+        let want = attn.forward_inference(&x);
+        let arena = ScratchArena::new();
+        for _ in 0..3 {
+            let y = attn.forward_inference_arena(&x, &arena);
+            for (a, b) in y.as_slice().iter().zip(want.as_slice()) {
+                assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            }
+            arena.recycle(y);
         }
     }
 

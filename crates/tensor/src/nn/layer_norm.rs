@@ -1,8 +1,10 @@
 //! Layer normalisation as a gradient-carrying layer.
 
 use super::{Layer, Param};
-use crate::ops::{layer_norm_backward, layer_norm_forward, LayerNormCache};
-use crate::Tensor;
+use crate::ops::{
+    layer_norm_backward, layer_norm_forward, layer_norm_inference_into, LayerNormCache,
+};
+use crate::{ScratchArena, Tensor};
 
 /// Row-wise layer normalisation with learnable scale and shift.
 ///
@@ -43,7 +45,17 @@ impl LayerNorm {
 
     /// Inference-only forward pass that skips caching.
     pub fn forward_inference(&self, x: &Tensor) -> Tensor {
-        layer_norm_forward(x, &self.gamma.value, &self.beta.value, self.eps).0
+        let mut y = Tensor::zeros(x.shape().clone());
+        layer_norm_inference_into(x, &self.gamma.value, &self.beta.value, self.eps, &mut y);
+        y
+    }
+
+    /// Inference forward into an arena-recycled output — the
+    /// allocation-free serving path (no statistics cache is built).
+    pub fn forward_inference_arena(&self, x: &Tensor, arena: &ScratchArena) -> Tensor {
+        let mut y = arena.take(x.shape().clone());
+        layer_norm_inference_into(x, &self.gamma.value, &self.beta.value, self.eps, &mut y);
+        y
     }
 
     /// Backward pass; accumulates `dγ`, `dβ` and returns `dx`.

@@ -1,7 +1,7 @@
 //! Fully-connected layer with manual backprop.
 
 use super::{Layer, Param};
-use crate::{init, Tensor};
+use crate::{init, ScratchArena, Tensor};
 use rand::Rng;
 
 /// A dense affine layer `y = x W + b`.
@@ -68,7 +68,7 @@ impl Linear {
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         let mut y = x.matmul(&self.weight.value);
         if let Some(b) = &self.bias {
-            y = y.add_row_broadcast(&b.value);
+            self.add_bias_inplace(&mut y, &b.value);
         }
         self.cached_input = Some(x.clone());
         y
@@ -78,31 +78,64 @@ impl Linear {
     pub fn forward_inference(&self, x: &Tensor) -> Tensor {
         let mut y = x.matmul(&self.weight.value);
         if let Some(b) = &self.bias {
-            y = y.add_row_broadcast(&b.value);
+            self.add_bias_inplace(&mut y, &b.value);
         }
         y
     }
 
+    /// Inference forward into an arena-recycled output — the
+    /// allocation-free serving path. The caller recycles `x` (and
+    /// eventually the returned tensor) when done.
+    pub fn forward_inference_arena(&self, x: &Tensor, arena: &ScratchArena) -> Tensor {
+        let mut y = arena.take([x.rows(), self.out_features()]);
+        x.matmul_into(&self.weight.value, &mut y).expect("Linear: input width mismatch");
+        if let Some(b) = &self.bias {
+            self.add_bias_inplace(&mut y, &b.value);
+        }
+        y
+    }
+
+    fn add_bias_inplace(&self, y: &mut Tensor, bias: &Tensor) {
+        for r in 0..y.rows() {
+            for (v, b) in y.row_mut(r).iter_mut().zip(bias.as_slice()) {
+                *v += b;
+            }
+        }
+    }
+
     /// Backward pass: accumulates `dW = xᵀ dy`, `db = Σ dy`, returns
     /// `dx = dy Wᵀ`.
+    ///
+    /// Both products run through the transpose-aware kernels — no transpose
+    /// is materialised, and `dW` accumulates straight into the weight
+    /// gradient with zero temporaries.
     ///
     /// # Panics
     ///
     /// Panics if called before [`Linear::forward`].
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
         let x = self.cached_input.as_ref().expect("Linear::backward before forward");
-        let dw = x.transpose().matmul(dy);
-        self.weight.accumulate(&dw);
+        let (tokens, in_f) = (x.rows(), self.in_features());
+        let out_f = self.out_features();
+        // dW += xᵀ · dy, written directly onto the accumulated gradient.
+        crate::kernel::matmul_tn_acc_into(
+            self.weight.grad.as_mut_slice(),
+            x.as_slice(),
+            dy.as_slice(),
+            in_f,
+            tokens,
+            out_f,
+        );
         if let Some(b) = &mut self.bias {
-            let mut db = Tensor::zeros([dy.cols()]);
+            let db = b.grad.as_mut_slice();
             for r in 0..dy.rows() {
-                for (i, v) in dy.row(r).iter().enumerate() {
-                    db.as_mut_slice()[i] += v;
+                for (g, v) in db.iter_mut().zip(dy.row(r)) {
+                    *g += v;
                 }
             }
-            b.accumulate(&db);
         }
-        dy.matmul(&self.weight.value.transpose())
+        // dx = dy · Wᵀ without materialising Wᵀ.
+        dy.matmul_nt(&self.weight.value)
     }
 }
 
@@ -164,6 +197,26 @@ mod tests {
             let numeric = (lp - lm) / (2.0 * eps);
             assert!((layer.weight.grad.as_slice()[i] - numeric).abs() < 1e-2);
         }
+    }
+
+    #[test]
+    fn arena_forward_matches_inference_and_reuses_buffers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Linear::new(6, 3, true, &mut rng);
+        let x = crate::init::normal([4, 6], 0.0, 1.0, &mut rng);
+        let want = layer.forward_inference(&x);
+        let arena = ScratchArena::new();
+        let warm = layer.forward_inference_arena(&x, &arena);
+        assert_eq!(warm, want);
+        arena.recycle(warm);
+        let base = arena.stats();
+        for _ in 0..5 {
+            let y = layer.forward_inference_arena(&x, &arena);
+            assert_eq!(y, want);
+            arena.recycle(y);
+        }
+        let stats = arena.stats();
+        assert_eq!(stats.takes - base.takes, stats.reuses - base.reuses, "steady state reuses");
     }
 
     #[test]

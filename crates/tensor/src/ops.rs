@@ -4,7 +4,47 @@
 //! the functions themselves are kept free-standing so they can be
 //! gradient-checked in isolation (see the integration tests).
 
+use crate::pool::{self, ScopedTask, WorkerPool};
 use crate::Tensor;
+
+/// Element count (`rows × cols`) above which layer-norm fans its rows out to
+/// the worker pool.
+const PAR_ROWS_CUTOFF: usize = 1 << 16;
+
+/// Runs `f(start_row, y_chunk, xh_chunk, inv_chunk)` over row blocks of the
+/// three layer-norm outputs, in parallel for large inputs. All three slices
+/// are partitioned identically (the split depends only on `rows` and the
+/// thread count), and every row is produced by exactly one task, so results
+/// are deterministic across thread counts.
+fn par_rows3(
+    y: &mut [f32],
+    x_hat: &mut [f32],
+    inv_std: &mut [f32],
+    rows: usize,
+    cols: usize,
+    f: impl Fn(usize, &mut [f32], &mut [f32], &mut [f32]) + Sync,
+) {
+    let worker_pool = WorkerPool::global();
+    let threads = worker_pool.num_threads();
+    if threads <= 1 || rows * cols < PAR_ROWS_CUTOFF || rows < 2 {
+        f(0, y, x_hat, inv_std);
+        return;
+    }
+    let blocks = threads.min(rows);
+    let y_parts = pool::split_row_blocks(y, rows, cols, blocks);
+    let xh_parts = pool::split_row_blocks(x_hat, rows, cols, blocks);
+    let inv_parts = pool::split_row_blocks(inv_std, rows, 1, blocks);
+    let f = &f;
+    let tasks: Vec<ScopedTask<'_>> = y_parts
+        .into_iter()
+        .zip(xh_parts)
+        .zip(inv_parts)
+        .map(|(((start, yc), (_, xc)), (_, ic))| {
+            Box::new(move || f(start, yc, xc, ic)) as ScopedTask<'_>
+        })
+        .collect();
+    worker_pool.scope_run(tasks);
+}
 
 /// Rectified linear unit, elementwise.
 pub fn relu(x: &Tensor) -> Tensor {
@@ -71,28 +111,78 @@ pub fn layer_norm_forward(
     beta: &Tensor,
     eps: f32,
 ) -> (Tensor, LayerNormCache) {
+    let rows = x.rows();
     let cols = x.cols();
     assert_eq!(gamma.len(), cols, "layer_norm: gamma width mismatch");
     assert_eq!(beta.len(), cols, "layer_norm: beta width mismatch");
-    let mut y = x.clone();
-    let mut x_hat = x.clone();
-    let mut inv_std = Vec::with_capacity(x.rows());
-    for r in 0..x.rows() {
-        let row = x.row(r);
-        let mean = row.iter().sum::<f32>() / cols as f32;
-        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
-        let istd = 1.0 / (var + eps).sqrt();
-        inv_std.push(istd);
-        let xh = x_hat.row_mut(r);
-        for (i, v) in xh.iter_mut().enumerate() {
-            *v = (row[i] - mean) * istd;
-        }
-        let yr = y.row_mut(r);
+    // Outputs are written in full — zero-init instead of the old
+    // clone-then-overwrite, which copied `x` twice for nothing.
+    let mut y = Tensor::zeros(x.shape().clone());
+    let mut x_hat = Tensor::zeros(x.shape().clone());
+    let mut inv_std = vec![0.0f32; rows];
+    let (xs, gs, bs) = (x.as_slice(), gamma.as_slice(), beta.as_slice());
+    par_rows3(
+        y.as_mut_slice(),
+        x_hat.as_mut_slice(),
+        &mut inv_std,
+        rows,
+        cols,
+        |start, yc, xc, ic| {
+            for (local, istd_out) in ic.iter_mut().enumerate() {
+                let r = start + local;
+                let row = &xs[r * cols..(r + 1) * cols];
+                let (mean, istd) = row_stats(row, eps);
+                *istd_out = istd;
+                let xh = &mut xc[local * cols..(local + 1) * cols];
+                let yr = &mut yc[local * cols..(local + 1) * cols];
+                for i in 0..cols {
+                    let h = (row[i] - mean) * istd;
+                    xh[i] = h;
+                    yr[i] = gs[i] * h + bs[i];
+                }
+            }
+        },
+    );
+    (y, LayerNormCache { x_hat, inv_std })
+}
+
+/// Inference-only layer norm into an existing buffer: computes `y` without
+/// the `x_hat`/`inv_std` cache — the allocation-free path serving decodes
+/// take through [`crate::ScratchArena`]-aware layers.
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` widths or `out`'s shape mismatch `x`.
+pub fn layer_norm_inference_into(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+    out: &mut Tensor,
+) {
+    let rows = x.rows();
+    let cols = x.cols();
+    assert_eq!(gamma.len(), cols, "layer_norm: gamma width mismatch");
+    assert_eq!(beta.len(), cols, "layer_norm: beta width mismatch");
+    assert_eq!(out.shape(), x.shape(), "layer_norm: output shape mismatch");
+    let (xs, gs, bs) = (x.as_slice(), gamma.as_slice(), beta.as_slice());
+    let ys = out.as_mut_slice();
+    for r in 0..rows {
+        let row = &xs[r * cols..(r + 1) * cols];
+        let (mean, istd) = row_stats(row, eps);
+        let yr = &mut ys[r * cols..(r + 1) * cols];
         for i in 0..cols {
-            yr[i] = gamma.as_slice()[i] * x_hat.row(r)[i] + beta.as_slice()[i];
+            yr[i] = gs[i] * ((row[i] - mean) * istd) + bs[i];
         }
     }
-    (y, LayerNormCache { x_hat, inv_std })
+}
+
+/// Per-row mean and inverse standard deviation.
+fn row_stats(row: &[f32], eps: f32) -> (f32, f32) {
+    let n = row.len() as f32;
+    let mean = row.iter().sum::<f32>() / n;
+    let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    (mean, 1.0 / (var + eps).sqrt())
 }
 
 /// Backward pass of [`layer_norm_forward`].
@@ -108,6 +198,7 @@ pub fn layer_norm_backward(
     let mut dx = Tensor::zeros([rows, cols]);
     let mut dgamma = Tensor::zeros([cols]);
     let mut dbeta = Tensor::zeros([cols]);
+    let mut dxhat = vec![0.0f32; cols]; // reused across rows
     for r in 0..rows {
         let dyr = dy.row(r);
         let xh = cache.x_hat.row(r);
@@ -118,7 +209,9 @@ pub fn layer_norm_backward(
             dbeta.as_mut_slice()[i] += dyr[i];
         }
         // dx for the normalised row: standard layer-norm backward identity.
-        let dxhat: Vec<f32> = (0..cols).map(|i| dyr[i] * gamma.as_slice()[i]).collect();
+        for i in 0..cols {
+            dxhat[i] = dyr[i] * gamma.as_slice()[i];
+        }
         let sum_dxhat: f32 = dxhat.iter().sum();
         let sum_dxhat_xhat: f32 = dxhat.iter().zip(xh).map(|(a, b)| a * b).sum();
         let n = cols as f32;
@@ -134,7 +227,8 @@ pub fn layer_norm_backward(
 /// gradient `dy`: `dx_i = y_i (dy_i − Σ_j dy_j y_j)` per row.
 pub fn softmax_backward(y: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(y.dims(), dy.dims(), "softmax_backward: shape mismatch");
-    let mut dx = y.clone();
+    // Every element is overwritten below; zero-init beats clone-then-store.
+    let mut dx = Tensor::zeros(y.shape().clone());
     let cols = y.cols();
     for r in 0..y.rows() {
         let yr = y.row(r);
@@ -237,6 +331,17 @@ mod tests {
         let var: f32 = y.row(0).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_inference_into_matches_forward() {
+        let x = Tensor::from_rows(&[&[0.5, -1.0, 2.0, 0.1], &[3.0, 0.0, -2.0, 1.0]]);
+        let gamma = Tensor::vector(&[1.1, 0.9, 1.0, 1.2]);
+        let beta = Tensor::vector(&[0.1, -0.1, 0.0, 0.2]);
+        let (want, _) = layer_norm_forward(&x, &gamma, &beta, 1e-5);
+        let mut got = Tensor::zeros([2, 4]);
+        layer_norm_inference_into(&x, &gamma, &beta, 1e-5, &mut got);
+        assert_eq!(got, want);
     }
 
     #[test]

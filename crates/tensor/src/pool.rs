@@ -1,0 +1,344 @@
+//! Persistent worker-thread pool for data-parallel kernels.
+//!
+//! The pool is the only place in the workspace that touches threads: the
+//! blocked GEMM kernels in [`crate::kernel`], the large-tensor elementwise
+//! paths in [`crate::Tensor`], and the row-parallel layer-norm in
+//! [`crate::ops`] all dispatch through [`WorkerPool::global`].
+//!
+//! Design constraints (see the crate docs):
+//!
+//! * **Offline build** — no rayon/crossbeam; plain `std::thread` workers
+//!   parked on an MPSC channel.
+//! * **Persistent** — workers are spawned once (first use) and live for the
+//!   process, so steady-state dispatch costs one channel send per task, not
+//!   a thread spawn.
+//! * **Deterministic** — the pool only ever splits work into *contiguous
+//!   row ranges* whose per-element computation order is independent of the
+//!   partition, so results are bitwise identical for 1 and N threads (this
+//!   is property-tested in `tests/properties.rs`).
+//!
+//! Thread count is `PGMOE_THREADS` when set (read once, at first use),
+//! otherwise [`std::thread::available_parallelism`].
+//!
+//! # Safety
+//!
+//! [`WorkerPool::scope_run`] executes caller-scoped closures on the
+//! persistent workers. The closures are lifetime-erased to `'static` with a
+//! single `transmute` (this module's only `unsafe`), which is sound because
+//! `scope_run` blocks on a completion latch until every submitted task has
+//! finished — the same argument that underpins `std::thread::scope`. A task
+//! that panics is caught on the worker (so the latch always completes) and
+//! the panic is re-raised on the caller.
+
+#![allow(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of work borrowed from the caller's scope.
+pub type ScopedTask<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+type StaticTask = Box<dyn FnOnce() + Send + 'static>;
+
+std::thread_local! {
+    /// True on pool worker threads. A nested `scope_run` from inside a task
+    /// runs inline instead of re-dispatching — blocking a worker on a latch
+    /// whose tasks sit behind it in the queue would deadlock the pool.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Completion latch: `scope_run` waits until every task counted down.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("latch poisoned");
+        }
+    }
+}
+
+/// The persistent worker pool (see the [module docs](self)).
+pub struct WorkerPool {
+    /// `None` when the pool is single-threaded (everything runs inline).
+    sender: Option<mpsc::Sender<StaticTask>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Builds a pool that runs tasks across `threads` threads (the caller
+    /// counts as one; `threads - 1` workers are spawned).
+    fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return WorkerPool { sender: None, threads: 1 };
+        }
+        let (sender, receiver) = mpsc::channel::<StaticTask>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for i in 0..threads - 1 {
+            let receiver = Arc::clone(&receiver);
+            std::thread::Builder::new()
+                .name(format!("pgmoe-worker-{i}"))
+                .spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    loop {
+                        // Take the next task while holding the lock only for
+                        // the dequeue, then run it unlocked.
+                        let task = { receiver.lock().expect("worker queue poisoned").recv() };
+                        match task {
+                            Ok(task) => task(),
+                            Err(_) => break, // pool dropped: exit quietly
+                        }
+                    }
+                })
+                .expect("failed to spawn pgmoe worker thread");
+        }
+        WorkerPool { sender: Some(sender), threads }
+    }
+
+    /// The process-wide pool, created on first use.
+    ///
+    /// Sized by `PGMOE_THREADS` when set to a positive integer, otherwise by
+    /// [`std::thread::available_parallelism`]; capped at 64.
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| WorkerPool::with_threads(configured_threads()))
+    }
+
+    /// Number of threads this pool spreads work across (including the
+    /// caller's thread).
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task to completion, using the worker threads plus the
+    /// calling thread, and returns once **all** tasks have finished.
+    ///
+    /// Tasks may borrow from the caller's scope: the blocking completion
+    /// latch guarantees no task outlives the call.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic) if any task panicked.
+    pub fn scope_run(&self, tasks: Vec<ScopedTask<'_>>) {
+        let Some(sender) = &self.sender else {
+            for task in tasks {
+                task();
+            }
+            return;
+        };
+        // Nested dispatch from inside a worker task runs inline: parking a
+        // worker on a latch whose tasks are queued behind it would deadlock.
+        if tasks.len() <= 1 || IN_WORKER.with(|w| w.get()) {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        let latch = Arc::new(Latch::new(tasks.len()));
+        let mut tasks = tasks.into_iter();
+        // Keep one task for the calling thread so it contributes instead of
+        // blocking idle on the latch.
+        let inline = tasks.next().expect("len checked above");
+        for task in tasks {
+            // SAFETY: `task` borrows at most from the caller's scope. We wait
+            // on `latch` below until every submitted task has run (worker
+            // panics are caught so the count-down always happens), therefore
+            // the borrow cannot be observed after it expires. Lifetime
+            // erasure of the box is layout-preserving.
+            let task: StaticTask =
+                unsafe { std::mem::transmute::<ScopedTask<'_>, StaticTask>(task) };
+            let latch = Arc::clone(&latch);
+            let wrapped: StaticTask = Box::new(move || {
+                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    latch.panicked.store(true, Ordering::SeqCst);
+                }
+                latch.count_down();
+            });
+            sender.send(wrapped).expect("worker pool channel closed");
+        }
+        let inline_result = catch_unwind(AssertUnwindSafe(inline));
+        latch.count_down();
+        latch.wait();
+        if let Err(payload) = inline_result {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(
+            !latch.panicked.load(Ordering::SeqCst),
+            "a worker task panicked (see worker thread output)"
+        );
+    }
+}
+
+/// Splits `data` — a row-major `[rows, cols]` buffer — into at most `blocks`
+/// contiguous whole-row chunks of near-equal size.
+///
+/// Returns `(start_row, chunk)` pairs. The partition depends only on
+/// `(rows, blocks)`, never on thread scheduling, which is what keeps
+/// row-parallel kernels deterministic.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols`.
+pub fn split_row_blocks(
+    data: &mut [f32],
+    rows: usize,
+    cols: usize,
+    blocks: usize,
+) -> Vec<(usize, &mut [f32])> {
+    assert_eq!(data.len(), rows * cols, "split_row_blocks: length mismatch");
+    let blocks = blocks.clamp(1, rows.max(1));
+    let base = rows / blocks;
+    let extra = rows % blocks;
+    let mut parts = Vec::with_capacity(blocks);
+    let mut rest = data;
+    let mut start = 0;
+    for b in 0..blocks {
+        let take = base + usize::from(b < extra);
+        let (head, tail) = rest.split_at_mut(take * cols);
+        if take > 0 {
+            parts.push((start, head));
+        }
+        start += take;
+        rest = tail;
+    }
+    parts
+}
+
+fn configured_threads() -> usize {
+    let requested = std::env::var("PGMOE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    let threads = requested
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    threads.min(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_run_executes_every_task() {
+        let pool = WorkerPool::with_threads(4);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<ScopedTask<'_>> = (0..64)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        pool.scope_run(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn scope_run_tasks_may_borrow_disjoint_slices() {
+        let pool = WorkerPool::with_threads(3);
+        let mut data = vec![0.0f32; 10 * 4];
+        let parts = split_row_blocks(&mut data, 10, 4, 3);
+        let tasks: Vec<ScopedTask<'_>> = parts
+            .into_iter()
+            .map(|(start, chunk)| {
+                Box::new(move || {
+                    for (i, v) in chunk.iter_mut().enumerate() {
+                        *v = (start * 4 + i) as f32;
+                    }
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        pool.scope_run(tasks);
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn split_row_blocks_partitions_exactly() {
+        let mut data = vec![0.0f32; 7 * 3];
+        let parts = split_row_blocks(&mut data, 7, 3, 3);
+        assert_eq!(parts.len(), 3);
+        let rows: usize = parts.iter().map(|(_, c)| c.len() / 3).sum();
+        assert_eq!(rows, 7);
+        assert_eq!(parts[0].0, 0);
+        // Near-equal: no block differs from another by more than one row.
+        let sizes: Vec<usize> = parts.iter().map(|(_, c)| c.len() / 3).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn split_handles_fewer_rows_than_blocks() {
+        let mut data = vec![0.0f32; 2 * 5];
+        let parts = split_row_blocks(&mut data, 2, 5, 8);
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::with_threads(1);
+        assert_eq!(pool.num_threads(), 1);
+        let mut hit = false;
+        pool.scope_run(vec![Box::new(|| hit = true)]);
+        assert!(hit);
+    }
+
+    #[test]
+    fn nested_scope_run_from_worker_tasks_completes() {
+        // Regression guard: a task that itself dispatches to the pool must
+        // not deadlock — nested dispatch runs inline on the worker.
+        let pool = WorkerPool::with_threads(3);
+        let counter = AtomicUsize::new(0);
+        let outer: Vec<ScopedTask<'_>> = (0..6)
+            .map(|_| {
+                Box::new(|| {
+                    let inner: Vec<ScopedTask<'_>> = (0..4)
+                        .map(|_| {
+                            Box::new(|| {
+                                counter.fetch_add(1, Ordering::SeqCst);
+                            }) as ScopedTask<'_>
+                        })
+                        .collect();
+                    pool.scope_run(inner);
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        pool.scope_run(outer);
+        assert_eq!(counter.load(Ordering::SeqCst), 24);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = WorkerPool::with_threads(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<ScopedTask<'_>> =
+                vec![Box::new(|| panic!("boom")), Box::new(|| {}), Box::new(|| {})];
+            pool.scope_run(tasks);
+        }));
+        assert!(result.is_err(), "panic inside a task must reach the caller");
+    }
+}

@@ -1,6 +1,30 @@
 //! The dense `f32` tensor type.
 
-use crate::{Result, Shape, TensorError};
+use crate::pool::{self, ScopedTask, WorkerPool};
+use crate::{kernel, Result, Shape, TensorError};
+
+/// Element count above which elementwise ops fan out to the worker pool.
+const PAR_ELEMWISE_CUTOFF: usize = 1 << 16;
+
+/// Runs `f(start, chunk)` over `out` split into contiguous chunks, in
+/// parallel when `out` is large enough. Chunk boundaries depend only on the
+/// length and thread count, so results are deterministic.
+fn par_elementwise(out: &mut [f32], f: impl Fn(usize, &mut [f32]) + Sync) {
+    let pool = WorkerPool::global();
+    let threads = pool.num_threads();
+    if threads <= 1 || out.len() < PAR_ELEMWISE_CUTOFF {
+        f(0, out);
+        return;
+    }
+    let len = out.len();
+    let parts = pool::split_row_blocks(out, len, 1, threads);
+    let f = &f;
+    let tasks: Vec<ScopedTask<'_>> = parts
+        .into_iter()
+        .map(|(start, chunk)| Box::new(move || f(start, chunk)) as ScopedTask<'_>)
+        .collect();
+    pool.scope_run(tasks);
+}
 
 /// A dense, row-major `f32` tensor.
 ///
@@ -301,15 +325,45 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     /// Applies `f` to every element, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    ///
+    /// Fans out to the worker pool for large tensors, so `f` must be `Sync`.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = Tensor::zeros(self.shape.clone());
+        self.map_into(&mut out, f).expect("map_into: freshly shaped output");
+        out
+    }
+
+    /// Applies `f` to every element of `self`, writing into `out` — the
+    /// allocation-free form of [`Tensor::map`] for recycled buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `out`'s shape differs.
+    pub fn map_into(&self, out: &mut Tensor, f: impl Fn(f32) -> f32 + Sync) -> Result<()> {
+        if self.shape != out.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "map_into",
+                lhs: self.dims().to_vec(),
+                rhs: out.dims().to_vec(),
+            });
+        }
+        let src = &self.data;
+        par_elementwise(&mut out.data, |start, chunk| {
+            let len = chunk.len();
+            for (o, &v) in chunk.iter_mut().zip(&src[start..start + len]) {
+                *o = f(v);
+            }
+        });
+        Ok(())
     }
 
     /// Applies `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
-            *v = f(*v);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        par_elementwise(&mut self.data, |_, chunk| {
+            for v in chunk {
+                *v = f(*v);
+            }
+        });
     }
 
     /// Combines two same-shaped tensors elementwise.
@@ -317,16 +371,43 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
-        if self.shape != other.shape {
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Result<Tensor> {
+        let mut out = Tensor::zeros(self.shape.clone());
+        self.zip_into(other, &mut out, f)?;
+        Ok(out)
+    }
+
+    /// Combines two same-shaped tensors elementwise into `out` — the
+    /// allocation-free form of [`Tensor::zip`] for recycled buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if any shape differs.
+    pub fn zip_into(
+        &self,
+        other: &Tensor,
+        out: &mut Tensor,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Result<()> {
+        if self.shape != other.shape || self.shape != out.shape {
             return Err(TensorError::ShapeMismatch {
-                op: "zip",
+                op: "zip_into",
                 lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
+                rhs: if self.shape != other.shape {
+                    other.dims().to_vec()
+                } else {
+                    out.dims().to_vec()
+                },
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let (a, b) = (&self.data, &other.data);
+        par_elementwise(&mut out.data, |start, chunk| {
+            let (a, b) = (&a[start..start + chunk.len()], &b[start..start + chunk.len()]);
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = f(a[i], b[i]);
+            }
+        });
+        Ok(())
     }
 
     /// Elementwise sum. Panics on shape mismatch.
@@ -352,9 +433,13 @@ impl Tensor {
     /// Accumulates `other * k` into `self` (axpy). Panics on shape mismatch.
     pub fn add_scaled_inplace(&mut self, other: &Tensor, k: f32) {
         assert_eq!(self.shape, other.shape, "add_scaled_inplace: shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b * k;
-        }
+        let src = &other.data;
+        par_elementwise(&mut self.data, |start, chunk| {
+            let len = chunk.len();
+            for (a, &b) in chunk.iter_mut().zip(&src[start..start + len]) {
+                *a += b * k;
+            }
+        });
     }
 
     /// Adds a rank-1 `bias` to every row of a rank-2 tensor.
@@ -388,39 +473,134 @@ impl Tensor {
         self.try_matmul(other).expect("matmul: incompatible shapes")
     }
 
-    /// Fallible matrix product.
+    /// Fallible matrix product, lowered to the blocked (and, for large
+    /// operands, multi-threaded) kernel in [`crate::kernel`].
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] or [`TensorError::RankMismatch`]
     /// when the operands are not conformable rank-2 tensors.
     pub fn try_matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, _) = self.shape.as_matrix()?;
+        let (_, n) = other.shape.as_matrix()?;
+        let mut out = Tensor::zeros([m, n]);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product into an existing output buffer: `out = self · other`
+    /// for `self[m,k]`, `other[k,n]`, `out[m,n]` — the allocation-free form
+    /// of [`Tensor::matmul`] for recycled buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] / [`TensorError::RankMismatch`]
+    /// if the operands are not conformable or `out` has the wrong shape.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
         let (m, k1) = self.shape.as_matrix()?;
         let (k2, n) = other.shape.as_matrix()?;
-        if k1 != k2 {
+        let (om, on) = out.shape.as_matrix()?;
+        if k1 != k2 || om != m || on != n {
             return Err(TensorError::ShapeMismatch {
-                op: "matmul",
+                op: "matmul_into",
                 lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
+                rhs: if k1 != k2 { other.dims().to_vec() } else { out.dims().to_vec() },
             });
         }
+        kernel::matmul_into(&mut out.data, &self.data, &other.data, m, k1, n);
+        Ok(())
+    }
+
+    /// Transpose-aware product `self · otherᵀ` for `self[m,k]`,
+    /// `other[n,k]` — no transpose is materialised.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or inner-dimension mismatch.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let (m, _) = self.shape.as_matrix().expect("matmul_nt: lhs must be rank 2");
+        let (n, _) = other.shape.as_matrix().expect("matmul_nt: rhs must be rank 2");
         let mut out = Tensor::zeros([m, n]);
-        // ikj loop order: stream through contiguous rows of `other` for cache
-        // friendliness without resorting to unsafe blocking.
-        for i in 0..m {
-            let a_row = &self.data[i * k1..(i + 1) * k1];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        self.matmul_nt_into(other, &mut out).expect("matmul_nt: incompatible shapes");
+        out
+    }
+
+    /// `out = self · otherᵀ` into an existing buffer (see
+    /// [`Tensor::matmul_nt`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] / [`TensorError::RankMismatch`]
+    /// on non-conformable operands or a mis-shaped `out`.
+    pub fn matmul_nt_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        let (m, k1) = self.shape.as_matrix()?;
+        let (n, k2) = other.shape.as_matrix()?;
+        let (om, on) = out.shape.as_matrix()?;
+        if k1 != k2 || om != m || on != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt_into",
+                lhs: self.dims().to_vec(),
+                rhs: if k1 != k2 { other.dims().to_vec() } else { out.dims().to_vec() },
+            });
         }
-        Ok(out)
+        kernel::matmul_nt_into(&mut out.data, &self.data, &other.data, m, k1, n);
+        Ok(())
+    }
+
+    /// Transpose-aware product `selfᵀ · other` for `self[k,m]`,
+    /// `other[k,n]` — no transpose is materialised.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or inner-dimension mismatch.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let (_, m) = self.shape.as_matrix().expect("matmul_tn: lhs must be rank 2");
+        let (_, n) = other.shape.as_matrix().expect("matmul_tn: rhs must be rank 2");
+        let mut out = Tensor::zeros([m, n]);
+        self.matmul_tn_into(other, &mut out).expect("matmul_tn: incompatible shapes");
+        out
+    }
+
+    /// `out = selfᵀ · other` into an existing buffer (see
+    /// [`Tensor::matmul_tn`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] / [`TensorError::RankMismatch`]
+    /// on non-conformable operands or a mis-shaped `out`.
+    pub fn matmul_tn_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        let (k1, m) = self.shape.as_matrix()?;
+        let (k2, n) = other.shape.as_matrix()?;
+        let (om, on) = out.shape.as_matrix()?;
+        if k1 != k2 || om != m || on != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn_into",
+                lhs: self.dims().to_vec(),
+                rhs: if k1 != k2 { other.dims().to_vec() } else { out.dims().to_vec() },
+            });
+        }
+        kernel::matmul_tn_into(&mut out.data, &self.data, &other.data, m, k1, n);
+        Ok(())
+    }
+
+    /// Matrix product that skips zero elements of `self` — the explicit
+    /// entry point for structurally sparse operands (routing one-hots,
+    /// masked gate matrices), where skipping whole `B`-row accumulations
+    /// wins. Dense callers should use [`Tensor::matmul`]: the per-element
+    /// branch pessimises dense data.
+    ///
+    /// Equal (under `f32` equality) to [`Tensor::matmul`] for all inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or inner-dimension mismatch.
+    pub fn matmul_sparse(&self, other: &Tensor) -> Tensor {
+        let (m, k1) = self.shape.as_matrix().expect("matmul_sparse: lhs must be rank 2");
+        let (k2, n) = other.shape.as_matrix().expect("matmul_sparse: rhs must be rank 2");
+        assert_eq!(k1, k2, "matmul_sparse: inner dimension mismatch");
+        let mut out = Tensor::zeros([m, n]);
+        kernel::matmul_skip_zeros_into(&mut out.data, &self.data, &other.data, m, k1, n);
+        out
     }
 
     /// Sum of all elements.
@@ -508,9 +688,16 @@ impl Tensor {
     /// Row-wise softmax of a rank-2 tensor (numerically stabilised).
     pub fn softmax_rows(&self) -> Tensor {
         let mut out = self.clone();
-        let cols = out.cols();
-        for r in 0..out.rows() {
-            let row = &mut out.data[r * cols..(r + 1) * cols];
+        out.softmax_rows_inplace();
+        out
+    }
+
+    /// In-place row-wise softmax — the allocation-free form of
+    /// [`Tensor::softmax_rows`] for recycled buffers.
+    pub fn softmax_rows_inplace(&mut self) {
+        let cols = self.cols();
+        for r in 0..self.rows() {
+            let row = &mut self.data[r * cols..(r + 1) * cols];
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut denom = 0.0;
             for v in row.iter_mut() {
@@ -521,7 +708,6 @@ impl Tensor {
                 *v /= denom;
             }
         }
-        out
     }
 
     /// Checks that every element is finite (no NaN/∞) — a training guard.
@@ -622,6 +808,75 @@ mod tests {
         let x = Tensor::zeros([2, 3]);
         assert!(x.reshape([3, 2]).is_ok());
         assert!(x.reshape([4, 2]).is_err());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.5, 2.0]]);
+        let b = Tensor::from_rows(&[
+            &[2.0, 0.0, 1.0],
+            &[1.0, 1.0, 1.0],
+            &[0.0, -1.0, 3.0],
+            &[4.0, 2.0, 0.5],
+        ]);
+        let got = a.matmul_nt(&b);
+        let want = a.matmul(&b.transpose());
+        assert_eq!(got.dims(), &[2, 4]);
+        for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[1.0, 0.0, 2.0], &[0.5, -1.0, 1.0], &[2.0, 2.0, 0.0]]);
+        let got = a.matmul_tn(&b);
+        let want = a.transpose().matmul(&b);
+        assert_eq!(got.dims(), &[2, 3]);
+        for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_sparse_equals_dense() {
+        let a = Tensor::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 0.7]]);
+        let b = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(a.matmul_sparse(&b), a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_checks_shape() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::eye(2);
+        let mut out = Tensor::full([2, 2], 9.0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a);
+        let mut bad = Tensor::zeros([3, 2]);
+        assert!(a.matmul_into(&b, &mut bad).is_err());
+    }
+
+    #[test]
+    fn map_into_and_zip_into_write_outputs() {
+        let a = Tensor::vector(&[1.0, -2.0, 3.0]);
+        let b = Tensor::vector(&[10.0, 10.0, 10.0]);
+        let mut out = Tensor::zeros([3]);
+        a.map_into(&mut out, |v| v * 2.0).unwrap();
+        assert_eq!(out.as_slice(), &[2.0, -4.0, 6.0]);
+        a.zip_into(&b, &mut out, |x, y| x + y).unwrap();
+        assert_eq!(out.as_slice(), &[11.0, 8.0, 13.0]);
+        let mut bad = Tensor::zeros([2]);
+        assert!(a.map_into(&mut bad, |v| v).is_err());
+        assert!(a.zip_into(&b, &mut bad, |x, _| x).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_inplace_matches_allocating_form() {
+        let x = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 0.0, 5.0]]);
+        let mut y = x.clone();
+        y.softmax_rows_inplace();
+        assert_eq!(y, x.softmax_rows());
     }
 
     #[test]

@@ -1,7 +1,39 @@
 //! Property-based tests for tensor algebra invariants.
 
-use pgmoe_tensor::{ops, Shape, Tensor};
+use pgmoe_tensor::{kernel, ops, Shape, Tensor};
 use proptest::prelude::*;
+
+/// Naive triple-loop reference GEMM (ascending-k accumulation, like the
+/// kernels) used to pin the blocked implementations down.
+fn reference_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for kx in 0..k {
+            for j in 0..n {
+                out[i * n + j] += a[i * k + kx] * b[kx * n + j];
+            }
+        }
+    }
+    out
+}
+
+/// `(m, k, n)` plus random data for A and B, covering empty dims, 1×N/N×1
+/// degenerate shapes, and sizes that are not multiples of the kernels'
+/// four-row quad or block sizes.
+#[allow(clippy::type_complexity)]
+fn gemm_case(max_dim: usize) -> impl Strategy<Value = (usize, usize, usize, Vec<f32>, Vec<f32>)> {
+    (0..=max_dim, 0..=max_dim, 0..=max_dim).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-3.0f32..3.0, m * k);
+        let b = proptest::collection::vec(-3.0f32..3.0, k * n);
+        (Just(m), Just(k), Just(n), a, b)
+    })
+}
+
+fn assert_close(got: &[f32], want: &[f32], tol: f32, label: &str) {
+    for (i, (x, y)) in got.iter().zip(want).enumerate() {
+        assert!((x - y).abs() <= tol * (1.0 + y.abs()), "{label}[{i}]: {x} vs {y}");
+    }
+}
 
 fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
@@ -153,6 +185,58 @@ proptest! {
     }
 
     #[test]
+    fn blocked_gemm_matches_naive_reference((m, k, n, a, b) in gemm_case(21)) {
+        let mut got = vec![0.0f32; m * n];
+        kernel::matmul_into(&mut got, &a, &b, m, k, n);
+        let want = reference_matmul(&a, &b, m, k, n);
+        assert_close(&got, &want, 1e-4, "matmul");
+    }
+
+    #[test]
+    fn nt_kernel_matches_transposed_reference((m, k, n, a, bt) in gemm_case(17)) {
+        // `bt` is B in [n, k] layout (same element count); build the
+        // [k, n] form for the reference.
+        let mut b = vec![0.0f32; k * n];
+        for r in 0..n {
+            for c in 0..k {
+                b[c * n + r] = bt[r * k + c];
+            }
+        }
+        let mut got = vec![0.0f32; m * n];
+        kernel::matmul_nt_into(&mut got, &a, &bt, m, k, n);
+        let want = reference_matmul(&a, &b, m, k, n);
+        assert_close(&got, &want, 1e-4, "matmul_nt");
+    }
+
+    #[test]
+    fn tn_kernel_matches_transposed_reference((m, k, n, at, b) in gemm_case(17)) {
+        // `at` is A in [k, m] layout (it is generated with m*k elements,
+        // which is the same length).
+        let mut a = vec![0.0f32; m * k];
+        for r in 0..k {
+            for c in 0..m {
+                a[c * k + r] = at[r * m + c];
+            }
+        }
+        let mut got = vec![0.0f32; m * n];
+        kernel::matmul_tn_into(&mut got, &at, &b, m, k, n);
+        let want = reference_matmul(&a, &b, m, k, n);
+        assert_close(&got, &want, 1e-4, "matmul_tn");
+    }
+
+    #[test]
+    fn sparse_entry_point_equals_dense_matmul((a, b) in conformable_pair(8), zero_stride in 2usize..5) {
+        // Zero out a strided subset so the skip branch actually fires.
+        let mut sparse = a.clone();
+        for (i, v) in sparse.as_mut_slice().iter_mut().enumerate() {
+            if i % zero_stride != 0 {
+                *v = 0.0;
+            }
+        }
+        prop_assert_eq!(sparse.matmul_sparse(&b), sparse.matmul(&b));
+    }
+
+    #[test]
     fn shape_offset_bijective(dims in proptest::collection::vec(1usize..5, 1..4)) {
         let shape = Shape::new(dims.clone());
         let mut seen = std::collections::HashSet::new();
@@ -174,5 +258,55 @@ proptest! {
             if index.iter().all(|&i| i == 0) { break; }
         }
         prop_assert_eq!(seen.len(), shape.len());
+    }
+}
+
+/// Deterministic pseudo-random fill for the kernel determinism tests.
+fn lcg_fill(len: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(2654435761).max(1);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((state >> 8) as f32 / (1 << 24) as f32) * 4.0 - 2.0
+        })
+        .collect()
+}
+
+/// Thread-count determinism: the pool-dispatched kernel must be **bitwise**
+/// identical to the single-threaded blocked kernel. The shape sits above the
+/// parallel cutoff and is deliberately not a multiple of the quad/block
+/// sizes, so row ranges land on odd boundaries.
+#[test]
+fn parallel_gemm_is_bitwise_deterministic_across_thread_counts() {
+    let (m, k, n) = (203, 151, 97);
+    let a = lcg_fill(m * k, 41);
+    let b = lcg_fill(k * n, 43);
+    let mut serial = vec![0.0f32; m * n];
+    kernel::matmul_serial_into(&mut serial, &a, &b, m, k, n);
+    let mut pooled = vec![0.0f32; m * n];
+    kernel::matmul_into(&mut pooled, &a, &b, m, k, n);
+    assert!(
+        serial.iter().zip(&pooled).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "pool-dispatched GEMM must be bitwise identical to the serial kernel \
+         ({} worker threads)",
+        pgmoe_tensor::WorkerPool::global().num_threads()
+    );
+}
+
+/// Large elementwise ops cross the parallel cutoff; results must match the
+/// sequential formula bitwise.
+#[test]
+fn parallel_elementwise_is_bitwise_deterministic() {
+    let len = 1 << 17; // above the elementwise cutoff
+    let data = lcg_fill(len, 47);
+    let t = Tensor::from_vec([len], data.clone()).unwrap();
+    let mapped = t.map(|v| v * 1.5 + 0.25);
+    for (got, src) in mapped.as_slice().iter().zip(&data) {
+        assert_eq!(got.to_bits(), (src * 1.5 + 0.25).to_bits());
+    }
+    let other = Tensor::from_vec([len], lcg_fill(len, 53)).unwrap();
+    let zipped = t.zip(&other, |x, y| x * y).unwrap();
+    for ((got, x), y) in zipped.as_slice().iter().zip(&data).zip(other.as_slice()) {
+        assert_eq!(got.to_bits(), (x * y).to_bits());
     }
 }
