@@ -3,20 +3,21 @@
 //! every figure rests on.
 //!
 //! The `gemm_512` group doubles as the repo's **perf regression gate**: it
-//! times the seed ikj loop against the blocked serial and blocked-parallel
-//! kernels on a 512×512×512 case, writes the numbers to
-//! `BENCH_substrate.json` (the committed baseline PR 3+ measures against),
-//! and hard-asserts the speedup floors: blocked ≥ 1.5x on one thread
-//! everywhere; on machines with ≥ 2 hardware threads, ≥ 2x regardless of
-//! the configured thread count (regression floor), and ≥ 4x when ≥ 2
-//! threads are configured (acceptance bar). CI runs this bench with
-//! `PGMOE_THREADS=2`, so a kernel regression fails loud.
+//! times the seed ikj loop against the blocked serial, blocked-parallel,
+//! and fused int8-dequant kernels on a 512×512×512 case, writes the numbers
+//! to `BENCH_substrate.json` (the committed baseline PR 3+ measures
+//! against), and hard-asserts the speedup floors: blocked ≥ 1.5x on one
+//! thread everywhere; on machines with ≥ 2 hardware threads, ≥ 2x
+//! regardless of the configured thread count (regression floor), and ≥ 4x
+//! when ≥ 2 threads are configured (acceptance bar); the fused dequant GEMM
+//! ≥ 1.2x the seed loop despite its panel-dequant tax. CI runs this bench
+//! with `PGMOE_THREADS=2`, so a kernel regression fails loud.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pregated_moe::device::{SimDuration, SimEngine};
 use pregated_moe::prelude::*;
 use pregated_moe::runtime::{ExpertCache, ExpertKey};
-use pregated_moe::tensor::{kernel, WorkerPool};
+use pregated_moe::tensor::{kernel, quant, QuantMode, QuantizedTensor, WorkerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -63,6 +64,13 @@ fn bench_gemm_kernels(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("matmul_tn", n), &n, |bench, &n| {
             bench.iter(|| kernel::matmul_tn_into(black_box(&mut out), &a, &b, n, n, n))
         });
+        let bq = QuantizedTensor::quantize(
+            &pregated_moe::tensor::Tensor::from_vec([n, n], b.clone()).unwrap(),
+            QuantMode::int8(),
+        );
+        group.bench_with_input(BenchmarkId::new("matmul_dequant_int8", n), &n, |bench, &n| {
+            bench.iter(|| quant::matmul_dequant_into(black_box(&mut out), &a, &bq, n, n, n))
+        });
     }
     group.finish();
 }
@@ -101,8 +109,18 @@ fn bench_gemm_512_baseline(_c: &mut Criterion) {
         time_best_ms(5, || kernel::matmul_serial_into(black_box(&mut out_serial), &a, &b, N, N, N));
     let parallel_ms =
         time_best_ms(5, || kernel::matmul_into(black_box(&mut out_parallel), &a, &b, N, N, N));
+    // The fused dequantizing GEMM consumes int8 panels directly; it must
+    // stay in the blocked kernels' league, not the seed loop's.
+    let bq = QuantizedTensor::quantize(
+        &pregated_moe::tensor::Tensor::from_vec([N, N], b.clone()).unwrap(),
+        QuantMode::int8(),
+    );
+    let mut out_dequant = vec![0.0f32; N * N];
+    let dequant_ms = time_best_ms(5, || {
+        quant::matmul_dequant_into(black_box(&mut out_dequant), &a, &bq, N, N, N)
+    });
 
-    // The three paths must agree before their timings mean anything.
+    // The three f32 paths must agree before their timings mean anything.
     for (x, y) in out_naive.iter().zip(&out_serial) {
         assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()), "serial kernel diverged: {x} vs {y}");
     }
@@ -110,9 +128,18 @@ fn bench_gemm_512_baseline(_c: &mut Criterion) {
         out_serial.iter().zip(&out_parallel).all(|(x, y)| x.to_bits() == y.to_bits()),
         "parallel kernel must be bitwise identical to serial"
     );
+    // And the fused kernel must equal dequantize-then-matmul bitwise.
+    let deq = bq.dequantize();
+    let mut out_ref = vec![0.0f32; N * N];
+    kernel::matmul_into(&mut out_ref, &a, deq.as_slice(), N, N, N);
+    assert!(
+        out_ref.iter().zip(&out_dequant).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "fused dequant GEMM must be bitwise identical to dequantize-then-matmul"
+    );
 
     let speedup_serial = naive_ms / serial_ms;
     let speedup_parallel = naive_ms / parallel_ms;
+    let speedup_dequant = naive_ms / dequant_ms;
     println!(
         "bench gemm_512/seed_ikj                                  {naive_ms:>10.2} ms  (baseline)"
     );
@@ -122,14 +149,19 @@ fn bench_gemm_512_baseline(_c: &mut Criterion) {
     println!(
         "bench gemm_512/blocked_parallel[{threads} thr]                    {parallel_ms:>10.2} ms  ({speedup_parallel:.2}x)"
     );
+    println!(
+        "bench gemm_512/dequant_int8_fused[{threads} thr]                  {dequant_ms:>10.2} ms  ({speedup_dequant:.2}x)"
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"substrate/gemm_512\",\n  \"m\": {N},\n  \"k\": {N},\n  \"n\": {N},\n  \
          \"threads\": {threads},\n  \"hardware_threads\": {hw_threads},\n  \
          \"seed_ikj_ms\": {naive_ms:.3},\n  \"blocked_serial_ms\": {serial_ms:.3},\n  \
          \"blocked_parallel_ms\": {parallel_ms:.3},\n  \
+         \"dequant_int8_fused_ms\": {dequant_ms:.3},\n  \
          \"speedup_blocked_serial\": {speedup_serial:.3},\n  \
-         \"speedup_blocked_parallel\": {speedup_parallel:.3}\n}}\n"
+         \"speedup_blocked_parallel\": {speedup_parallel:.3},\n  \
+         \"speedup_dequant_int8_fused\": {speedup_dequant:.3}\n}}\n"
     );
     // Default to the workspace root (cargo runs benches from the package
     // dir) so the committed baseline lives at `/BENCH_substrate.json`.
@@ -150,6 +182,13 @@ fn bench_gemm_512_baseline(_c: &mut Criterion) {
         speedup_serial >= 1.5,
         "blocked GEMM must be >= 1.5x the seed ikj loop on one thread \
          (got {speedup_serial:.2}x: naive {naive_ms:.2} ms vs {serial_ms:.2} ms)"
+    );
+    // The fused dequant path pays an O(k·n) panel-dequant tax on top of the
+    // blocked loop; it must still comfortably beat the seed f32 loop.
+    assert!(
+        speedup_dequant >= 1.2,
+        "fused int8-dequant GEMM must be >= 1.2x the seed ikj loop \
+         (got {speedup_dequant:.2}x: naive {naive_ms:.2} ms vs {dequant_ms:.2} ms)"
     );
     if hw_threads >= 2 {
         // Regression floor: binding even when PGMOE_THREADS=1 pins the

@@ -15,7 +15,8 @@ targets:
   fig10 fig11 fig12 fig14    systems latency/throughput/memory
   fig15 fig16 timeline       caching / SSD / Fig 9 timelines
   table2 fig13 [--full]      accuracy (trains models; --full = paper recipe)
-  ablations                  PCIe/level/batch/top-k sweeps
+  precision                  expert-precision sweep (policies x f32/f16/int8)
+  ablations                  PCIe/level/batch/top-k/precision sweeps
   csv <dir>                  write artifact-style CSV files
   all                        every non-training target
   everything                 all + table2 + fig13 (slow)";
@@ -37,11 +38,13 @@ fn main() {
         "timeline" | "fig9" => print!("{}", figures::timeline()),
         "table2" => print!("{}", accuracy::table2(full)),
         "fig13" => print!("{}", accuracy::fig13(full)),
+        "precision" => print!("{}", ablations::precision_sweep()),
         "ablations" => {
             print!("{}", ablations::pcie_sweep());
             print!("{}", ablations::level_sweep());
             print!("{}", ablations::batch_sweep());
             print!("{}", ablations::topk_sweep());
+            print!("{}", ablations::precision_sweep());
             print!("{}", ablations::multi_gpu_motivation());
         }
         "motivation" => print!("{}", ablations::multi_gpu_motivation()),

@@ -54,7 +54,7 @@ pub use pgmoe_workload as workload;
 /// The most common imports for using the reproduction.
 pub mod prelude {
     pub use pgmoe_device::{Machine, MachineConfig, SimDuration, SimTime, Tier};
-    pub use pgmoe_model::{GateTopology, GatingMode, ModelConfig, Precision};
+    pub use pgmoe_model::{ExpertPrecision, GateTopology, GatingMode, ModelConfig, Precision};
     pub use pgmoe_runtime::{
         serve_batched, serve_stream, BatchConfig, BatchScheduler, CacheConfig, InferenceSim,
         OffloadPolicy, Replacement, RunReport, ServeStats, SimOptions,

@@ -72,6 +72,9 @@ pub struct Machine {
     copy: StreamId,
     gpu_resource: ResourceId,
     pcie_resource: ResourceId,
+    /// Total bytes moved onto the GPU from off-device tiers (DDR/SSD) —
+    /// the traffic a smaller expert representation shrinks.
+    offload_traffic: u64,
 }
 
 impl Machine {
@@ -94,6 +97,7 @@ impl Machine {
             copy,
             gpu_resource,
             pcie_resource,
+            offload_traffic: 0,
         }
     }
 
@@ -167,7 +171,16 @@ impl Machine {
             Tier::Ssd => self.ssd_link.transfer_time(bytes),
             Tier::Hbm => self.cost.sync_overhead,
         };
+        if source != Tier::Hbm {
+            self.offload_traffic += bytes;
+        }
         self.engine.submit(self.copy, label, dur, waits)
+    }
+
+    /// Total bytes copied to the GPU from off-device tiers so far (cache
+    /// hits — device-local "copies" from HBM — cost nothing here).
+    pub fn offload_traffic_bytes(&self) -> u64 {
+        self.offload_traffic
     }
 
     /// Completion time of an event.
@@ -268,5 +281,15 @@ mod tests {
         let mut m = Machine::new(MachineConfig::a100_like());
         let e = m.copy_to_gpu("hit", 1 << 30, Tier::Hbm, &[]);
         assert_eq!(m.event_time(e) - SimTime::ZERO, m.cost().sync_overhead);
+    }
+
+    #[test]
+    fn offload_traffic_counts_ddr_and_ssd_but_not_hbm() {
+        let mut m = Machine::new(MachineConfig::a100_like());
+        assert_eq!(m.offload_traffic_bytes(), 0);
+        m.copy_to_gpu("a", 100, Tier::Ddr, &[]);
+        m.copy_to_gpu("b", 30, Tier::Ssd, &[]);
+        m.copy_to_gpu("hit", 1 << 20, Tier::Hbm, &[]);
+        assert_eq!(m.offload_traffic_bytes(), 130);
     }
 }

@@ -5,15 +5,49 @@
 //! simple versioned little-endian binary format (no external serializers)
 //! holding every parameter tensor in `visit_params` order.
 //!
-//! Format: magic `PGMOE\0` + u32 version + u64 tensor count, then per
-//! tensor: u32 rank, u64 extents…, f32 data….
+//! Version 1 (f32): magic `PGMOE\0` + u32 version + u64 tensor count, then
+//! per tensor: u32 rank, u64 extents…, f32 data….
+//!
+//! Version 2 (quantized, [`save_params_quantized`]): magic + u32 version +
+//! u8 precision tag (0 = f32, 1 = f16, 2 = int8) + u64 tensor count, then
+//! per tensor: u32 rank, u64 extents…, u8 payload tag, payload. Only the
+//! *expert FFN* weight matrices (per [`Layer::visit_expert_params`]) carry
+//! the checkpoint's precision — experts dominate the bytes and are the
+//! unit the precision axis quantizes; routers, attention, embeddings,
+//! norms, and biases stay f32, so routing survives a round-trip at full
+//! precision. Int8 payloads store the quantization group, the per-group
+//! f32 scales, then the raw i8 data; loading dequantizes, so a quantized
+//! checkpoint round-trips its *stored* values exactly.
 
+use crate::config::ExpertPrecision;
 use pgmoe_tensor::nn::Layer;
-use pgmoe_tensor::Tensor;
+use pgmoe_tensor::{QuantMode, QuantizedTensor, Tensor};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 6] = b"PGMOE\0";
 const VERSION: u32 = 1;
+const QUANT_VERSION: u32 = 2;
+
+const TAG_F32: u8 = 0;
+const TAG_F16: u8 = 1;
+const TAG_INT8: u8 = 2;
+
+fn precision_tag(p: ExpertPrecision) -> u8 {
+    match p {
+        ExpertPrecision::F32 => TAG_F32,
+        ExpertPrecision::F16 => TAG_F16,
+        ExpertPrecision::Int8 => TAG_INT8,
+    }
+}
+
+fn tag_precision(tag: u8) -> Option<ExpertPrecision> {
+    match tag {
+        TAG_F32 => Some(ExpertPrecision::F32),
+        TAG_F16 => Some(ExpertPrecision::F16),
+        TAG_INT8 => Some(ExpertPrecision::Int8),
+        _ => None,
+    }
+}
 
 /// Error produced by checkpoint encode/decode.
 #[derive(Debug)]
@@ -34,6 +68,14 @@ pub enum CheckpointError {
         /// Parameters in the network.
         expected: usize,
     },
+    /// A quantized checkpoint's precision differs from the one the caller
+    /// expects (the network is left untouched).
+    PrecisionMismatch {
+        /// Precision recorded in the checkpoint header.
+        stored: ExpertPrecision,
+        /// Precision the caller asked to load.
+        expected: ExpertPrecision,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -46,6 +88,9 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::CountMismatch { stored, expected } => {
                 write!(f, "checkpoint holds {stored} tensors, network has {expected}")
+            }
+            CheckpointError::PrecisionMismatch { stored, expected } => {
+                write!(f, "checkpoint stores {stored} parameters, caller expected {expected}")
             }
         }
     }
@@ -139,6 +184,182 @@ pub fn load_params<R: Read>(layer: &mut dyn Layer, r: &mut R) -> Result<(), Chec
     Ok(())
 }
 
+/// Serializes every parameter of `layer` at `precision` (format v2).
+///
+/// Only *expert* weight matrices — the parameters the layer reports via
+/// [`Layer::visit_expert_params`], identified by [`Param::id`] — are
+/// quantized per the precision's [`ExpertPrecision::quant_mode`].
+/// Everything else (routers, attention, embeddings, norms, and all
+/// rank-0/1 tensors such as biases) stays f32, matching the
+/// `ExpertPrecision` semantics everywhere else in the system: experts are
+/// the quantized/migrated unit, and routing survives a checkpoint
+/// round-trip at full precision. Saving at [`ExpertPrecision::F32`] writes
+/// a v2 stream with f32 payloads — useful for precision-tagged
+/// full-precision checkpoints.
+///
+/// [`Param::id`]: pgmoe_tensor::nn::Param::id
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save_params_quantized<W: Write>(
+    layer: &mut dyn Layer,
+    precision: ExpertPrecision,
+    w: &mut W,
+) -> Result<(), CheckpointError> {
+    let mut expert_ids = std::collections::HashSet::new();
+    layer.visit_expert_params(&mut |p| {
+        expert_ids.insert(p.id());
+    });
+    let mut tensors: Vec<(bool, Tensor)> = Vec::new();
+    layer.visit_params(&mut |p| tensors.push((expert_ids.contains(&p.id()), p.value.clone())));
+    w.write_all(MAGIC)?;
+    w.write_all(&QUANT_VERSION.to_le_bytes())?;
+    w.write_all(&[precision_tag(precision)])?;
+    w.write_all(&(tensors.len() as u64).to_le_bytes())?;
+    for (is_expert, t) in &tensors {
+        w.write_all(&(t.dims().len() as u32).to_le_bytes())?;
+        for &d in t.dims() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        let mode = if *is_expert && t.shape().rank() == 2 { precision.quant_mode() } else { None };
+        match mode {
+            None => {
+                w.write_all(&[TAG_F32])?;
+                for v in t.as_slice() {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+            }
+            Some(QuantMode::F16) => {
+                let q = QuantizedTensor::quantize(t, QuantMode::F16);
+                w.write_all(&[TAG_F16])?;
+                for &h in q.f16_bits().expect("f16 storage") {
+                    w.write_all(&h.to_le_bytes())?;
+                }
+            }
+            Some(mode @ QuantMode::Int8 { .. }) => {
+                let q = QuantizedTensor::quantize(t, mode);
+                let (data, scales, group) = q.int8_parts().expect("int8 storage");
+                w.write_all(&[TAG_INT8])?;
+                w.write_all(&(group as u32).to_le_bytes())?;
+                w.write_all(&(scales.len() as u64).to_le_bytes())?;
+                for s in scales {
+                    w.write_all(&s.to_le_bytes())?;
+                }
+                // i8 → u8 reinterpretation is a no-op byte-wise.
+                let bytes: Vec<u8> = data.iter().map(|&v| v as u8).collect();
+                w.write_all(&bytes)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Restores every parameter of `layer` from a v2 quantized checkpoint,
+/// dequantizing payloads into f32 parameters (gradients are zeroed).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::PrecisionMismatch`] if the header's precision
+/// differs from `expected`, and the usual header/shape/count errors
+/// otherwise. **The network is left unmodified on any error.**
+pub fn load_params_quantized<R: Read>(
+    layer: &mut dyn Layer,
+    expected: ExpertPrecision,
+    r: &mut R,
+) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 6];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadHeader);
+    }
+    let version = read_u32(r)?;
+    if version != QUANT_VERSION {
+        return Err(CheckpointError::BadHeader);
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let stored = tag_precision(tag[0]).ok_or(CheckpointError::BadHeader)?;
+    if stored != expected {
+        return Err(CheckpointError::PrecisionMismatch { stored, expected });
+    }
+    let count = read_u64(r)? as usize;
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rank = read_u32(r)? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u64(r)? as usize);
+        }
+        let len: usize = dims.iter().product();
+        let mut payload_tag = [0u8; 1];
+        r.read_exact(&mut payload_tag)?;
+        let t = match payload_tag[0] {
+            TAG_F32 => {
+                let mut data = vec![0f32; len];
+                for v in &mut data {
+                    let mut buf = [0u8; 4];
+                    r.read_exact(&mut buf)?;
+                    *v = f32::from_le_bytes(buf);
+                }
+                Tensor::from_vec(dims, data).map_err(|_| CheckpointError::BadHeader)?
+            }
+            TAG_F16 => {
+                let mut data = vec![0u16; len];
+                for v in &mut data {
+                    let mut buf = [0u8; 2];
+                    r.read_exact(&mut buf)?;
+                    *v = u16::from_le_bytes(buf);
+                }
+                if dims.len() != 2 {
+                    return Err(CheckpointError::BadHeader);
+                }
+                QuantizedTensor::from_f16_bits(dims, data).dequantize()
+            }
+            TAG_INT8 => {
+                let group = read_u32(r)? as usize;
+                let scale_count = read_u64(r)? as usize;
+                if dims.len() != 2 || group == 0 || scale_count != dims[0] * dims[1].div_ceil(group)
+                {
+                    return Err(CheckpointError::BadHeader);
+                }
+                let mut scales = vec![0f32; scale_count];
+                for s in &mut scales {
+                    let mut buf = [0u8; 4];
+                    r.read_exact(&mut buf)?;
+                    *s = f32::from_le_bytes(buf);
+                }
+                let mut bytes = vec![0u8; len];
+                r.read_exact(&mut bytes)?;
+                let data: Vec<i8> = bytes.into_iter().map(|b| b as i8).collect();
+                QuantizedTensor::from_int8_parts(dims, data, scales, group).dequantize()
+            }
+            _ => return Err(CheckpointError::BadHeader),
+        };
+        tensors.push(t);
+    }
+    // Validate against the target before mutating anything.
+    let mut shapes = Vec::new();
+    layer.visit_params(&mut |p| shapes.push(p.value.shape().clone()));
+    if shapes.len() != tensors.len() {
+        return Err(CheckpointError::CountMismatch {
+            stored: tensors.len(),
+            expected: shapes.len(),
+        });
+    }
+    for (i, (shape, t)) in shapes.iter().zip(&tensors).enumerate() {
+        if shape != t.shape() {
+            return Err(CheckpointError::ShapeMismatch { index: i });
+        }
+    }
+    let mut iter = tensors.into_iter();
+    layer.visit_params(&mut |p| {
+        p.value = iter.next().expect("validated count");
+        p.zero_grad();
+    });
+    Ok(())
+}
+
 fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
@@ -208,6 +429,138 @@ mod tests {
         buf.truncate(buf.len() / 2);
         let mut b = net(2);
         assert!(matches!(load_params(&mut b, &mut buf.as_slice()), Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn quantized_save_load_round_trips_exactly() {
+        // Quantize-then-save is lossy once; load-then-save must be a fixed
+        // point: the dequantized values re-quantize to the identical stream.
+        for precision in [ExpertPrecision::Int8, ExpertPrecision::F16, ExpertPrecision::F32] {
+            let mut a = net(1);
+            let mut buf = Vec::new();
+            save_params_quantized(&mut a, precision, &mut buf).unwrap();
+            let mut b = net(2);
+            load_params_quantized(&mut b, precision, &mut buf.as_slice()).unwrap();
+            let mut buf2 = Vec::new();
+            save_params_quantized(&mut b, precision, &mut buf2).unwrap();
+            assert_eq!(buf, buf2, "{precision}: reload+resave must be byte-identical");
+            // And the loaded params are exactly the dequantized stored values.
+            let mut c = net(3);
+            load_params_quantized(&mut c, precision, &mut buf.as_slice()).unwrap();
+            let tokens = [1usize, 2, 3, 4, 5, 0];
+            assert_eq!(b.forward_inference(&tokens), c.forward_inference(&tokens));
+        }
+    }
+
+    #[test]
+    fn quantized_checkpoint_is_smaller_and_close() {
+        let mut a = net(4);
+        let mut f32_buf = Vec::new();
+        save_params(&mut a, &mut f32_buf).unwrap();
+        let mut int8_buf = Vec::new();
+        save_params_quantized(&mut a, ExpertPrecision::Int8, &mut int8_buf).unwrap();
+        assert!(
+            int8_buf.len() * 2 < f32_buf.len(),
+            "int8 checkpoint ({}) should be well under half the f32 one ({})",
+            int8_buf.len(),
+            f32_buf.len()
+        );
+        // Dequantized weights stay close to the originals.
+        let mut b = net(5);
+        load_params_quantized(&mut b, ExpertPrecision::Int8, &mut int8_buf.as_slice()).unwrap();
+        let mut worst = 0.0f32;
+        let mut originals = Vec::new();
+        a.visit_params(&mut |p| originals.push(p.value.clone()));
+        let mut i = 0;
+        b.visit_params(&mut |p| {
+            for (x, y) in p.value.as_slice().iter().zip(originals[i].as_slice()) {
+                worst = worst.max((x - y).abs());
+            }
+            i += 1;
+        });
+        assert!(worst < 0.05, "worst int8 reconstruction error {worst}");
+    }
+
+    #[test]
+    fn quantized_checkpoint_keeps_routers_full_precision() {
+        use crate::net::SwitchNet;
+        let tokens = [1usize, 2, 3, 4, 5, 0];
+        let mut a = net(6);
+        let mut buf = Vec::new();
+        save_params_quantized(&mut a, ExpertPrecision::Int8, &mut buf).unwrap();
+        let mut b = net(7);
+        load_params_quantized(&mut b, ExpertPrecision::Int8, &mut buf.as_slice()).unwrap();
+        // Only expert weights were quantized, so the loaded net must be
+        // numerically identical to the original running through a
+        // quantized-expert snapshot: routers/attention/embeddings agree
+        // bit-for-bit and expert outputs agree because the fused kernel is
+        // bitwise dequantize-then-matmul.
+        let mut aq = a.clone();
+        aq.quantize_experts(ExpertPrecision::Int8);
+        assert_eq!(b.forward_inference(&tokens), aq.forward_inference(&tokens));
+        // Router weights specifically round-trip exactly (f32 payloads).
+        let collect = |n: &mut SwitchNet| {
+            let mut non_expert = Vec::new();
+            let mut expert_ids = std::collections::HashSet::new();
+            n.visit_expert_params(&mut |p| {
+                expert_ids.insert(p.id());
+            });
+            n.visit_params(&mut |p| {
+                if !expert_ids.contains(&p.id()) {
+                    non_expert.push(p.value.clone());
+                }
+            });
+            non_expert
+        };
+        assert_eq!(collect(&mut a), collect(&mut b), "non-expert params must be exact");
+    }
+
+    #[test]
+    fn loading_params_refreshes_quantized_snapshot() {
+        // Regression: a net serving through a quantized snapshot must not
+        // keep serving the OLD experts after a checkpoint load.
+        let tokens = [1usize, 2, 3, 4, 5, 0];
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+        let mut b = net(2);
+        b.quantize_experts(ExpertPrecision::Int8);
+        let stale = b.forward_inference(&tokens);
+        load_params(&mut b, &mut buf.as_slice()).unwrap();
+        let mut aq = a.clone();
+        aq.quantize_experts(ExpertPrecision::Int8);
+        let fresh = b.forward_inference(&tokens);
+        assert_ne!(fresh, stale, "load must invalidate the old snapshot");
+        assert_eq!(fresh, aq.forward_inference(&tokens), "snapshot must serve loaded weights");
+    }
+
+    #[test]
+    fn load_rejects_precision_mismatch_without_mutating() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_params_quantized(&mut a, ExpertPrecision::Int8, &mut buf).unwrap();
+        let mut b = net(2);
+        let tokens = [1usize, 2, 3, 4, 5, 0];
+        let before = b.forward_inference(&tokens);
+        let err = load_params_quantized(&mut b, ExpertPrecision::F16, &mut buf.as_slice());
+        assert!(matches!(
+            err,
+            Err(CheckpointError::PrecisionMismatch {
+                stored: ExpertPrecision::Int8,
+                expected: ExpertPrecision::F16,
+            })
+        ));
+        assert_eq!(b.forward_inference(&tokens), before, "failed load must not mutate");
+        // The v1 loader must also reject a v2 stream cleanly.
+        let err = load_params(&mut b, &mut buf.as_slice());
+        assert!(matches!(err, Err(CheckpointError::BadHeader)));
+        assert_eq!(b.forward_inference(&tokens), before);
+        // And the v2 loader must reject a v1 stream.
+        let mut v1 = Vec::new();
+        save_params(&mut a, &mut v1).unwrap();
+        let err = load_params_quantized(&mut b, ExpertPrecision::Int8, &mut v1.as_slice());
+        assert!(matches!(err, Err(CheckpointError::BadHeader)));
+        assert_eq!(b.forward_inference(&tokens), before);
     }
 
     #[test]

@@ -24,6 +24,71 @@ impl Precision {
     }
 }
 
+/// Storage precision of *expert* parameters — the unit every offloading
+/// policy migrates and the dominant term of Equation 1's peak-memory law.
+///
+/// Orthogonal to [`Precision`]: `precision` is the paper's analytic
+/// storage precision for the whole model (Table I / Fig 16 accounting),
+/// while `expert_precision` selects how the runtime stores and migrates
+/// the expert FFNs specifically. [`ExpertPrecision::F32`] (the default)
+/// defers to the analytic `precision`, so every Table I number is
+/// unchanged; `F16`/`Int8` shrink each expert 2–3.8× — fetches get
+/// proportionally faster and proportionally more experts fit any HBM
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ExpertPrecision {
+    /// Full-precision experts (defers to the model's analytic
+    /// [`ModelConfig::precision`] for byte accounting).
+    F32,
+    /// IEEE binary16 expert storage: 2 bytes per parameter.
+    F16,
+    /// Per-group symmetric int8 (group of [`ExpertPrecision::INT8_GROUP`]
+    /// weights per f32 scale): 1 + 4/group ≈ 1.0625 bytes per parameter.
+    Int8,
+}
+
+impl ExpertPrecision {
+    /// All precisions, in sweep order.
+    pub const ALL: [ExpertPrecision; 3] =
+        [ExpertPrecision::F32, ExpertPrecision::F16, ExpertPrecision::Int8];
+
+    /// Int8 quantization group used for byte accounting and checkpointing
+    /// (matches `pgmoe_tensor::quant::DEFAULT_INT8_GROUP`).
+    pub const INT8_GROUP: usize = 64;
+
+    /// Stored bytes per expert parameter; `base` is the model's analytic
+    /// precision, which `F32` defers to.
+    pub fn bytes_per_param(self, base: Precision) -> f64 {
+        match self {
+            ExpertPrecision::F32 => base.bytes_per_param(),
+            ExpertPrecision::F16 => 2.0,
+            ExpertPrecision::Int8 => 1.0 + 4.0 / Self::INT8_GROUP as f64,
+        }
+    }
+
+    /// The numeric quantization mode behind this precision (`None` for
+    /// f32: nothing to quantize).
+    pub fn quant_mode(self) -> Option<pgmoe_tensor::QuantMode> {
+        match self {
+            ExpertPrecision::F32 => None,
+            ExpertPrecision::F16 => Some(pgmoe_tensor::QuantMode::F16),
+            ExpertPrecision::Int8 => {
+                Some(pgmoe_tensor::QuantMode::Int8 { group: Self::INT8_GROUP })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ExpertPrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExpertPrecision::F32 => "f32",
+            ExpertPrecision::F16 => "f16",
+            ExpertPrecision::Int8 => "int8",
+        })
+    }
+}
+
 /// An encoder-decoder SwitchTransformer (or dense T5) configuration.
 ///
 /// Layer counting follows Table I: `moe_layers()` is the paper's "Layers"
@@ -67,6 +132,9 @@ pub struct ModelConfig {
     pub vocab: usize,
     /// Parameter storage precision.
     pub precision: Precision,
+    /// Storage precision of the expert FFNs (the migrated/cached unit).
+    /// Defaults to [`ExpertPrecision::F32`], which defers to `precision`.
+    pub expert_precision: ExpertPrecision,
 }
 
 impl ModelConfig {
@@ -85,6 +153,7 @@ impl ModelConfig {
             top_k: 1,
             vocab: 32_128,
             precision: Precision::Fp32,
+            expert_precision: ExpertPrecision::F32,
         }
     }
 
@@ -102,6 +171,7 @@ impl ModelConfig {
             top_k: 1,
             vocab: 32_128,
             precision: Precision::Fp32,
+            expert_precision: ExpertPrecision::F32,
         }
     }
 
@@ -120,6 +190,7 @@ impl ModelConfig {
             top_k: 1,
             vocab: 32_128,
             precision: Precision::Quantized,
+            expert_precision: ExpertPrecision::F32,
         }
     }
 
@@ -138,6 +209,15 @@ impl ModelConfig {
     /// Changes stored precision (builder style).
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Changes expert storage precision (builder style) — the precision
+    /// axis of the offloading experiments: every `expert_bytes()`-derived
+    /// quantity (fetch latency, Equation-1 transients, cache capacity)
+    /// scales with it.
+    pub fn with_expert_precision(mut self, precision: ExpertPrecision) -> Self {
+        self.expert_precision = precision;
         self
     }
 
@@ -174,10 +254,14 @@ impl ModelConfig {
         2 * self.d_model as u64 * self.d_ff as u64
     }
 
-    /// Bytes of a single expert at the configured precision — the unit of
-    /// CPU→GPU migration in every offloading design.
+    /// Bytes of a single expert at the configured *expert* precision — the
+    /// unit of CPU→GPU migration in every offloading design. With the
+    /// default [`ExpertPrecision::F32`] this is the analytic-precision
+    /// byte count of Table I; at `F16`/`Int8` each expert shrinks 2–3.8×
+    /// and every fetch, transient, and cache slot shrinks with it.
     pub fn expert_bytes(&self) -> u64 {
-        (self.expert_params() as f64 * self.precision.bytes_per_param()).round() as u64
+        (self.expert_params() as f64 * self.expert_precision.bytes_per_param(self.precision))
+            .round() as u64
     }
 
     /// Parameters of one gate/pre-gate router (`d_model × num_experts`).
@@ -209,10 +293,11 @@ impl ModelConfig {
         self.moe_params() + self.non_moe_params()
     }
 
-    /// Model capacity in bytes at the configured precision (Table I's
-    /// "Capacity" column).
+    /// Model capacity in bytes: MoE parameters at the expert precision plus
+    /// everything else at the analytic precision (Table I's "Capacity"
+    /// column when `expert_precision` is the default `F32`).
     pub fn capacity_bytes(&self) -> u64 {
-        (self.total_params() as f64 * self.precision.bytes_per_param()).round() as u64
+        self.moe_bytes() + self.non_moe_bytes()
     }
 
     /// Bytes of the non-MoE parameters (pinned in GPU memory under every
@@ -221,9 +306,11 @@ impl ModelConfig {
         (self.non_moe_params() as f64 * self.precision.bytes_per_param()).round() as u64
     }
 
-    /// Bytes of the MoE parameters (offloaded to CPU/SSD).
+    /// Bytes of the MoE parameters (offloaded to CPU/SSD): experts at the
+    /// expert precision, gate weights at the analytic precision.
     pub fn moe_bytes(&self) -> u64 {
-        (self.moe_params() as f64 * self.precision.bytes_per_param()).round() as u64
+        let gates = (self.gate_params() as f64 * self.precision.bytes_per_param()).round() as u64;
+        self.moe_layers() as u64 * (self.num_experts as u64 * self.expert_bytes() + gates)
     }
 }
 
@@ -320,5 +407,46 @@ mod tests {
         let fp16 = fp32.clone().with_precision(Precision::Fp16);
         assert_eq!(fp32.total_params(), fp16.total_params());
         assert_eq!(fp16.capacity_bytes() * 2, fp32.capacity_bytes());
+    }
+
+    #[test]
+    fn expert_precision_scales_expert_bytes() {
+        let f32_cfg = ModelConfig::switch_base(8);
+        let f16_cfg = f32_cfg.clone().with_expert_precision(ExpertPrecision::F16);
+        let int8_cfg = f32_cfg.clone().with_expert_precision(ExpertPrecision::Int8);
+        assert_eq!(f16_cfg.expert_bytes() * 2, f32_cfg.expert_bytes());
+        // Int8 group-64: 1.0625 B/param → 4 / 1.0625 ≈ 3.76x smaller.
+        let ratio = f32_cfg.expert_bytes() as f64 / int8_cfg.expert_bytes() as f64;
+        assert!((3.7..3.8).contains(&ratio), "int8 shrink {ratio}");
+        // Experts shrink; non-MoE parameters do not.
+        assert_eq!(int8_cfg.non_moe_bytes(), f32_cfg.non_moe_bytes());
+        assert!(int8_cfg.moe_bytes() < f32_cfg.moe_bytes() / 3);
+        assert!(int8_cfg.capacity_bytes() < f32_cfg.capacity_bytes());
+        // Parameter *counts* are precision-independent.
+        assert_eq!(int8_cfg.total_params(), f32_cfg.total_params());
+    }
+
+    #[test]
+    fn default_expert_precision_preserves_table1_accounting() {
+        // F32 defers to the analytic precision, so the quantized Switch-XXL
+        // expert still counts 0.55 B/param (Fig 16's 217 GB depends on it).
+        let xxl = ModelConfig::switch_xxl();
+        assert_eq!(xxl.expert_precision, ExpertPrecision::F32);
+        assert_eq!(xxl.expert_bytes(), (xxl.expert_params() as f64 * 0.55).round() as u64);
+        // The axes compose independently: explicit int8 (1.0625 B/param)
+        // overrides even an analytic precision that is smaller (0.55).
+        let int8 = xxl.with_expert_precision(ExpertPrecision::Int8);
+        assert!(int8.expert_bytes() > ModelConfig::switch_xxl().expert_bytes());
+    }
+
+    #[test]
+    fn expert_precision_quant_modes_match() {
+        assert!(ExpertPrecision::F32.quant_mode().is_none());
+        assert_eq!(
+            ExpertPrecision::Int8.quant_mode(),
+            Some(pgmoe_tensor::QuantMode::Int8 { group: ExpertPrecision::INT8_GROUP })
+        );
+        assert_eq!(ExpertPrecision::F16.quant_mode(), Some(pgmoe_tensor::QuantMode::F16));
+        assert_eq!(ExpertPrecision::Int8.to_string(), "int8");
     }
 }

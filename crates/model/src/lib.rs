@@ -29,6 +29,8 @@ pub mod config;
 pub mod net;
 pub mod topology;
 
-pub use checkpoint::{load_params, save_params, CheckpointError};
-pub use config::{ModelConfig, Precision};
+pub use checkpoint::{
+    load_params, load_params_quantized, save_params, save_params_quantized, CheckpointError,
+};
+pub use config::{ExpertPrecision, ModelConfig, Precision};
 pub use topology::{GateTopology, GatingMode};

@@ -1,6 +1,7 @@
 //! A single expert: the two-matrix ReLU FFN of Switch/T5.
 
-use pgmoe_tensor::nn::{Layer, Linear, Param};
+use pgmoe_tensor::nn::{Layer, Linear, Param, QuantizedLinear};
+use pgmoe_tensor::quant::QuantMode;
 use pgmoe_tensor::{ops, ScratchArena, Tensor};
 use rand::Rng;
 
@@ -66,12 +67,61 @@ impl ExpertFfn {
         let dpre = ops::relu_backward(&pre, &dact);
         self.lin1.backward(&dpre)
     }
+
+    /// Snapshots this expert's weights at reduced precision for inference
+    /// (see [`QuantizedExpertFfn`]).
+    pub fn quantized(&self, mode: QuantMode) -> QuantizedExpertFfn {
+        QuantizedExpertFfn {
+            lin1: QuantizedLinear::from_linear(&self.lin1, mode),
+            lin2: QuantizedLinear::from_linear(&self.lin2, mode),
+        }
+    }
+}
+
+/// An inference-only expert whose projection matrices stay quantized: the
+/// forward pass runs the fused dequantizing GEMM, so the expert's f32 form
+/// is never materialised — the numeric counterpart of migrating and caching
+/// experts at [`crate::ExpertPrecision::F16`]/[`crate::ExpertPrecision::Int8`].
+///
+/// A quantized expert is a *snapshot*: re-quantize after any weight update.
+#[derive(Debug, Clone)]
+pub struct QuantizedExpertFfn {
+    lin1: QuantizedLinear,
+    lin2: QuantizedLinear,
+}
+
+impl QuantizedExpertFfn {
+    /// Stored weight bytes (payload + scale metadata) — what this expert
+    /// would cost to migrate or cache.
+    pub fn weight_bytes(&self) -> usize {
+        self.lin1.weight_bytes() + self.lin2.weight_bytes()
+    }
+
+    /// Inference-only forward over a token batch `[n, d]`.
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        self.lin2.forward_inference(&ops::relu(&self.lin1.forward_inference(x)))
+    }
+
+    /// Inference forward through arena-recycled intermediates — the
+    /// allocation-free serving path. The caller recycles the returned
+    /// tensor when done.
+    pub fn forward_inference_arena(&self, x: &Tensor, arena: &ScratchArena) -> Tensor {
+        let mut pre = self.lin1.forward_inference_arena(x, arena);
+        pre.map_inplace(|v| v.max(0.0));
+        let y = self.lin2.forward_inference_arena(&pre, arena);
+        arena.recycle(pre);
+        y
+    }
 }
 
 impl Layer for ExpertFfn {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.lin1.visit_params(f);
         self.lin2.visit_params(f);
+    }
+
+    fn visit_expert_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.visit_params(f);
     }
 }
 

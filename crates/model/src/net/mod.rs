@@ -17,7 +17,7 @@ mod moe;
 mod router;
 mod switch;
 
-pub use expert::ExpertFfn;
+pub use expert::{ExpertFfn, QuantizedExpertFfn};
 pub use moe::{MoeFfn, RouteDecision};
 pub use router::Router;
 pub use switch::{SwitchNet, SwitchNetConfig};

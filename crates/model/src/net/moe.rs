@@ -1,6 +1,8 @@
 //! The MoE FFN sub-layer: routed expert execution.
 
+use super::expert::QuantizedExpertFfn;
 use super::ExpertFfn;
+use crate::ExpertPrecision;
 use pgmoe_tensor::nn::{Layer, Param};
 use pgmoe_tensor::{ScratchArena, Tensor};
 use rand::Rng;
@@ -49,11 +51,22 @@ impl RouteDecision {
 #[derive(Debug, Clone)]
 pub struct MoeFfn {
     experts: Vec<ExpertFfn>,
+    /// Quantized inference snapshot of the expert bank (see
+    /// [`MoeFfn::quantize_experts`]); inference routes through it when set.
+    quantized: Option<QuantizedBank>,
     cache: Option<MoeCache>,
     /// Reusable per-expert token-index buffers for the inference path:
     /// cleared (capacity kept) every call, so steady-state decode builds its
     /// expert groups without allocating.
     group_scratch: RefCell<Vec<Vec<usize>>>,
+}
+
+/// A quantized snapshot of the expert bank, remembering its precision so
+/// [`Layer::visit_params`] can re-snapshot after parameter mutations.
+#[derive(Debug, Clone)]
+struct QuantizedBank {
+    precision: ExpertPrecision,
+    experts: Vec<QuantizedExpertFfn>,
 }
 
 #[derive(Debug, Clone)]
@@ -69,9 +82,44 @@ impl MoeFfn {
         assert!(num_experts >= 1, "need at least one expert");
         MoeFfn {
             experts: (0..num_experts).map(|_| ExpertFfn::new(d_model, d_ff, rng)).collect(),
+            quantized: None,
             cache: None,
             group_scratch: RefCell::new(vec![Vec::new(); num_experts]),
         }
+    }
+
+    /// Snapshots the expert bank at `precision` for inference: subsequent
+    /// inference forwards run every expert through the fused dequantizing
+    /// GEMM instead of the f32 weights. [`ExpertPrecision::F32`] clears the
+    /// snapshot (back to full-precision inference). Training always uses
+    /// the f32 parameters; any mutation made through
+    /// [`Layer::visit_params`] (optimizer steps, checkpoint loads)
+    /// automatically re-snapshots, so the quantized bank never serves
+    /// stale weights.
+    pub fn quantize_experts(&mut self, precision: ExpertPrecision) {
+        self.quantized = precision.quant_mode().map(|mode| QuantizedBank {
+            precision,
+            experts: self.experts.iter().map(|e| e.quantized(mode)).collect(),
+        });
+    }
+
+    /// Re-snapshots the quantized bank (if any) from the current f32
+    /// weights — called after every parameter visit, since visitors get
+    /// mutable access.
+    fn refresh_quantized(&mut self) {
+        if let Some(bank) = &self.quantized {
+            self.quantize_experts(bank.precision);
+        }
+    }
+
+    /// Whether inference currently runs through a quantized snapshot.
+    pub fn is_quantized(&self) -> bool {
+        self.quantized.is_some()
+    }
+
+    /// Stored bytes of the quantized expert bank (`None` at f32).
+    pub fn quantized_bytes(&self) -> Option<usize> {
+        self.quantized.as_ref().map(|bank| bank.experts.iter().map(|e| e.weight_bytes()).sum())
     }
 
     /// Number of experts in the bank.
@@ -153,7 +201,12 @@ impl MoeFfn {
             for (row, &t) in idxs.iter().enumerate() {
                 sub.row_mut(row).copy_from_slice(h.row(t));
             }
-            let y = self.experts[e].forward_inference_arena(&sub, arena);
+            // A quantized snapshot, when present, is the serving truth: the
+            // fused kernel consumes the stored int8/f16 panels directly.
+            let y = match &self.quantized {
+                Some(bank) => bank.experts[e].forward_inference_arena(&sub, arena),
+                None => self.experts[e].forward_inference_arena(&sub, arena),
+            };
             for (row, &t) in idxs.iter().enumerate() {
                 let p = decision.prob[t];
                 for (o, &v) in out.row_mut(t).iter_mut().zip(y.row(row)) {
@@ -221,6 +274,13 @@ impl Layer for MoeFfn {
         for e in &mut self.experts {
             e.visit_params(f);
         }
+        // The visitor had mutable access; a stale snapshot would silently
+        // serve the old expert weights.
+        self.refresh_quantized();
+    }
+
+    fn visit_expert_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.visit_params(f);
     }
 }
 
@@ -325,5 +385,29 @@ mod tests {
     fn active_experts_deduplicates() {
         let dec = uniform_decision(4, &[1, 1, 0, 1], 3);
         assert_eq!(dec.active_experts(), vec![0, 1]);
+    }
+
+    #[test]
+    fn quantized_bank_tracks_dense_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut moe = MoeFfn::new(3, 8, 16, &mut rng);
+        let h = pgmoe_tensor::init::normal([5, 8], 0.0, 1.0, &mut rng);
+        let dec = uniform_decision(5, &[2, 0, 1, 2, 0], 3);
+        let dense = moe.forward_inference(&h, &dec);
+        for precision in [ExpertPrecision::Int8, ExpertPrecision::F16] {
+            moe.quantize_experts(precision);
+            assert!(moe.is_quantized());
+            assert!(
+                moe.quantized_bytes().unwrap() < 3 * (8 * 16 * 2) * 4,
+                "{precision}: quantized bank must be smaller than f32"
+            );
+            let q = moe.forward_inference(&h, &dec);
+            let denom = dense.norm_sq().sqrt().max(1e-6);
+            let err = dense.sub(&q).norm_sq().sqrt() / denom;
+            assert!(err < 0.02, "{precision}: relative error {err}");
+        }
+        moe.quantize_experts(ExpertPrecision::F32);
+        assert!(!moe.is_quantized());
+        assert_eq!(moe.forward_inference(&h, &dec), dense);
     }
 }

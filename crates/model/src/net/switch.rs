@@ -1,7 +1,7 @@
 //! The trainable Switch transformer with pluggable gate topology.
 
 use super::{MoeFfn, RouteDecision, Router};
-use crate::{GateTopology, GatingMode};
+use crate::{ExpertPrecision, GateTopology, GatingMode};
 use pgmoe_tensor::nn::{CausalSelfAttention, Embedding, Layer, LayerNorm, Linear, Param};
 use pgmoe_tensor::{init, ScratchArena, Tensor};
 use rand::Rng;
@@ -66,6 +66,7 @@ pub struct SwitchNet {
     final_ln: LayerNorm,
     out_proj: Linear,
     last_decisions: Vec<RouteDecision>,
+    expert_precision: ExpertPrecision,
 }
 
 impl SwitchNet {
@@ -92,6 +93,7 @@ impl SwitchNet {
             topo,
             cfg,
             last_decisions: Vec::new(),
+            expert_precision: ExpertPrecision::F32,
         }
     }
 
@@ -103,6 +105,26 @@ impl SwitchNet {
     /// The gate topology currently in force.
     pub fn topology(&self) -> GateTopology {
         self.topo
+    }
+
+    /// Snapshots every block's expert bank at `precision`: inference
+    /// forwards run the experts through the fused dequantizing GEMM while
+    /// attention, norms, routers, and embeddings stay f32 — the numeric
+    /// counterpart of serving with reduced-precision expert storage.
+    /// [`ExpertPrecision::F32`] restores full-precision inference. Training
+    /// always uses the f32 parameters; mutations made through
+    /// [`Layer::visit_params`] (optimizer steps, checkpoint loads)
+    /// re-snapshot the banks automatically.
+    pub fn quantize_experts(&mut self, precision: ExpertPrecision) {
+        for block in &mut self.blocks {
+            block.moe.quantize_experts(precision);
+        }
+        self.expert_precision = precision;
+    }
+
+    /// The expert storage precision inference currently runs at.
+    pub fn expert_precision(&self) -> ExpertPrecision {
+        self.expert_precision
     }
 
     /// Re-wires the gate topology while keeping every parameter — the
@@ -297,6 +319,12 @@ impl Layer for SwitchNet {
         }
         self.final_ln.visit_params(f);
         self.out_proj.visit_params(f);
+    }
+
+    fn visit_expert_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for block in &mut self.blocks {
+            block.moe.visit_expert_params(f);
+        }
     }
 }
 

@@ -196,6 +196,7 @@ impl BatchScheduler {
                 total_tokens: 0,
                 tokens_per_sec: 0.0,
                 peak_hbm_bytes: 0,
+                expert_fetch_bytes: 0,
             });
         }
 
@@ -359,6 +360,7 @@ impl BatchScheduler {
             total_tokens,
             tokens_per_sec,
             peak_hbm_bytes: machine.pool(Tier::Hbm).peak_bytes(),
+            expert_fetch_bytes: machine.offload_traffic_bytes(),
         })
     }
 
@@ -908,6 +910,41 @@ mod tests {
             vec![ArrivedRequest::at_nanos(1_000, req(2)), ArrivedRequest::at_nanos(0, req(2))];
         let bad = serve_batched(cfg, opts, BatchConfig::new(2), unsorted);
         assert!(matches!(bad, Err(RuntimeError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn int8_experts_cut_traffic_and_lift_throughput_when_batched() {
+        use pgmoe_model::ExpertPrecision;
+        let cfg = ModelConfig::switch_base(64);
+        let arrivals = poisson(12, 20.0, 7);
+        let f32_stats = serve_batched(
+            cfg.clone(),
+            SimOptions::new(OffloadPolicy::Pregated),
+            BatchConfig::new(4),
+            arrivals.clone(),
+        )
+        .unwrap();
+        let int8_stats = serve_batched(
+            cfg,
+            SimOptions::new(OffloadPolicy::Pregated).with_expert_precision(ExpertPrecision::Int8),
+            BatchConfig::new(4),
+            arrivals,
+        )
+        .unwrap();
+        assert!(f32_stats.expert_fetch_bytes > 0);
+        assert!(
+            int8_stats.expert_fetch_bytes * 3 < f32_stats.expert_fetch_bytes,
+            "int8 {} vs f32 {} fetched bytes",
+            int8_stats.expert_fetch_bytes,
+            f32_stats.expert_fetch_bytes
+        );
+        assert!(
+            int8_stats.tokens_per_sec >= f32_stats.tokens_per_sec,
+            "int8 {:.1} tok/s must not lose to f32 {:.1}",
+            int8_stats.tokens_per_sec,
+            f32_stats.tokens_per_sec
+        );
+        assert!(int8_stats.p95() <= f32_stats.p95());
     }
 
     #[test]

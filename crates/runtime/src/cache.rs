@@ -247,4 +247,36 @@ mod tests {
             assert!(c.len() <= 3);
         }
     }
+
+    #[test]
+    fn eviction_counters_stay_consistent_under_all_policies() {
+        // Accounting identities that must hold for every replacement policy
+        // on any access stream: each lookup is a hit or a miss, each miss
+        // admits exactly one entry, each eviction removes exactly one — so
+        // residency always equals misses − evictions.
+        for policy in Replacement::ALL {
+            let mut c = ExpertCache::new(5, policy);
+            let mut state = 0x1234_5678u64;
+            let mut accesses = 0u64;
+            for _ in 0..500 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let block = (state >> 33) as usize % 3;
+                let expert = (state >> 40) as usize % 12;
+                c.access(key(block, expert));
+                accesses += 1;
+                let s = c.stats();
+                assert_eq!(s.hits + s.misses, accesses, "{policy:?}: lookup accounting");
+                assert_eq!(
+                    c.len() as u64,
+                    s.misses - s.evictions,
+                    "{policy:?}: residency = misses − evictions"
+                );
+                assert!(c.len() <= 5, "{policy:?}: capacity respected");
+            }
+            let s = c.stats();
+            assert!(s.evictions > 0, "{policy:?}: stream must overflow the cache");
+            assert!(s.hits > 0, "{policy:?}: stream must re-touch residents");
+            assert!((0.0..=1.0).contains(&s.hit_rate()));
+        }
+    }
 }

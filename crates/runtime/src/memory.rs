@@ -26,21 +26,38 @@ pub struct PlacementPlan {
 impl PlacementPlan {
     /// Builds the plan for a model under `opts`, serving requests with
     /// `ctx_tokens` of live context and the given batch size.
+    ///
+    /// Expert-byte-derived quantities honour the run's effective expert
+    /// precision ([`SimOptions::expert_precision`] when set, else the
+    /// model's own): smaller experts mean smaller fetches, smaller
+    /// Equation-1 transients, and more experts per cache byte.
     pub fn new(cfg: &ModelConfig, opts: &SimOptions, ctx_tokens: usize, batch: usize) -> Self {
+        let retagged;
+        let eff = match opts.expert_precision {
+            Some(p) if p != cfg.expert_precision => {
+                retagged = cfg.clone().with_expert_precision(p);
+                &retagged
+            }
+            _ => cfg,
+        };
         let active_per_block =
             opts.active_experts_override.unwrap_or(cfg.top_k).min(cfg.num_experts);
+        let expert_bytes = eff.expert_bytes();
         let cache_experts = opts
             .cache
             .map(|c| {
                 let total = cfg.moe_layers() * cfg.num_experts;
-                ((total as f64 * c.fraction).round() as usize).min(total)
+                match c.hbm_bytes {
+                    Some(bytes) => ((bytes / expert_bytes.max(1)) as usize).min(total),
+                    None => ((total as f64 * c.fraction).round() as usize).min(total),
+                }
             })
             .unwrap_or(0);
         PlacementPlan {
             policy: opts.policy,
-            expert_bytes: cfg.expert_bytes(),
+            expert_bytes,
             num_experts: cfg.num_experts,
-            moe_bytes: cfg.moe_bytes(),
+            moe_bytes: eff.moe_bytes(),
             non_moe_bytes: cfg.non_moe_bytes(),
             activation_bytes: activation_bytes(cfg, ctx_tokens, batch),
             cache_experts,
@@ -216,5 +233,54 @@ mod tests {
         let p = PlacementPlan::new(&cfg, &opts, 320, 1);
         assert_eq!(p.active_per_block(), 16);
         assert_eq!(p.transient_bytes_per_block(), 2 * 16 * cfg.expert_bytes());
+    }
+
+    #[test]
+    fn expert_precision_override_shrinks_plan_bytes() {
+        use pgmoe_model::ExpertPrecision;
+        let cfg = ModelConfig::switch_base(64);
+        let f32_plan = PlacementPlan::new(&cfg, &SimOptions::new(OffloadPolicy::Pregated), 320, 1);
+        let int8_plan = PlacementPlan::new(
+            &cfg,
+            &SimOptions::new(OffloadPolicy::Pregated).with_expert_precision(ExpertPrecision::Int8),
+            320,
+            1,
+        );
+        let ratio = f32_plan.expert_bytes() as f64 / int8_plan.expert_bytes() as f64;
+        assert!((3.7..3.8).contains(&ratio), "int8 expert shrink {ratio}");
+        assert!(int8_plan.offload_bytes() < f32_plan.offload_bytes() / 3);
+        assert!(int8_plan.transient_bytes_per_block() < f32_plan.transient_bytes_per_block() / 3);
+        // The override matches tagging the model itself.
+        let tagged = cfg.with_expert_precision(ExpertPrecision::Int8);
+        let tagged_plan =
+            PlacementPlan::new(&tagged, &SimOptions::new(OffloadPolicy::Pregated), 320, 1);
+        assert_eq!(tagged_plan.expert_bytes(), int8_plan.expert_bytes());
+        assert_eq!(tagged_plan.offload_bytes(), int8_plan.offload_bytes());
+    }
+
+    #[test]
+    fn byte_budget_cache_fits_more_experts_at_lower_precision() {
+        use crate::{CacheConfig, Replacement};
+        use pgmoe_model::ExpertPrecision;
+        let cfg = ModelConfig::switch_base(64);
+        // A budget of exactly 16 f32 experts.
+        let budget = 16 * cfg.expert_bytes();
+        let plan_at = |p: ExpertPrecision| {
+            let opts = SimOptions::new(OffloadPolicy::Pregated)
+                .with_cache(CacheConfig::bytes(budget, Replacement::Lru))
+                .with_expert_precision(p);
+            PlacementPlan::new(&cfg, &opts, 320, 1)
+        };
+        let f32_cap = plan_at(ExpertPrecision::F32).cache_experts();
+        let f16_cap = plan_at(ExpertPrecision::F16).cache_experts();
+        let int8_cap = plan_at(ExpertPrecision::Int8).cache_experts();
+        assert_eq!(f32_cap, 16);
+        assert_eq!(f16_cap, 32);
+        assert!(int8_cap >= 2 * f32_cap, "int8 cache {int8_cap} vs f32 {f32_cap}");
+        // The HBM the region costs is capped by the budget either way.
+        for p in ExpertPrecision::ALL {
+            let plan = plan_at(p);
+            assert!(plan.cache_experts() as u64 * plan.expert_bytes() <= budget);
+        }
     }
 }

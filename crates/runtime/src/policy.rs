@@ -1,7 +1,7 @@
 //! Execution policies and run options.
 
 use pgmoe_device::{MachineConfig, Tier};
-use pgmoe_model::GatingMode;
+use pgmoe_model::{ExpertPrecision, GatingMode};
 use pgmoe_workload::RoutingKind;
 
 /// Where expert parameters live and how they reach the GPU — the paper's
@@ -77,20 +77,31 @@ impl std::fmt::Display for Replacement {
     }
 }
 
-/// Expert-cache configuration: a fraction of all experts pinned in HBM.
+/// Expert-cache configuration: HBM reserved for resident experts, sized
+/// either as a fraction of all experts or as a byte budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheConfig {
     /// Fraction of the model's experts that fit in the cache (Fig 15 uses
-    /// 1 %, 10 %, 20 %).
+    /// 1 %, 10 %, 20 %). Ignored when `hbm_bytes` is set.
     pub fraction: f64,
     /// Replacement policy.
     pub replacement: Replacement,
+    /// Explicit HBM byte budget for the cache region. When set, capacity in
+    /// *experts* is `hbm_bytes / expert_bytes` — so the same budget holds
+    /// ~2× the experts at f16 and ~3.8× at int8.
+    pub hbm_bytes: Option<u64>,
 }
 
 impl CacheConfig {
     /// Creates a cache covering `fraction` of all experts.
     pub fn new(fraction: f64, replacement: Replacement) -> Self {
-        CacheConfig { fraction, replacement }
+        CacheConfig { fraction, replacement, hbm_bytes: None }
+    }
+
+    /// Creates a cache holding as many experts as fit in `bytes` of HBM at
+    /// the run's expert precision.
+    pub fn bytes(bytes: u64, replacement: Replacement) -> Self {
+        CacheConfig { fraction: 1.0, replacement, hbm_bytes: Some(bytes) }
     }
 }
 
@@ -119,6 +130,13 @@ pub struct SimOptions {
     pub routing: RoutingKind,
     /// Seed for the routing trace.
     pub seed: u64,
+    /// Override of the model's expert storage precision for this run:
+    /// `Some(p)` makes every expert-byte-derived quantity (fetch latency,
+    /// transients, cache capacity, HBM admission) use `p`; `None` keeps the
+    /// model's own [`ModelConfig::expert_precision`].
+    ///
+    /// [`ModelConfig::expert_precision`]: pgmoe_model::ModelConfig
+    pub expert_precision: Option<ExpertPrecision>,
 }
 
 impl SimOptions {
@@ -135,6 +153,7 @@ impl SimOptions {
             trace_timeline: false,
             routing: RoutingKind::Uniform,
             seed: 0x5EED,
+            expert_precision: None,
         }
     }
 
@@ -173,6 +192,12 @@ impl SimOptions {
         self.seed = seed;
         self
     }
+
+    /// Builder: serve with experts stored (and migrated) at `precision`.
+    pub fn with_expert_precision(mut self, precision: ExpertPrecision) -> Self {
+        self.expert_precision = Some(precision);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -197,10 +222,20 @@ mod tests {
             .with_ssd_offload()
             .with_cache(CacheConfig::new(0.1, Replacement::Lru))
             .with_active_experts(4)
-            .with_seed(9);
+            .with_seed(9)
+            .with_expert_precision(ExpertPrecision::Int8);
         assert_eq!(opts.offload_tier, Tier::Ssd);
         assert_eq!(opts.cache.unwrap().replacement, Replacement::Lru);
         assert_eq!(opts.active_experts_override, Some(4));
         assert_eq!(opts.seed, 9);
+        assert_eq!(opts.expert_precision, Some(ExpertPrecision::Int8));
+    }
+
+    #[test]
+    fn byte_budget_cache_config() {
+        let c = CacheConfig::bytes(1 << 30, Replacement::Lfu);
+        assert_eq!(c.hbm_bytes, Some(1 << 30));
+        assert_eq!(c.replacement, Replacement::Lfu);
+        assert!(CacheConfig::new(0.1, Replacement::Lru).hbm_bytes.is_none());
     }
 }

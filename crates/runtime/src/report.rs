@@ -107,6 +107,7 @@ mod tests {
             cache_stats: None,
             gpu_busy: SimDuration::ZERO,
             pcie_busy: SimDuration::ZERO,
+            expert_fetch_bytes: 0,
             timeline: None,
         }
     }

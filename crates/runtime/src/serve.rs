@@ -34,6 +34,9 @@ pub struct ServeStats {
     pub tokens_per_sec: f64,
     /// Peak HBM across the stream.
     pub peak_hbm_bytes: u64,
+    /// Total expert bytes migrated from the offload tier across the stream
+    /// (0 under GPU-only; shrinks with the expert precision).
+    pub expert_fetch_bytes: u64,
 }
 
 fn quantile_of(samples: &[SimDuration], q: f64) -> SimDuration {
@@ -144,6 +147,7 @@ pub fn serve_stream(
     let mut total_tokens = 0usize;
     let mut busy = SimDuration::ZERO;
     let mut peak = 0u64;
+    let mut fetched = 0u64;
     for (i, request) in requests.into_iter().enumerate() {
         // Each request runs on a fresh simulated timeline; back-to-back
         // serving sums the busy periods (no idle gaps at saturation).
@@ -157,6 +161,7 @@ pub fn serve_stream(
         busy += report.total_time;
         total_tokens += request.output_tokens;
         peak = peak.max(report.peak_hbm_bytes);
+        fetched += report.expert_fetch_bytes;
     }
     let tokens_per_sec =
         if busy == SimDuration::ZERO { 0.0 } else { total_tokens as f64 / busy.as_secs_f64() };
@@ -167,6 +172,7 @@ pub fn serve_stream(
         total_tokens,
         tokens_per_sec,
         peak_hbm_bytes: peak,
+        expert_fetch_bytes: fetched,
     })
 }
 
@@ -265,6 +271,7 @@ mod tests {
             total_tokens: lats_us.len(),
             tokens_per_sec: 1.0,
             peak_hbm_bytes: 1,
+            expert_fetch_bytes: 0,
         }
     }
 

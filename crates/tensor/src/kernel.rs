@@ -50,8 +50,9 @@ fn check_dims(out: usize, a: usize, b: usize, m: usize, k: usize, n: usize, op: 
 }
 
 /// Splits the output rows across the pool and runs `f(start_row, chunk)` on
-/// each block. `f` must write only to its chunk (disjoint rows).
-fn par_rows(
+/// each block. `f` must write only to its chunk (disjoint rows). Shared with
+/// the fused dequantizing GEMM in [`crate::quant`].
+pub(crate) fn par_rows(
     out: &mut [f32],
     m: usize,
     n: usize,

@@ -12,6 +12,9 @@
 //!   transpose-aware `matmul_nt`/`matmul_tn` variants) every matmul lowers
 //!   to, parallelised across [`pool::WorkerPool`] worker threads
 //!   (`PGMOE_THREADS`) above a size cutoff.
+//! * [`quant`] — [`QuantizedTensor`] (per-group int8 / f16 storage) and the
+//!   fused dequantizing GEMM `matmul_dequant_into`, the numeric substrate of
+//!   the reproduction's expert-precision axis.
 //! * [`arena`] — [`ScratchArena`], recycled scratch buffers that make the
 //!   arena-aware inference paths allocation-free in steady state.
 //! * [`nn`] — gradient-carrying layers (`Linear`, `Embedding`, `LayerNorm`,
@@ -53,9 +56,11 @@ pub mod kernel;
 pub mod nn;
 pub mod ops;
 pub mod pool;
+pub mod quant;
 
 pub use arena::{ArenaStats, ScratchArena};
 pub use error::{Result, TensorError};
 pub use pool::WorkerPool;
+pub use quant::{QuantMode, QuantizedTensor};
 pub use shape::Shape;
 pub use tensor::Tensor;

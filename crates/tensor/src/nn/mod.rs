@@ -13,6 +13,7 @@ mod embedding;
 mod layer_norm;
 mod linear;
 mod param;
+mod qlinear;
 
 pub mod optim;
 
@@ -21,12 +22,23 @@ pub use embedding::Embedding;
 pub use layer_norm::LayerNorm;
 pub use linear::Linear;
 pub use param::{Param, ParamId};
+pub use qlinear::QuantizedLinear;
 
 /// Common behaviour shared by gradient-carrying layers.
 pub trait Layer {
     /// Visits every parameter of the layer (used by optimizers and
     /// serialisation).
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Visits only the parameters of *expert FFNs* — the unit the
+    /// reproduction's precision axis quantizes, migrates, and caches.
+    /// Layers without experts (the default) visit nothing; MoE layers
+    /// override this so precision-aware serialisation can tell expert
+    /// weights (quantize) from routers/attention/embeddings (keep f32) by
+    /// [`Param::id`].
+    fn visit_expert_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        let _ = f;
+    }
 
     /// Clears accumulated gradients on every parameter.
     fn zero_grad(&mut self) {

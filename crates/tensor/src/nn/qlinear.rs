@@ -1,0 +1,131 @@
+//! Inference-only affine layer over quantized weights.
+
+use super::Linear;
+use crate::quant::{matmul_dequant_into, QuantMode, QuantizedTensor};
+use crate::{ScratchArena, Tensor};
+
+/// A dense affine layer `y = x Wq + b` whose weight stays quantized.
+///
+/// The forward pass runs through the fused
+/// [`matmul_dequant_into`] kernel, so the
+/// f32 form of `W` is never materialised — the whole point of caching
+/// experts at reduced precision. The bias (a negligible `out_features`
+/// floats) stays f32. Inference-only: quantized layers carry no gradients.
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_tensor::nn::{Linear, QuantizedLinear};
+/// use pgmoe_tensor::{QuantMode, Tensor};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let layer = Linear::new(8, 4, true, &mut StdRng::seed_from_u64(0));
+/// let q = QuantizedLinear::from_linear(&layer, QuantMode::int8());
+/// let x = Tensor::zeros([3, 8]);
+/// assert_eq!(q.forward_inference(&x).dims(), &[3, 4]);
+/// assert!(q.weight_bytes() < 4 * 8 * 4 + 1 /* < f32 storage */);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantizedLinear {
+    /// Quantized weight matrix `[in_features, out_features]`.
+    pub weight: QuantizedTensor,
+    /// Optional f32 bias vector `[out_features]`.
+    pub bias: Option<Tensor>,
+}
+
+impl QuantizedLinear {
+    /// Quantizes a [`Linear`]'s weight at `mode`, copying its bias.
+    pub fn from_linear(layer: &Linear, mode: QuantMode) -> Self {
+        QuantizedLinear {
+            weight: QuantizedTensor::quantize(&layer.weight.value, mode),
+            bias: layer.bias.as_ref().map(|b| b.value.clone()),
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Stored weight bytes (payload + scale metadata).
+    pub fn weight_bytes(&self) -> usize {
+        self.weight.bytes()
+    }
+
+    /// Inference forward `[n, in] → [n, out]` through the fused kernel.
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        let mut y = Tensor::zeros([x.rows(), self.out_features()]);
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// Inference forward into an arena-recycled output — the
+    /// allocation-free serving path.
+    pub fn forward_inference_arena(&self, x: &Tensor, arena: &ScratchArena) -> Tensor {
+        let mut y = arena.take([x.rows(), self.out_features()]);
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    fn forward_into(&self, x: &Tensor, y: &mut Tensor) {
+        let (m, k, n) = (x.rows(), x.cols(), self.out_features());
+        matmul_dequant_into(y.as_mut_slice(), x.as_slice(), &self.weight, m, k, n);
+        if let Some(b) = &self.bias {
+            for r in 0..m {
+                for (v, bv) in y.row_mut(r).iter_mut().zip(b.as_slice()) {
+                    *v += bv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_dequantized_dense_layer_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let layer = Linear::new(12, 5, true, &mut rng);
+        let x = crate::init::normal([4, 12], 0.0, 1.0, &mut rng);
+        for mode in [QuantMode::int8(), QuantMode::F16] {
+            let q = QuantizedLinear::from_linear(&layer, mode);
+            let dense = Linear::from_weights(q.weight.dequantize(), q.bias.clone());
+            let got = q.forward_inference(&x);
+            let want = dense.forward_inference(&x);
+            assert!(
+                got.as_slice().iter().zip(want.as_slice()).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{mode:?}: fused layer diverged from dequantized dense layer"
+            );
+        }
+    }
+
+    #[test]
+    fn arena_forward_reuses_buffers() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let layer = Linear::new(6, 3, true, &mut rng);
+        let q = QuantizedLinear::from_linear(&layer, QuantMode::int8());
+        let x = crate::init::normal([2, 6], 0.0, 1.0, &mut rng);
+        let arena = ScratchArena::new();
+        let warm = q.forward_inference_arena(&x, &arena);
+        let want = q.forward_inference(&x);
+        assert_eq!(warm, want);
+        arena.recycle(warm);
+        let base = arena.stats();
+        for _ in 0..4 {
+            let y = q.forward_inference_arena(&x, &arena);
+            assert_eq!(y, want);
+            arena.recycle(y);
+        }
+        let stats = arena.stats();
+        assert_eq!(stats.takes - base.takes, stats.reuses - base.reuses);
+    }
+}

@@ -1,0 +1,627 @@
+//! Reduced-precision tensor storage and the fused dequantizing GEMM.
+//!
+//! Expert weights dominate every byte count in the Pre-gated MoE system:
+//! each CPU→GPU migration moves `expert_bytes`, and the peak-memory law is
+//! a multiple of the same quantity. Storing experts below f32 shrinks both.
+//! This module provides the numeric substrate for that precision axis:
+//!
+//! * [`QuantizedTensor`] — a rank-1/2 tensor stored either as **per-group
+//!   symmetric int8** (each row is cut into groups of [`QuantMode::group`]
+//!   columns, one f32 scale per group) or as **raw f16 bits** (IEEE 754
+//!   binary16, round-to-nearest-even).
+//! * [`matmul_dequant_into`] — `out = A · Bq` where `Bq` stays quantized:
+//!   the kernel dequantizes one [`crate::kernel::JT`]-wide column panel at a
+//!   time into thread-local scratch and feeds the same register-tile loop as
+//!   the dense kernels, so a cached quantized weight never materialises an
+//!   f32 copy of itself. Output-row ranges fan out across
+//!   [`crate::pool::WorkerPool::global`] exactly like
+//!   [`crate::kernel::matmul_into`].
+//!
+//! # Determinism contract
+//!
+//! Every output element of the fused kernel accumulates its `k` terms in
+//! strictly ascending order from exactly the values
+//! [`QuantizedTensor::dequantize`] would produce, so
+//! `matmul_dequant_into(A, Bq)` is **bitwise identical** to
+//! `A.matmul(&Bq.dequantize())` — for 1 and N worker threads alike (the
+//! property tests in `tests/properties.rs` pin this down).
+//!
+//! # Error bounds
+//!
+//! Symmetric int8 with per-group scale `s = max|v| / 127` reproduces every
+//! element to within `s / 2` (the rounding half-step); f16 is exact for
+//! every value that fits in binary16's 11-bit significand and correctly
+//! rounded otherwise.
+
+use crate::kernel::{par_rows, JT};
+use crate::{Shape, Tensor};
+
+/// Default int8 quantization group: 64 columns share one f32 scale, a
+/// 4/64 ≈ 6 % metadata overhead (1.0625 bytes per parameter).
+pub const DEFAULT_INT8_GROUP: usize = 64;
+
+/// Storage mode of a [`QuantizedTensor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantMode {
+    /// Per-group symmetric int8: groups of `group` contiguous columns of a
+    /// row share one f32 scale (`value ≈ q · scale`, `q ∈ [-127, 127]`).
+    Int8 {
+        /// Columns per scale group (groups never straddle rows).
+        group: usize,
+    },
+    /// IEEE 754 binary16 bits, converted with round-to-nearest-even.
+    F16,
+}
+
+impl QuantMode {
+    /// The default int8 mode ([`DEFAULT_INT8_GROUP`] columns per scale).
+    pub fn int8() -> Self {
+        QuantMode::Int8 { group: DEFAULT_INT8_GROUP }
+    }
+
+    /// Stored bytes per element, including scale metadata, for a row of
+    /// `cols` elements.
+    fn row_bytes(self, cols: usize) -> usize {
+        match self {
+            QuantMode::Int8 { group } => cols + cols.div_ceil(group.max(1)) * 4,
+            QuantMode::F16 => cols * 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum QuantStorage {
+    Int8 { data: Vec<i8>, scales: Vec<f32>, group: usize },
+    F16 { data: Vec<u16> },
+}
+
+/// A rank-1/2 tensor stored at reduced precision (see the [module
+/// docs](self)).
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_tensor::{QuantMode, QuantizedTensor, Tensor};
+///
+/// let w = Tensor::from_rows(&[&[1.0, -0.5, 0.25], &[2.0, 0.0, -1.0]]);
+/// let q = QuantizedTensor::quantize(&w, QuantMode::int8());
+/// let back = q.dequantize();
+/// for (a, b) in w.as_slice().iter().zip(back.as_slice()) {
+///     assert!((a - b).abs() <= 2.0 / 127.0 / 2.0 + 1e-6);
+/// }
+/// assert!(q.bytes() < 4 * w.len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    shape: Shape,
+    cols: usize,
+    storage: QuantStorage,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a rank-1 or rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has rank 0 or ≥ 3, or if an int8 group size is
+    /// zero.
+    pub fn quantize(t: &Tensor, mode: QuantMode) -> Self {
+        let rank = t.shape().rank();
+        assert!(
+            (1..=2).contains(&rank),
+            "QuantizedTensor::quantize requires rank 1 or 2, got rank {rank}"
+        );
+        let cols = t.cols();
+        let rows = t.rows();
+        let storage = match mode {
+            QuantMode::Int8 { group } => {
+                assert!(group > 0, "int8 quantization group must be non-zero");
+                let groups_per_row = cols.div_ceil(group);
+                let mut data = Vec::with_capacity(rows * cols);
+                let mut scales = Vec::with_capacity(rows * groups_per_row);
+                for r in 0..rows {
+                    let row = t.row(r);
+                    for chunk in row.chunks(group) {
+                        let amax = chunk.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                        let scale = amax / 127.0;
+                        scales.push(scale);
+                        if scale == 0.0 {
+                            data.extend(std::iter::repeat_n(0i8, chunk.len()));
+                        } else {
+                            data.extend(
+                                chunk
+                                    .iter()
+                                    .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8),
+                            );
+                        }
+                    }
+                }
+                QuantStorage::Int8 { data, scales, group }
+            }
+            QuantMode::F16 => {
+                QuantStorage::F16 { data: t.as_slice().iter().map(|&v| f32_to_f16(v)).collect() }
+            }
+        };
+        QuantizedTensor { shape: t.shape().clone(), cols, storage }
+    }
+
+    /// The logical shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents, as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Logical rows (1 for rank-1 tensors).
+    pub fn rows(&self) -> usize {
+        match self.shape.rank() {
+            1 => 1,
+            _ => self.shape.dim(0),
+        }
+    }
+
+    /// Logical columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The storage mode.
+    pub fn mode(&self) -> QuantMode {
+        match &self.storage {
+            QuantStorage::Int8 { group, .. } => QuantMode::Int8 { group: *group },
+            QuantStorage::F16 { .. } => QuantMode::F16,
+        }
+    }
+
+    /// Stored bytes (payload + scale metadata) — the quantity that stands
+    /// in for `4 · len` everywhere the system counts expert bytes.
+    pub fn bytes(&self) -> usize {
+        self.rows() * self.mode().row_bytes(self.cols)
+    }
+
+    /// Reconstructs the f32 tensor.
+    pub fn dequantize(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.shape.clone());
+        self.dequantize_into(out.as_mut_slice());
+        out
+    }
+
+    /// Reconstructs the f32 values into `out` (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the tensor's element count.
+    pub fn dequantize_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.shape.len(), "dequantize_into: length mismatch");
+        match &self.storage {
+            QuantStorage::Int8 { data, scales, group } => {
+                let groups_per_row = self.cols.div_ceil(*group);
+                for (i, o) in out.iter_mut().enumerate() {
+                    let (r, c) = (i / self.cols, i % self.cols);
+                    let s = scales[r * groups_per_row + c / group];
+                    *o = data[i] as f32 * s;
+                }
+            }
+            QuantStorage::F16 { data } => {
+                for (o, &h) in out.iter_mut().zip(data) {
+                    *o = f16_to_f32(h);
+                }
+            }
+        }
+    }
+
+    /// Dequantized element at `(row, col)` — exactly the value
+    /// [`QuantizedTensor::dequantize`] produces there.
+    #[inline]
+    fn deq_at(&self, row: usize, col: usize) -> f32 {
+        match &self.storage {
+            QuantStorage::Int8 { data, scales, group } => {
+                let groups_per_row = self.cols.div_ceil(*group);
+                data[row * self.cols + col] as f32 * scales[row * groups_per_row + col / group]
+            }
+            QuantStorage::F16 { data } => f16_to_f32(data[row * self.cols + col]),
+        }
+    }
+
+    /// Dequantizes the [`JT`]-wide column panel `[jj, jj+JT)` of row `kx`
+    /// into `dst`.
+    #[inline]
+    fn deq_panel_row(&self, kx: usize, jj: usize, dst: &mut [f32; JT]) {
+        match &self.storage {
+            QuantStorage::Int8 { data, scales, group } => {
+                let groups_per_row = self.cols.div_ceil(*group);
+                let base = kx * self.cols + jj;
+                let srow = kx * groups_per_row;
+                for (t, d) in dst.iter_mut().enumerate() {
+                    *d = data[base + t] as f32 * scales[srow + (jj + t) / group];
+                }
+            }
+            QuantStorage::F16 { data } => {
+                let base = kx * self.cols + jj;
+                for (t, d) in dst.iter_mut().enumerate() {
+                    *d = f16_to_f32(data[base + t]);
+                }
+            }
+        }
+    }
+
+    /// Raw int8 payload and scales (for serialisation). `None` for f16.
+    pub fn int8_parts(&self) -> Option<(&[i8], &[f32], usize)> {
+        match &self.storage {
+            QuantStorage::Int8 { data, scales, group } => Some((data, scales, *group)),
+            QuantStorage::F16 { .. } => None,
+        }
+    }
+
+    /// Raw f16 payload (for serialisation). `None` for int8.
+    pub fn f16_bits(&self) -> Option<&[u16]> {
+        match &self.storage {
+            QuantStorage::F16 { data } => Some(data),
+            QuantStorage::Int8 { .. } => None,
+        }
+    }
+
+    /// Rebuilds an int8 tensor from serialized parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload or scale lengths disagree with the shape/group.
+    pub fn from_int8_parts(
+        shape: impl Into<Shape>,
+        data: Vec<i8>,
+        scales: Vec<f32>,
+        group: usize,
+    ) -> Self {
+        let shape = shape.into();
+        assert!(group > 0, "int8 quantization group must be non-zero");
+        let rank = shape.rank();
+        assert!((1..=2).contains(&rank), "rank 1 or 2 required, got {rank}");
+        let cols = if rank == 1 { shape.dim(0) } else { shape.dim(1) };
+        let rows = if rank == 1 { 1 } else { shape.dim(0) };
+        assert_eq!(data.len(), shape.len(), "int8 payload length mismatch");
+        assert_eq!(scales.len(), rows * cols.div_ceil(group), "int8 scale count mismatch");
+        QuantizedTensor { shape, cols, storage: QuantStorage::Int8 { data, scales, group } }
+    }
+
+    /// Rebuilds an f16 tensor from serialized bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload length disagrees with the shape.
+    pub fn from_f16_bits(shape: impl Into<Shape>, data: Vec<u16>) -> Self {
+        let shape = shape.into();
+        let rank = shape.rank();
+        assert!((1..=2).contains(&rank), "rank 1 or 2 required, got {rank}");
+        let cols = if rank == 1 { shape.dim(0) } else { shape.dim(1) };
+        assert_eq!(data.len(), shape.len(), "f16 payload length mismatch");
+        QuantizedTensor { shape, cols, storage: QuantStorage::F16 { data } }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fused dequantizing GEMM
+// ----------------------------------------------------------------------
+
+/// Fused dequantize-GEMM: `out = A · Bq` with `A[m,k]` f32 and `Bq[k,n]`
+/// quantized — bitwise identical to `matmul_into(out, a, Bq.dequantize())`
+/// without ever materialising the f32 form of `Bq` (see the [module
+/// docs](self) for the determinism argument). Parallelises over output
+/// rows through the global worker pool like the dense kernels.
+///
+/// # Panics
+///
+/// Panics if `Bq` is not `[k, n]` or slice lengths disagree.
+pub fn matmul_dequant_into(
+    out: &mut [f32],
+    a: &[f32],
+    b: &QuantizedTensor,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(out.len(), m * n, "matmul_dequant_into: out length mismatch");
+    assert_eq!(a.len(), m * k, "matmul_dequant_into: lhs length mismatch");
+    assert_eq!(
+        (b.rows(), b.cols()),
+        (k, n),
+        "matmul_dequant_into: rhs is {:?}, expected [{k}, {n}]",
+        b.dims()
+    );
+    par_rows(out, m, n, m * k * n, |start, chunk| {
+        let rows = chunk.len() / n.max(1);
+        gemm_dequant_rows(chunk, &a[start * k..(start + rows) * k], b, rows, k, n);
+    });
+}
+
+/// Single-threaded form of [`matmul_dequant_into`] (exposed for the
+/// thread-count determinism tests and the bench harness).
+///
+/// # Panics
+///
+/// Panics if `Bq` is not `[k, n]` or slice lengths disagree.
+pub fn matmul_dequant_serial_into(
+    out: &mut [f32],
+    a: &[f32],
+    b: &QuantizedTensor,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(out.len(), m * n, "matmul_dequant_serial_into: out length mismatch");
+    assert_eq!(a.len(), m * k, "matmul_dequant_serial_into: lhs length mismatch");
+    assert_eq!(
+        (b.rows(), b.cols()),
+        (k, n),
+        "matmul_dequant_serial_into: rhs is {:?}, expected [{k}, {n}]",
+        b.dims()
+    );
+    gemm_dequant_rows(out, a, b, m, k, n);
+}
+
+std::thread_local! {
+    /// Dequantized `[k, JT]` panel of `Bq` — thread-local so repeated calls
+    /// are allocation-free in steady state without making the kernel `&mut`.
+    static DEQ_PANEL: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// `A · Bq` over a contiguous row range. Each [`JT`]-wide column panel of
+/// `Bq` is dequantized once into `[k, JT]` scratch (an `O(k·n)` pass against
+/// `O(rows·k·n)` compute) and consumed by the same 4-row register-tile loop
+/// as the packed `nt` kernel. Every output element is a plain ascending-`k`
+/// sum of `a[i,kx] · deq(b[kx,j])`, so results are bitwise identical to the
+/// dense kernel on the dequantized matrix regardless of tiling or threads.
+fn gemm_dequant_rows(
+    out: &mut [f32],
+    a: &[f32],
+    b: &QuantizedTensor,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    if rows == 0 || n == 0 || k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    DEQ_PANEL.with(|cell| {
+        let mut panel = cell.borrow_mut();
+        panel.clear();
+        panel.resize(k * JT, 0.0);
+        let mut jj = 0;
+        while jj + JT <= n {
+            for kx in 0..k {
+                let dst: &mut [f32; JT] =
+                    (&mut panel[kx * JT..(kx + 1) * JT]).try_into().expect("JT-wide tile");
+                b.deq_panel_row(kx, jj, dst);
+            }
+            let mut i = 0;
+            while i + 4 <= rows {
+                let a0row = &a[i * k..(i + 1) * k];
+                let a1row = &a[(i + 1) * k..(i + 2) * k];
+                let a2row = &a[(i + 2) * k..(i + 3) * k];
+                let a3row = &a[(i + 3) * k..(i + 4) * k];
+                let mut acc0 = [0.0f32; JT];
+                let mut acc1 = [0.0f32; JT];
+                let mut acc2 = [0.0f32; JT];
+                let mut acc3 = [0.0f32; JT];
+                for kx in 0..k {
+                    let bv: &[f32; JT] =
+                        panel[kx * JT..(kx + 1) * JT].try_into().expect("JT-wide tile");
+                    let (a0, a1, a2, a3) = (a0row[kx], a1row[kx], a2row[kx], a3row[kx]);
+                    for t in 0..JT {
+                        acc0[t] += a0 * bv[t];
+                        acc1[t] += a1 * bv[t];
+                        acc2[t] += a2 * bv[t];
+                        acc3[t] += a3 * bv[t];
+                    }
+                }
+                out[i * n + jj..i * n + jj + JT].copy_from_slice(&acc0);
+                out[(i + 1) * n + jj..(i + 1) * n + jj + JT].copy_from_slice(&acc1);
+                out[(i + 2) * n + jj..(i + 2) * n + jj + JT].copy_from_slice(&acc2);
+                out[(i + 3) * n + jj..(i + 3) * n + jj + JT].copy_from_slice(&acc3);
+                i += 4;
+            }
+            while i < rows {
+                let arow = &a[i * k..(i + 1) * k];
+                let mut acc = [0.0f32; JT];
+                for (kx, &av) in arow.iter().enumerate() {
+                    let bv: &[f32; JT] =
+                        panel[kx * JT..(kx + 1) * JT].try_into().expect("JT-wide tile");
+                    for t in 0..JT {
+                        acc[t] += av * bv[t];
+                    }
+                }
+                out[i * n + jj..i * n + jj + JT].copy_from_slice(&acc);
+                i += 1;
+            }
+            jj += JT;
+        }
+        // Column tail: per-column dots, dequantizing on the fly with the
+        // same ascending-k order.
+        for j in jj..n {
+            for i in 0..rows {
+                let arow = &a[i * k..(i + 1) * k];
+                let mut s = 0.0f32;
+                for (kx, &av) in arow.iter().enumerate() {
+                    s += av * b.deq_at(kx, j);
+                }
+                out[i * n + j] = s;
+            }
+        }
+    });
+}
+
+// ----------------------------------------------------------------------
+// f16 conversion (IEEE 754 binary16)
+// ----------------------------------------------------------------------
+
+/// Converts f32 to binary16 bits with round-to-nearest-even.
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Inf / NaN (NaN keeps a non-zero payload).
+        return sign | 0x7c00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    let e = exp - 127 + 15;
+    if e >= 0x1f {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if e <= 0 {
+        // Subnormal half (or zero). Values below half the smallest
+        // subnormal round to zero.
+        if e < -10 {
+            return sign;
+        }
+        let m = mant | 0x0080_0000; // implicit leading 1
+        let shift = (14 - e) as u32; // 24-bit mantissa → 10-bit subnormal
+        let half = m >> shift;
+        let rem = m & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut h = half as u16;
+        if rem > halfway || (rem == halfway && (h & 1) == 1) {
+            h += 1;
+        }
+        return sign | h;
+    }
+    let mut h = ((e as u32) << 10) as u16 | (mant >> 13) as u16;
+    let rem = mant & 0x1fff;
+    // Round-to-nearest-even; a mantissa carry correctly bumps the exponent.
+    if rem > 0x1000 || (rem == 0x1000 && (h & 1) == 1) {
+        h = h.wrapping_add(1);
+    }
+    sign | h
+}
+
+/// Converts binary16 bits back to f32 (exact).
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let mant = (h & 0x03ff) as u32;
+    if exp == 0 {
+        if mant == 0 {
+            return f32::from_bits(sign); // ±0
+        }
+        // Subnormal: mant · 2⁻²⁴.
+        let v = mant as f32 * (1.0 / (1 << 24) as f32);
+        return if sign != 0 { -v } else { v };
+    }
+    if exp == 0x1f {
+        return f32::from_bits(sign | 0x7f80_0000 | (mant << 13));
+    }
+    f32::from_bits(sign | ((exp as u32 + 112) << 23) | (mant << 13))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(2654435761).max(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 8) as f32 / (1 << 24) as f32) * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn f16_round_trips_representable_values() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.099975586] {
+            let back = f16_to_f32(f32_to_f16(v));
+            assert_eq!(back, v, "{v} round-tripped to {back}");
+        }
+        // Smallest binary16 subnormal: 2⁻²⁴.
+        let tiny = 1.0 / (1 << 24) as f32;
+        assert_eq!(f16_to_f32(f32_to_f16(tiny)), tiny);
+    }
+
+    #[test]
+    fn f16_conversion_is_bounded_and_monotone() {
+        for &v in &fill(512, 3) {
+            let back = f16_to_f32(f32_to_f16(v));
+            // Half has an 11-bit significand: relative error ≤ 2⁻¹¹.
+            assert!((v - back).abs() <= v.abs() / 2048.0 + 1e-7, "{v} vs {back}");
+        }
+        assert_eq!(f32_to_f16(70000.0), 0x7c00, "overflow saturates to +inf");
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn int8_round_trip_error_within_half_scale() {
+        let data = fill(7 * 37, 11); // cols not divisible by the group
+        let t = Tensor::from_vec([7, 37], data.clone()).unwrap();
+        let q = QuantizedTensor::quantize(&t, QuantMode::Int8 { group: 16 });
+        let back = q.dequantize();
+        let groups_per_row = 37usize.div_ceil(16);
+        let (_, scales, _) = q.int8_parts().unwrap();
+        for (i, (&v, &b)) in data.iter().zip(back.as_slice()).enumerate() {
+            let (r, c) = (i / 37, i % 37);
+            let s = scales[r * groups_per_row + c / 16];
+            assert!((v - b).abs() <= s * 0.5 + 1e-6, "elem {i}: {v} vs {b} (scale {s})");
+        }
+    }
+
+    #[test]
+    fn zero_group_quantizes_to_exact_zero() {
+        let t = Tensor::zeros([3, 8]);
+        let q = QuantizedTensor::quantize(&t, QuantMode::Int8 { group: 4 });
+        assert_eq!(q.dequantize(), t);
+    }
+
+    #[test]
+    fn bytes_reflect_mode() {
+        let t = Tensor::zeros([4, 64]);
+        let int8 = QuantizedTensor::quantize(&t, QuantMode::int8());
+        let f16 = QuantizedTensor::quantize(&t, QuantMode::F16);
+        assert_eq!(int8.bytes(), 4 * (64 + 4)); // payload + one scale per row
+        assert_eq!(f16.bytes(), 4 * 64 * 2);
+        assert!(int8.bytes() < 4 * t.len());
+    }
+
+    #[test]
+    fn fused_gemm_is_bitwise_equal_to_dequantize_then_matmul() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (5, 33, 17), (4, 64, 16), (9, 40, 23)] {
+            for mode in [QuantMode::Int8 { group: 7 }, QuantMode::int8(), QuantMode::F16] {
+                let a = fill(m * k, 5);
+                let b = Tensor::from_vec([k, n], fill(k * n, 9)).unwrap();
+                let q = QuantizedTensor::quantize(&b, mode);
+                let deq = q.dequantize();
+                let mut want = vec![0.0f32; m * n];
+                crate::kernel::matmul_into(&mut want, &a, deq.as_slice(), m, k, n);
+                let mut got = vec![0.0f32; m * n];
+                matmul_dequant_into(&mut got, &a, &q, m, k, n);
+                assert!(
+                    got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "({m},{k},{n}) {mode:?}: fused kernel diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dims_produce_zeroed_output() {
+        let q = QuantizedTensor::quantize(&Tensor::zeros([0, 3]), QuantMode::int8());
+        let mut out = vec![9.0f32; 6];
+        matmul_dequant_into(&mut out, &[], &q, 2, 0, 3);
+        assert_eq!(out, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn serialisation_parts_round_trip() {
+        let t = Tensor::from_vec([3, 10], fill(30, 21)).unwrap();
+        let q = QuantizedTensor::quantize(&t, QuantMode::Int8 { group: 4 });
+        let (data, scales, group) = q.int8_parts().unwrap();
+        let rebuilt =
+            QuantizedTensor::from_int8_parts([3, 10], data.to_vec(), scales.to_vec(), group);
+        assert_eq!(rebuilt, q);
+        let h = QuantizedTensor::quantize(&t, QuantMode::F16);
+        let rebuilt = QuantizedTensor::from_f16_bits([3, 10], h.f16_bits().unwrap().to_vec());
+        assert_eq!(rebuilt, h);
+    }
+}

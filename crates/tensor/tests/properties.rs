@@ -1,6 +1,6 @@
 //! Property-based tests for tensor algebra invariants.
 
-use pgmoe_tensor::{kernel, ops, Shape, Tensor};
+use pgmoe_tensor::{kernel, ops, quant, QuantMode, QuantizedTensor, Shape, Tensor};
 use proptest::prelude::*;
 
 /// Naive triple-loop reference GEMM (ascending-k accumulation, like the
@@ -237,6 +237,64 @@ proptest! {
     }
 
     #[test]
+    fn int8_round_trip_error_bounded_by_half_scale(
+        (rows, cols) in (1usize..7, 1usize..40),
+        group in 1usize..20,
+        seed in 0u32..1000,
+    ) {
+        // Covers group-edge geometry by construction: cols frequently not a
+        // multiple of `group`, 1×N rows, groups wider than the row.
+        let data = lcg_fill(rows * cols, seed + 1);
+        let t = Tensor::from_vec([rows, cols], data.clone()).unwrap();
+        let q = QuantizedTensor::quantize(&t, QuantMode::Int8 { group });
+        let back = q.dequantize();
+        let (_, scales, _) = q.int8_parts().unwrap();
+        let groups_per_row = cols.div_ceil(group);
+        for (i, (&v, &b)) in data.iter().zip(back.as_slice()).enumerate() {
+            let (r, c) = (i / cols, i % cols);
+            let s = scales[r * groups_per_row + c / group];
+            prop_assert!(
+                (v - b).abs() <= s * 0.5 + 1e-6,
+                "elem {i}: {v} → {b} exceeds scale/2 = {}", s * 0.5
+            );
+        }
+        prop_assert!(q.bytes() < 4 * t.len() + 4 * rows * groups_per_row + 1);
+    }
+
+    #[test]
+    fn f16_round_trip_error_bounded(len in 1usize..64, seed in 0u32..1000) {
+        let data = lcg_fill(len, seed + 7);
+        let t = Tensor::from_vec([1, len], data.clone()).unwrap();
+        let q = QuantizedTensor::quantize(&t, QuantMode::F16);
+        for (&v, &b) in data.iter().zip(q.dequantize().as_slice()) {
+            // binary16: 11-bit significand → relative error ≤ 2⁻¹¹.
+            prop_assert!((v - b).abs() <= v.abs() / 2048.0 + 1e-7, "{v} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fused_dequant_gemm_is_bitwise_dequantize_then_matmul(
+        (m, k, n, a, b) in gemm_case(17),
+        group in 1usize..24,
+    ) {
+        // The fused kernel must be indistinguishable from materialising the
+        // f32 weights — for int8 (any group geometry) and f16 alike.
+        for mode in [QuantMode::Int8 { group }, QuantMode::F16] {
+            let bq = QuantizedTensor::quantize(
+                &Tensor::from_vec([k, n], b.clone()).unwrap(), mode);
+            let deq = bq.dequantize();
+            let mut want = vec![0.0f32; m * n];
+            kernel::matmul_into(&mut want, &a, deq.as_slice(), m, k, n);
+            let mut got = vec![0.0f32; m * n];
+            quant::matmul_dequant_into(&mut got, &a, &bq, m, k, n);
+            prop_assert!(
+                got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "({m},{k},{n}) {mode:?}: fused dequant GEMM diverged"
+            );
+        }
+    }
+
+    #[test]
     fn shape_offset_bijective(dims in proptest::collection::vec(1usize..5, 1..4)) {
         let shape = Shape::new(dims.clone());
         let mut seen = std::collections::HashSet::new();
@@ -291,6 +349,37 @@ fn parallel_gemm_is_bitwise_deterministic_across_thread_counts() {
          ({} worker threads)",
         pgmoe_tensor::WorkerPool::global().num_threads()
     );
+}
+
+/// The fused dequantizing GEMM fans out across the same pool: above the
+/// parallel cutoff, the pool-dispatched kernel must be bitwise identical to
+/// the serial fused kernel AND to dequantize-then-serial-matmul, for any
+/// thread count.
+#[test]
+fn fused_dequant_gemm_is_bitwise_deterministic_across_thread_counts() {
+    let (m, k, n) = (203, 151, 97); // above PAR_MIN_WORK, odd boundaries
+    let a = lcg_fill(m * k, 61);
+    let b = Tensor::from_vec([k, n], lcg_fill(k * n, 67)).unwrap();
+    for mode in [QuantMode::int8(), QuantMode::Int8 { group: 13 }, QuantMode::F16] {
+        let q = QuantizedTensor::quantize(&b, mode);
+        let mut serial = vec![0.0f32; m * n];
+        quant::matmul_dequant_serial_into(&mut serial, &a, &q, m, k, n);
+        let mut pooled = vec![0.0f32; m * n];
+        quant::matmul_dequant_into(&mut pooled, &a, &q, m, k, n);
+        assert!(
+            serial.iter().zip(&pooled).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "{mode:?}: pool-dispatched fused GEMM must match the serial fused kernel \
+             ({} worker threads)",
+            pgmoe_tensor::WorkerPool::global().num_threads()
+        );
+        let deq = q.dequantize();
+        let mut dense = vec![0.0f32; m * n];
+        kernel::matmul_serial_into(&mut dense, &a, deq.as_slice(), m, k, n);
+        assert!(
+            dense.iter().zip(&pooled).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "{mode:?}: fused GEMM must match dequantize-then-matmul bitwise"
+        );
+    }
 }
 
 /// Large elementwise ops cross the parallel cutoff; results must match the

@@ -97,6 +97,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         row(&format!("Pre-gated MoE (bursty) / max_batch={max_batch}"), &stats, host);
     }
 
+    println!("\n--- expert precision (Pre-gated offload, max_batch=8) ---");
+    let mut precision_tps: Vec<(ExpertPrecision, f64, u64)> = Vec::new();
+    for precision in ExpertPrecision::ALL {
+        let started = Instant::now();
+        let stats = serve_batched(
+            model.clone(),
+            SimOptions::new(OffloadPolicy::Pregated).with_expert_precision(precision),
+            BatchConfig::new(8),
+            poisson(),
+        )?;
+        let host = started.elapsed();
+        host_total += host;
+        tokens_total += stats.total_tokens;
+        row(&format!("Pre-gated MoE ({precision}) / max_batch=8"), &stats, host);
+        precision_tps.push((precision, stats.tokens_per_sec, stats.expert_fetch_bytes));
+    }
+    let (_, f32_tps, f32_bytes) = precision_tps[0];
+    let (_, int8_tps, int8_bytes) = precision_tps[2];
+    println!(
+        "int8 experts: {:.2}x the migrated bytes removed ({:.1} -> {:.1} GB), \
+         {:.2}x tokens/sec vs f32 expert storage.",
+        f32_bytes as f64 / int8_bytes.max(1) as f64,
+        f32_bytes as f64 / 1e9,
+        int8_bytes as f64 / 1e9,
+        int8_tps / f32_tps,
+    );
+    assert!(
+        int8_bytes * 3 < f32_bytes && int8_tps >= f32_tps,
+        "int8 expert storage must cut migrated bytes >3x at no throughput loss"
+    );
+
     let (b1_tps, b1_p95) = headline[0];
     let (b8_tps, b8_p95) = headline[1];
     println!(

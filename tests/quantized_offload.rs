@@ -1,0 +1,213 @@
+//! End-to-end harness for the expert-precision axis: a quantized Pre-gated
+//! MoE must (a) keep the *algorithm* intact — same routing decisions, near-
+//! identical outputs on a real trainable SwitchNet — and (b) improve the
+//! *system* — strictly less migrated traffic and no worse simulated latency
+//! for every offloading policy, without ever breaching the HBM budget.
+
+use pregated_moe::model::net::{SwitchNet, SwitchNetConfig};
+use pregated_moe::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let (mut dot, mut na, mut nb) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x as f64 * y as f64;
+        na += x as f64 * x as f64;
+        nb += y as f64 * y as f64;
+    }
+    dot / (na.sqrt() * nb.sqrt()).max(1e-30)
+}
+
+/// Numerics: int8 expert storage must preserve every top-1 routing decision
+/// of a seeded pre-gated SwitchNet and keep the output logits at ≥ 0.99
+/// cosine similarity — quantization may perturb values, not the algorithm.
+#[test]
+fn int8_experts_preserve_routing_and_outputs() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let cfg = SwitchNetConfig {
+        vocab: 32,
+        d_model: 16,
+        d_ff: 32,
+        num_blocks: 4,
+        num_experts: 8,
+        seq_len: 10,
+        mode: GatingMode::Pregated { level: 1 },
+    };
+    let mut net = SwitchNet::new(cfg, &mut rng);
+    let sequences: Vec<Vec<usize>> =
+        (0..8).map(|s| (0..10).map(|t| (s * 7 + t * 3 + 1) % 32).collect()).collect();
+
+    let f32_runs: Vec<_> =
+        sequences.iter().map(|toks| net.forward_inference_traced(toks)).collect();
+
+    for precision in [ExpertPrecision::Int8, ExpertPrecision::F16] {
+        net.quantize_experts(precision);
+        assert_eq!(net.expert_precision(), precision);
+        for (toks, (f32_logits, f32_decisions)) in sequences.iter().zip(&f32_runs) {
+            let (q_logits, q_decisions) = net.forward_inference_traced(toks);
+            for (b, (fd, qd)) in f32_decisions.iter().zip(&q_decisions).enumerate() {
+                assert_eq!(
+                    fd.expert, qd.expert,
+                    "{precision}: block {b} routing flipped under quantized experts"
+                );
+            }
+            let cos = cosine(f32_logits.as_slice(), q_logits.as_slice());
+            assert!(cos >= 0.99, "{precision}: output cosine similarity {cos} < 0.99");
+        }
+    }
+    // F32 restores bit-exact full-precision inference.
+    net.quantize_experts(ExpertPrecision::F32);
+    let (restored, _) = net.forward_inference_traced(&sequences[0]);
+    assert_eq!(restored, f32_runs[0].0);
+}
+
+fn report(policy: OffloadPolicy, precision: Option<ExpertPrecision>) -> (RunReport, u64) {
+    let cfg = ModelConfig::switch_base(64);
+    let mut opts = SimOptions::new(policy).with_seed(0xA11CE);
+    if let Some(p) = precision {
+        opts = opts.with_expert_precision(p);
+    }
+    let hbm = opts.machine.hbm_capacity;
+    let plan = pregated_moe::runtime::PlacementPlan::new(&cfg, &opts, 32 + 16, 1);
+    assert!(
+        plan.hbm_static_bytes() <= hbm,
+        "{policy} @ {precision:?}: static HBM {} exceeds budget {hbm}",
+        plan.hbm_static_bytes()
+    );
+    let run = InferenceSim::new(cfg, opts)
+        .run(DecodeRequest { input_tokens: 32, output_tokens: 16, batch_size: 1 }, 1)
+        .expect("run");
+    (run, hbm)
+}
+
+/// System: with identical seeds and workload, int8 experts must fetch
+/// strictly fewer bytes (≥ 1.8× fewer; actually ~3.76×) and finish in no
+/// more simulated time than f32, for every offloading policy — and the
+/// measured peak must stay inside the machine's HBM.
+#[test]
+fn int8_beats_f32_for_every_offload_policy() {
+    for policy in OffloadPolicy::ALL {
+        let (f32_run, hbm) = report(policy, None);
+        let (int8_run, _) = report(policy, Some(ExpertPrecision::Int8));
+        assert!(
+            int8_run.total_time <= f32_run.total_time,
+            "{policy}: int8 total {} must not exceed f32 {}",
+            int8_run.total_time,
+            f32_run.total_time
+        );
+        let f32_tok = f32_run.total_time.as_secs_f64() / 16.0;
+        let int8_tok = int8_run.total_time.as_secs_f64() / 16.0;
+        assert!(int8_run.peak_hbm_bytes <= hbm, "{policy}: int8 peak breaches HBM");
+        if policy.offloads_experts() {
+            assert!(
+                int8_run.expert_fetch_bytes < f32_run.expert_fetch_bytes,
+                "{policy}: int8 fetched {} !< f32 {}",
+                int8_run.expert_fetch_bytes,
+                f32_run.expert_fetch_bytes
+            );
+            let byte_ratio = f32_run.expert_fetch_bytes as f64 / int8_run.expert_fetch_bytes as f64;
+            assert!(byte_ratio >= 1.8, "{policy}: fetched-byte shrink {byte_ratio} < 1.8x");
+            assert!(
+                int8_tok < f32_tok,
+                "{policy}: int8 per-token latency {int8_tok} !< f32 {f32_tok}"
+            );
+        } else {
+            assert_eq!(int8_run.expert_fetch_bytes, 0);
+            assert_eq!(f32_run.expert_fetch_bytes, 0);
+        }
+    }
+    // The acceptance headline, pinned explicitly for Pregated.
+    let (f32_pg, _) = report(OffloadPolicy::Pregated, None);
+    let (int8_pg, _) = report(OffloadPolicy::Pregated, Some(ExpertPrecision::Int8));
+    let ratio = f32_pg.expert_fetch_bytes as f64 / int8_pg.expert_fetch_bytes as f64;
+    assert!(ratio >= 1.8, "Pregated int8 fetch-byte reduction {ratio} < 1.8x");
+    assert!(int8_pg.mean_block_latency() < f32_pg.mean_block_latency());
+}
+
+/// Capacity: int8 lets a model that OOMs GPU-only at f32 fit entirely in
+/// HBM — the peak-memory argument of the paper, extended by precision.
+#[test]
+fn int8_fits_switch_large_gpu_only() {
+    let cfg = ModelConfig::switch_large_128();
+    let f32_err = InferenceSim::new(cfg.clone(), SimOptions::new(OffloadPolicy::GpuOnly))
+        .run(DecodeRequest { input_tokens: 16, output_tokens: 4, batch_size: 1 }, 1);
+    assert!(f32_err.is_err(), "Switch-Large-128 must OOM GPU-only at f32");
+    let int8_run = InferenceSim::new(
+        cfg,
+        SimOptions::new(OffloadPolicy::GpuOnly).with_expert_precision(ExpertPrecision::Int8),
+    )
+    .run(DecodeRequest { input_tokens: 16, output_tokens: 4, batch_size: 1 }, 1)
+    .expect("int8 Switch-Large must fit an 80 GB HBM GPU-only");
+    assert!(int8_run.tokens_per_sec > 0.0);
+}
+
+/// Cache: under the same HBM byte budget, int8 caches ≥ 2× the experts and
+/// converts that capacity into a higher hit rate on a Zipf-skewed trace,
+/// with eviction counters consistent throughout.
+#[test]
+fn byte_budget_cache_holds_more_int8_experts_and_hits_more() {
+    let cfg = ModelConfig::switch_base(64);
+    let budget = 24 * cfg.expert_bytes(); // 24 f32 experts' worth of HBM
+    let run_at = |precision: Option<ExpertPrecision>, replacement| {
+        let mut opts = SimOptions::new(OffloadPolicy::OnDemand)
+            .with_routing(RoutingKind::Zipf { s: 1.2 })
+            .with_cache(CacheConfig::bytes(budget, replacement))
+            .with_seed(99);
+        if let Some(p) = precision {
+            opts = opts.with_expert_precision(p);
+        }
+        let plan = pregated_moe::runtime::PlacementPlan::new(&cfg, &opts, 48, 1);
+        let run = InferenceSim::new(cfg.clone(), opts)
+            .run(DecodeRequest { input_tokens: 32, output_tokens: 16, batch_size: 1 }, 1)
+            .expect("cached run");
+        (plan.cache_experts(), run.cache_stats.expect("cache configured"))
+    };
+    for replacement in Replacement::ALL {
+        let (f32_cap, f32_stats) = run_at(None, replacement);
+        let (int8_cap, int8_stats) = run_at(Some(ExpertPrecision::Int8), replacement);
+        assert!(
+            int8_cap >= 2 * f32_cap,
+            "{replacement}: int8 capacity {int8_cap} < 2x f32 capacity {f32_cap}"
+        );
+        assert!(
+            int8_stats.hit_rate() >= f32_stats.hit_rate(),
+            "{replacement}: int8 hit rate {} < f32 {}",
+            int8_stats.hit_rate(),
+            f32_stats.hit_rate()
+        );
+        for stats in [f32_stats, int8_stats] {
+            assert!(stats.hits + stats.misses > 0);
+            assert!(stats.evictions <= stats.misses, "{replacement}: counter consistency");
+        }
+    }
+}
+
+/// Serving: the precision axis composes with continuous batching — same
+/// arrival trace, strictly less migrated traffic, no worse throughput.
+#[test]
+fn quantized_serving_composes_with_continuous_batching() {
+    let cfg = ModelConfig::switch_base(64);
+    let request = DecodeRequest { input_tokens: 24, output_tokens: 8, batch_size: 1 };
+    let arrivals: Vec<ArrivedRequest> =
+        ArrivalStream::new(ArrivalProcess::Poisson { rate_per_sec: 20.0 }, request, 2, 77)
+            .take(10)
+            .collect();
+    let f32_stats = serve_batched(
+        cfg.clone(),
+        SimOptions::new(OffloadPolicy::Pregated),
+        BatchConfig::new(4),
+        arrivals.clone(),
+    )
+    .unwrap();
+    let int8_stats = serve_batched(
+        cfg,
+        SimOptions::new(OffloadPolicy::Pregated).with_expert_precision(ExpertPrecision::Int8),
+        BatchConfig::new(4),
+        arrivals,
+    )
+    .unwrap();
+    assert!(int8_stats.expert_fetch_bytes * 3 < f32_stats.expert_fetch_bytes);
+    assert!(int8_stats.tokens_per_sec >= f32_stats.tokens_per_sec);
+    assert!(int8_stats.peak_hbm_bytes <= f32_stats.peak_hbm_bytes);
+}
