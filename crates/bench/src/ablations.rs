@@ -153,6 +153,45 @@ pub fn precision_sweep() -> String {
     out
 }
 
+/// The pluggable-scheduler shootout: the paper's four built-ins plus the
+/// two trait schedulers the closed enum could not express
+/// (`Speculative-Top8`, `Cache-Pinned-8`), each reporting throughput, mean
+/// block latency, total migrated bytes, and on-demand miss-stall bytes on a
+/// Zipf-hot trace. The new columns make the speculative tradeoff visible:
+/// fewer critical-path bytes, more link bytes.
+pub fn policies_sweep() -> String {
+    let cfg = ModelConfig::switch_base(64);
+    let request = DecodeRequest { input_tokens: 32, output_tokens: 16, batch_size: 1 };
+    let zipf = RoutingKind::Zipf { s: 1.2 };
+    let mut specs: Vec<PolicySpec> = OffloadPolicy::ALL.iter().map(|&p| p.scheduler()).collect();
+    specs.push(PolicySpec::speculative_top_m(8));
+    specs.push(PolicySpec::cache_pinned(8));
+    let mut out = String::from(
+        "== Scheduler shootout: six expert schedulers (Switch-Base-64, Zipf 1.2) ==\n",
+    );
+    out.push_str(&format!(
+        "{:<18} {:>10} {:>16} {:>14} {:>12}\n",
+        "scheduler", "tokens/s", "mean block", "fetched (MB)", "demand (MB)"
+    ));
+    for spec in specs {
+        let r = run(&cfg, SimOptions::new(spec).with_routing(zipf), request);
+        out.push_str(&format!(
+            "{:<18} {:>10.1} {:>16} {:>14.1} {:>12.1}\n",
+            r.policy,
+            r.tokens_per_sec,
+            format!("{}", r.mean_block_latency()),
+            r.expert_fetch_bytes as f64 / 1e6,
+            r.demand_fetch_bytes as f64 / 1e6,
+        ));
+    }
+    out.push_str(
+        "shape: Speculative-Top8 trades link bytes for miss stalls (lower demand MB\n\
+         than Pre-gated, higher fetched MB); Cache-Pinned-8 buys migration savings\n\
+         with pinned HBM. Add your own via the ExpertScheduler trait.\n",
+    );
+    out
+}
+
 /// Section III-A's motivation, quantified: multi-GPU expert parallelism
 /// leaves GPUs idle at batch 1, while Pre-gated MoE matches the work to one
 /// GPU + CPU memory.
@@ -240,6 +279,44 @@ mod tests {
         assert!(
             int8_speedups.iter().any(|&s| s > 1.2),
             "offloading policies should gain >1.2x from int8: {int8_speedups:?}"
+        );
+    }
+
+    #[test]
+    fn policies_sweep_reports_all_six_and_speculation_trades_bytes_for_stalls() {
+        let report = policies_sweep();
+        let row = |name: &str| -> Vec<f64> {
+            report
+                .lines()
+                .find(|l| l.starts_with(name))
+                .unwrap_or_else(|| panic!("missing row {name}:\n{report}"))
+                .split_whitespace()
+                .filter_map(|t| t.trim_end_matches("ms").trim_end_matches("µs").parse().ok())
+                .collect()
+        };
+        for name in [
+            "GPU-only",
+            "Pre-gated MoE",
+            "MoE-OnDemand",
+            "MoE-Prefetch",
+            "Speculative-Top8",
+            "Cache-Pinned-8",
+        ] {
+            assert!(report.lines().any(|l| l.starts_with(name)), "missing {name}:\n{report}");
+        }
+        // Columns: tokens/s, mean block, fetched MB, demand MB (last two are
+        // the final numeric fields on every row).
+        let pg = row("Pre-gated MoE");
+        let spec = row("Speculative-Top8");
+        let (pg_fetched, pg_demand) = (pg[pg.len() - 2], pg[pg.len() - 1]);
+        let (sp_fetched, sp_demand) = (spec[spec.len() - 2], spec[spec.len() - 1]);
+        assert!(
+            sp_demand < pg_demand,
+            "SpeculativeTopM demand {sp_demand} must undercut Pre-gated {pg_demand}\n{report}"
+        );
+        assert!(
+            sp_fetched > pg_fetched * 1.5,
+            "the margin must cost measurably more link bytes: {sp_fetched} vs {pg_fetched}"
         );
     }
 

@@ -16,7 +16,8 @@ targets:
   fig15 fig16 timeline       caching / SSD / Fig 9 timelines
   table2 fig13 [--full]      accuracy (trains models; --full = paper recipe)
   precision                  expert-precision sweep (policies x f32/f16/int8)
-  ablations                  PCIe/level/batch/top-k/precision sweeps
+  policies                   six-scheduler shootout (4 built-ins + Speculative-TopM + Cache-Pinned)
+  ablations                  PCIe/level/batch/top-k/precision/scheduler sweeps
   csv <dir>                  write artifact-style CSV files
   all                        every non-training target
   everything                 all + table2 + fig13 (slow)";
@@ -39,12 +40,14 @@ fn main() {
         "table2" => print!("{}", accuracy::table2(full)),
         "fig13" => print!("{}", accuracy::fig13(full)),
         "precision" => print!("{}", ablations::precision_sweep()),
+        "policies" => print!("{}", ablations::policies_sweep()),
         "ablations" => {
             print!("{}", ablations::pcie_sweep());
             print!("{}", ablations::level_sweep());
             print!("{}", ablations::batch_sweep());
             print!("{}", ablations::topk_sweep());
             print!("{}", ablations::precision_sweep());
+            print!("{}", ablations::policies_sweep());
             print!("{}", ablations::multi_gpu_motivation());
         }
         "motivation" => print!("{}", ablations::multi_gpu_motivation()),

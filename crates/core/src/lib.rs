@@ -56,8 +56,9 @@ pub mod prelude {
     pub use pgmoe_device::{Machine, MachineConfig, SimDuration, SimTime, Tier};
     pub use pgmoe_model::{ExpertPrecision, GateTopology, GatingMode, ModelConfig, Precision};
     pub use pgmoe_runtime::{
-        serve_batched, serve_stream, BatchConfig, BatchScheduler, CacheConfig, InferenceSim,
-        OffloadPolicy, Replacement, RunReport, ServeStats, SimOptions,
+        serve_batched, serve_stream, BatchConfig, BatchScheduler, CacheCapacity, CacheConfig,
+        ExpertScheduler, FetchSet, InferenceSim, OffloadPolicy, PolicyCtx, PolicySpec, Prefetch,
+        Replacement, Residency, RunReport, SchedulerFactory, ServeStats, SimOptions,
     };
     pub use pgmoe_train::{Trainer, TrainerConfig};
     pub use pgmoe_workload::{

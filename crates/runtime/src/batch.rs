@@ -5,34 +5,39 @@
 //! their own schedule and a scheduler decides how to share the GPU. This
 //! module implements **iteration-level continuous batching** (the
 //! Orca/vLLM discipline) on top of the same device simulator, placement
-//! plan, and expert cache as [`crate::InferenceSim`]:
+//! plan, expert cache — and, since the policy redesign, the exact same
+//! policy-driven decode core — as [`crate::InferenceSim`]:
 //!
 //! * Requests arrive from a [`pgmoe_workload::ArrivalStream`] (Poisson or
 //!   bursty) and wait in an admission queue.
 //! * At every decode-iteration boundary the scheduler admits waiting
 //!   requests while the batch is below `max_batch` **and** the admission
 //!   would keep peak HBM — static weights + per-request KV/activations +
-//!   the policy's worst-case migration transients — inside the budget.
+//!   the policy's worst-case migration transients (asked of the
+//!   [`ExpertScheduler`] itself) — inside the budget.
 //! * One iteration decodes one token for *every* in-flight request. Weight
 //!   traffic (attention projections, dense FFNs) is read once per iteration
 //!   regardless of batch size, which is exactly why continuous batching
 //!   lifts tokens/sec; expert fetches migrate the *union* of the batch's
-//!   activated experts, overlapped per the configured [`OffloadPolicy`].
+//!   activated experts, overlapped per the configured scheduler.
 //! * Completed requests leave immediately; their slot is reusable at the
 //!   next boundary ("continuous" — no waiting for the whole batch).
 //!
 //! Per-request QoS (queueing delay, TTFT, end-to-end latency) lands in the
 //! same [`ServeStats`] the batch-1 path produces, so the two disciplines are
 //! directly comparable (`examples/serve_batched.rs`).
+//!
+//! [`ExpertScheduler`]: crate::scheduler::ExpertScheduler
 
-use crate::engine::{
-    attn_bytes_for, dense_ffn_bytes_for, expected_distinct_experts, fetch_experts_on, free_buffers,
-    sample_distinct_experts,
+use crate::core::{
+    self, expected_distinct_experts, CoreEnv, CoreScratch, DecodeCosts, PrefillCosts,
 };
+use crate::engine::{attn_bytes_for, dense_ffn_bytes_for};
+use crate::scheduler::{ExpertScheduler, MemoryProfile, RoutedSource};
 use crate::serve::ServeStats;
-use crate::{ExpertCache, OffloadPolicy, PlacementPlan, Result, RuntimeError, SimOptions};
-use pgmoe_device::{AllocId, EventId, Machine, SimTime, Tier};
-use pgmoe_model::ModelConfig;
+use crate::{ExpertCache, PlacementPlan, Result, RuntimeError, SimOptions};
+use pgmoe_device::{AllocId, Machine, SimTime, Tier};
+use pgmoe_model::{GateTopology, ModelConfig};
 use pgmoe_workload::{ArrivedRequest, RoutingTrace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -88,57 +93,19 @@ impl InFlight {
     }
 }
 
-/// A fetch issued ahead of its consuming block.
-#[derive(Debug, Default)]
-struct PendingFetch {
-    done: Option<EventId>,
-    buffers: Vec<AllocId>,
+/// Adapter: the batch's per-block expert unions as a routing source.
+struct UnionRouted<'a> {
+    unions: &'a [Vec<usize>],
 }
 
-/// Reusable per-iteration scheduler state: hoisted out of the serve loop so
-/// the steady-state decode path performs zero heap allocations (all
-/// capacities are retained across iterations).
-#[derive(Debug)]
-struct IterScratch {
-    pending: Vec<PendingFetch>,
-    /// Union of the batch's activated experts for the current block.
-    union: Vec<usize>,
-    /// The full `0..num_experts` set (MoE-Prefetch moves everything).
-    all_experts: Vec<usize>,
-    /// Wait-list under construction for the current expert kernel.
-    waits: Vec<EventId>,
-    /// Transient buffers of the currently executing block.
-    cur_buffers: Vec<AllocId>,
-    /// Indices (into the in-flight list) admitted this iteration.
-    admitted_now: Vec<usize>,
-}
-
-impl IterScratch {
-    fn new(dec_blocks: usize, num_experts: usize) -> Self {
-        IterScratch {
-            pending: (0..dec_blocks).map(|_| PendingFetch::default()).collect(),
-            union: Vec::new(),
-            all_experts: (0..num_experts).collect(),
-            waits: Vec::with_capacity(4),
-            cur_buffers: Vec::new(),
-            admitted_now: Vec::new(),
-        }
-    }
-
-    fn reset_iteration(&mut self) {
-        for p in &mut self.pending {
-            p.done = None;
-            debug_assert!(p.buffers.is_empty(), "iteration left pending buffers alive");
-            p.buffers.clear();
-        }
-        self.waits.clear();
-        debug_assert!(self.cur_buffers.is_empty());
-        self.cur_buffers.clear();
+impl RoutedSource for UnionRouted<'_> {
+    fn experts(&self, block: usize) -> &[usize] {
+        &self.unions[block]
     }
 }
 
-/// Iteration-level continuous-batching scheduler (see the [module
-/// docs](self)).
+/// Iteration-level continuous-batching scheduler (see the module docs
+/// above).
 ///
 /// # Example
 ///
@@ -183,13 +150,19 @@ impl BatchScheduler {
     /// * [`RuntimeError::OutOfMemory`] if the static footprint (or a single
     ///   admitted request) cannot fit the HBM budget.
     /// * [`RuntimeError::InvalidConfig`] for a zero `max_batch`, a request
-    ///   with zero output tokens or batch size ≠ 1, or unsorted arrivals.
+    ///   with zero output tokens or batch size ≠ 1, unsorted arrivals, or
+    ///   options the policy surface rejects.
     pub fn serve(&self, arrivals: impl IntoIterator<Item = ArrivedRequest>) -> Result<ServeStats> {
         let arrivals: Vec<ArrivedRequest> = arrivals.into_iter().collect();
         self.validate(&arrivals)?;
+        let cfg = &self.cfg;
+        let opts = &self.opts;
+        let mut sched = opts.policy.build(&opts.setup_for(cfg));
+        let topo = sched.decoder_topology(cfg.decoder_moe_layers())?;
         let n = arrivals.len();
         if n == 0 {
             return Ok(ServeStats {
+                policy: sched.name(),
                 request_latencies: Vec::new(),
                 queueing_delays: Vec::new(),
                 ttfts: Vec::new(),
@@ -197,11 +170,10 @@ impl BatchScheduler {
                 tokens_per_sec: 0.0,
                 peak_hbm_bytes: 0,
                 expert_fetch_bytes: 0,
+                demand_fetch_bytes: 0,
             });
         }
 
-        let cfg = &self.cfg;
-        let opts = &self.opts;
         let mut machine = Machine::new(opts.machine.clone());
 
         // Static, context-independent footprint reserved once; per-request
@@ -219,6 +191,8 @@ impl BatchScheduler {
         let mut cache =
             opts.cache.map(|c| ExpertCache::new(base_plan.cache_experts(), c.replacement));
 
+        let dec_blocks = cfg.decoder_moe_layers();
+        let enc_blocks = cfg.encoder_layers / cfg.moe_every;
         let mut pending: VecDeque<(usize, ArrivedRequest)> =
             arrivals.iter().copied().enumerate().collect();
         let mut inflight: Vec<InFlight> = Vec::new();
@@ -228,7 +202,11 @@ impl BatchScheduler {
         let mut total_tokens = 0usize;
         let mut last_completion = SimTime::ZERO;
         let first_arrival = SimTime::from_nanos(arrivals[0].arrival_ns);
-        let mut scratch = IterScratch::new(cfg.decoder_moe_layers(), cfg.num_experts);
+        let mut scratch = CoreScratch::new(dec_blocks, cfg.num_experts);
+        let mut unions: Vec<Vec<usize>> = vec![Vec::new(); dec_blocks];
+        let mut admitted_now: Vec<usize> = Vec::new();
+        let mut demand_bytes = 0u64;
+        let mut iteration = 0usize;
 
         // Wall clock, tracked separately from the machine timeline so idle
         // gaps between arrivals do not let later work start "in the past".
@@ -243,8 +221,7 @@ impl BatchScheduler {
             }
 
             // Admission at the iteration boundary.
-            scratch.admitted_now.clear();
-            let admitted_now = &mut scratch.admitted_now;
+            admitted_now.clear();
             while inflight.len() < self.batch.max_batch {
                 let Some(&(idx, arr)) = pending.front() else { break };
                 let arrival = SimTime::from_nanos(arr.arrival_ns);
@@ -263,8 +240,12 @@ impl BatchScheduler {
                     admitted_now.iter().map(|&i| inflight[i].request.input_tokens).sum::<usize>()
                         + arr.request.input_tokens;
                 let transient = self
-                    .worst_case_transient_bytes(&base_plan, inflight.len() + 1)
-                    .max(self.prefill_transient_bytes(&base_plan, prefill_inputs));
+                    .decode_transient_bytes(sched.as_ref(), &base_plan, inflight.len() + 1)
+                    .max(self.prefill_transient_bytes_of(
+                        sched.as_ref(),
+                        &base_plan,
+                        prefill_inputs,
+                    ));
                 let planned =
                     base_plan.static_non_activation_bytes() + in_flight_act + act_bytes + transient;
                 if planned > budget {
@@ -312,17 +293,48 @@ impl BatchScheduler {
             // then one decode iteration for the whole batch. Time it on the
             // machine and advance the wall clock by the measured span.
             let span_start = machine.horizon();
-            if !scratch.admitted_now.is_empty() {
+            if !admitted_now.is_empty() {
                 // Prefill only runs on admission — it is allowed to allocate.
                 self.prefill(
                     &mut machine,
                     &base_plan,
                     &mut cache,
+                    sched.as_mut(),
+                    &topo,
                     &inflight,
-                    &scratch.admitted_now,
+                    &admitted_now,
+                    &mut demand_bytes,
                 )?;
             }
-            self.decode_iteration(&mut machine, &base_plan, &mut cache, &inflight, &mut scratch)?;
+            for (b, union) in unions.iter_mut().enumerate() {
+                union_experts_into(&inflight, b, union);
+            }
+            let costs = DecodeCosts {
+                attn_bytes: self.attn_bytes(&inflight),
+                ffn_bytes: self.dense_ffn_bytes(),
+                decoder_layers: cfg.decoder_layers,
+                moe_every: cfg.moe_every,
+            };
+            let mut env = CoreEnv {
+                machine: &mut machine,
+                plan: &base_plan,
+                cache: &mut cache,
+                offload_tier: opts.offload_tier,
+                num_experts: cfg.num_experts,
+                demand_bytes: &mut demand_bytes,
+            };
+            core::decode_iteration(
+                &mut env,
+                sched.as_mut(),
+                &topo,
+                &UnionRouted { unions: &unions },
+                iteration,
+                enc_blocks,
+                &costs,
+                &mut scratch,
+                None,
+            )?;
+            iteration += 1;
             let span = machine.horizon() - span_start;
             clock += span;
 
@@ -354,6 +366,7 @@ impl BatchScheduler {
             total_tokens as f64 / span.as_secs_f64()
         };
         Ok(ServeStats {
+            policy: sched.name(),
             request_latencies: latencies,
             queueing_delays: queueing,
             ttfts,
@@ -361,6 +374,7 @@ impl BatchScheduler {
             tokens_per_sec,
             peak_hbm_bytes: machine.pool(Tier::Hbm).peak_bytes(),
             expert_fetch_bytes: machine.offload_traffic_bytes(),
+            demand_fetch_bytes: demand_bytes,
         })
     }
 
@@ -370,17 +384,7 @@ impl BatchScheduler {
                 message: "max_batch must be at least 1".into(),
             });
         }
-        if self.opts.policy == OffloadPolicy::Pregated {
-            let level = self.opts.gating.level().max(1);
-            if level >= self.cfg.decoder_moe_layers() {
-                return Err(RuntimeError::InvalidConfig {
-                    message: format!(
-                        "pre-gate level {level} needs more than {} decoder MoE blocks",
-                        self.cfg.decoder_moe_layers()
-                    ),
-                });
-            }
-        }
+        self.opts.validate(&self.cfg)?;
         for (i, a) in arrivals.iter().enumerate() {
             if a.request.output_tokens == 0 || a.request.batch_size != 1 {
                 return Err(RuntimeError::InvalidConfig {
@@ -399,37 +403,54 @@ impl BatchScheduler {
         Ok(())
     }
 
-    /// Worst-case migration-transient bytes while prefilling prompts with
-    /// `total_inputs` tokens: the expected distinct expert set is staged,
-    /// twice under Pre-gated (current + next block's pipeline).
-    fn prefill_transient_bytes(&self, plan: &PlacementPlan, total_inputs: usize) -> u64 {
-        let distinct =
-            expected_distinct_experts(total_inputs * plan.active_per_block(), self.cfg.num_experts)
-                as u64;
-        match self.opts.policy {
-            OffloadPolicy::GpuOnly => 0,
-            OffloadPolicy::OnDemand => distinct * plan.expert_bytes(),
-            OffloadPolicy::Pregated => 2 * distinct * plan.expert_bytes(),
-            OffloadPolicy::PrefetchAll => 2 * self.cfg.num_experts as u64 * plan.expert_bytes(),
+    fn profile(&self, plan: &PlacementPlan, active: usize) -> MemoryProfile {
+        MemoryProfile {
+            expert_bytes: plan.expert_bytes(),
+            num_experts: self.cfg.num_experts,
+            active_per_block: active,
+            moe_layers: self.cfg.moe_layers(),
         }
     }
 
-    /// Worst-case migration-transient bytes for one iteration at batch size
-    /// `batch` — the headroom admission control keeps free.
+    /// Worst-case migration-transient bytes while prefilling prompts with
+    /// `total_inputs` tokens, per the scheduler's own memory contract.
+    fn prefill_transient_bytes_of(
+        &self,
+        sched: &dyn ExpertScheduler,
+        plan: &PlacementPlan,
+        total_inputs: usize,
+    ) -> u64 {
+        let distinct =
+            expected_distinct_experts(total_inputs * plan.active_per_block(), self.cfg.num_experts);
+        sched.hbm_plan(&self.profile(plan, distinct)).transient_bytes
+    }
+
+    /// Worst-case migration-transient bytes for one decode iteration at
+    /// batch size `batch` — the headroom admission control keeps free.
+    fn decode_transient_bytes(
+        &self,
+        sched: &dyn ExpertScheduler,
+        plan: &PlacementPlan,
+        batch: usize,
+    ) -> u64 {
+        let union = (batch * plan.active_per_block()).min(self.cfg.num_experts);
+        sched.admission_transient_bytes(&self.profile(plan, union))
+    }
+
+    /// Test/diagnostic variant of [`Self::decode_transient_bytes`] building
+    /// its own scheduler instance.
+    #[cfg(test)]
     fn worst_case_transient_bytes(&self, plan: &PlacementPlan, batch: usize) -> u64 {
-        let e = self.cfg.num_experts as u64;
-        let union = (batch as u64 * plan.active_per_block() as u64).min(e);
-        match self.opts.policy {
-            OffloadPolicy::GpuOnly => 0,
-            OffloadPolicy::OnDemand => union * plan.expert_bytes(),
-            // A level-N pre-gate keeps up to N prefetched blocks' unions in
-            // flight on top of the executing block's set (Equation 1 shape
-            // generalized to the gating level).
-            OffloadPolicy::Pregated => {
-                (self.opts.gating.level().max(1) as u64 + 1) * union * plan.expert_bytes()
-            }
-            OffloadPolicy::PrefetchAll => 2 * e * plan.expert_bytes(),
-        }
+        let sched = self.opts.policy.build(&self.opts.setup_for(&self.cfg));
+        self.decode_transient_bytes(sched.as_ref(), plan, batch)
+    }
+
+    /// Test/diagnostic variant of [`Self::prefill_transient_bytes_of`]
+    /// building its own scheduler instance.
+    #[cfg(test)]
+    fn prefill_transient_bytes(&self, plan: &PlacementPlan, total_inputs: usize) -> u64 {
+        let sched = self.opts.policy.build(&self.opts.setup_for(&self.cfg));
+        self.prefill_transient_bytes_of(sched.as_ref(), plan, total_inputs)
     }
 
     /// HBM bytes streamed by one decoder attention layer for the whole
@@ -442,57 +463,21 @@ impl BatchScheduler {
         dense_ffn_bytes_for(&self.cfg)
     }
 
-    /// Collects the union of experts the in-flight batch activates at
-    /// decoder MoE block `block` this iteration into `out` (sorted,
-    /// deduplicated; the buffer is a reusable scratch).
-    fn union_experts_into(&self, inflight: &[InFlight], block: usize, out: &mut Vec<usize>) {
-        out.clear();
-        for r in inflight {
-            out.extend_from_slice(r.trace.experts(r.generated, block));
-        }
-        out.sort_unstable();
-        out.dedup();
-    }
-
-    /// Enqueues migration of `experts` for cache key-space `block` through
-    /// the cost model shared with [`crate::InferenceSim`]; returns the
-    /// completion event. Transient buffer ids are pushed onto `buffers`,
-    /// to be freed after execution.
-    #[allow(clippy::too_many_arguments)]
-    fn fetch_experts(
-        &self,
-        machine: &mut Machine,
-        plan: &PlacementPlan,
-        cache: &mut Option<ExpertCache>,
-        block: usize,
-        experts: &[usize],
-        waits: &[EventId],
-        buffers: &mut Vec<AllocId>,
-    ) -> Result<EventId> {
-        fetch_experts_on(
-            machine,
-            plan,
-            cache,
-            self.opts.offload_tier,
-            block,
-            experts,
-            waits,
-            true,
-            buffers,
-        )
-        .map_err(RuntimeError::from)
-    }
-
     /// Prefill (encoder pass) for newly admitted requests, batched: weight
     /// reads amortize across the admitted set, expert fetches move the
-    /// expected distinct set their prompts activate.
+    /// expected distinct set their prompts activate — structured by the
+    /// same scheduler hooks as everything else.
+    #[allow(clippy::too_many_arguments)]
     fn prefill(
         &self,
         machine: &mut Machine,
         plan: &PlacementPlan,
         cache: &mut Option<ExpertCache>,
+        sched: &mut dyn ExpertScheduler,
+        topo: &GateTopology,
         inflight: &[InFlight],
         admitted: &[usize],
+        demand_bytes: &mut u64,
     ) -> Result<()> {
         let cfg = &self.cfg;
         let total_inputs: usize = admitted.iter().map(|&i| inflight[i].request.input_tokens).sum();
@@ -504,212 +489,43 @@ impl BatchScheduler {
         let first_idx = admitted.first().map(|&i| inflight[i].idx).unwrap_or(0) as u64;
         let mut rng =
             StdRng::seed_from_u64(self.opts.seed ^ first_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let sample = |rng: &mut StdRng| sample_distinct_experts(distinct, cfg.num_experts, rng);
-        let mut experts = sample(&mut rng);
         let tokens = total_inputs as f64;
         let d = cfg.d_model as f64;
-        let attn_flops = tokens * 2.0 * (4.0 * d * d + 2.0 * d * tokens);
         let ffn_flops = tokens * 4.0 * d * cfg.d_ff as f64;
         let enc_blocks = cfg.encoder_layers / cfg.moe_every;
-        let mut moe_idx = 0usize;
-        let mut pending: Option<EventId> = None;
-        let mut pending_buffers: Vec<AllocId> = Vec::new();
-        let mut buffers: Vec<AllocId> = Vec::new();
-        for layer in 0..cfg.encoder_layers {
-            let is_moe = layer % cfg.moe_every == cfg.moe_every - 1;
-            machine.launch_kernel("prefill-attn", attn_flops, self.attn_bytes(inflight), &[]);
-            if !is_moe {
-                machine.launch_kernel("prefill-ffn", ffn_flops, self.dense_ffn_bytes(), &[]);
-                continue;
-            }
-            if moe_idx > 0 {
-                experts = sample(&mut rng);
-            }
-            let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
-            let exec_bytes = distinct as u64 * plan.expert_bytes();
-            let exec_flops = ffn_flops * plan.active_per_block() as f64;
-            let fetch = match self.opts.policy {
-                OffloadPolicy::GpuOnly => {
-                    machine.launch_kernel("prefill-expert", exec_flops, exec_bytes, &[gate]);
-                    moe_idx += 1;
-                    continue;
-                }
-                OffloadPolicy::OnDemand => self.fetch_experts(
-                    machine,
-                    plan,
-                    cache,
-                    moe_idx,
-                    &experts,
-                    &[gate],
-                    &mut buffers,
-                )?,
-                OffloadPolicy::PrefetchAll => {
-                    let all: Vec<usize> = (0..cfg.num_experts).collect();
-                    self.fetch_experts(machine, plan, cache, moe_idx, &all, &[], &mut buffers)?
-                }
-                OffloadPolicy::Pregated => match pending.take() {
-                    Some(ev) => {
-                        std::mem::swap(&mut buffers, &mut pending_buffers);
-                        ev
-                    }
-                    None => self.fetch_experts(
-                        machine,
-                        plan,
-                        cache,
-                        moe_idx,
-                        &experts,
-                        &[gate],
-                        &mut buffers,
-                    )?,
-                },
-            };
-            machine.launch_kernel("prefill-expert", exec_flops, exec_bytes, &[fetch, gate]);
-            free_buffers(machine, &mut buffers);
-            if self.opts.policy == OffloadPolicy::Pregated && moe_idx + 1 < enc_blocks {
-                let next = sample(&mut rng);
-                pending = Some(self.fetch_experts(
-                    machine,
-                    plan,
-                    cache,
-                    moe_idx + 1,
-                    &next,
-                    &[gate],
-                    &mut pending_buffers,
-                )?);
-            }
-            moe_idx += 1;
-        }
-        free_buffers(machine, &mut pending_buffers);
-        Ok(())
-    }
-
-    /// One decode iteration for the whole in-flight batch: every request
-    /// advances one token; expert fetches move the batch's union set under
-    /// the policy's overlap structure. All per-iteration state lives in
-    /// `scratch`, so the steady state allocates nothing.
-    fn decode_iteration(
-        &self,
-        machine: &mut Machine,
-        plan: &PlacementPlan,
-        cache: &mut Option<ExpertCache>,
-        inflight: &[InFlight],
-        scratch: &mut IterScratch,
-    ) -> Result<()> {
-        let cfg = &self.cfg;
-        let dec_blocks = cfg.decoder_moe_layers();
-        let enc_blocks = cfg.encoder_layers / cfg.moe_every;
-        let level = match self.opts.policy {
-            OffloadPolicy::Pregated => self.opts.gating.level().max(1),
-            _ => 1,
+        let costs = PrefillCosts {
+            attn_flops: tokens * 2.0 * (4.0 * d * d + 2.0 * d * tokens),
+            attn_bytes: self.attn_bytes(inflight),
+            ffn_flops,
+            ffn_bytes: self.dense_ffn_bytes(),
+            exec_flops: ffn_flops * plan.active_per_block() as f64,
+            encoder_layers: cfg.encoder_layers,
+            moe_every: cfg.moe_every,
+            distinct,
+            labels: ["prefill-attn", "prefill-ffn", "prefill-expert"],
         };
-        scratch.reset_iteration();
-
-        if self.opts.policy == OffloadPolicy::PrefetchAll {
-            let ev = self.fetch_experts(
-                machine,
-                plan,
-                cache,
-                enc_blocks,
-                &scratch.all_experts,
-                &[],
-                &mut scratch.pending[0].buffers,
-            )?;
-            scratch.pending[0].done = Some(ev);
-        }
-
-        let mut moe_idx = 0usize;
-        for layer in 0..cfg.decoder_layers {
-            let is_moe = layer % cfg.moe_every == cfg.moe_every - 1;
-            machine.launch_kernel("attn", 0.0, self.attn_bytes(inflight), &[]);
-            if !is_moe {
-                machine.launch_kernel("ffn", 0.0, self.dense_ffn_bytes(), &[]);
-                continue;
-            }
-            let b = moe_idx;
-            self.union_experts_into(inflight, b, &mut scratch.union);
-            let exec_bytes = scratch.union.len() as u64 * plan.expert_bytes();
-            let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
-
-            // Resolve this block's expert residency first (a serialized
-            // first-block fetch must not queue behind later prefetches).
-            scratch.waits.clear();
-            match self.opts.policy {
-                OffloadPolicy::GpuOnly => scratch.waits.push(gate),
-                OffloadPolicy::OnDemand => {
-                    let ev = self.fetch_experts(
-                        machine,
-                        plan,
-                        cache,
-                        enc_blocks + b,
-                        &scratch.union,
-                        &[gate],
-                        &mut scratch.cur_buffers,
-                    )?;
-                    scratch.waits.push(ev);
-                    scratch.waits.push(gate);
-                }
-                OffloadPolicy::PrefetchAll | OffloadPolicy::Pregated => {
-                    if let Some(ev) = scratch.pending[b].done.take() {
-                        std::mem::swap(&mut scratch.cur_buffers, &mut scratch.pending[b].buffers);
-                        scratch.waits.push(ev);
-                        scratch.waits.push(gate);
-                    } else {
-                        // No pre-selection available (first `level` blocks
-                        // of the iteration): serialized, like OnDemand.
-                        let ev = self.fetch_experts(
-                            machine,
-                            plan,
-                            cache,
-                            enc_blocks + b,
-                            &scratch.union,
-                            &[gate],
-                            &mut scratch.cur_buffers,
-                        )?;
-                        scratch.waits.push(ev);
-                        scratch.waits.push(gate);
-                    }
-                }
-            }
-
-            // Issue the fetches this block is responsible for.
-            match self.opts.policy {
-                OffloadPolicy::Pregated if b + level < dec_blocks => {
-                    let target = b + level;
-                    self.union_experts_into(inflight, target, &mut scratch.union);
-                    let ev = self.fetch_experts(
-                        machine,
-                        plan,
-                        cache,
-                        enc_blocks + target,
-                        &scratch.union,
-                        &[gate],
-                        &mut scratch.pending[target].buffers,
-                    )?;
-                    scratch.pending[target].done = Some(ev);
-                }
-                OffloadPolicy::PrefetchAll if b + 1 < dec_blocks => {
-                    let ev = self.fetch_experts(
-                        machine,
-                        plan,
-                        cache,
-                        enc_blocks + b + 1,
-                        &scratch.all_experts,
-                        &[],
-                        &mut scratch.pending[b + 1].buffers,
-                    )?;
-                    scratch.pending[b + 1].done = Some(ev);
-                }
-                _ => {}
-            }
-            machine.launch_kernel("expert", 0.0, exec_bytes, &scratch.waits);
-            free_buffers(machine, &mut scratch.cur_buffers);
-            moe_idx += 1;
-        }
-        for p in &mut scratch.pending {
-            free_buffers(machine, &mut p.buffers);
-        }
-        Ok(())
+        let mut env = CoreEnv {
+            machine,
+            plan,
+            cache,
+            offload_tier: self.opts.offload_tier,
+            num_experts: cfg.num_experts,
+            demand_bytes,
+        };
+        core::prefill_pass(&mut env, sched, topo, enc_blocks, &costs, &mut rng, true)
     }
+}
+
+/// Collects the union of experts the in-flight batch activates at decoder
+/// MoE block `block` this iteration into `out` (sorted, deduplicated; the
+/// buffer is a reusable scratch).
+fn union_experts_into(inflight: &[InFlight], block: usize, out: &mut Vec<usize>) {
+    out.clear();
+    for r in inflight {
+        out.extend_from_slice(r.trace.experts(r.generated, block));
+    }
+    out.sort_unstable();
+    out.dedup();
 }
 
 /// Convenience wrapper: build a [`BatchScheduler`] and serve `arrivals`.
@@ -729,6 +545,7 @@ pub fn serve_batched(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::PolicySpec;
     use crate::{OffloadPolicy, SimOptions};
     use pgmoe_workload::{ArrivalProcess, ArrivalStream, DecodeRequest};
 
@@ -756,6 +573,7 @@ mod tests {
         assert_eq!(stats.ttfts.len(), 12);
         assert!(stats.total_tokens >= 12 * 3);
         assert!(stats.tokens_per_sec > 0.0);
+        assert_eq!(stats.policy, "Pre-gated MoE");
         for i in 0..12 {
             assert!(stats.ttfts[i] >= stats.queueing_delays[i], "ttft covers queueing at {i}");
             assert!(stats.request_latencies[i] >= stats.ttfts[i], "latency covers ttft at {i}");
@@ -863,8 +681,8 @@ mod tests {
         // and let peak HBM exceed the configured budget.
         use pgmoe_model::GatingMode;
         let cfg = ModelConfig::switch_base(8);
-        let mut opts = SimOptions::new(OffloadPolicy::Pregated);
-        opts.gating = GatingMode::Pregated { level: 2 };
+        let opts =
+            SimOptions::new(OffloadPolicy::Pregated).with_gating(GatingMode::Pregated { level: 2 });
         let scheduler = BatchScheduler::new(cfg.clone(), opts.clone(), BatchConfig::new(8));
         let base = PlacementPlan::new(&cfg, &opts, 0, 1);
         let act = PlacementPlan::new(&cfg, &opts, 20, 1).activation_bytes();
@@ -889,6 +707,24 @@ mod tests {
     }
 
     #[test]
+    fn new_schedulers_serve_batched_streams() {
+        let cfg = ModelConfig::switch_base(16);
+        for spec in [PolicySpec::speculative_top_m(4), PolicySpec::cache_pinned(4)] {
+            let name = spec.name();
+            let stats = serve_batched(
+                cfg.clone(),
+                SimOptions::new(spec),
+                BatchConfig::new(4),
+                poisson(8, 50.0, 3),
+            )
+            .unwrap();
+            assert_eq!(stats.request_latencies.len(), 8, "{name}");
+            assert_eq!(stats.policy, name);
+            assert!(stats.tokens_per_sec > 0.0, "{name}");
+        }
+    }
+
+    #[test]
     fn gpu_only_oom_propagates() {
         let err = serve_batched(
             ModelConfig::switch_large_128(),
@@ -908,8 +744,14 @@ mod tests {
         assert!(matches!(zero_batch, Err(RuntimeError::InvalidConfig { .. })));
         let unsorted =
             vec![ArrivedRequest::at_nanos(1_000, req(2)), ArrivedRequest::at_nanos(0, req(2))];
-        let bad = serve_batched(cfg, opts, BatchConfig::new(2), unsorted);
+        let bad = serve_batched(cfg.clone(), opts, BatchConfig::new(2), unsorted);
         assert!(matches!(bad, Err(RuntimeError::InvalidConfig { .. })));
+        // The shared SimOptions validation applies to batched serving too.
+        let zero_k = SimOptions::new(OffloadPolicy::Pregated).with_active_experts(0);
+        assert!(matches!(
+            serve_batched(cfg, zero_k, BatchConfig::new(2), poisson(2, 10.0, 1)),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -116,6 +116,20 @@ impl ExpertCache {
     /// Looks up `key`; on a miss the expert is admitted (evicting if full).
     /// Returns whether the lookup was a hit.
     pub fn access(&mut self, key: ExpertKey) -> bool {
+        self.access_with(key, true, None)
+    }
+
+    /// Policy-steered lookup: like [`ExpertCache::access`], but a scheduler
+    /// may veto admission on a miss (`admit = false`) or suggest a preferred
+    /// eviction victim (`evict_hint`; ignored unless resident). The
+    /// hit/miss counters are identical to `access` either way — only what
+    /// ends up resident changes.
+    pub fn access_with(
+        &mut self,
+        key: ExpertKey,
+        admit: bool,
+        evict_hint: Option<ExpertKey>,
+    ) -> bool {
         self.clock += 1;
         if self.capacity == 0 {
             self.stats.misses += 1;
@@ -128,8 +142,14 @@ impl ExpertCache {
             return true;
         }
         self.stats.misses += 1;
+        if !admit {
+            return false;
+        }
         if self.entries.len() >= self.capacity {
-            if let Some(victim) = self.pick_victim() {
+            let victim = evict_hint
+                .filter(|hint| *hint != key && self.entries.contains_key(hint))
+                .or_else(|| self.pick_victim());
+            if let Some(victim) = victim {
                 self.entries.remove(&victim);
                 self.stats.evictions += 1;
             }
@@ -246,6 +266,33 @@ mod tests {
             c.access(key(i % 7, i));
             assert!(c.len() <= 3);
         }
+    }
+
+    #[test]
+    fn gated_access_counts_miss_without_admitting() {
+        let mut c = ExpertCache::new(2, Replacement::Lru);
+        assert!(!c.access_with(key(0, 0), false, None));
+        assert_eq!(c.len(), 0, "vetoed admission must not insert");
+        assert_eq!(c.stats().misses, 1);
+        assert!(!c.access_with(key(0, 0), true, None));
+        assert!(c.contains(key(0, 0)));
+    }
+
+    #[test]
+    fn eviction_hint_overrides_replacement_policy() {
+        let mut c = ExpertCache::new(2, Replacement::Lru);
+        c.access(key(0, 0));
+        c.access(key(0, 1));
+        c.access(key(0, 0)); // 1 is now the LRU victim
+                             // Hint at evicting 0 instead: the hint wins over LRU.
+        assert!(!c.access_with(key(0, 2), true, Some(key(0, 0))));
+        assert!(!c.contains(key(0, 0)));
+        assert!(c.contains(key(0, 1)));
+        assert!(c.contains(key(0, 2)));
+        assert_eq!(c.stats().evictions, 1);
+        // A non-resident hint falls back to the configured policy.
+        assert!(!c.access_with(key(0, 3), true, Some(key(9, 9))));
+        assert_eq!(c.len(), 2);
     }
 
     #[test]

@@ -1,22 +1,24 @@
 //! The inference simulator: schedules one serving run under a policy.
 
-use crate::{
-    CacheStats, ExpertCache, ExpertKey, OffloadPolicy, PlacementPlan, Result, RuntimeError,
-    SimOptions,
+use crate::core::{
+    self, expected_distinct_experts, CoreEnv, CoreScratch, DecodeCosts, PrefillCosts,
 };
-use pgmoe_device::{AllocId, EventId, Machine, SimDuration, SimTime, Tier};
+use crate::scheduler::{ExpertScheduler, RoutedSource};
+use crate::{CacheStats, ExpertCache, PlacementPlan, Result, RuntimeError, SimOptions};
+use pgmoe_device::{Machine, SimDuration, SimTime, Tier};
 use pgmoe_model::{GateTopology, ModelConfig};
 use pgmoe_workload::{DecodeRequest, RoutingTrace};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 /// Measurements from one simulated serving run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Model name.
     pub model: String,
-    /// Policy that produced the run.
-    pub policy: OffloadPolicy,
+    /// Display name of the scheduler that produced the run (the paper
+    /// policies use their figure names, e.g. `"Pre-gated MoE"`).
+    pub policy: String,
     /// Latency of every decoder MoE block execution, in submission order
     /// (the population behind Fig 10's averages).
     pub block_latencies: Vec<SimDuration>,
@@ -42,6 +44,11 @@ pub struct RunReport {
     /// Total expert bytes migrated onto the GPU from the offload tier
     /// (0 under GPU-only; shrinks with the expert precision).
     pub expert_fetch_bytes: u64,
+    /// Expert bytes copied on a block's critical path — serialized
+    /// residency fetches and prefetch-miss fills. This is the on-demand
+    /// stall metric: prefetching schedulers shrink it at the cost of more
+    /// total [`RunReport::expert_fetch_bytes`].
+    pub demand_fetch_bytes: u64,
     /// ASCII execution timeline of the final decode iteration, when
     /// requested (Fig 9).
     pub timeline: Option<String>,
@@ -58,51 +65,31 @@ impl RunReport {
     }
 }
 
+/// Adapter: one decode iteration's routing as a slice of the trace.
+struct TraceRouted<'a> {
+    trace: &'a RoutingTrace,
+    token: usize,
+}
+
+impl RoutedSource for TraceRouted<'_> {
+    fn experts(&self, block: usize) -> &[usize] {
+        self.trace.experts(self.token, block)
+    }
+}
+
 /// Simulates serving a model under a policy on the paper's machine.
 ///
+/// All policy decisions — built-in or user-defined — flow through the
+/// [`ExpertScheduler`] hooks into the shared decode core; this type owns
+/// only the run lifecycle (placement, routing trace, report assembly).
+///
 /// See the [crate docs](crate) for an end-to-end example.
+///
+/// [`ExpertScheduler`]: crate::scheduler::ExpertScheduler
 #[derive(Debug, Clone)]
 pub struct InferenceSim {
     cfg: ModelConfig,
     opts: SimOptions,
-}
-
-/// Per-MoE-block in-flight state for one decode iteration.
-#[derive(Debug, Default)]
-struct BlockInFlight {
-    fetch_done: Option<EventId>,
-    buffers: Vec<AllocId>,
-}
-
-/// Reusable per-iteration decode state: hoisted out of the token loop so
-/// steady-state decode performs zero heap allocations (capacities are
-/// retained across iterations).
-#[derive(Debug)]
-struct DecodeScratch {
-    inflight: Vec<BlockInFlight>,
-    /// The full `0..num_experts` set (MoE-Prefetch moves everything).
-    all_experts: Vec<usize>,
-    /// Wait-list under construction for the current expert kernel.
-    waits: Vec<EventId>,
-}
-
-impl DecodeScratch {
-    fn new(dec_blocks: usize, num_experts: usize) -> Self {
-        DecodeScratch {
-            inflight: (0..dec_blocks).map(|_| BlockInFlight::default()).collect(),
-            all_experts: (0..num_experts).collect(),
-            waits: Vec::with_capacity(4),
-        }
-    }
-
-    fn reset(&mut self) {
-        for f in &mut self.inflight {
-            f.fetch_done = None;
-            debug_assert!(f.buffers.is_empty(), "iteration left transient buffers alive");
-            f.buffers.clear();
-        }
-        self.waits.clear();
-    }
 }
 
 impl InferenceSim {
@@ -139,7 +126,9 @@ impl InferenceSim {
 
         let k_active = plan.active_per_block();
         let dec_blocks = cfg.decoder_moe_layers();
-        let topo = self.decoder_topology(dec_blocks)?;
+        let enc_blocks = cfg.encoder_layers / cfg.moe_every;
+        let mut sched = opts.policy.build(&opts.setup_for(cfg));
+        let topo = sched.decoder_topology(dec_blocks)?;
         let trace = RoutingTrace::generate(
             request.output_tokens,
             dec_blocks,
@@ -149,15 +138,25 @@ impl InferenceSim {
             opts.seed,
         );
         let mut cache = opts.cache.map(|c| ExpertCache::new(plan.cache_experts(), c.replacement));
+        let mut demand_bytes = 0u64;
 
         // One reservation up front; the token loop itself never allocates.
         let mut block_latencies =
             Vec::with_capacity(num_requests * request.output_tokens * dec_blocks);
-        let mut scratch = DecodeScratch::new(dec_blocks, cfg.num_experts);
+        let mut scratch = CoreScratch::new(dec_blocks, cfg.num_experts);
         let mut ctx_len = request.input_tokens;
         let mut first_token_time: Option<SimTime> = None;
         for req in 0..num_requests {
-            self.encoder_pass(&mut machine, &plan, &mut cache, request.input_tokens, req as u64)?;
+            self.encoder_pass(
+                &mut machine,
+                &plan,
+                &mut cache,
+                sched.as_mut(),
+                &topo,
+                request.input_tokens,
+                req as u64,
+                &mut demand_bytes,
+            )?;
             for tok in 0..request.output_tokens {
                 // Keep the timeline bounded: retain only the final iteration.
                 if opts.trace_timeline {
@@ -166,16 +165,30 @@ impl InferenceSim {
                         machine.clear_trace();
                     }
                 }
-                self.decode_iteration(
-                    &mut machine,
-                    &plan,
+                let costs = DecodeCosts {
+                    attn_bytes: self.attn_bytes(ctx_len + tok),
+                    ffn_bytes: self.dense_ffn_bytes(),
+                    decoder_layers: cfg.decoder_layers,
+                    moe_every: cfg.moe_every,
+                };
+                let mut env = CoreEnv {
+                    machine: &mut machine,
+                    plan: &plan,
+                    cache: &mut cache,
+                    offload_tier: opts.offload_tier,
+                    num_experts: cfg.num_experts,
+                    demand_bytes: &mut demand_bytes,
+                };
+                core::decode_iteration(
+                    &mut env,
+                    sched.as_mut(),
                     &topo,
-                    &trace,
-                    &mut cache,
+                    &TraceRouted { trace: &trace, token: tok },
                     tok,
-                    ctx_len + tok,
-                    &mut block_latencies,
+                    enc_blocks,
+                    &costs,
                     &mut scratch,
+                    Some(&mut block_latencies),
                 )?;
                 if first_token_time.is_none() {
                     first_token_time = Some(machine.horizon());
@@ -190,7 +203,7 @@ impl InferenceSim {
             opts.trace_timeline.then(|| pgmoe_device::render_timeline(machine.trace(), 100));
         Ok(RunReport {
             model: cfg.name.clone(),
-            policy: opts.policy,
+            policy: sched.name(),
             block_latencies,
             tokens_per_sec: generated / total_time.as_secs_f64(),
             total_time,
@@ -201,6 +214,7 @@ impl InferenceSim {
             gpu_busy: machine.gpu_busy(),
             pcie_busy: machine.pcie_busy(),
             expert_fetch_bytes: machine.offload_traffic_bytes(),
+            demand_fetch_bytes: demand_bytes,
             timeline,
         })
     }
@@ -211,38 +225,7 @@ impl InferenceSim {
                 message: "request must generate at least one token with batch >= 1".into(),
             });
         }
-        if let Some(c) = self.opts.cache {
-            if !(0.0..=1.0).contains(&c.fraction) || c.fraction == 0.0 {
-                return Err(RuntimeError::InvalidConfig {
-                    message: format!("cache fraction {} outside (0, 1]", c.fraction),
-                });
-            }
-        }
-        if let Some(k) = self.opts.active_experts_override {
-            if k == 0 || k > self.cfg.num_experts {
-                return Err(RuntimeError::InvalidConfig {
-                    message: format!("active experts {k} outside 1..={}", self.cfg.num_experts),
-                });
-            }
-        }
-        Ok(())
-    }
-
-    fn decoder_topology(&self, dec_blocks: usize) -> Result<GateTopology> {
-        match self.opts.policy {
-            OffloadPolicy::Pregated => {
-                let level = self.opts.gating.level().max(1);
-                if level >= dec_blocks {
-                    return Err(RuntimeError::InvalidConfig {
-                        message: format!(
-                            "pre-gate level {level} needs more than {dec_blocks} decoder MoE blocks"
-                        ),
-                    });
-                }
-                Ok(GateTopology::new(dec_blocks, pgmoe_model::GatingMode::Pregated { level }))
-            }
-            _ => Ok(GateTopology::conventional(dec_blocks)),
-        }
+        self.opts.validate(&self.cfg)
     }
 
     // ------------------------------------------------------------------
@@ -259,40 +242,29 @@ impl InferenceSim {
         dense_ffn_bytes_for(&self.cfg)
     }
 
-    // ------------------------------------------------------------------
-    // Encoder
-    // ------------------------------------------------------------------
-
-    /// Simulates the encoder pass over the prompt. The encoder runs once per
-    /// request; under offloading policies its MoE blocks fetch the distinct
-    /// experts its `input_tokens` activate, with the same overlap structure
-    /// as the decoder.
+    /// Simulates the encoder pass over the prompt: policy hooks drive the
+    /// fetch structure through the shared prefill core, and fetches stream
+    /// through a scheduler-sized staging region (`alloc_buffers = false`)
+    /// so measured peaks stay on the decode-side Equation-1 footprint, as
+    /// in the paper.
+    #[allow(clippy::too_many_arguments)]
     fn encoder_pass(
         &self,
         machine: &mut Machine,
         plan: &PlacementPlan,
         cache: &mut Option<ExpertCache>,
+        sched: &mut dyn ExpertScheduler,
+        topo: &GateTopology,
         input_tokens: usize,
         request_seed: u64,
+        demand_bytes: &mut u64,
     ) -> Result<()> {
         let cfg = &self.cfg;
         let enc_blocks = cfg.encoder_layers / cfg.moe_every;
         let distinct =
             expected_distinct_experts(input_tokens * plan.active_per_block(), cfg.num_experts);
-        // Encoder expert staging: the prompt activates many distinct experts
-        // per block, but they are *streamed* through a small staging region
-        // (single buffer when fetches serialize with execution, double buffer
-        // when they overlap) — except MoE-Prefetch, which by design holds two
-        // entire blocks' expert sets. This keeps measured peaks on the
-        // decode-side Equation-1 footprint, as in the paper.
-        let staging_experts: u64 = match self.opts.policy {
-            OffloadPolicy::GpuOnly => 0,
-            OffloadPolicy::OnDemand => 1,
-            OffloadPolicy::Pregated => 2,
-            OffloadPolicy::PrefetchAll => 2 * cfg.num_experts as u64,
-        };
-        let staging = if staging_experts > 0 {
-            Some(machine.pool_mut(Tier::Hbm).alloc(staging_experts * plan.expert_bytes())?)
+        let staging = if plan.staging_experts() > 0 {
+            Some(machine.pool_mut(Tier::Hbm).alloc(plan.staging_experts() * plan.expert_bytes())?)
         } else {
             None
         };
@@ -301,288 +273,31 @@ impl InferenceSim {
         // bytes are read once.
         let tokens = input_tokens as f64;
         let d = cfg.d_model as f64;
-        let attn_flops = tokens * 2.0 * (4.0 * d * d + 2.0 * d * tokens);
         let ffn_flops_dense = tokens * 4.0 * d * cfg.d_ff as f64;
-        let mut moe_idx = 0usize;
-        let mut pending: Option<EventId> = None;
-        // Encoder fetches stream through the staging region
-        // (`alloc_buffers = false`), so this scratch stays empty.
-        let mut no_buffers: Vec<AllocId> = Vec::new();
-        for layer in 0..cfg.encoder_layers {
-            let is_moe = layer % cfg.moe_every == cfg.moe_every - 1;
-            machine.launch_kernel("attn", attn_flops, self.attn_bytes(input_tokens), &[]);
-            if !is_moe {
-                machine.launch_kernel("ffn", ffn_flops_dense, self.dense_ffn_bytes(), &[]);
-                continue;
-            }
-            // Sample this block's distinct activated experts.
-            let experts = sample_distinct_experts(distinct, cfg.num_experts, &mut rng);
-            let exec_bytes = experts.len() as u64 * plan.expert_bytes();
-            let exec_flops = ffn_flops_dense * plan.active_per_block() as f64;
-            match self.opts.policy {
-                OffloadPolicy::GpuOnly => {
-                    let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
-                    machine.launch_kernel("expert", exec_flops, exec_bytes, &[gate]);
-                }
-                OffloadPolicy::OnDemand => {
-                    let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
-                    let fetch = self.fetch_experts(
-                        machine,
-                        plan,
-                        cache,
-                        moe_idx,
-                        &experts,
-                        &[gate],
-                        false,
-                        &mut no_buffers,
-                    );
-                    machine.launch_kernel("expert", exec_flops, exec_bytes, &[fetch]);
-                }
-                OffloadPolicy::PrefetchAll | OffloadPolicy::Pregated => {
-                    // Both policies overlap the fetch with the preceding
-                    // layer's compute in the encoder; PrefetchAll moves every
-                    // expert, Pre-gated only the activated ones.
-                    let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
-                    let fetch = if self.opts.policy == OffloadPolicy::PrefetchAll {
-                        let all: Vec<usize> = (0..cfg.num_experts).collect();
-                        self.fetch_experts(
-                            machine,
-                            plan,
-                            cache,
-                            moe_idx,
-                            &all,
-                            &[],
-                            false,
-                            &mut no_buffers,
-                        )
-                    } else if let Some(ev) = pending.take() {
-                        ev
-                    } else {
-                        // First encoder MoE block: serialized, like OnDemand.
-                        self.fetch_experts(
-                            machine,
-                            plan,
-                            cache,
-                            moe_idx,
-                            &experts,
-                            &[gate],
-                            false,
-                            &mut no_buffers,
-                        )
-                    };
-                    machine.launch_kernel("expert", exec_flops, exec_bytes, &[fetch, gate]);
-                    // Pre-gate: issue the next encoder MoE block's fetch now.
-                    if self.opts.policy == OffloadPolicy::Pregated && moe_idx + 1 < enc_blocks {
-                        let next = sample_distinct_experts(distinct, cfg.num_experts, &mut rng);
-                        pending = Some(self.fetch_experts(
-                            machine,
-                            plan,
-                            cache,
-                            moe_idx + 1,
-                            &next,
-                            &[gate],
-                            false,
-                            &mut no_buffers,
-                        ));
-                    }
-                }
-            }
-            moe_idx += 1;
-        }
+        let costs = PrefillCosts {
+            attn_flops: tokens * 2.0 * (4.0 * d * d + 2.0 * d * tokens),
+            attn_bytes: self.attn_bytes(input_tokens),
+            ffn_flops: ffn_flops_dense,
+            ffn_bytes: self.dense_ffn_bytes(),
+            exec_flops: ffn_flops_dense * plan.active_per_block() as f64,
+            encoder_layers: cfg.encoder_layers,
+            moe_every: cfg.moe_every,
+            distinct,
+            labels: ["attn", "ffn", "expert"],
+        };
+        let mut env = CoreEnv {
+            machine,
+            plan,
+            cache,
+            offload_tier: self.opts.offload_tier,
+            num_experts: cfg.num_experts,
+            demand_bytes,
+        };
+        core::prefill_pass(&mut env, sched, topo, enc_blocks, &costs, &mut rng, false)?;
         if let Some(staging) = staging {
             machine.pool_mut(Tier::Hbm).free(staging).expect("encoder staging double free");
         }
         Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // Decoder
-    // ------------------------------------------------------------------
-
-    /// Simulates one decode iteration (one output token) through the decoder
-    /// stack, recording each MoE block's latency. All per-iteration state
-    /// lives in `scratch`, so the steady state allocates nothing.
-    #[allow(clippy::too_many_arguments)]
-    fn decode_iteration(
-        &self,
-        machine: &mut Machine,
-        plan: &PlacementPlan,
-        topo: &GateTopology,
-        trace: &RoutingTrace,
-        cache: &mut Option<ExpertCache>,
-        tok: usize,
-        ctx: usize,
-        block_latencies: &mut Vec<SimDuration>,
-        scratch: &mut DecodeScratch,
-    ) -> Result<()> {
-        let cfg = &self.cfg;
-        let dec_blocks = cfg.decoder_moe_layers();
-        // Decoder MoE blocks get cache keys disjoint from the encoder's:
-        // block ids are global across the whole model.
-        let enc_blocks = cfg.encoder_layers / cfg.moe_every;
-        scratch.reset();
-
-        // MoE-Prefetch: block 0's full-set prefetch is issued at iteration
-        // start (SE-MoE migrates ahead of use, without gate knowledge).
-        if self.opts.policy == OffloadPolicy::PrefetchAll {
-            let ev = self.fetch_experts(
-                machine,
-                plan,
-                cache,
-                enc_blocks,
-                &scratch.all_experts,
-                &[],
-                true,
-                &mut scratch.inflight[0].buffers,
-            );
-            scratch.inflight[0].fetch_done = Some(ev);
-        }
-
-        let mut moe_idx = 0usize;
-        for layer in 0..cfg.decoder_layers {
-            let is_moe = layer % cfg.moe_every == cfg.moe_every - 1;
-            let compute = machine.compute_stream();
-            let block_start = machine.engine_mut().stream_tail(compute);
-            machine.launch_kernel("attn", 0.0, self.attn_bytes(ctx), &[]);
-            if !is_moe {
-                machine.launch_kernel("ffn", 0.0, self.dense_ffn_bytes(), &[]);
-                continue;
-            }
-            let b = moe_idx;
-            let experts = trace.experts(tok, b);
-            let exec_bytes = experts.len() as u64 * plan.expert_bytes();
-            let gate = machine.compute_op("gate", machine.cost().gate_overhead, &[]);
-
-            // Resolve this block's expert availability FIRST: a first-block
-            // serialized fetch is on the block's critical path and must not
-            // queue behind the next block's prefetch on the in-order copy
-            // stream.
-            scratch.waits.clear();
-            match self.opts.policy {
-                OffloadPolicy::GpuOnly => scratch.waits.push(gate),
-                OffloadPolicy::OnDemand => {
-                    let ev = self.fetch_experts(
-                        machine,
-                        plan,
-                        cache,
-                        enc_blocks + b,
-                        experts,
-                        &[gate],
-                        true,
-                        &mut scratch.inflight[b].buffers,
-                    );
-                    scratch.waits.push(ev);
-                    scratch.waits.push(gate);
-                }
-                OffloadPolicy::PrefetchAll => {
-                    let ev = scratch.inflight[b].fetch_done.expect("prefetch must be in flight");
-                    scratch.waits.push(ev);
-                    scratch.waits.push(gate);
-                }
-                OffloadPolicy::Pregated => {
-                    if let Some(ev) = scratch.inflight[b].fetch_done {
-                        scratch.waits.push(ev);
-                        scratch.waits.push(gate);
-                    } else {
-                        // First block(s) of the iteration: no pre-selection
-                        // available — serialized fetch, like OnDemand
-                        // (footnote 1 of the paper).
-                        let ev = self.fetch_experts(
-                            machine,
-                            plan,
-                            cache,
-                            enc_blocks + b,
-                            experts,
-                            &[gate],
-                            true,
-                            &mut scratch.inflight[b].buffers,
-                        );
-                        scratch.waits.push(ev);
-                        scratch.waits.push(gate);
-                    }
-                }
-            }
-
-            // Then issue the fetches this block is responsible for: the
-            // pre-gated targets selected by gates hosted here, or the next
-            // block's full-set prefetch (MoE-Prefetch).
-            match self.opts.policy {
-                OffloadPolicy::Pregated => {
-                    for target in topo.gates_hosted_at(b) {
-                        if target == b {
-                            continue; // own routing: resolved above
-                        }
-                        let target_experts = trace.experts(tok, target);
-                        let ev = self.fetch_experts(
-                            machine,
-                            plan,
-                            cache,
-                            enc_blocks + target,
-                            target_experts,
-                            &[gate],
-                            true,
-                            &mut scratch.inflight[target].buffers,
-                        );
-                        scratch.inflight[target].fetch_done = Some(ev);
-                    }
-                }
-                OffloadPolicy::PrefetchAll if b + 1 < dec_blocks => {
-                    let ev = self.fetch_experts(
-                        machine,
-                        plan,
-                        cache,
-                        enc_blocks + b + 1,
-                        &scratch.all_experts,
-                        &[],
-                        true,
-                        &mut scratch.inflight[b + 1].buffers,
-                    );
-                    scratch.inflight[b + 1].fetch_done = Some(ev);
-                }
-                _ => {}
-            }
-            let exec = machine.launch_kernel("expert", 0.0, exec_bytes, &scratch.waits);
-            free_buffers(machine, &mut scratch.inflight[b].buffers);
-            block_latencies.push(machine.event_time(exec) - block_start);
-            moe_idx += 1;
-        }
-        Ok(())
-    }
-
-    /// Enqueues migration of `experts` of MoE block `block` to the GPU.
-    /// Cache-resident experts cost nothing; missed experts get a transient
-    /// HBM buffer (ids pushed onto `buffers`) and a copy from the offload
-    /// tier — the decoder allocates transients, the encoder streams through
-    /// its staging region instead (`alloc_buffers = false`). Returns the
-    /// event after which every requested expert is GPU-resident.
-    #[allow(clippy::too_many_arguments)]
-    fn fetch_experts(
-        &self,
-        machine: &mut Machine,
-        plan: &PlacementPlan,
-        cache: &mut Option<ExpertCache>,
-        block: usize,
-        experts: &[usize],
-        waits: &[EventId],
-        alloc_buffers: bool,
-        buffers: &mut Vec<AllocId>,
-    ) -> EventId {
-        match fetch_experts_on(
-            machine,
-            plan,
-            cache,
-            self.opts.offload_tier,
-            block,
-            experts,
-            waits,
-            alloc_buffers,
-            buffers,
-        ) {
-            Ok(done) => done,
-            // Surfacing OOM lazily keeps the hot path simple; the static
-            // allocation catches the common failure first.
-            Err(err) => panic!("transient expert buffer OOM: {err}"),
-        }
     }
 }
 
@@ -603,108 +318,11 @@ pub(crate) fn dense_ffn_bytes_for(cfg: &ModelConfig) -> u64 {
     (2.0 * cfg.d_model as f64 * cfg.d_ff as f64 * bpp) as u64
 }
 
-/// Enqueues migration of `experts` of MoE block `block` to the GPU —
-/// shared by the batch-1 serving path and the continuous-batching
-/// scheduler so their cost models cannot drift. Cache-resident experts
-/// cost nothing; missed experts get a transient HBM buffer (when
-/// `alloc_buffers`) and a copy from `offload_tier`. Returns the event
-/// after which every requested expert is GPU-resident; transient-buffer
-/// ids are **pushed onto the caller-provided `buffers`** (a reusable
-/// scratch vector — decode iterations recycle it so the steady state
-/// performs no heap allocation). On OOM the buffers pushed so far are
-/// freed and drained before the error propagates (the engine panics on
-/// it, the scheduler surfaces it as a runtime error).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn fetch_experts_on(
-    machine: &mut Machine,
-    plan: &PlacementPlan,
-    cache: &mut Option<ExpertCache>,
-    offload_tier: Tier,
-    block: usize,
-    experts: &[usize],
-    waits: &[EventId],
-    alloc_buffers: bool,
-    buffers: &mut Vec<AllocId>,
-) -> std::result::Result<EventId, pgmoe_device::DeviceError> {
-    debug_assert!(buffers.is_empty(), "fetch_experts_on expects a drained buffer scratch");
-    let trace = machine.trace_enabled();
-    let mut last = None;
-    for &e in experts {
-        let hit = cache.as_mut().map(|c| c.access(ExpertKey { block, expert: e })).unwrap_or(false);
-        if hit {
-            continue;
-        }
-        // Transient staging buffer; OOM here is a real capacity failure.
-        if alloc_buffers {
-            match machine.pool_mut(Tier::Hbm).alloc(plan.expert_bytes()) {
-                Ok(id) => buffers.push(id),
-                Err(err) => {
-                    free_buffers(machine, buffers);
-                    return Err(err);
-                }
-            }
-        }
-        // Per-expert labels only exist to render Fig 9 timelines; skip the
-        // string build on untraced (steady-state) runs.
-        let ev = if trace {
-            machine.copy_to_gpu(
-                &format!("fetch-b{block}e{e}"),
-                plan.expert_bytes(),
-                offload_tier,
-                waits,
-            )
-        } else {
-            machine.copy_to_gpu("fetch", plan.expert_bytes(), offload_tier, waits)
-        };
-        last = Some(ev);
-    }
-    // All experts resident: the copy stream is in-order, so the last
-    // submitted copy dominates. All-hit fetches complete immediately
-    // relative to `waits` via a zero-length barrier.
-    let done = match last {
-        Some(ev) => ev,
-        None => {
-            let copy = machine.copy_stream();
-            machine.engine_mut().barrier(copy, waits)
-        }
-    };
-    Ok(done)
-}
-
-/// Frees and drains transient expert buffers, keeping the vector's capacity
-/// for the next iteration.
-pub(crate) fn free_buffers(machine: &mut Machine, buffers: &mut Vec<AllocId>) {
-    for id in buffers.drain(..) {
-        machine.pool_mut(Tier::Hbm).free(id).expect("expert buffer double free");
-    }
-}
-
-/// Expected number of distinct experts activated by `draws` independent
-/// uniform draws over `experts` (balls-in-bins).
-pub(crate) fn expected_distinct_experts(draws: usize, experts: usize) -> usize {
-    let e = experts as f64;
-    let expected = e * (1.0 - (1.0 - 1.0 / e).powi(draws as i32));
-    (expected.round() as usize).clamp(1, experts)
-}
-
-pub(crate) fn sample_distinct_experts(
-    count: usize,
-    experts: usize,
-    rng: &mut StdRng,
-) -> Vec<usize> {
-    let mut pool: Vec<usize> = (0..experts).collect();
-    for i in 0..count.min(experts) {
-        let j = rng.gen_range(i..experts);
-        pool.swap(i, j);
-    }
-    let mut chosen: Vec<usize> = pool[..count.min(experts)].to_vec();
-    chosen.sort_unstable();
-    chosen
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::PolicySpec;
+    use crate::OffloadPolicy;
     use pgmoe_model::ModelConfig;
     use pgmoe_workload::DecodeRequest;
 
@@ -724,7 +342,170 @@ mod tests {
             assert!(r.tokens_per_sec > 0.0, "{policy}");
             assert_eq!(r.block_latencies.len(), 8 * 6, "{policy}: 8 tokens × 6 decoder blocks");
             assert!(r.peak_hbm_bytes > 0);
+            assert_eq!(r.policy, policy.paper_name());
         }
+    }
+
+    #[test]
+    fn new_schedulers_complete_and_report() {
+        let cfg = ModelConfig::switch_base(16);
+        for spec in [PolicySpec::speculative_top_m(4), PolicySpec::cache_pinned(4)] {
+            let name = spec.name();
+            let r = InferenceSim::new(cfg.clone(), SimOptions::new(spec))
+                .run(short_request(), 1)
+                .expect("run");
+            assert!(r.tokens_per_sec > 0.0, "{name}");
+            assert_eq!(r.policy, name);
+            assert!(r.expert_fetch_bytes > 0, "{name} offloads");
+            assert!(
+                r.peak_hbm_bytes <= r.predicted_peak_bytes,
+                "{name}: measured {} must stay under the scheduler's Eq.1 bound {}",
+                r.peak_hbm_bytes,
+                r.predicted_peak_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn speculative_trades_bytes_for_demand_stalls() {
+        // The new-scheduler acceptance property: versus Pre-gated, the
+        // speculative superset moves strictly more link bytes and stalls on
+        // strictly fewer on-demand bytes.
+        let cfg = ModelConfig::switch_base(64);
+        let request = DecodeRequest { input_tokens: 32, output_tokens: 16, batch_size: 1 };
+        let zipf = pgmoe_workload::RoutingKind::Zipf { s: 1.2 };
+        let pg = InferenceSim::new(
+            cfg.clone(),
+            SimOptions::new(OffloadPolicy::Pregated).with_routing(zipf),
+        )
+        .run(request, 1)
+        .unwrap();
+        let spec = InferenceSim::new(
+            cfg,
+            SimOptions::new(PolicySpec::speculative_top_m(8)).with_routing(zipf),
+        )
+        .run(request, 1)
+        .unwrap();
+        assert!(pg.demand_fetch_bytes > 0, "Pre-gated serializes the first block");
+        assert!(
+            spec.demand_fetch_bytes < pg.demand_fetch_bytes,
+            "speculation must cut demand stalls: {} !< {}",
+            spec.demand_fetch_bytes,
+            pg.demand_fetch_bytes
+        );
+        assert!(
+            spec.expert_fetch_bytes > pg.expert_fetch_bytes,
+            "the margin costs link bytes: {} !> {}",
+            spec.expert_fetch_bytes,
+            pg.expert_fetch_bytes
+        );
+    }
+
+    #[test]
+    fn cache_pinned_cuts_traffic_under_zipf() {
+        let cfg = ModelConfig::switch_base(64);
+        let request = DecodeRequest { input_tokens: 32, output_tokens: 16, batch_size: 1 };
+        let zipf = pgmoe_workload::RoutingKind::Zipf { s: 1.2 };
+        let pg = InferenceSim::new(
+            cfg.clone(),
+            SimOptions::new(OffloadPolicy::Pregated).with_routing(zipf),
+        )
+        .run(request, 1)
+        .unwrap();
+        let pinned =
+            InferenceSim::new(cfg, SimOptions::new(PolicySpec::cache_pinned(8)).with_routing(zipf))
+                .run(request, 1)
+                .unwrap();
+        assert!(
+            pinned.expert_fetch_bytes < pg.expert_fetch_bytes,
+            "pinned hot experts must shrink migration: {} !< {}",
+            pinned.expert_fetch_bytes,
+            pg.expert_fetch_bytes
+        );
+        assert!(pinned.peak_hbm_bytes > pg.peak_hbm_bytes, "residents cost HBM");
+        assert!(pinned.total_time < pg.total_time, "fewer fetches, faster decode");
+    }
+
+    #[test]
+    fn overlapping_prefetch_directives_merge_without_refetch() {
+        // A scheduler that splits each pre-gated prefetch into two
+        // overlapping directives must behave exactly like Pre-gated: the
+        // core merges coverage and never copies an expert twice.
+        use crate::scheduler::{
+            ExpertScheduler as Es, FetchSet, Phase, PolicyCtx, Prefetch, Residency,
+            SchedulerFactory, SchedulerSetup,
+        };
+        #[derive(Debug)]
+        struct SplitFactory;
+        impl SchedulerFactory for SplitFactory {
+            fn scheduler_name(&self) -> String {
+                "Split-Pregated".into()
+            }
+            fn build(&self, _setup: &SchedulerSetup) -> Box<dyn Es> {
+                Box::new(Split)
+            }
+        }
+        struct Split;
+        impl Es for Split {
+            fn name(&self) -> String {
+                "Split-Pregated".into()
+            }
+            fn uses_pregate(&self) -> bool {
+                true
+            }
+            fn decoder_topology(&self, dec_blocks: usize) -> crate::Result<GateTopology> {
+                Ok(GateTopology::pregated(dec_blocks))
+            }
+            fn hbm_plan(&self, p: &crate::scheduler::MemoryProfile) -> crate::scheduler::HbmPlan {
+                crate::scheduler::HbmPlan {
+                    resident_bytes: 0,
+                    transient_bytes: 2 * p.active_per_block as u64 * p.expert_bytes,
+                    encoder_staging_experts: 2,
+                }
+            }
+            fn on_block_start(&mut self, _ctx: &PolicyCtx<'_>, _block: usize) -> Residency {
+                Residency::AwaitPending
+            }
+            fn on_gate(&mut self, ctx: &PolicyCtx<'_>, block: usize, out: &mut Vec<Prefetch>) {
+                if ctx.phase == Phase::Prefill {
+                    if block + 1 < ctx.blocks {
+                        out.push(Prefetch {
+                            block: block + 1,
+                            set: FetchSet::Routed,
+                            after_gate: true,
+                        });
+                    }
+                    return;
+                }
+                for target in ctx.topology.gates_hosted_at(block) {
+                    if target != block {
+                        let routed = ctx.experts(target);
+                        // First half, then the FULL set again (overlap).
+                        out.push(Prefetch {
+                            block: target,
+                            set: FetchSet::Listed(routed[..routed.len() / 2].to_vec()),
+                            after_gate: true,
+                        });
+                        out.push(Prefetch {
+                            block: target,
+                            set: FetchSet::Listed(routed.to_vec()),
+                            after_gate: true,
+                        });
+                    }
+                }
+            }
+        }
+        let cfg = ModelConfig::switch_base(16);
+        let request = DecodeRequest { input_tokens: 32, output_tokens: 8, batch_size: 1 };
+        let opts = SimOptions::new(OffloadPolicy::Pregated).with_active_experts(2);
+        let pg = InferenceSim::new(cfg.clone(), opts).run(request, 1).unwrap();
+        let split_opts = SimOptions::new(PolicySpec::custom(std::sync::Arc::new(SplitFactory)))
+            .with_active_experts(2);
+        let split = InferenceSim::new(cfg, split_opts).run(request, 1).unwrap();
+        assert_eq!(split.expert_fetch_bytes, pg.expert_fetch_bytes, "no duplicate copies");
+        assert_eq!(split.demand_fetch_bytes, pg.demand_fetch_bytes, "merged coverage");
+        assert_eq!(split.block_latencies, pg.block_latencies, "identical event graph");
+        assert_eq!(split.total_time, pg.total_time);
     }
 
     #[test]
@@ -866,7 +647,13 @@ mod tests {
         ));
         let bad_k = SimOptions::new(OffloadPolicy::Pregated).with_active_experts(9);
         assert!(matches!(
-            InferenceSim::new(cfg, bad_k).run(short_request(), 1),
+            InferenceSim::new(cfg.clone(), bad_k).run(short_request(), 1),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+        let bad_gating = SimOptions::new(OffloadPolicy::OnDemand)
+            .with_gating(pgmoe_model::GatingMode::Pregated { level: 1 });
+        assert!(matches!(
+            InferenceSim::new(cfg, bad_gating).run(short_request(), 1),
             Err(RuntimeError::InvalidConfig { .. })
         ));
     }
@@ -900,12 +687,5 @@ mod tests {
         let b = run(OffloadPolicy::Pregated, 64);
         assert_eq!(a.tokens_per_sec, b.tokens_per_sec);
         assert_eq!(a.block_latencies, b.block_latencies);
-    }
-
-    #[test]
-    fn distinct_expert_expectation_is_sane() {
-        assert_eq!(expected_distinct_experts(1, 64), 1);
-        assert!(expected_distinct_experts(64, 64) > 30);
-        assert_eq!(expected_distinct_experts(10_000, 8), 8);
     }
 }

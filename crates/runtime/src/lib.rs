@@ -3,7 +3,12 @@
 //! The Pre-gated MoE inference system and its baselines (ISCA 2024), built on
 //! the `pgmoe-device` simulator and the `pgmoe-model` model zoo.
 //!
-//! Four execution policies, exactly the paper's design points (Section V):
+//! Expert migration is a *pluggable policy*: the public [`ExpertScheduler`]
+//! trait decides what to fetch, when, and for which MoE block, and a single
+//! shared decode core executes those decisions for every serving path
+//! (batch-1 [`InferenceSim`], continuous-batching [`BatchScheduler`], QoS
+//! [`serve_stream`]). The paper's four design points (Section V) ship as
+//! built-in schedulers behind the [`OffloadPolicy`] convenience enum:
 //!
 //! * [`OffloadPolicy::GpuOnly`] — the oracular upper bound: every parameter
 //!   in HBM, no migration (OOMs on Switch-Large-128's 105.6 GB).
@@ -13,8 +18,15 @@
 //! * [`OffloadPolicy::PrefetchAll`] — SE-MoE-style prefetch-all: the *entire*
 //!   next block's expert set migrates during the current block's execution.
 //! * [`OffloadPolicy::Pregated`] — the paper's co-design: the pre-gate at
-//!   block `N` selects block `N+1`'s experts, so only the *activated* experts
-//!   migrate, overlapped with block `N`'s execution (Figs 7–9).
+//!   block `N` selects the experts for block `N+1`, so only the *activated*
+//!   experts migrate, overlapped with block `N`'s execution (Figs 7–9).
+//!
+//! Two schedulers the old closed enum could not express ship alongside
+//! them: [`PolicySpec::speculative_top_m`] (top-m prefetch margin, trading
+//! link bytes for on-demand miss stalls) and [`PolicySpec::cache_pinned`]
+//! (frequency-pinned residents + pre-gated tail). Write your own by
+//! implementing [`ExpertScheduler`] + [`SchedulerFactory`] — see
+//! `examples/custom_policy.rs` and the [`scheduler`] module docs.
 //!
 //! [`InferenceSim`] runs a decode workload under a policy and reports
 //! per-MoE-block latency (Fig 10), end-to-end throughput (Fig 11), and peak
@@ -37,16 +49,18 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod batch;
 mod cache;
+mod core;
 mod engine;
 mod error;
 mod memory;
 mod multi_gpu;
 mod policy;
 mod report;
+pub mod scheduler;
 mod serve;
 
 pub use batch::{serve_batched, BatchConfig, BatchScheduler};
@@ -55,6 +69,10 @@ pub use engine::{InferenceSim, RunReport};
 pub use error::{Result, RuntimeError};
 pub use memory::PlacementPlan;
 pub use multi_gpu::{simulate_expert_parallel, ClusterConfig, ClusterReport};
-pub use policy::{CacheConfig, OffloadPolicy, Replacement, SimOptions};
+pub use policy::{CacheCapacity, CacheConfig, OffloadPolicy, Replacement, SimOptions};
 pub use report::{csv_block_latencies, csv_peak_memory, csv_throughputs, LatencySummary};
+pub use scheduler::{
+    ExpertScheduler, FetchSet, HbmPlan, MemoryProfile, Phase, PolicyCtx, PolicySpec, Prefetch,
+    Residency, SchedulerFactory, SchedulerSetup,
+};
 pub use serve::{serve_stream, ServeStats};

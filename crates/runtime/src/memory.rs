@@ -1,26 +1,36 @@
 //! Parameter placement and the peak-GPU-memory law (Equation 1).
 
-use crate::{OffloadPolicy, SimOptions};
+use crate::scheduler::MemoryProfile;
+use crate::{CacheCapacity, SimOptions};
 use pgmoe_model::ModelConfig;
 
 /// Static placement plan for one (model, policy) pair: what lives in HBM
 /// permanently, what migrates, and the analytic peak-memory prediction of
-/// the paper's Equation 1.
+/// the paper's Equation 1 — generalised per scheduler through
+/// [`ExpertScheduler::hbm_plan`].
 ///
 /// The simulator allocates through `pgmoe-device`'s pools; this plan exists
 /// so tests can cross-validate the *measured* peak against the *predicted*
 /// peak, and so Fig 12 can be regenerated analytically for configurations
 /// the simulator marks OOM.
+///
+/// [`ExpertScheduler::hbm_plan`]: crate::scheduler::ExpertScheduler::hbm_plan
 #[derive(Debug, Clone)]
 pub struct PlacementPlan {
-    policy: OffloadPolicy,
+    offloads_experts: bool,
     expert_bytes: u64,
-    num_experts: usize,
     moe_bytes: u64,
     non_moe_bytes: u64,
     activation_bytes: u64,
     cache_experts: usize,
     active_per_block: usize,
+    /// Scheduler-pinned permanently-resident bytes (Equation 1 static term).
+    resident_bytes: u64,
+    /// Scheduler transient bytes per in-flight block (Equation 1 dynamic
+    /// term).
+    transient_bytes: u64,
+    /// Experts' worth of encoder fetch staging.
+    staging_experts: u64,
 }
 
 impl PlacementPlan {
@@ -40,38 +50,51 @@ impl PlacementPlan {
             }
             _ => cfg,
         };
-        let active_per_block =
-            opts.active_experts_override.unwrap_or(cfg.top_k).min(cfg.num_experts);
+        let active_per_block = opts.active_per_block(cfg);
         let expert_bytes = eff.expert_bytes();
         let cache_experts = opts
             .cache
             .map(|c| {
                 let total = cfg.moe_layers() * cfg.num_experts;
-                match c.hbm_bytes {
-                    Some(bytes) => ((bytes / expert_bytes.max(1)) as usize).min(total),
-                    None => ((total as f64 * c.fraction).round() as usize).min(total),
+                match c.capacity {
+                    CacheCapacity::Bytes(bytes) => {
+                        ((bytes / expert_bytes.max(1)) as usize).min(total)
+                    }
+                    CacheCapacity::Fraction(fraction) => {
+                        ((total as f64 * fraction).round() as usize).min(total)
+                    }
                 }
             })
             .unwrap_or(0);
-        PlacementPlan {
-            policy: opts.policy,
+        let sched = opts.policy.build(&opts.setup_for(cfg));
+        let hbm = sched.hbm_plan(&MemoryProfile {
             expert_bytes,
             num_experts: cfg.num_experts,
+            active_per_block,
+            moe_layers: cfg.moe_layers(),
+        });
+        PlacementPlan {
+            offloads_experts: sched.offloads_experts(),
+            expert_bytes,
             moe_bytes: eff.moe_bytes(),
             non_moe_bytes: cfg.non_moe_bytes(),
             activation_bytes: activation_bytes(cfg, ctx_tokens, batch),
             cache_experts,
             active_per_block,
+            resident_bytes: hbm.resident_bytes,
+            transient_bytes: hbm.transient_bytes,
+            staging_experts: hbm.encoder_staging_experts,
         }
     }
 
     /// Bytes held in HBM for the whole run: non-MoE parameters, activations
-    /// and KV cache, the pinned expert cache — plus the full MoE parameters
-    /// under GPU-only.
+    /// and KV cache, the pinned expert cache, any scheduler-pinned resident
+    /// experts — plus the full MoE parameters when nothing is offloaded.
     pub fn hbm_static_bytes(&self) -> u64 {
         let mut bytes = self.non_moe_bytes + self.activation_bytes;
         bytes += self.cache_experts as u64 * self.expert_bytes;
-        if self.policy == OffloadPolicy::GpuOnly {
+        bytes += self.resident_bytes;
+        if !self.offloads_experts {
             bytes += self.moe_bytes;
         }
         bytes
@@ -89,9 +112,9 @@ impl PlacementPlan {
     }
 
     /// HBM bytes that do not depend on live context: non-MoE parameters,
-    /// the pinned expert cache, and (under GPU-only) the full MoE weights.
-    /// The continuous-batching scheduler reserves this once and accounts
-    /// activations per admitted request on top.
+    /// the pinned expert cache, and any weights the scheduler keeps
+    /// resident. The continuous-batching scheduler reserves this once and
+    /// accounts activations per admitted request on top.
     pub fn static_non_activation_bytes(&self) -> u64 {
         self.hbm_static_bytes() - self.activation_bytes
     }
@@ -106,34 +129,29 @@ impl PlacementPlan {
         self.active_per_block
     }
 
-    /// Transient HBM bytes needed while one MoE block is in flight:
-    /// the migration buffers live per policy.
-    pub fn transient_bytes_per_block(&self) -> u64 {
-        let k = self.active_per_block as u64;
-        let e = self.num_experts as u64;
-        match self.policy {
-            OffloadPolicy::GpuOnly => 0,
-            // Current block's activated experts only.
-            OffloadPolicy::OnDemand => k * self.expert_bytes,
-            // Current + next block's ENTIRE expert sets (Section III-B).
-            OffloadPolicy::PrefetchAll => 2 * e * self.expert_bytes,
-            // Equation 1: activated experts of two consecutive blocks.
-            OffloadPolicy::Pregated => 2 * k * self.expert_bytes,
-        }
+    /// Experts' worth of staging the encoder pass streams fetches through.
+    pub(crate) fn staging_experts(&self) -> u64 {
+        self.staging_experts
     }
 
-    /// The paper's Equation 1 (generalised per policy): predicted peak GPU
-    /// memory for model parameters + activations.
+    /// Transient HBM bytes needed while one MoE block is in flight: the
+    /// scheduler's migration buffers (Equation 1's dynamic term).
+    pub fn transient_bytes_per_block(&self) -> u64 {
+        self.transient_bytes
+    }
+
+    /// The paper's Equation 1 (generalised per scheduler): predicted peak
+    /// GPU memory for model parameters + activations.
     pub fn predicted_peak_bytes(&self) -> u64 {
         self.hbm_static_bytes() + self.transient_bytes_per_block()
     }
 
     /// Bytes that must fit in the offload tier (CPU DRAM or SSD).
     pub fn offload_bytes(&self) -> u64 {
-        if self.policy == OffloadPolicy::GpuOnly {
-            0
-        } else {
+        if self.offloads_experts {
             self.moe_bytes
+        } else {
+            0
         }
     }
 }
@@ -153,6 +171,8 @@ pub(crate) fn activation_bytes(cfg: &ModelConfig, ctx_tokens: usize, batch: usiz
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::PolicySpec;
+    use crate::OffloadPolicy;
     use pgmoe_model::ModelConfig;
 
     fn plan(policy: OffloadPolicy, experts: usize) -> PlacementPlan {
@@ -233,6 +253,22 @@ mod tests {
         let p = PlacementPlan::new(&cfg, &opts, 320, 1);
         assert_eq!(p.active_per_block(), 16);
         assert_eq!(p.transient_bytes_per_block(), 2 * 16 * cfg.expert_bytes());
+    }
+
+    #[test]
+    fn pinned_residents_count_toward_static_hbm() {
+        let cfg = ModelConfig::switch_base(64);
+        let base = PlacementPlan::new(&cfg, &SimOptions::new(OffloadPolicy::Pregated), 320, 1);
+        let pinned =
+            PlacementPlan::new(&cfg, &SimOptions::new(PolicySpec::cache_pinned(8)), 320, 1);
+        assert_eq!(
+            pinned.hbm_static_bytes() - base.hbm_static_bytes(),
+            (cfg.moe_layers() * 8) as u64 * cfg.expert_bytes(),
+            "pinned experts are Equation 1's static term"
+        );
+        // The pre-gated tail keeps the same transient shape.
+        assert_eq!(pinned.transient_bytes_per_block(), base.transient_bytes_per_block());
+        assert_eq!(pinned.offload_bytes(), base.offload_bytes());
     }
 
     #[test]

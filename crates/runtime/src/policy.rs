@@ -1,11 +1,26 @@
-//! Execution policies and run options.
+//! Run options and the built-in policy names.
+//!
+//! The heart of the policy surface lives in [`crate::scheduler`]: the
+//! [`ExpertScheduler`] trait and the [`PolicySpec`] handle that
+//! [`SimOptions`] carries. This module keeps the paper-facing vocabulary —
+//! the [`OffloadPolicy`] convenience enum (now a constructor for the
+//! built-in schedulers, not a closed world), cache configuration, and the
+//! option builders shared by every serving path.
+//!
+//! [`ExpertScheduler`]: crate::scheduler::ExpertScheduler
 
+use crate::scheduler::{PolicySpec, SchedulerSetup};
+use crate::{Result, RuntimeError};
 use pgmoe_device::{MachineConfig, Tier};
-use pgmoe_model::{ExpertPrecision, GatingMode};
+use pgmoe_model::{ExpertPrecision, GatingMode, ModelConfig};
 use pgmoe_workload::RoutingKind;
 
-/// Where expert parameters live and how they reach the GPU — the paper's
-/// four design points (Section V, Fig 9).
+/// The paper's four design points (Section V, Fig 9), kept as a convenience
+/// constructor for the built-in [`ExpertScheduler`] implementations — see
+/// [`OffloadPolicy::scheduler`]. `SimOptions::new` accepts it directly, so
+/// every Table I / Fig 9–16 reproduction path reads exactly as before.
+///
+/// [`ExpertScheduler`]: crate::scheduler::ExpertScheduler
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OffloadPolicy {
     /// Everything resident in GPU HBM; oracular performance upper bound.
@@ -77,41 +92,51 @@ impl std::fmt::Display for Replacement {
     }
 }
 
-/// Expert-cache configuration: HBM reserved for resident experts, sized
-/// either as a fraction of all experts or as a byte budget.
+/// How the expert cache is sized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CacheCapacity {
+    /// A fraction of the model's total experts in `(0, 1]` (Fig 15 uses
+    /// 1 %, 10 %, 20 %).
+    Fraction(f64),
+    /// An explicit HBM byte budget: capacity in *experts* is
+    /// `bytes / expert_bytes`, so the same budget holds ~2× the experts at
+    /// f16 and ~3.8× at int8.
+    Bytes(u64),
+}
+
+/// Expert-cache configuration: HBM reserved for resident experts, sized by
+/// a [`CacheCapacity`], with a [`Replacement`] policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheConfig {
-    /// Fraction of the model's experts that fit in the cache (Fig 15 uses
-    /// 1 %, 10 %, 20 %). Ignored when `hbm_bytes` is set.
-    pub fraction: f64,
+    /// How the cache is sized.
+    pub capacity: CacheCapacity,
     /// Replacement policy.
     pub replacement: Replacement,
-    /// Explicit HBM byte budget for the cache region. When set, capacity in
-    /// *experts* is `hbm_bytes / expert_bytes` — so the same budget holds
-    /// ~2× the experts at f16 and ~3.8× at int8.
-    pub hbm_bytes: Option<u64>,
 }
 
 impl CacheConfig {
     /// Creates a cache covering `fraction` of all experts.
     pub fn new(fraction: f64, replacement: Replacement) -> Self {
-        CacheConfig { fraction, replacement, hbm_bytes: None }
+        CacheConfig { capacity: CacheCapacity::Fraction(fraction), replacement }
     }
 
     /// Creates a cache holding as many experts as fit in `bytes` of HBM at
     /// the run's expert precision.
     pub fn bytes(bytes: u64, replacement: Replacement) -> Self {
-        CacheConfig { fraction: 1.0, replacement, hbm_bytes: Some(bytes) }
+        CacheConfig { capacity: CacheCapacity::Bytes(bytes), replacement }
     }
 }
 
 /// Options for one simulated inference run.
 #[derive(Debug, Clone)]
 pub struct SimOptions {
-    /// Execution policy.
-    pub policy: OffloadPolicy,
-    /// Gate topology used when `policy` is [`OffloadPolicy::Pregated`]
-    /// (level 1 unless running the Fig 13-style latency ablation).
+    /// The expert-scheduling policy. Built from an [`OffloadPolicy`], from
+    /// the [`PolicySpec`] constructors, or from a user scheduler factory.
+    pub policy: PolicySpec,
+    /// Gate topology request. [`GatingMode::Conventional`] (the default)
+    /// lets pre-gating schedulers use their default level 1; setting
+    /// [`GatingMode::Pregated`] explicitly is only valid for schedulers
+    /// that consume pre-gate routing (Fig 13-style latency ablations).
     pub gating: GatingMode,
     /// Where offloaded experts live: [`Tier::Ddr`] (default) or
     /// [`Tier::Ssd`] (Fig 16).
@@ -140,12 +165,13 @@ pub struct SimOptions {
 }
 
 impl SimOptions {
-    /// Default options for a policy: DDR offload, no cache, level-1
-    /// pre-gating, the paper's machine.
-    pub fn new(policy: OffloadPolicy) -> Self {
+    /// Default options for a policy: DDR offload, no cache, the scheduler's
+    /// default gating, the paper's machine. Accepts an [`OffloadPolicy`]
+    /// variant or any [`PolicySpec`].
+    pub fn new(policy: impl Into<PolicySpec>) -> Self {
         SimOptions {
-            policy,
-            gating: GatingMode::Pregated { level: 1 },
+            policy: policy.into(),
+            gating: GatingMode::Conventional,
             offload_tier: Tier::Ddr,
             cache: None,
             active_experts_override: None,
@@ -193,16 +219,92 @@ impl SimOptions {
         self
     }
 
+    /// Builder: request an explicit gate topology (only valid for
+    /// schedulers that consume pre-gate routing).
+    pub fn with_gating(mut self, gating: GatingMode) -> Self {
+        self.gating = gating;
+        self
+    }
+
     /// Builder: serve with experts stored (and migrated) at `precision`.
     pub fn with_expert_precision(mut self, precision: ExpertPrecision) -> Self {
         self.expert_precision = Some(precision);
         self
+    }
+
+    /// Experts activated per token per block for `cfg` under these options.
+    pub(crate) fn active_per_block(&self, cfg: &ModelConfig) -> usize {
+        self.active_experts_override.unwrap_or(cfg.top_k).min(cfg.num_experts)
+    }
+
+    /// The [`SchedulerSetup`] a run over `cfg` instantiates schedulers with.
+    pub(crate) fn setup_for(&self, cfg: &ModelConfig) -> SchedulerSetup {
+        SchedulerSetup {
+            dec_blocks: cfg.decoder_moe_layers(),
+            enc_blocks: cfg.encoder_layers / cfg.moe_every,
+            num_experts: cfg.num_experts,
+            active_per_block: self.active_per_block(cfg),
+            gating: self.gating,
+            seed: self.seed,
+        }
+    }
+
+    /// Validates these options against a model, rejecting configurations
+    /// that would otherwise silently misbehave: a zero (or too large)
+    /// active-expert override, a cache fraction outside `(0, 1]`, and an
+    /// explicit [`GatingMode::Pregated`] on a scheduler that does not
+    /// consume pre-gate routing.
+    ///
+    /// Called by every serving path before work starts; exposed so tools
+    /// can fail fast.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] describing the offending option.
+    pub fn validate(&self, cfg: &ModelConfig) -> Result<()> {
+        if let Some(k) = self.active_experts_override {
+            if k == 0 || k > cfg.num_experts {
+                return Err(RuntimeError::InvalidConfig {
+                    message: format!("active experts {k} outside 1..={}", cfg.num_experts),
+                });
+            }
+        }
+        if let Some(c) = self.cache {
+            if let CacheCapacity::Fraction(f) = c.capacity {
+                if !(f > 0.0 && f <= 1.0) {
+                    return Err(RuntimeError::InvalidConfig {
+                        message: format!("cache fraction {f} outside (0, 1]"),
+                    });
+                }
+            }
+        }
+        if let GatingMode::Pregated { level } = self.gating {
+            if level == 0 {
+                return Err(RuntimeError::InvalidConfig {
+                    message: "explicit pre-gate level must be >= 1 (use GatingMode::Conventional \
+                              for the scheduler's default)"
+                        .into(),
+                });
+            }
+            let sched = self.policy.build(&self.setup_for(cfg));
+            if !sched.uses_pregate() {
+                return Err(RuntimeError::InvalidConfig {
+                    message: format!(
+                        "GatingMode::Pregated configured for scheduler `{}`, which does not \
+                         consume pre-gate routing",
+                        sched.name()
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::PolicySpec;
 
     #[test]
     fn paper_names_match_figures() {
@@ -223,19 +325,92 @@ mod tests {
             .with_cache(CacheConfig::new(0.1, Replacement::Lru))
             .with_active_experts(4)
             .with_seed(9)
-            .with_expert_precision(ExpertPrecision::Int8);
+            .with_expert_precision(pgmoe_model::ExpertPrecision::Int8);
         assert_eq!(opts.offload_tier, Tier::Ssd);
         assert_eq!(opts.cache.unwrap().replacement, Replacement::Lru);
         assert_eq!(opts.active_experts_override, Some(4));
         assert_eq!(opts.seed, 9);
-        assert_eq!(opts.expert_precision, Some(ExpertPrecision::Int8));
+        assert_eq!(opts.expert_precision, Some(pgmoe_model::ExpertPrecision::Int8));
+        assert_eq!(opts.policy.name(), "MoE-OnDemand");
     }
 
     #[test]
     fn byte_budget_cache_config() {
         let c = CacheConfig::bytes(1 << 30, Replacement::Lfu);
-        assert_eq!(c.hbm_bytes, Some(1 << 30));
+        assert_eq!(c.capacity, CacheCapacity::Bytes(1 << 30));
         assert_eq!(c.replacement, Replacement::Lfu);
-        assert!(CacheConfig::new(0.1, Replacement::Lru).hbm_bytes.is_none());
+        assert_eq!(CacheConfig::new(0.1, Replacement::Lru).capacity, CacheCapacity::Fraction(0.1));
+    }
+
+    #[test]
+    fn validation_rejects_zero_active_experts() {
+        let cfg = ModelConfig::switch_base(8);
+        let err = SimOptions::new(OffloadPolicy::Pregated)
+            .with_active_experts(0)
+            .validate(&cfg)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidConfig { .. }), "{err}");
+        let err = SimOptions::new(OffloadPolicy::Pregated).with_active_experts(9).validate(&cfg);
+        assert!(err.is_err(), "k above expert count must be rejected");
+        assert!(SimOptions::new(OffloadPolicy::Pregated)
+            .with_active_experts(8)
+            .validate(&cfg)
+            .is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_cache_fraction() {
+        let cfg = ModelConfig::switch_base(8);
+        for bad in [0.0, -0.5, 1.5] {
+            let err = SimOptions::new(OffloadPolicy::OnDemand)
+                .with_cache(CacheConfig::new(bad, Replacement::Lru))
+                .validate(&cfg);
+            assert!(err.is_err(), "fraction {bad} must be rejected");
+        }
+        assert!(SimOptions::new(OffloadPolicy::OnDemand)
+            .with_cache(CacheConfig::new(1.0, Replacement::Lru))
+            .validate(&cfg)
+            .is_ok());
+        // Byte budgets are never fraction-checked.
+        assert!(SimOptions::new(OffloadPolicy::OnDemand)
+            .with_cache(CacheConfig::bytes(1 << 20, Replacement::Lru))
+            .validate(&cfg)
+            .is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_gating_on_non_pregated_schedulers() {
+        let cfg = ModelConfig::switch_base(8);
+        for policy in [OffloadPolicy::GpuOnly, OffloadPolicy::OnDemand, OffloadPolicy::PrefetchAll]
+        {
+            for level in [0, 1] {
+                let err = SimOptions::new(policy)
+                    .with_gating(GatingMode::Pregated { level })
+                    .validate(&cfg)
+                    .unwrap_err();
+                assert!(
+                    matches!(err, RuntimeError::InvalidConfig { ref message }
+                        if message.contains("pre-gate")),
+                    "{policy} level {level}: {err}"
+                );
+            }
+        }
+        // An explicit level of 0 is rejected even on pre-gating schedulers
+        // (it would silently coerce to level 1).
+        assert!(SimOptions::new(OffloadPolicy::Pregated)
+            .with_gating(GatingMode::Pregated { level: 0 })
+            .validate(&cfg)
+            .is_err());
+        // Pre-gating schedulers accept an explicit level.
+        for spec in [
+            OffloadPolicy::Pregated.scheduler(),
+            PolicySpec::speculative_top_m(4),
+            PolicySpec::cache_pinned(2),
+        ] {
+            assert!(SimOptions::new(spec)
+                .with_gating(GatingMode::Pregated { level: 2 })
+                .validate(&cfg)
+                .is_ok());
+        }
     }
 }

@@ -97,7 +97,7 @@ mod tests {
     fn fake_report(policy: OffloadPolicy, lats_us: &[u64]) -> RunReport {
         RunReport {
             model: "test".into(),
-            policy,
+            policy: policy.paper_name().to_string(),
             block_latencies: lats_us.iter().map(|&u| SimDuration::from_micros(u)).collect(),
             tokens_per_sec: 100.0,
             total_time: SimDuration::from_millis(10),
@@ -108,6 +108,7 @@ mod tests {
             gpu_busy: SimDuration::ZERO,
             pcie_busy: SimDuration::ZERO,
             expert_fetch_bytes: 0,
+            demand_fetch_bytes: 0,
             timeline: None,
         }
     }

@@ -19,6 +19,8 @@ use pgmoe_workload::DecodeRequest;
 /// arrive over time and are interleaved).
 #[derive(Debug, Clone)]
 pub struct ServeStats {
+    /// Display name of the scheduler that served the stream.
+    pub policy: String,
     /// Per-request end-to-end latencies (arrival → last token), in arrival
     /// order.
     pub request_latencies: Vec<SimDuration>,
@@ -37,6 +39,12 @@ pub struct ServeStats {
     /// Total expert bytes migrated from the offload tier across the stream
     /// (0 under GPU-only; shrinks with the expert precision).
     pub expert_fetch_bytes: u64,
+    /// Expert bytes fetched on a block's critical path across the stream —
+    /// the on-demand miss-stall metric (see
+    /// [`RunReport::demand_fetch_bytes`]).
+    ///
+    /// [`RunReport::demand_fetch_bytes`]: crate::RunReport
+    pub demand_fetch_bytes: u64,
 }
 
 fn quantile_of(samples: &[SimDuration], q: f64) -> SimDuration {
@@ -148,6 +156,8 @@ pub fn serve_stream(
     let mut busy = SimDuration::ZERO;
     let mut peak = 0u64;
     let mut fetched = 0u64;
+    let mut demand = 0u64;
+    let mut policy_name: Option<String> = None;
     for (i, request) in requests.into_iter().enumerate() {
         // Each request runs on a fresh simulated timeline; back-to-back
         // serving sums the busy periods (no idle gaps at saturation).
@@ -162,10 +172,15 @@ pub fn serve_stream(
         total_tokens += request.output_tokens;
         peak = peak.max(report.peak_hbm_bytes);
         fetched += report.expert_fetch_bytes;
+        demand += report.demand_fetch_bytes;
+        policy_name.get_or_insert(report.policy);
     }
     let tokens_per_sec =
         if busy == SimDuration::ZERO { 0.0 } else { total_tokens as f64 / busy.as_secs_f64() };
     Ok(ServeStats {
+        // Empty streams still report the *built* scheduler's name, so the
+        // label matches what a non-empty stream (or the batch path) reports.
+        policy: policy_name.unwrap_or_else(|| opts.policy.build(&opts.setup_for(&cfg)).name()),
         request_latencies: latencies,
         queueing_delays,
         ttfts,
@@ -173,6 +188,7 @@ pub fn serve_stream(
         tokens_per_sec,
         peak_hbm_bytes: peak,
         expert_fetch_bytes: fetched,
+        demand_fetch_bytes: demand,
     })
 }
 
@@ -265,6 +281,7 @@ mod tests {
     fn fixed_stats(lats_us: &[u64]) -> ServeStats {
         let lats: Vec<SimDuration> = lats_us.iter().map(|&u| SimDuration::from_micros(u)).collect();
         ServeStats {
+            policy: "test".into(),
             queueing_delays: vec![SimDuration::ZERO; lats.len()],
             ttfts: lats.clone(),
             request_latencies: lats,
@@ -272,6 +289,7 @@ mod tests {
             tokens_per_sec: 1.0,
             peak_hbm_bytes: 1,
             expert_fetch_bytes: 0,
+            demand_fetch_bytes: 0,
         }
     }
 

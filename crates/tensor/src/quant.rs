@@ -6,7 +6,7 @@
 //! This module provides the numeric substrate for that precision axis:
 //!
 //! * [`QuantizedTensor`] — a rank-1/2 tensor stored either as **per-group
-//!   symmetric int8** (each row is cut into groups of [`QuantMode::group`]
+//!   symmetric int8** (each row is cut into groups of [`QuantMode::Int8`]'s `group`
 //!   columns, one f32 scale per group) or as **raw f16 bits** (IEEE 754
 //!   binary16, round-to-nearest-even).
 //! * [`matmul_dequant_into`] — `out = A · Bq` where `Bq` stays quantized:

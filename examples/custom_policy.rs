@@ -1,0 +1,151 @@
+//! A user-defined expert scheduler, built purely against the public API —
+//! proof that the `ExpertScheduler` seam is usable from outside the crate.
+//!
+//! `RandomPrefetch` is a deliberate strawman: it keeps the pre-gated
+//! *pipeline shape* (prefetch block `b+1` while block `b` executes) but,
+//! having no pre-gate, guesses `top_k` experts uniformly at random. The
+//! shared decode core automatically fetches whatever the guess missed, on
+//! demand, and accounts those bytes as miss stalls — so the strawman runs
+//! correctly out of the box and measurably loses to the paper's Pre-gated
+//! scheduler, which is exactly the point.
+//!
+//! ```sh
+//! cargo run --release --example custom_policy
+//! ```
+
+use pregated_moe::prelude::*;
+use std::sync::Arc;
+
+/// Cheap deterministic xorshift64* — the guesser's only state.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Factory: what `SimOptions` carries. One `RandomPrefetch` instance is
+/// built per run, so concurrent runs never share guessing state.
+#[derive(Debug)]
+struct RandomPrefetchFactory;
+
+impl SchedulerFactory for RandomPrefetchFactory {
+    fn scheduler_name(&self) -> String {
+        "Random-Prefetch".to_string()
+    }
+
+    fn build(&self, setup: &pregated_moe::runtime::SchedulerSetup) -> Box<dyn ExpertScheduler> {
+        Box::new(RandomPrefetch {
+            state: setup.seed | 1,
+            guess: setup.active_per_block,
+            num_experts: setup.num_experts,
+        })
+    }
+}
+
+/// The strawman scheduler itself.
+struct RandomPrefetch {
+    state: u64,
+    guess: usize,
+    num_experts: usize,
+}
+
+impl RandomPrefetch {
+    fn random_set(&mut self) -> Vec<usize> {
+        let mut set = Vec::with_capacity(self.guess);
+        while set.len() < self.guess.min(self.num_experts) {
+            let e = (xorshift(&mut self.state) % self.num_experts as u64) as usize;
+            if !set.contains(&e) {
+                set.push(e);
+            }
+        }
+        set.sort_unstable();
+        set
+    }
+}
+
+impl ExpertScheduler for RandomPrefetch {
+    fn name(&self) -> String {
+        "Random-Prefetch".to_string()
+    }
+
+    fn hbm_plan(
+        &self,
+        profile: &pregated_moe::runtime::MemoryProfile,
+    ) -> pregated_moe::runtime::HbmPlan {
+        // Guessed set + on-demand fill + the next block's guess in flight.
+        pregated_moe::runtime::HbmPlan {
+            resident_bytes: 0,
+            transient_bytes: 3 * profile.active_per_block as u64 * profile.expert_bytes,
+            encoder_staging_experts: 2,
+        }
+    }
+
+    fn on_block_start(&mut self, _ctx: &PolicyCtx<'_>, _block: usize) -> Residency {
+        // Wait on the guess; the core fetches whatever it missed on demand
+        // (and falls back to a serialized fetch for the first block).
+        Residency::AwaitPending
+    }
+
+    fn on_gate(&mut self, ctx: &PolicyCtx<'_>, block: usize, out: &mut Vec<Prefetch>) {
+        if block + 1 < ctx.blocks {
+            // A blind guess needs no gate result: start the copy immediately.
+            out.push(Prefetch {
+                block: block + 1,
+                set: FetchSet::Listed(self.random_set()),
+                after_gate: false,
+            });
+        }
+    }
+}
+
+fn main() {
+    let cfg = ModelConfig::switch_base(64);
+    let request = DecodeRequest { input_tokens: 32, output_tokens: 16, batch_size: 1 };
+    let run = |opts: SimOptions| {
+        InferenceSim::new(cfg.clone(), opts).run(request, 1).expect("run completes")
+    };
+
+    let custom = run(SimOptions::new(PolicySpec::custom(Arc::new(RandomPrefetchFactory))));
+    let pregated = run(SimOptions::new(OffloadPolicy::Pregated));
+
+    println!("== Custom scheduler vs the paper's Pre-gated MoE (Switch-Base-64) ==");
+    println!(
+        "{:<18} {:>12} {:>16} {:>14} {:>13}",
+        "scheduler", "tokens/s", "mean block", "fetched (MB)", "demand (MB)"
+    );
+    for r in [&custom, &pregated] {
+        println!(
+            "{:<18} {:>12.1} {:>16} {:>14.1} {:>13.1}",
+            r.policy,
+            r.tokens_per_sec,
+            format!("{}", r.mean_block_latency()),
+            r.expert_fetch_bytes as f64 / 1e6,
+            r.demand_fetch_bytes as f64 / 1e6,
+        );
+    }
+
+    // The seam works: the out-of-crate scheduler ran end-to-end, its name
+    // threaded into the report, and random guessing loses to pre-gating.
+    assert_eq!(custom.policy, "Random-Prefetch");
+    assert!(custom.tokens_per_sec > 0.0, "custom scheduler must complete");
+    assert!(
+        custom.demand_fetch_bytes > pregated.demand_fetch_bytes,
+        "random guesses must miss more than the pre-gate: {} !> {}",
+        custom.demand_fetch_bytes,
+        pregated.demand_fetch_bytes
+    );
+    assert!(
+        custom.tokens_per_sec < pregated.tokens_per_sec,
+        "the strawman must lose: {:.1} !< {:.1} tokens/s",
+        custom.tokens_per_sec,
+        pregated.tokens_per_sec
+    );
+    println!(
+        "\nRandom-Prefetch completes through the shared core but loses \
+         ({:.1} vs {:.1} tokens/s) — the extension seam works.",
+        custom.tokens_per_sec, pregated.tokens_per_sec
+    );
+}

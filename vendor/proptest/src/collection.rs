@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Length specification for [`vec`]: an exact size or a range of sizes.
+/// Length specification for [`vec()`](fn@vec): an exact size or a range of sizes.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
@@ -37,7 +37,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// See [`vec`].
+/// See [`vec()`](fn@vec).
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
