@@ -14,14 +14,14 @@
 //! with `PGMOE_THREADS=2`, so a kernel regression fails loud.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgmoe_bench::gate as pgmoe_bench_gate;
 use pregated_moe::device::{SimDuration, SimEngine};
 use pregated_moe::prelude::*;
 use pregated_moe::runtime::{ExpertCache, ExpertKey};
-use pregated_moe::tensor::{kernel, quant, QuantMode, QuantizedTensor, WorkerPool};
+use pregated_moe::tensor::{kernel, quant, QuantMode, QuantizedTensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
-use std::time::Instant;
 
 fn bench_tensor(c: &mut Criterion) {
     let mut group = c.benchmark_group("tensor");
@@ -75,100 +75,36 @@ fn bench_gemm_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-/// Best-of-N wall time of `f`, in milliseconds (the minimum is the
-/// standard low-noise estimator for microbenchmarks on shared machines).
-fn time_best_ms(runs: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warm-up
-    (0..runs)
-        .map(|_| {
-            let start = Instant::now();
-            f();
-            start.elapsed().as_secs_f64() * 1e3
-        })
-        .fold(f64::INFINITY, f64::min)
-}
-
 /// The 512³ baseline + perf self-assertion (see the module docs). Not a
-/// statistical benchmark: best-of-5 wall times, a JSON artifact, and a
-/// hard floor on the speedup over the seed loop.
+/// statistical benchmark: best-of-9 wall times (measured by the shared
+/// `pgmoe_bench::gate` module the CI `bench-gate` job also runs), a JSON
+/// artifact, and a hard floor on the speedup over the seed loop.
 fn bench_gemm_512_baseline(_c: &mut Criterion) {
-    const N: usize = 512;
-    let threads = WorkerPool::global().num_threads();
-    let hw_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let mut rng = StdRng::seed_from_u64(7);
-    let a = pregated_moe::tensor::init::normal([N, N], 0.0, 1.0, &mut rng).into_vec();
-    let b = pregated_moe::tensor::init::normal([N, N], 0.0, 1.0, &mut rng).into_vec();
-    let mut out_naive = vec![0.0f32; N * N];
-    let mut out_serial = vec![0.0f32; N * N];
-    let mut out_parallel = vec![0.0f32; N * N];
-
-    let naive_ms = time_best_ms(5, || {
-        kernel::matmul_skip_zeros_into(black_box(&mut out_naive), &a, &b, N, N, N)
-    });
-    let serial_ms =
-        time_best_ms(5, || kernel::matmul_serial_into(black_box(&mut out_serial), &a, &b, N, N, N));
-    let parallel_ms =
-        time_best_ms(5, || kernel::matmul_into(black_box(&mut out_parallel), &a, &b, N, N, N));
-    // The fused dequantizing GEMM consumes int8 panels directly; it must
-    // stay in the blocked kernels' league, not the seed loop's.
-    let bq = QuantizedTensor::quantize(
-        &pregated_moe::tensor::Tensor::from_vec([N, N], b.clone()).unwrap(),
-        QuantMode::int8(),
-    );
-    let mut out_dequant = vec![0.0f32; N * N];
-    let dequant_ms = time_best_ms(5, || {
-        quant::matmul_dequant_into(black_box(&mut out_dequant), &a, &bq, N, N, N)
-    });
-
-    // The three f32 paths must agree before their timings mean anything.
-    for (x, y) in out_naive.iter().zip(&out_serial) {
-        assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()), "serial kernel diverged: {x} vs {y}");
-    }
-    assert!(
-        out_serial.iter().zip(&out_parallel).all(|(x, y)| x.to_bits() == y.to_bits()),
-        "parallel kernel must be bitwise identical to serial"
-    );
-    // And the fused kernel must equal dequantize-then-matmul bitwise.
-    let deq = bq.dequantize();
-    let mut out_ref = vec![0.0f32; N * N];
-    kernel::matmul_into(&mut out_ref, &a, deq.as_slice(), N, N, N);
-    assert!(
-        out_ref.iter().zip(&out_dequant).all(|(x, y)| x.to_bits() == y.to_bits()),
-        "fused dequant GEMM must be bitwise identical to dequantize-then-matmul"
-    );
-
-    let speedup_serial = naive_ms / serial_ms;
-    let speedup_parallel = naive_ms / parallel_ms;
-    let speedup_dequant = naive_ms / dequant_ms;
+    let m = pgmoe_bench_gate::measure_gemm_512();
+    let threads = m.threads;
     println!(
-        "bench gemm_512/seed_ikj                                  {naive_ms:>10.2} ms  (baseline)"
+        "bench gemm_512/seed_ikj                                  {:>10.2} ms  (baseline)",
+        m.seed_ikj_ms
     );
     println!(
-        "bench gemm_512/blocked_serial                            {serial_ms:>10.2} ms  ({speedup_serial:.2}x)"
+        "bench gemm_512/blocked_serial                            {:>10.2} ms  ({:.2}x)",
+        m.blocked_serial_ms, m.speedup_blocked_serial
     );
     println!(
-        "bench gemm_512/blocked_parallel[{threads} thr]                    {parallel_ms:>10.2} ms  ({speedup_parallel:.2}x)"
+        "bench gemm_512/blocked_parallel[{threads} thr]                    {:>10.2} ms  ({:.2}x)",
+        m.blocked_parallel_ms, m.speedup_blocked_parallel
     );
     println!(
-        "bench gemm_512/dequant_int8_fused[{threads} thr]                  {dequant_ms:>10.2} ms  ({speedup_dequant:.2}x)"
+        "bench gemm_512/dequant_int8_fused[{threads} thr]                  {:>10.2} ms  ({:.2}x)",
+        m.dequant_int8_fused_ms, m.speedup_dequant_int8_fused
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"substrate/gemm_512\",\n  \"m\": {N},\n  \"k\": {N},\n  \"n\": {N},\n  \
-         \"threads\": {threads},\n  \"hardware_threads\": {hw_threads},\n  \
-         \"seed_ikj_ms\": {naive_ms:.3},\n  \"blocked_serial_ms\": {serial_ms:.3},\n  \
-         \"blocked_parallel_ms\": {parallel_ms:.3},\n  \
-         \"dequant_int8_fused_ms\": {dequant_ms:.3},\n  \
-         \"speedup_blocked_serial\": {speedup_serial:.3},\n  \
-         \"speedup_blocked_parallel\": {speedup_parallel:.3},\n  \
-         \"speedup_dequant_int8_fused\": {speedup_dequant:.3}\n}}\n"
-    );
     // Default to the workspace root (cargo runs benches from the package
     // dir) so the committed baseline lives at `/BENCH_substrate.json`.
     let path = std::env::var("PGMOE_BENCH_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json").into()
     });
-    match std::fs::write(&path, &json) {
+    match std::fs::write(&path, m.to_json()) {
         Ok(()) => println!("bench gemm_512: baseline written to {path}"),
         Err(err) => println!("bench gemm_512: could not write {path}: {err}"),
     }
@@ -177,36 +113,9 @@ fn bench_gemm_512_baseline(_c: &mut Criterion) {
     // The single-thread floor holds everywhere; the parallel floors only
     // apply when the configured threads are backed by real cores
     // (oversubscribing one core makes any parallel kernel slower, which is
-    // not a kernel regression).
-    assert!(
-        speedup_serial >= 1.5,
-        "blocked GEMM must be >= 1.5x the seed ikj loop on one thread \
-         (got {speedup_serial:.2}x: naive {naive_ms:.2} ms vs {serial_ms:.2} ms)"
-    );
-    // The fused dequant path pays an O(k·n) panel-dequant tax on top of the
-    // blocked loop; it must still comfortably beat the seed f32 loop.
-    assert!(
-        speedup_dequant >= 1.2,
-        "fused int8-dequant GEMM must be >= 1.2x the seed ikj loop \
-         (got {speedup_dequant:.2}x: naive {naive_ms:.2} ms vs {dequant_ms:.2} ms)"
-    );
-    if hw_threads >= 2 {
-        // Regression floor: binding even when PGMOE_THREADS=1 pins the
-        // dispatch serial — the blocked kernel alone must clear 2x.
-        assert!(
-            speedup_parallel >= 2.0,
-            "blocked(-parallel) GEMM must be >= 2x the seed ikj loop on a multi-core \
-             machine (got {speedup_parallel:.2}x: naive {naive_ms:.2} ms vs {parallel_ms:.2} ms)"
-        );
-        if threads >= 2 {
-            // Acceptance bar: tiling + real parallelism together.
-            assert!(
-                speedup_parallel >= 4.0,
-                "blocked-parallel GEMM must be >= 4x the seed ikj loop on {threads} threads \
-                 with >= 2 hardware threads (got {speedup_parallel:.2}x)"
-            );
-        }
-    }
+    // not a kernel regression). The CI `bench-gate` job additionally
+    // compares these numbers against the committed baseline.
+    pgmoe_bench_gate::assert_speedup_floors(&m);
 }
 
 fn bench_engine(c: &mut Criterion) {

@@ -1,0 +1,115 @@
+//! `bench_gate` — the perf-regression gate CI runs on every PR.
+//!
+//! Re-times the substrate GEMM + fused-dequant kernels (the same
+//! measurement `benches/substrate.rs` takes) and compares the
+//! machine-normalized speedups against the committed
+//! `BENCH_substrate.json` baseline. Exits non-zero when any kernel's
+//! speedup regressed more than the tolerance (default 25 %). The candidate
+//! measurement is always written out so CI can archive it as an artifact.
+//!
+//! ```sh
+//! cargo run --release -p pgmoe-bench --bin bench_gate
+//! cargo run --release -p pgmoe-bench --bin bench_gate -- \
+//!     --baseline BENCH_substrate.json --out BENCH_candidate.json --tolerance 0.25
+//! ```
+//!
+//! Verify the gate bites by doctoring a baseline (inject a 2x "expected"
+//! speedup the real tree cannot reach):
+//!
+//! ```sh
+//! sed -E 's/("speedup_[a-z0-9_]+": )([0-9.]+)/\1 99.0/' BENCH_substrate.json > /tmp/doctored.json
+//! cargo run --release -p pgmoe-bench --bin bench_gate -- --baseline /tmp/doctored.json && echo BUG
+//! ```
+
+use pgmoe_bench::gate::{self, Gemm512Measurement};
+
+const USAGE: &str = "usage: bench_gate [--baseline <path>] [--out <path>] [--tolerance <frac>]
+defaults: --baseline <workspace>/BENCH_substrate.json
+          --out      <workspace>/BENCH_candidate.json
+          --tolerance 0.25  (fail when a speedup drops >25% below baseline)";
+
+fn main() {
+    let mut baseline_path: String =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json").into();
+    let mut out_path: String =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_candidate.json").into();
+    let mut tolerance = 0.25f64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = it.next().expect("--baseline <path>").clone(),
+            "--out" => out_path = it.next().expect("--out <path>").clone(),
+            "--tolerance" => {
+                tolerance = it.next().expect("--tolerance <frac>").parse().expect("fraction")
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("bench_gate: cannot read baseline {baseline_path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    let Some(baseline) = Gemm512Measurement::parse_json(&baseline_text) else {
+        eprintln!("bench_gate: baseline {baseline_path} is not a gemm_512 measurement");
+        std::process::exit(2);
+    };
+
+    println!("bench_gate: measuring 512^3 GEMM kernels (best of 9)...");
+    let candidate = gate::measure_gemm_512();
+    if let Err(err) = std::fs::write(&out_path, candidate.to_json()) {
+        eprintln!("bench_gate: could not write candidate {out_path}: {err}");
+    } else {
+        println!("bench_gate: candidate written to {out_path}");
+    }
+
+    println!(
+        "bench_gate: baseline from {baseline_path} ({} thr / {} hw), candidate on {} thr / {} hw, \
+         tolerance {:.0}%",
+        baseline.threads,
+        baseline.hardware_threads,
+        candidate.threads,
+        candidate.hardware_threads,
+        tolerance * 100.0
+    );
+    let verdicts = gate::compare(&baseline, &candidate, tolerance);
+    let mut failed = false;
+    for v in &verdicts {
+        println!(
+            "  {:<28} baseline {:>6.2}x  candidate {:>6.2}x  {}",
+            v.metric,
+            v.baseline,
+            v.candidate,
+            if !v.gated {
+                "skipped (fewer effective threads than baseline — informational)"
+            } else if v.ok {
+                "ok"
+            } else {
+                "REGRESSED"
+            }
+        );
+        failed |= !v.ok;
+    }
+    if failed {
+        eprintln!(
+            "bench_gate: FAIL — kernel speedup regressed more than {:.0}% vs the committed \
+             baseline. If the slowdown is intentional, refresh BENCH_substrate.json by running \
+             `PGMOE_THREADS=2 cargo bench -p pgmoe-bench --bench substrate` (pin the thread \
+             count so the parallel figure stays comparable with CI) and commit the result.",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench_gate: PASS");
+}

@@ -17,10 +17,11 @@ targets:
   table2 fig13 [--full]      accuracy (trains models; --full = paper recipe)
   precision                  expert-precision sweep (policies x f32/f16/int8)
   policies                   six-scheduler shootout (4 built-ins + Speculative-TopM + Cache-Pinned)
-  ablations                  PCIe/level/batch/top-k/precision/scheduler sweeps
-  csv <dir>                  write artifact-style CSV files
-  all                        every non-training target
-  everything                 all + table2 + fig13 (slow)";
+  fleet                      iso-GPU fleet shootout (N offload replicas vs N-GPU expert parallelism)
+  ablations                  PCIe/level/batch/top-k/precision/scheduler/fleet sweeps
+  csv <dir>                  write artifact-style CSV files (incl. fleet.csv)
+  all                        every figure target (table1, fig2-3, fig10-16, timeline)
+  everything                 all + table2 + fig13 (slow); sweeps run via ablations/fleet";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +42,7 @@ fn main() {
         "fig13" => print!("{}", accuracy::fig13(full)),
         "precision" => print!("{}", ablations::precision_sweep()),
         "policies" => print!("{}", ablations::policies_sweep()),
+        "fleet" => print!("{}", ablations::fleet_shootout()),
         "ablations" => {
             print!("{}", ablations::pcie_sweep());
             print!("{}", ablations::level_sweep());
@@ -49,6 +51,7 @@ fn main() {
             print!("{}", ablations::precision_sweep());
             print!("{}", ablations::policies_sweep());
             print!("{}", ablations::multi_gpu_motivation());
+            print!("{}", ablations::fleet_shootout());
         }
         "motivation" => print!("{}", ablations::multi_gpu_motivation()),
         "csv" => {
@@ -59,22 +62,7 @@ fn main() {
                 println!("wrote {}", p.display());
             }
         }
-        "all" => {
-            for section in [
-                figures::table1(),
-                figures::fig2(),
-                figures::fig3(),
-                figures::fig10(),
-                figures::fig11(),
-                figures::fig12(),
-                figures::fig14(),
-                figures::fig15(),
-                figures::fig16(),
-                figures::timeline(),
-            ] {
-                println!("{section}");
-            }
-        }
+        "all" => main_all(),
         "everything" => {
             main_all();
             println!("{}", accuracy::table2(full));

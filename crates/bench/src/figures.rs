@@ -3,7 +3,9 @@
 use crate::paper_request;
 use pregated_moe::model::analytics::{flops_per_sequence, CapacityBreakdown, Table1Row};
 use pregated_moe::prelude::*;
-use pregated_moe::runtime::{csv_block_latencies, csv_peak_memory, csv_throughputs, RuntimeError};
+use pregated_moe::runtime::{
+    csv_block_latencies, csv_fleet_summary, csv_peak_memory, csv_throughputs, RuntimeError,
+};
 
 fn zoo() -> Vec<ModelConfig> {
     vec![
@@ -329,7 +331,9 @@ pub fn timeline() -> String {
     out
 }
 
-/// Writes the artifact's three CSV files into `dir` and returns their paths.
+/// Writes the artifact's CSV files into `dir` and returns their paths: the
+/// paper artifact's three (`block_lats`, `throughputs`, `peak_mems`) plus
+/// `fleet.csv`, the iso-GPU shootout summary.
 pub fn write_artifact_csvs(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
     std::fs::create_dir_all(dir)?;
     let reports: Vec<RunReport> = policy_sweep(paper_request())
@@ -340,6 +344,7 @@ pub fn write_artifact_csvs(dir: &std::path::Path) -> std::io::Result<Vec<std::pa
         ("block_lats.csv", csv_block_latencies(&reports)),
         ("throughputs.csv", csv_throughputs(&reports)),
         ("peak_mems.csv", csv_peak_memory(&reports)),
+        ("fleet.csv", csv_fleet_summary(&crate::ablations::fleet_shootout_runs())),
     ];
     let mut paths = Vec::new();
     for (name, content) in files {
@@ -381,7 +386,8 @@ mod tests {
     fn csvs_are_written() {
         let dir = std::env::temp_dir().join("pgmoe-csv-test");
         let paths = write_artifact_csvs(&dir).expect("write");
-        assert_eq!(paths.len(), 3);
+        assert_eq!(paths.len(), 4);
+        assert!(paths.iter().any(|p| p.ends_with("fleet.csv")), "fleet summary written");
         for p in paths {
             let content = std::fs::read_to_string(&p).unwrap();
             assert!(content.lines().count() > 1, "{p:?} empty");

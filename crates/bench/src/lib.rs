@@ -20,6 +20,7 @@
 pub mod ablations;
 pub mod accuracy;
 pub mod figures;
+pub mod gate;
 
 /// Workload used by the systems figures: short QA-style prompt, 64 generated
 /// tokens (the fine-tuning output budget), batch 1 (Section VI-A).

@@ -56,9 +56,11 @@ pub mod prelude {
     pub use pgmoe_device::{Machine, MachineConfig, SimDuration, SimTime, Tier};
     pub use pgmoe_model::{ExpertPrecision, GateTopology, GatingMode, ModelConfig, Precision};
     pub use pgmoe_runtime::{
-        serve_batched, serve_stream, BatchConfig, BatchScheduler, CacheCapacity, CacheConfig,
-        ExpertScheduler, FetchSet, InferenceSim, OffloadPolicy, PolicyCtx, PolicySpec, Prefetch,
-        Replacement, Residency, RunReport, SchedulerFactory, ServeStats, SimOptions,
+        serve_batched, serve_cluster, serve_stream, BatchConfig, BatchScheduler, CacheAffinity,
+        CacheCapacity, CacheConfig, ClusterConfig, DispatchPolicy, ExpertScheduler, FetchSet,
+        FleetConfig, FleetSim, FleetStats, InferenceSim, JoinShortestQueue, OffloadPolicy,
+        PolicyCtx, PolicySpec, Prefetch, Replacement, ReplicaView, RequestProfile, Residency,
+        RoundRobin, RunReport, SchedulerFactory, ServeStats, SimOptions,
     };
     pub use pgmoe_train::{Trainer, TrainerConfig};
     pub use pgmoe_workload::{

@@ -171,6 +171,7 @@ impl BatchScheduler {
                 peak_hbm_bytes: 0,
                 expert_fetch_bytes: 0,
                 demand_fetch_bytes: 0,
+                gpu_busy: pgmoe_device::SimDuration::ZERO,
             });
         }
 
@@ -266,7 +267,12 @@ impl BatchScheduler {
                 }
                 pending.pop_front();
                 let act_alloc = machine.pool_mut(Tier::Hbm).alloc(act_bytes)?;
-                let seed = opts.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                // A stamped route seed wins (fleet dispatch: routing is a
+                // property of the request, not its placement); otherwise the
+                // seed derives from the request's position in this stream.
+                let seed = arr
+                    .route_seed
+                    .unwrap_or(opts.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
                 let trace = RoutingTrace::generate(
                     arr.request.output_tokens,
                     cfg.decoder_moe_layers(),
@@ -375,6 +381,7 @@ impl BatchScheduler {
             peak_hbm_bytes: machine.pool(Tier::Hbm).peak_bytes(),
             expert_fetch_bytes: machine.offload_traffic_bytes(),
             demand_fetch_bytes: demand_bytes,
+            gpu_busy: machine.gpu_busy(),
         })
     }
 

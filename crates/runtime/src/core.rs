@@ -226,7 +226,6 @@ pub(crate) fn decode_iteration(
         }
         let b = moe_idx;
         let experts = routed.experts(b);
-        let exec_bytes = experts.len() as u64 * env.plan.expert_bytes();
         let gate = env.machine.compute_op("gate", env.machine.cost().gate_overhead, &[]);
 
         // Resolve this block's expert availability FIRST: a serialized
@@ -331,10 +330,31 @@ pub(crate) fn decode_iteration(
             issue_decode_prefetch(env, sched, &p, routed, Some(gate), enc_blocks, scratch)?;
         }
 
-        let exec = env.machine.launch_kernel("expert", 0.0, exec_bytes, &scratch.waits);
+        // How the resident experts execute: single-GPU streaming by default,
+        // or a sharded kernel bracketed by all-to-all hops under a
+        // distributed scheduler (the hops serialize on the compute stream —
+        // the cluster runs in lockstep).
+        let eplan = {
+            let ctx = decode_ctx(env, topo, routed, token, dec_blocks);
+            sched.exec_plan(&ctx, b, experts)
+        };
+        let dispatch_wait;
+        let exec_waits: &[EventId] = if eplan.dispatch > SimDuration::ZERO {
+            dispatch_wait =
+                [env.machine.compute_op("a2a-dispatch", eplan.dispatch, &scratch.waits)];
+            &dispatch_wait
+        } else {
+            &scratch.waits
+        };
+        let exec = env.machine.launch_kernel("expert", 0.0, eplan.exec_bytes, exec_waits);
+        let done = if eplan.combine > SimDuration::ZERO {
+            env.machine.compute_op("a2a-combine", eplan.combine, &[exec])
+        } else {
+            exec
+        };
         free_buffers(env.machine, &mut scratch.pending[b].buffers);
         if let Some(lat) = block_latencies.as_deref_mut() {
-            lat.push(env.machine.event_time(exec) - block_start);
+            lat.push(env.machine.event_time(done) - block_start);
         }
         moe_idx += 1;
     }
@@ -500,7 +520,6 @@ pub(crate) fn prefill_pass(
         // Sample this block's distinct activated experts.
         let own = sample_distinct_experts(costs.distinct, env.num_experts, rng);
         let gate = env.machine.compute_op("gate", env.machine.cost().gate_overhead, &[]);
-        let exec_bytes = own.len() as u64 * env.plan.expert_bytes();
 
         let mut waits: Vec<EventId> = Vec::with_capacity(3);
         let residency = {
@@ -559,7 +578,20 @@ pub(crate) fn prefill_pass(
                 }
             },
         }
-        env.machine.launch_kernel(costs.labels[2], costs.exec_flops, exec_bytes, &waits);
+        let eplan = {
+            let ctx = prefill_ctx(env, topo, enc_blocks);
+            sched.exec_plan(&ctx, b, &own)
+        };
+        if eplan.dispatch > SimDuration::ZERO {
+            let d = env.machine.compute_op("a2a-dispatch", eplan.dispatch, &waits);
+            waits.clear();
+            waits.push(d);
+        }
+        let exec =
+            env.machine.launch_kernel(costs.labels[2], costs.exec_flops, eplan.exec_bytes, &waits);
+        if eplan.combine > SimDuration::ZERO {
+            env.machine.compute_op("a2a-combine", eplan.combine, &[exec]);
+        }
         free_buffers(env.machine, &mut pending[b].buffers);
 
         // Issue follow-on fetches after this block's execution is queued —

@@ -7,8 +7,11 @@
 //! trait decides what to fetch, when, and for which MoE block, and a single
 //! shared decode core executes those decisions for every serving path
 //! (batch-1 [`InferenceSim`], continuous-batching [`BatchScheduler`], QoS
-//! [`serve_stream`]). The paper's four design points (Section V) ship as
-//! built-in schedulers behind the [`OffloadPolicy`] convenience enum:
+//! [`serve_stream`], and the multi-replica [`fleet`] layer with its
+//! pluggable [`DispatchPolicy`] and iso-GPU expert-parallel backend
+//! [`PolicySpec::expert_parallel`]). The paper's four design points
+//! (Section V) ship as built-in schedulers behind the [`OffloadPolicy`]
+//! convenience enum:
 //!
 //! * [`OffloadPolicy::GpuOnly`] — the oracular upper bound: every parameter
 //!   in HBM, no migration (OOMs on Switch-Large-128's 105.6 GB).
@@ -56,6 +59,7 @@ mod cache;
 mod core;
 mod engine;
 mod error;
+pub mod fleet;
 mod memory;
 mod multi_gpu;
 mod policy;
@@ -67,12 +71,18 @@ pub use batch::{serve_batched, BatchConfig, BatchScheduler};
 pub use cache::{CacheStats, ExpertCache, ExpertKey};
 pub use engine::{InferenceSim, RunReport};
 pub use error::{Result, RuntimeError};
+pub use fleet::{
+    serve_cluster, CacheAffinity, DispatchPolicy, FleetConfig, FleetSim, FleetStats,
+    JoinShortestQueue, ReplicaView, RequestProfile, RoundRobin,
+};
 pub use memory::PlacementPlan;
 pub use multi_gpu::{simulate_expert_parallel, ClusterConfig, ClusterReport};
 pub use policy::{CacheCapacity, CacheConfig, OffloadPolicy, Replacement, SimOptions};
-pub use report::{csv_block_latencies, csv_peak_memory, csv_throughputs, LatencySummary};
+pub use report::{
+    csv_block_latencies, csv_fleet_summary, csv_peak_memory, csv_throughputs, LatencySummary,
+};
 pub use scheduler::{
-    ExpertScheduler, FetchSet, HbmPlan, MemoryProfile, Phase, PolicyCtx, PolicySpec, Prefetch,
-    Residency, SchedulerFactory, SchedulerSetup,
+    ExecPlan, ExpertScheduler, FetchSet, HbmPlan, MemoryProfile, Phase, PolicyCtx, PolicySpec,
+    Prefetch, Residency, SchedulerFactory, SchedulerSetup,
 };
 pub use serve::{serve_stream, ServeStats};

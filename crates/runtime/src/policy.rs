@@ -244,6 +244,7 @@ impl SimOptions {
             enc_blocks: cfg.encoder_layers / cfg.moe_every,
             num_experts: cfg.num_experts,
             active_per_block: self.active_per_block(cfg),
+            token_bytes: (cfg.d_model as f64 * cfg.precision.bytes_per_param()) as u64,
             gating: self.gating,
             seed: self.seed,
         }

@@ -1,7 +1,8 @@
 //! CSV emitters and latency summaries, matching the paper artifact's output
-//! files (`block_lats.csv`, `throughputs.csv`, `peak_mems.csv`).
+//! files (`block_lats.csv`, `throughputs.csv`, `peak_mems.csv`), plus the
+//! fleet-level summary the iso-GPU shootout writes.
 
-use crate::RunReport;
+use crate::{FleetStats, RunReport};
 use pgmoe_device::SimDuration;
 
 /// Order statistics over a block-latency population.
@@ -89,6 +90,41 @@ pub fn csv_peak_memory(reports: &[RunReport]) -> String {
     out
 }
 
+/// Renders `fleet.csv`: one row per fleet run with the TCO metric
+/// (tokens/s-per-GPU), tail QoS, dispatch traffic, and mean utilization.
+/// A run that served no requests renders all-zero quantiles rather than
+/// panicking.
+pub fn csv_fleet_summary(runs: &[FleetStats]) -> String {
+    let mut out = String::from(
+        "backend,dispatch,gpus,tokens_per_sec,tokens_per_sec_per_gpu,p50_ms,p95_ms,p99_ms,\
+         mean_util,fetched_gb,demand_gb\n",
+    );
+    for s in runs {
+        let q = |quantile: f64| {
+            if s.request_latencies.is_empty() {
+                0.0
+            } else {
+                s.latency_quantile(quantile).as_micros_f64() / 1e3
+            }
+        };
+        out.push_str(&format!(
+            "{},{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.3},{:.3},{:.3}\n",
+            s.policy,
+            s.dispatch,
+            s.gpus,
+            s.tokens_per_sec,
+            s.tokens_per_sec_per_gpu(),
+            q(0.50),
+            q(0.95),
+            q(0.99),
+            s.mean_utilization(),
+            s.expert_fetch_bytes as f64 / 1e9,
+            s.demand_fetch_bytes as f64 / 1e9,
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +172,53 @@ mod tests {
         assert!(csv_block_latencies(&reports).starts_with("model,policy,mean_us"));
         assert!(csv_throughputs(&reports).contains("Pre-gated MoE,100.00"));
         assert!(csv_peak_memory(&reports).contains("2.000"));
+    }
+
+    #[test]
+    fn fleet_csv_reports_per_gpu_throughput() {
+        let stats = FleetStats {
+            dispatch: "round-robin".into(),
+            policy: "Pre-gated MoE".into(),
+            gpus: 4,
+            replicas: Vec::new(),
+            assignment: vec![0, 1],
+            request_latencies: vec![SimDuration::from_millis(4), SimDuration::from_millis(8)],
+            queueing_delays: vec![SimDuration::ZERO; 2],
+            ttfts: vec![SimDuration::from_millis(1); 2],
+            total_tokens: 80,
+            makespan: SimDuration::from_millis(10),
+            tokens_per_sec: 8000.0,
+            expert_fetch_bytes: 2_000_000_000,
+            demand_fetch_bytes: 500_000_000,
+            peak_hbm_bytes: 1,
+            utilization: vec![0.5, 0.7],
+        };
+        let csv = csv_fleet_summary(&[stats]);
+        assert!(csv.starts_with("backend,dispatch,gpus,tokens_per_sec,tokens_per_sec_per_gpu"));
+        assert!(csv.contains("Pre-gated MoE,round-robin,4,8000.00,2000.00"), "{csv}");
+        assert!(csv.contains("0.600"), "mean utilization column: {csv}");
+    }
+
+    #[test]
+    fn fleet_csv_tolerates_an_empty_run() {
+        let empty = FleetStats {
+            dispatch: "round-robin".into(),
+            policy: "Pre-gated MoE".into(),
+            gpus: 2,
+            replicas: Vec::new(),
+            assignment: Vec::new(),
+            request_latencies: Vec::new(),
+            queueing_delays: Vec::new(),
+            ttfts: Vec::new(),
+            total_tokens: 0,
+            makespan: SimDuration::ZERO,
+            tokens_per_sec: 0.0,
+            expert_fetch_bytes: 0,
+            demand_fetch_bytes: 0,
+            peak_hbm_bytes: 0,
+            utilization: Vec::new(),
+        };
+        let csv = csv_fleet_summary(&[empty]);
+        assert!(csv.contains("Pre-gated MoE,round-robin,2,0.00,0.00,0.00,0.00,0.00"), "{csv}");
     }
 }

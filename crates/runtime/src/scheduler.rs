@@ -36,6 +36,7 @@
 //! entirely outside this crate.
 
 use crate::{ExpertCache, ExpertKey, OffloadPolicy, Result, RuntimeError};
+use pgmoe_device::SimDuration;
 use pgmoe_model::{GateTopology, GatingMode};
 use std::sync::Arc;
 
@@ -171,6 +172,42 @@ pub enum Residency {
     AwaitPending,
 }
 
+/// How one MoE block's activated experts *execute*, consumed by the decode
+/// core when it launches the block's expert kernel.
+///
+/// The default ([`ExecPlan::local`]) is single-GPU execution: the executing
+/// GPU streams every activated expert's weights and no communication
+/// happens. Schedulers that model distributed execution — the expert-parallel
+/// [`ClusterScheduler`] sharding experts across GPUs — override
+/// [`ExpertScheduler::exec_plan`] to charge only the critical-path shard and
+/// to serialize all-to-all dispatch/combine hops around the kernel.
+///
+/// [`ClusterScheduler`]: crate::ClusterConfig
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPlan {
+    /// HBM bytes the critical-path GPU streams executing the block's
+    /// experts (the kernel is memory-bound at batch 1).
+    pub exec_bytes: u64,
+    /// Communication serialized *before* execution (all-to-all token
+    /// dispatch under expert parallelism; zero on a single GPU).
+    pub dispatch: SimDuration,
+    /// Communication serialized *after* execution (all-to-all result
+    /// combine; zero on a single GPU).
+    pub combine: SimDuration,
+}
+
+impl ExecPlan {
+    /// Single-GPU execution of `count` experts of `expert_bytes` each — the
+    /// default every non-distributed scheduler uses.
+    pub fn local(count: usize, expert_bytes: u64) -> Self {
+        ExecPlan {
+            exec_bytes: count as u64 * expert_bytes,
+            dispatch: SimDuration::ZERO,
+            combine: SimDuration::ZERO,
+        }
+    }
+}
+
 /// A scheduler's memory contract, consumed by the placement planner — the
 /// paper's Equation 1 generalised per policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,6 +250,9 @@ pub struct SchedulerSetup {
     pub num_experts: usize,
     /// Experts activated per token per block.
     pub active_per_block: usize,
+    /// Bytes of one token's activation vector at the model's precision —
+    /// what an all-to-all exchange moves per hop under expert parallelism.
+    pub token_bytes: u64,
     /// The run's gate topology request ([`GatingMode::Conventional`] means
     /// "the scheduler's default level").
     pub gating: GatingMode,
@@ -289,6 +329,17 @@ pub trait ExpertScheduler {
 
     /// How block `block`'s activated experts become GPU-resident.
     fn on_block_start(&mut self, ctx: &PolicyCtx<'_>, block: usize) -> Residency;
+
+    /// How block `block`'s experts *execute* once resident: the bytes the
+    /// critical-path GPU streams and any serialized communication around
+    /// the kernel. `experts` is the set the core is about to execute (the
+    /// routed set or batch union during decode, the sampled activation set
+    /// during prefill). Defaults to single-GPU execution of the whole set;
+    /// distributed schedulers (expert parallelism) override this.
+    fn exec_plan(&self, ctx: &PolicyCtx<'_>, block: usize, experts: &[usize]) -> ExecPlan {
+        let _ = block;
+        ExecPlan::local(experts.len(), ctx.expert_bytes)
+    }
 
     /// Called after block `block`'s gate has resolved (and its residency was
     /// settled); push prefetch directives for *future* blocks into `out`.
@@ -836,6 +887,7 @@ mod tests {
             enc_blocks: 6,
             num_experts: 64,
             active_per_block: 1,
+            token_bytes: 3072,
             gating: GatingMode::Conventional,
             seed: 7,
         }

@@ -45,9 +45,12 @@ pub struct ServeStats {
     ///
     /// [`RunReport::demand_fetch_bytes`]: crate::RunReport
     pub demand_fetch_bytes: u64,
+    /// GPU compute-busy time across the stream (the utilization numerator a
+    /// fleet divides by its makespan).
+    pub gpu_busy: SimDuration,
 }
 
-fn quantile_of(samples: &[SimDuration], q: f64) -> SimDuration {
+pub(crate) fn quantile_of(samples: &[SimDuration], q: f64) -> SimDuration {
     assert!((0.0..=1.0).contains(&q), "quantile out of range");
     assert!(!samples.is_empty(), "no requests served");
     let mut sorted: Vec<u64> = samples.iter().map(|d| d.as_nanos()).collect();
@@ -157,6 +160,7 @@ pub fn serve_stream(
     let mut peak = 0u64;
     let mut fetched = 0u64;
     let mut demand = 0u64;
+    let mut gpu_busy = SimDuration::ZERO;
     let mut policy_name: Option<String> = None;
     for (i, request) in requests.into_iter().enumerate() {
         // Each request runs on a fresh simulated timeline; back-to-back
@@ -173,6 +177,7 @@ pub fn serve_stream(
         peak = peak.max(report.peak_hbm_bytes);
         fetched += report.expert_fetch_bytes;
         demand += report.demand_fetch_bytes;
+        gpu_busy += report.gpu_busy;
         policy_name.get_or_insert(report.policy);
     }
     let tokens_per_sec =
@@ -189,6 +194,7 @@ pub fn serve_stream(
         peak_hbm_bytes: peak,
         expert_fetch_bytes: fetched,
         demand_fetch_bytes: demand,
+        gpu_busy,
     })
 }
 
@@ -290,6 +296,7 @@ mod tests {
             peak_hbm_bytes: 1,
             expert_fetch_bytes: 0,
             demand_fetch_bytes: 0,
+            gpu_busy: SimDuration::ZERO,
         }
     }
 

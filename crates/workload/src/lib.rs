@@ -24,6 +24,9 @@ pub mod requests;
 pub mod routing;
 pub mod task;
 
-pub use requests::{ArrivalProcess, ArrivalStream, ArrivedRequest, DecodeRequest, RequestStream};
-pub use routing::{RoutingKind, RoutingTrace};
+pub use requests::{
+    split_by_assignment, stamp_route_seeds, ArrivalProcess, ArrivalStream, ArrivedRequest,
+    DecodeRequest, RequestStream,
+};
+pub use routing::{domain_of, RoutingKind, RoutingTrace};
 pub use task::{Example, TaskKind, TaskSpec};

@@ -75,14 +75,62 @@ pub struct ArrivedRequest {
     pub arrival_ns: u64,
     /// The request itself.
     pub request: DecodeRequest,
+    /// Explicit routing-trace seed for this request. `None` (the default)
+    /// lets the serving scheduler derive a seed from the request's position
+    /// in its stream; a fleet dispatcher sets it so a request activates the
+    /// *same* experts no matter which replica serves it (routing identity
+    /// must be a property of the request, not of its placement).
+    pub route_seed: Option<u64>,
 }
 
 impl ArrivedRequest {
     /// A request arriving at `arrival_ns` — handy for deterministic traces
     /// in tests.
     pub fn at_nanos(arrival_ns: u64, request: DecodeRequest) -> Self {
-        ArrivedRequest { arrival_ns, request }
+        ArrivedRequest { arrival_ns, request, route_seed: None }
     }
+
+    /// Builder: pin this request's routing-trace seed (see
+    /// [`ArrivedRequest::route_seed`]).
+    pub fn with_route_seed(mut self, seed: u64) -> Self {
+        self.route_seed = Some(seed);
+        self
+    }
+}
+
+/// Stamps every *unseeded* request with a placement-independent routing
+/// seed derived from `base_seed` and its global arrival index; requests the
+/// caller already pinned via [`ArrivedRequest::with_route_seed`] keep their
+/// seed. A multi-replica dispatcher calls this once before splitting the
+/// stream, so the same request draws the same routing trace on every
+/// replica it could land on.
+pub fn stamp_route_seeds(arrivals: &mut [ArrivedRequest], base_seed: u64) {
+    for (idx, arr) in arrivals.iter_mut().enumerate() {
+        if arr.route_seed.is_none() {
+            arr.route_seed = Some(base_seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+    }
+}
+
+/// Splits an arrival stream into `replicas` per-replica sub-streams per the
+/// given assignment (`assignment[i]` is request `i`'s replica). Arrival
+/// order — and therefore sortedness — is preserved within each sub-stream.
+///
+/// # Panics
+///
+/// Panics if lengths differ or an assignment is out of range.
+pub fn split_by_assignment(
+    arrivals: &[ArrivedRequest],
+    assignment: &[usize],
+    replicas: usize,
+) -> Vec<Vec<ArrivedRequest>> {
+    assert_eq!(arrivals.len(), assignment.len(), "one assignment per arrival");
+    let mut streams = vec![Vec::new(); replicas];
+    for (arr, &r) in arrivals.iter().zip(assignment) {
+        assert!(r < replicas, "assignment {r} out of range for {replicas} replicas");
+        streams[r].push(*arr);
+    }
+    streams
 }
 
 /// Statistical family of an arrival process.
@@ -190,7 +238,7 @@ impl Iterator for ArrivalStream {
             }
         }
         let request = self.requests.next()?;
-        Some(ArrivedRequest { arrival_ns: self.clock_ns, request })
+        Some(ArrivedRequest { arrival_ns: self.clock_ns, request, route_seed: None })
     }
 }
 
@@ -276,6 +324,48 @@ mod tests {
             zero_gaps >= n * (burst - 1) / burst - 1,
             "expected clustered arrivals, saw {zero_gaps} zero gaps"
         );
+    }
+
+    #[test]
+    fn route_seed_stamping_is_placement_independent() {
+        let req = DecodeRequest::paper_default();
+        let mut arrivals: Vec<ArrivedRequest> =
+            (0..6).map(|i| ArrivedRequest::at_nanos(i * 100, req)).collect();
+        assert!(arrivals.iter().all(|a| a.route_seed.is_none()), "streams default unseeded");
+        // A pinned seed survives stamping; only unseeded requests are filled.
+        arrivals[2] = arrivals[2].with_route_seed(777);
+        stamp_route_seeds(&mut arrivals, 42);
+        assert_eq!(arrivals[2].route_seed, Some(777), "pinned seeds must not be clobbered");
+        let seeds: Vec<u64> = arrivals.iter().map(|a| a.route_seed.unwrap()).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6, "seeds must be distinct per request");
+        // Splitting does not disturb the stamped identity.
+        let streams = split_by_assignment(&arrivals, &[0, 1, 0, 1, 0, 1], 2);
+        assert_eq!(streams[0].len(), 3);
+        assert_eq!(streams[1][1].route_seed, Some(seeds[3]));
+        assert_eq!(ArrivedRequest::at_nanos(0, req).with_route_seed(9).route_seed, Some(9));
+    }
+
+    #[test]
+    fn split_preserves_arrival_order_per_replica() {
+        let req = DecodeRequest::paper_default();
+        let arrivals: Vec<ArrivedRequest> =
+            (0..8).map(|i| ArrivedRequest::at_nanos(i * 10, req)).collect();
+        let streams = split_by_assignment(&arrivals, &[2, 0, 2, 1, 0, 2, 1, 0], 3);
+        assert_eq!(streams.iter().map(Vec::len).sum::<usize>(), 8);
+        for s in &streams {
+            assert!(s.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn split_rejects_out_of_range_assignment() {
+        let req = DecodeRequest::paper_default();
+        let arrivals = vec![ArrivedRequest::at_nanos(0, req)];
+        let _ = split_by_assignment(&arrivals, &[3], 2);
     }
 
     #[test]

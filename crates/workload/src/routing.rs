@@ -26,6 +26,19 @@ pub enum RoutingKind {
         /// Zipf exponent; larger = more skew.
         s: f64,
     },
+    /// Zipf routing with per-request *domain* structure: the trace's seed
+    /// deterministically picks one of `domains` rotations of the expert
+    /// ranking, so requests of the same domain share a hot-expert set while
+    /// different domains hammer disjoint regions of the expert space. This
+    /// is the population heterogeneity real serving fleets see (different
+    /// tenants/tasks route to different experts) and what cache-affinity
+    /// dispatch exploits.
+    ZipfDomains {
+        /// Zipf exponent within each domain; larger = more skew.
+        s: f64,
+        /// Number of distinct domains the seed space maps onto (>= 1).
+        domains: usize,
+    },
     /// Markovian reuse: with probability `stickiness` a token keeps its
     /// previous block's expert, otherwise it re-samples uniformly.
     DomainSticky {
@@ -72,8 +85,19 @@ impl RoutingTrace {
         assert!(top_k >= 1 && top_k <= num_experts, "top_k out of range");
         let mut rng = StdRng::seed_from_u64(seed);
         let zipf_cdf = match kind {
-            RoutingKind::Zipf { s } => Some(zipf_cdf(num_experts, s)),
+            RoutingKind::Zipf { s } | RoutingKind::ZipfDomains { s, .. } => {
+                Some(zipf_cdf(num_experts, s))
+            }
             _ => None,
+        };
+        // Domain rotation: rank r lands on expert (r + offset) mod E, so
+        // each domain's hot set occupies its own region of the expert space.
+        let domain_offset = match kind {
+            RoutingKind::ZipfDomains { domains, .. } => {
+                let d = domain_of(seed, domains);
+                d * (num_experts / domains.clamp(1, num_experts)).max(1)
+            }
+            _ => 0,
         };
         let mut decisions = Vec::with_capacity(num_tokens);
         let mut prev: Vec<Vec<usize>> = Vec::new();
@@ -87,6 +111,12 @@ impl RoutingTrace {
                     RoutingKind::Zipf { .. } => {
                         let cdf = zipf_cdf.as_ref().expect("zipf cdf");
                         sample_distinct(num_experts, top_k, &mut rng, |r| sample_from_cdf(cdf, r))
+                    }
+                    RoutingKind::ZipfDomains { .. } => {
+                        let cdf = zipf_cdf.as_ref().expect("zipf cdf");
+                        sample_distinct(num_experts, top_k, &mut rng, |r| {
+                            (sample_from_cdf(cdf, r) + domain_offset) % num_experts
+                        })
                     }
                     RoutingKind::DomainSticky { stickiness } => {
                         if token > 0 && rng.gen_bool(stickiness.clamp(0.0, 1.0)) {
@@ -182,6 +212,16 @@ fn sample_distinct(
     chosen
 }
 
+/// The domain a routing seed maps onto under [`RoutingKind::ZipfDomains`] —
+/// exposed so a dispatcher can predict a request's hot-expert region from
+/// its route seed alone.
+pub fn domain_of(seed: u64, domains: usize) -> usize {
+    if domains <= 1 {
+        return 0;
+    }
+    ((seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize) % domains
+}
+
 /// Cumulative distribution of a Zipf law over ranks `0..n` with exponent `s`.
 fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
     let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
@@ -248,6 +288,56 @@ mod tests {
         us.sort_unstable_by(|a, b| b.cmp(a));
         let utop8: u64 = us.iter().take(8).sum();
         assert!(top8 > utop8);
+    }
+
+    #[test]
+    fn zipf_domains_rotate_hot_sets_by_seed() {
+        let kind = RoutingKind::ZipfDomains { s: 1.4, domains: 4 };
+        // Find two seeds in different domains and one pair sharing a domain.
+        let d = |seed| domain_of(seed, 4);
+        let mut by_domain: [Option<u64>; 4] = [None; 4];
+        for seed in 0..64u64 {
+            by_domain[d(seed)].get_or_insert(seed);
+        }
+        let hot = |seed: u64| {
+            let t = RoutingTrace::generate(300, 2, 64, 1, kind, seed);
+            let hist = t.activation_histogram();
+            let mut idx: Vec<usize> = (0..64).collect();
+            idx.sort_unstable_by_key(|&e| std::cmp::Reverse(hist[e]));
+            idx.truncate(8);
+            idx.sort_unstable();
+            idx
+        };
+        let (a, b) = (by_domain[0].unwrap(), by_domain[1].unwrap());
+        let (ha, hb) = (hot(a), hot(b));
+        let overlap = ha.iter().filter(|e| hb.contains(e)).count();
+        assert!(overlap <= 2, "different domains must have disjoint hot sets, overlap {overlap}");
+        // Same-domain seeds share their hot set.
+        let a2 = (0..999u64).find(|&s| s != a && d(s) == d(a)).unwrap();
+        let ha2 = hot(a2);
+        let same = ha.iter().filter(|e| ha2.contains(e)).count();
+        assert!(same >= 6, "same-domain seeds must share hot experts, overlap {same}");
+        // Still a valid skewed trace: within one request the hot set dominates.
+        let t = RoutingTrace::generate(300, 2, 64, 1, kind, a);
+        let hist = t.activation_histogram();
+        let total: u64 = hist.iter().sum();
+        let top: u64 = ha.iter().map(|&e| hist[e]).sum();
+        assert!(top as f64 / total as f64 > 0.5, "domain hot set must dominate");
+    }
+
+    #[test]
+    fn domain_of_is_stable_and_in_range() {
+        for seed in 0..100u64 {
+            assert_eq!(domain_of(seed, 1), 0);
+            assert!(domain_of(seed, 5) < 5);
+            assert_eq!(domain_of(seed, 5), domain_of(seed, 5));
+        }
+        // The seed space actually spreads across domains.
+        let mut seen = [false; 4];
+        for seed in 0..64u64 {
+            seen[domain_of(seed, 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 seeds must cover 4 domains");
     }
 
     #[test]
