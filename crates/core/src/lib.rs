@@ -24,6 +24,7 @@
 //! | [`train`] | `pgmoe-train` | Pretrain→rewire→fine-tune recipe (Table II, Fig 13) |
 //! | [`workload`] | `pgmoe-workload` | Synthetic tasks, routing traces, request streams |
 //! | [`tensor`] | `pgmoe-tensor` | Dense f32 tensors with manual backprop |
+//! | [`serve`] | `pgmoe-serve` | Streaming HTTP/1.1 front door with SLO-aware admission |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@
 pub use pgmoe_device as device;
 pub use pgmoe_model as model;
 pub use pgmoe_runtime as runtime;
+pub use pgmoe_serve as serve;
 pub use pgmoe_tensor as tensor;
 pub use pgmoe_train as train;
 pub use pgmoe_workload as workload;
@@ -56,12 +58,14 @@ pub mod prelude {
     pub use pgmoe_device::{Machine, MachineConfig, SimDuration, SimTime, Tier};
     pub use pgmoe_model::{ExpertPrecision, GateTopology, GatingMode, ModelConfig, Precision};
     pub use pgmoe_runtime::{
-        serve_batched, serve_cluster, serve_stream, BatchConfig, BatchScheduler, CacheAffinity,
-        CacheCapacity, CacheConfig, ClusterConfig, DispatchPolicy, ExpertScheduler, FetchSet,
-        FleetConfig, FleetSim, FleetStats, InferenceSim, JoinShortestQueue, OffloadPolicy,
-        PolicyCtx, PolicySpec, Prefetch, Replacement, ReplicaView, RequestProfile, Residency,
-        RoundRobin, RunReport, SchedulerFactory, ServeStats, SimOptions,
+        serve_batched, serve_cluster, serve_stream, Admission, BatchConfig, BatchScheduler,
+        BatchSession, CacheAffinity, CacheCapacity, CacheConfig, ClusterConfig, DispatchPolicy,
+        ExpertScheduler, FetchSet, FleetConfig, FleetSim, FleetStats, InferenceSim,
+        JoinShortestQueue, LiveRouting, OffloadPolicy, PolicyCtx, PolicySpec, Prefetch,
+        Replacement, ReplicaView, RequestProfile, Residency, RoundRobin, RunReport,
+        SchedulerFactory, ServeStats, SimOptions, TokenEvent,
     };
+    pub use pgmoe_serve::{EngineConfig, ServeConfig, Server, ServerHandle, SloConfig};
     pub use pgmoe_train::{Trainer, TrainerConfig};
     pub use pgmoe_workload::{
         ArrivalProcess, ArrivalStream, ArrivedRequest, DecodeRequest, RequestStream, RoutingKind,

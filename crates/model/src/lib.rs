@@ -21,7 +21,7 @@
 //! `pgmoe-train` agree on the algorithm by construction.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analytics;
 pub mod checkpoint;

@@ -29,18 +29,12 @@
 //!
 //! [`ExpertScheduler`]: crate::scheduler::ExpertScheduler
 
-use crate::core::{
-    self, expected_distinct_experts, CoreEnv, CoreScratch, DecodeCosts, PrefillCosts,
-};
-use crate::engine::{attn_bytes_for, dense_ffn_bytes_for};
-use crate::scheduler::{ExpertScheduler, MemoryProfile, RoutedSource};
 use crate::serve::ServeStats;
-use crate::{ExpertCache, PlacementPlan, Result, RuntimeError, SimOptions};
-use pgmoe_device::{AllocId, Machine, SimTime, Tier};
-use pgmoe_model::{GateTopology, ModelConfig};
-use pgmoe_workload::{ArrivedRequest, RoutingTrace};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::session::{Admission, BatchSession};
+use crate::{Result, RuntimeError, SimOptions};
+use pgmoe_device::SimTime;
+use pgmoe_model::ModelConfig;
+use pgmoe_workload::ArrivedRequest;
 use std::collections::VecDeque;
 
 /// Scheduler knobs for continuous batching.
@@ -70,37 +64,6 @@ impl BatchConfig {
 impl Default for BatchConfig {
     fn default() -> Self {
         BatchConfig::new(8)
-    }
-}
-
-/// A request currently being decoded.
-struct InFlight {
-    /// Index into the arrival order (stats land at this position).
-    idx: usize,
-    arrival: SimTime,
-    request: pgmoe_workload::DecodeRequest,
-    /// Per-request routing decisions over its own decode iterations.
-    trace: RoutingTrace,
-    generated: usize,
-    first_token_at: Option<SimTime>,
-    act_alloc: AllocId,
-    act_bytes: u64,
-}
-
-impl InFlight {
-    fn ctx_len(&self) -> usize {
-        self.request.input_tokens + self.generated
-    }
-}
-
-/// Adapter: the batch's per-block expert unions as a routing source.
-struct UnionRouted<'a> {
-    unions: &'a [Vec<usize>],
-}
-
-impl RoutedSource for UnionRouted<'_> {
-    fn experts(&self, block: usize) -> &[usize] {
-        &self.unions[block]
     }
 }
 
@@ -155,12 +118,10 @@ impl BatchScheduler {
     pub fn serve(&self, arrivals: impl IntoIterator<Item = ArrivedRequest>) -> Result<ServeStats> {
         let arrivals: Vec<ArrivedRequest> = arrivals.into_iter().collect();
         self.validate(&arrivals)?;
-        let cfg = &self.cfg;
-        let opts = &self.opts;
-        let mut sched = opts.policy.build(&opts.setup_for(cfg));
-        let topo = sched.decoder_topology(cfg.decoder_moe_layers())?;
-        let n = arrivals.len();
-        if n == 0 {
+        if arrivals.is_empty() {
+            // Empty streams report the built scheduler's name without
+            // touching the machine (the static footprint is never placed).
+            let sched = self.opts.policy.build(&self.opts.setup_for(&self.cfg));
             return Ok(ServeStats {
                 policy: sched.name(),
                 request_latencies: Vec::new(),
@@ -175,214 +136,37 @@ impl BatchScheduler {
             });
         }
 
-        let mut machine = Machine::new(opts.machine.clone());
-
-        // Static, context-independent footprint reserved once; per-request
-        // activations/KV are admitted on top of it.
-        let base_plan = PlacementPlan::new(cfg, opts, 0, 1);
-        machine.pool_mut(Tier::Hbm).alloc(base_plan.static_non_activation_bytes())?;
-        if base_plan.offload_bytes() > 0 {
-            machine.pool_mut(opts.offload_tier).alloc(base_plan.offload_bytes())?;
-        }
-        let budget = self
-            .batch
-            .hbm_budget_bytes
-            .unwrap_or(opts.machine.hbm_capacity)
-            .min(opts.machine.hbm_capacity);
-        let mut cache =
-            opts.cache.map(|c| ExpertCache::new(base_plan.cache_experts(), c.replacement));
-
-        let dec_blocks = cfg.decoder_moe_layers();
-        let enc_blocks = cfg.encoder_layers / cfg.moe_every;
+        let mut session = BatchSession::new(self.cfg.clone(), self.opts.clone(), self.batch)?;
         let mut pending: VecDeque<(usize, ArrivedRequest)> =
             arrivals.iter().copied().enumerate().collect();
-        let mut inflight: Vec<InFlight> = Vec::new();
-        let mut latencies = vec![pgmoe_device::SimDuration::ZERO; n];
-        let mut queueing = vec![pgmoe_device::SimDuration::ZERO; n];
-        let mut ttfts = vec![pgmoe_device::SimDuration::ZERO; n];
-        let mut total_tokens = 0usize;
-        let mut last_completion = SimTime::ZERO;
-        let first_arrival = SimTime::from_nanos(arrivals[0].arrival_ns);
-        let mut scratch = CoreScratch::new(dec_blocks, cfg.num_experts);
-        let mut unions: Vec<Vec<usize>> = vec![Vec::new(); dec_blocks];
-        let mut admitted_now: Vec<usize> = Vec::new();
-        let mut demand_bytes = 0u64;
-        let mut iteration = 0usize;
 
-        // Wall clock, tracked separately from the machine timeline so idle
-        // gaps between arrivals do not let later work start "in the past".
-        let mut clock = SimTime::ZERO;
-
-        while !pending.is_empty() || !inflight.is_empty() {
-            // Idle system: jump to the next arrival.
-            if inflight.is_empty() {
+        while !pending.is_empty() || session.in_flight() > 0 {
+            // Idle system: jump the clock to the next arrival.
+            if session.in_flight() == 0 {
                 if let Some(&(_, next)) = pending.front() {
-                    clock = clock.max(SimTime::from_nanos(next.arrival_ns));
+                    session.advance_clock(SimTime::from_nanos(next.arrival_ns));
                 }
             }
 
-            // Admission at the iteration boundary.
-            admitted_now.clear();
-            while inflight.len() < self.batch.max_batch {
-                let Some(&(idx, arr)) = pending.front() else { break };
-                let arrival = SimTime::from_nanos(arr.arrival_ns);
-                if arrival > clock {
+            // FIFO admission at the iteration boundary: offer the queue
+            // head while it has arrived and the session accepts it.
+            while let Some(&(idx, arr)) = pending.front() {
+                if SimTime::from_nanos(arr.arrival_ns) > session.clock() {
                     break;
                 }
-                let act_bytes = PlacementPlan::new(
-                    cfg,
-                    opts,
-                    arr.request.input_tokens + arr.request.output_tokens,
-                    1,
-                )
-                .activation_bytes();
-                let in_flight_act: u64 = inflight.iter().map(|r| r.act_bytes).sum();
-                let prefill_inputs =
-                    admitted_now.iter().map(|&i| inflight[i].request.input_tokens).sum::<usize>()
-                        + arr.request.input_tokens;
-                let transient = self
-                    .decode_transient_bytes(sched.as_ref(), &base_plan, inflight.len() + 1)
-                    .max(self.prefill_transient_bytes_of(
-                        sched.as_ref(),
-                        &base_plan,
-                        prefill_inputs,
-                    ));
-                let planned =
-                    base_plan.static_non_activation_bytes() + in_flight_act + act_bytes + transient;
-                if planned > budget {
-                    if inflight.is_empty() && admitted_now.is_empty() {
-                        // Even alone this request cannot fit: fail loudly
-                        // rather than deadlock the queue.
-                        return Err(RuntimeError::OutOfMemory(
-                            pgmoe_device::DeviceError::OutOfMemory {
-                                tier: Tier::Hbm,
-                                requested: planned,
-                                available: budget
-                                    .saturating_sub(base_plan.static_non_activation_bytes()),
-                                capacity: budget,
-                            },
-                        ));
+                match session.try_admit(idx as u64, arr)? {
+                    Admission::Admitted { .. } => {
+                        pending.pop_front();
                     }
-                    break;
+                    Admission::BatchFull | Admission::OverBudget => break,
                 }
-                pending.pop_front();
-                let act_alloc = machine.pool_mut(Tier::Hbm).alloc(act_bytes)?;
-                // A stamped route seed wins (fleet dispatch: routing is a
-                // property of the request, not its placement); otherwise the
-                // seed derives from the request's position in this stream.
-                let seed = arr
-                    .route_seed
-                    .unwrap_or(opts.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                let trace = RoutingTrace::generate(
-                    arr.request.output_tokens,
-                    cfg.decoder_moe_layers(),
-                    cfg.num_experts,
-                    base_plan.active_per_block(),
-                    opts.routing,
-                    seed,
-                );
-                queueing[idx] = clock - arrival;
-                inflight.push(InFlight {
-                    idx,
-                    arrival,
-                    request: arr.request,
-                    trace,
-                    generated: 0,
-                    first_token_at: None,
-                    act_alloc,
-                    act_bytes,
-                });
-                admitted_now.push(inflight.len() - 1);
             }
 
             // One scheduler step: prefill for the newly admitted requests,
-            // then one decode iteration for the whole batch. Time it on the
-            // machine and advance the wall clock by the measured span.
-            let span_start = machine.horizon();
-            if !admitted_now.is_empty() {
-                // Prefill only runs on admission — it is allowed to allocate.
-                self.prefill(
-                    &mut machine,
-                    &base_plan,
-                    &mut cache,
-                    sched.as_mut(),
-                    &topo,
-                    &inflight,
-                    &admitted_now,
-                    &mut demand_bytes,
-                )?;
-            }
-            for (b, union) in unions.iter_mut().enumerate() {
-                union_experts_into(&inflight, b, union);
-            }
-            let costs = DecodeCosts {
-                attn_bytes: self.attn_bytes(&inflight),
-                ffn_bytes: self.dense_ffn_bytes(),
-                decoder_layers: cfg.decoder_layers,
-                moe_every: cfg.moe_every,
-            };
-            let mut env = CoreEnv {
-                machine: &mut machine,
-                plan: &base_plan,
-                cache: &mut cache,
-                offload_tier: opts.offload_tier,
-                num_experts: cfg.num_experts,
-                demand_bytes: &mut demand_bytes,
-            };
-            core::decode_iteration(
-                &mut env,
-                sched.as_mut(),
-                &topo,
-                &UnionRouted { unions: &unions },
-                iteration,
-                enc_blocks,
-                &costs,
-                &mut scratch,
-                None,
-            )?;
-            iteration += 1;
-            let span = machine.horizon() - span_start;
-            clock += span;
-
-            // Retire tokens; complete and evict finished requests.
-            let mut i = 0;
-            while i < inflight.len() {
-                let r = &mut inflight[i];
-                r.generated += 1;
-                total_tokens += 1;
-                if r.first_token_at.is_none() {
-                    r.first_token_at = Some(clock);
-                    ttfts[r.idx] = clock - r.arrival;
-                }
-                if r.generated == r.request.output_tokens {
-                    latencies[r.idx] = clock - r.arrival;
-                    last_completion = last_completion.max(clock);
-                    machine.pool_mut(Tier::Hbm).free(r.act_alloc).expect("activation double free");
-                    inflight.swap_remove(i);
-                } else {
-                    i += 1;
-                }
-            }
+            // then one decode iteration for the whole batch.
+            session.step()?;
         }
-
-        let span = last_completion.duration_since(first_arrival);
-        let tokens_per_sec = if span == pgmoe_device::SimDuration::ZERO {
-            0.0
-        } else {
-            total_tokens as f64 / span.as_secs_f64()
-        };
-        Ok(ServeStats {
-            policy: sched.name(),
-            request_latencies: latencies,
-            queueing_delays: queueing,
-            ttfts,
-            total_tokens,
-            tokens_per_sec,
-            peak_hbm_bytes: machine.pool(Tier::Hbm).peak_bytes(),
-            expert_fetch_bytes: machine.offload_traffic_bytes(),
-            demand_fetch_bytes: demand_bytes,
-            gpu_busy: machine.gpu_busy(),
-        })
+        Ok(session.finish())
     }
 
     fn validate(&self, arrivals: &[ArrivedRequest]) -> Result<()> {
@@ -410,129 +194,21 @@ impl BatchScheduler {
         Ok(())
     }
 
-    fn profile(&self, plan: &PlacementPlan, active: usize) -> MemoryProfile {
-        MemoryProfile {
-            expert_bytes: plan.expert_bytes(),
-            num_experts: self.cfg.num_experts,
-            active_per_block: active,
-            moe_layers: self.cfg.moe_layers(),
-        }
-    }
-
-    /// Worst-case migration-transient bytes while prefilling prompts with
-    /// `total_inputs` tokens, per the scheduler's own memory contract.
-    fn prefill_transient_bytes_of(
-        &self,
-        sched: &dyn ExpertScheduler,
-        plan: &PlacementPlan,
-        total_inputs: usize,
-    ) -> u64 {
-        let distinct =
-            expected_distinct_experts(total_inputs * plan.active_per_block(), self.cfg.num_experts);
-        sched.hbm_plan(&self.profile(plan, distinct)).transient_bytes
-    }
-
-    /// Worst-case migration-transient bytes for one decode iteration at
-    /// batch size `batch` — the headroom admission control keeps free.
-    fn decode_transient_bytes(
-        &self,
-        sched: &dyn ExpertScheduler,
-        plan: &PlacementPlan,
-        batch: usize,
-    ) -> u64 {
-        let union = (batch * plan.active_per_block()).min(self.cfg.num_experts);
-        sched.admission_transient_bytes(&self.profile(plan, union))
-    }
-
-    /// Test/diagnostic variant of [`Self::decode_transient_bytes`] building
-    /// its own scheduler instance.
+    /// Test/diagnostic variant of [`crate::session`]'s decode-transient
+    /// bound, building its own scheduler instance.
     #[cfg(test)]
-    fn worst_case_transient_bytes(&self, plan: &PlacementPlan, batch: usize) -> u64 {
+    fn worst_case_transient_bytes(&self, plan: &crate::PlacementPlan, batch: usize) -> u64 {
         let sched = self.opts.policy.build(&self.opts.setup_for(&self.cfg));
-        self.decode_transient_bytes(sched.as_ref(), plan, batch)
+        crate::session::decode_transient_bytes(&self.cfg, sched.as_ref(), plan, batch)
     }
 
-    /// Test/diagnostic variant of [`Self::prefill_transient_bytes_of`]
-    /// building its own scheduler instance.
+    /// Test/diagnostic variant of [`crate::session`]'s prefill-transient
+    /// bound, building its own scheduler instance.
     #[cfg(test)]
-    fn prefill_transient_bytes(&self, plan: &PlacementPlan, total_inputs: usize) -> u64 {
+    fn prefill_transient_bytes(&self, plan: &crate::PlacementPlan, total_inputs: usize) -> u64 {
         let sched = self.opts.policy.build(&self.opts.setup_for(&self.cfg));
-        self.prefill_transient_bytes_of(sched.as_ref(), plan, total_inputs)
+        crate::session::prefill_transient_bytes_of(&self.cfg, sched.as_ref(), plan, total_inputs)
     }
-
-    /// HBM bytes streamed by one decoder attention layer for the whole
-    /// batch: projections read once, KV scanned per request.
-    fn attn_bytes(&self, inflight: &[InFlight]) -> u64 {
-        attn_bytes_for(&self.cfg, inflight.iter().map(InFlight::ctx_len))
-    }
-
-    fn dense_ffn_bytes(&self) -> u64 {
-        dense_ffn_bytes_for(&self.cfg)
-    }
-
-    /// Prefill (encoder pass) for newly admitted requests, batched: weight
-    /// reads amortize across the admitted set, expert fetches move the
-    /// expected distinct set their prompts activate — structured by the
-    /// same scheduler hooks as everything else.
-    #[allow(clippy::too_many_arguments)]
-    fn prefill(
-        &self,
-        machine: &mut Machine,
-        plan: &PlacementPlan,
-        cache: &mut Option<ExpertCache>,
-        sched: &mut dyn ExpertScheduler,
-        topo: &GateTopology,
-        inflight: &[InFlight],
-        admitted: &[usize],
-        demand_bytes: &mut u64,
-    ) -> Result<()> {
-        let cfg = &self.cfg;
-        let total_inputs: usize = admitted.iter().map(|&i| inflight[i].request.input_tokens).sum();
-        let distinct =
-            expected_distinct_experts(total_inputs * plan.active_per_block(), cfg.num_experts);
-        // Sample which experts the prompts activate (per block, like the
-        // batch-1 encoder pass) — a fixed 0..distinct set would turn every
-        // later prefill into a guaranteed cache hit and undercount traffic.
-        let first_idx = admitted.first().map(|&i| inflight[i].idx).unwrap_or(0) as u64;
-        let mut rng =
-            StdRng::seed_from_u64(self.opts.seed ^ first_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let tokens = total_inputs as f64;
-        let d = cfg.d_model as f64;
-        let ffn_flops = tokens * 4.0 * d * cfg.d_ff as f64;
-        let enc_blocks = cfg.encoder_layers / cfg.moe_every;
-        let costs = PrefillCosts {
-            attn_flops: tokens * 2.0 * (4.0 * d * d + 2.0 * d * tokens),
-            attn_bytes: self.attn_bytes(inflight),
-            ffn_flops,
-            ffn_bytes: self.dense_ffn_bytes(),
-            exec_flops: ffn_flops * plan.active_per_block() as f64,
-            encoder_layers: cfg.encoder_layers,
-            moe_every: cfg.moe_every,
-            distinct,
-            labels: ["prefill-attn", "prefill-ffn", "prefill-expert"],
-        };
-        let mut env = CoreEnv {
-            machine,
-            plan,
-            cache,
-            offload_tier: self.opts.offload_tier,
-            num_experts: cfg.num_experts,
-            demand_bytes,
-        };
-        core::prefill_pass(&mut env, sched, topo, enc_blocks, &costs, &mut rng, true)
-    }
-}
-
-/// Collects the union of experts the in-flight batch activates at decoder
-/// MoE block `block` this iteration into `out` (sorted, deduplicated; the
-/// buffer is a reusable scratch).
-fn union_experts_into(inflight: &[InFlight], block: usize, out: &mut Vec<usize>) {
-    out.clear();
-    for r in inflight {
-        out.extend_from_slice(r.trace.experts(r.generated, block));
-    }
-    out.sort_unstable();
-    out.dedup();
 }
 
 /// Convenience wrapper: build a [`BatchScheduler`] and serve `arrivals`.
@@ -553,7 +229,7 @@ pub fn serve_batched(
 mod tests {
     use super::*;
     use crate::scheduler::PolicySpec;
-    use crate::{OffloadPolicy, SimOptions};
+    use crate::{OffloadPolicy, PlacementPlan, SimOptions};
     use pgmoe_workload::{ArrivalProcess, ArrivalStream, DecodeRequest};
 
     fn req(output_tokens: usize) -> DecodeRequest {

@@ -66,6 +66,7 @@ mod policy;
 mod report;
 pub mod scheduler;
 mod serve;
+pub mod session;
 
 pub use batch::{serve_batched, BatchConfig, BatchScheduler};
 pub use cache::{CacheStats, ExpertCache, ExpertKey};
@@ -86,3 +87,4 @@ pub use scheduler::{
     Prefetch, Residency, SchedulerFactory, SchedulerSetup,
 };
 pub use serve::{serve_stream, ServeStats};
+pub use session::{Admission, BatchSession, LiveRouting, TokenEvent};

@@ -1,0 +1,802 @@
+//! Pull-based incremental decoding over the shared batch core.
+//!
+//! [`crate::BatchScheduler::serve`] is run-to-completion: it consumes a
+//! whole pre-generated arrival trace and only then hands back statistics.
+//! A real serving front door cannot work that way — requests arrive on
+//! live sockets while earlier ones are mid-decode, and every generated
+//! token must be streamed back the moment it exists. [`BatchSession`] is
+//! the seam that makes that possible: it owns exactly the state the batch
+//! scheduler's serve loop used to keep on its stack (machine, placement
+//! plan, expert cache, policy scheduler, in-flight set) and exposes it as
+//! three small operations the caller drives:
+//!
+//! * [`BatchSession::try_admit`] — offer one request at the current clock;
+//!   admission control (max batch + the scheduler's own HBM contract)
+//!   answers [`Admission::Admitted`], [`Admission::BatchFull`], or
+//!   [`Admission::OverBudget`].
+//! * [`BatchSession::step`] — run one scheduler step: prefill for anything
+//!   admitted since the last step, then one decode iteration for the whole
+//!   batch, returning a [`TokenEvent`] per in-flight request.
+//! * [`BatchSession::finish`] — consume the session and produce the same
+//!   [`ServeStats`] the run-to-completion path reports.
+//!
+//! [`BatchScheduler::serve`] is now a thin loop over this handle (the
+//! golden-equivalence suite pins the refactor bit-exactly), and
+//! `pgmoe-serve` drives the same handle from an HTTP event loop with live
+//! wall-clock arrivals, streaming each [`TokenEvent`] back as an HTTP
+//! chunk.
+//!
+//! # Real routing
+//!
+//! Offline simulation draws expert routing from a synthetic
+//! [`RoutingTrace`]. When a *real* model runs next to the session (the
+//! HTTP server runs the numeric `SwitchNet` forward pass), the caller can
+//! supply the network's actual routing decisions through [`LiveRouting`]
+//! and [`BatchSession::step_routed`], so fetch/cache bookkeeping follows
+//! what the model really activated instead of the synthetic trace.
+//!
+//! [`BatchScheduler::serve`]: crate::BatchScheduler::serve
+
+use crate::batch::BatchConfig;
+use crate::core::{
+    self, expected_distinct_experts, CoreEnv, CoreScratch, DecodeCosts, PrefillCosts,
+};
+use crate::engine::{attn_bytes_for, dense_ffn_bytes_for};
+use crate::scheduler::{ExpertScheduler, MemoryProfile, RoutedSource};
+use crate::serve::ServeStats;
+use crate::{ExpertCache, PlacementPlan, Result, RuntimeError, SimOptions};
+use pgmoe_device::{AllocId, Machine, SimDuration, SimTime, Tier};
+use pgmoe_model::{GateTopology, ModelConfig};
+use pgmoe_workload::{ArrivedRequest, RoutingTrace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Outcome of offering one request to [`BatchSession::try_admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The request joined the running batch and will receive its first
+    /// token after the next [`BatchSession::step`]. `queueing` is the
+    /// admission clock minus the request's arrival stamp.
+    Admitted {
+        /// Time the request waited between arrival and admission.
+        queueing: SimDuration,
+    },
+    /// The batch already holds `max_batch` requests; offer again after a
+    /// step retires someone.
+    BatchFull,
+    /// Admitting this request now would breach the HBM budget (static
+    /// weights + in-flight KV/activations + the scheduler's worst-case
+    /// migration transients). Offer again once the batch drains.
+    OverBudget,
+}
+
+/// One token produced by a [`BatchSession::step`] for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenEvent {
+    /// The id the caller passed to [`BatchSession::try_admit`].
+    pub id: u64,
+    /// Zero-based index of this token within the request's output.
+    pub index: usize,
+    /// `true` when this is the request's last token; its batch slot and
+    /// activation memory have already been released.
+    pub done: bool,
+    /// Session clock when the token was emitted.
+    pub at: SimTime,
+}
+
+/// Caller-supplied expert routing for [`BatchSession::step_routed`].
+///
+/// Implemented by serving layers that run a real model alongside the
+/// session: returning `true` after filling `out` with the experts request
+/// `id` activates at decoder MoE block `block` for its `generated`-th
+/// output token replaces the synthetic trace for that request/block.
+/// Returning `false` falls back to the request's [`RoutingTrace`].
+pub trait LiveRouting {
+    /// Fills `out` with activated expert indices (may be empty) and
+    /// returns whether live routing is available for this slot.
+    fn experts(&mut self, id: u64, generated: usize, block: usize, out: &mut Vec<usize>) -> bool;
+}
+
+/// A request currently being decoded.
+struct InFlight {
+    id: u64,
+    /// Index into `records` (admission order).
+    record: usize,
+    arrival: SimTime,
+    request: pgmoe_workload::DecodeRequest,
+    /// Synthetic per-request routing decisions (the fallback when no
+    /// [`LiveRouting`] is supplied).
+    trace: RoutingTrace,
+    generated: usize,
+    first_token_at: Option<SimTime>,
+    act_alloc: AllocId,
+    act_bytes: u64,
+}
+
+impl InFlight {
+    fn ctx_len(&self) -> usize {
+        self.request.input_tokens + self.generated
+    }
+}
+
+/// Per-request completion record, in admission order.
+struct Record {
+    queueing: SimDuration,
+    ttft: SimDuration,
+    latency: SimDuration,
+}
+
+/// Adapter: the batch's per-block expert unions as a routing source.
+struct UnionRouted<'a> {
+    unions: &'a [Vec<usize>],
+}
+
+impl RoutedSource for UnionRouted<'_> {
+    fn experts(&self, block: usize) -> &[usize] {
+        &self.unions[block]
+    }
+}
+
+/// An incrementally-driven continuous-batching decode session (see the
+/// module docs for the protocol).
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_device::SimTime;
+/// use pgmoe_model::ModelConfig;
+/// use pgmoe_runtime::{Admission, BatchConfig, BatchSession, OffloadPolicy, SimOptions};
+/// use pgmoe_workload::{ArrivedRequest, DecodeRequest};
+///
+/// let mut session = BatchSession::new(
+///     ModelConfig::switch_base(8),
+///     SimOptions::new(OffloadPolicy::Pregated),
+///     BatchConfig::new(4),
+/// )?;
+/// let req = DecodeRequest { input_tokens: 16, output_tokens: 2, batch_size: 1 };
+/// let admission = session.try_admit(0, ArrivedRequest::at_nanos(0, req))?;
+/// assert!(matches!(admission, Admission::Admitted { .. }));
+/// let first = session.step()?;
+/// assert_eq!((first[0].id, first[0].index, first[0].done), (0, 0, false));
+/// let second = session.step()?;
+/// assert!(second[0].done);
+/// let stats = session.finish();
+/// assert_eq!(stats.total_tokens, 2);
+/// # Ok::<(), pgmoe_runtime::RuntimeError>(())
+/// ```
+pub struct BatchSession {
+    cfg: ModelConfig,
+    opts: SimOptions,
+    batch: BatchConfig,
+    sched: Box<dyn ExpertScheduler>,
+    topo: GateTopology,
+    machine: Machine,
+    base_plan: PlacementPlan,
+    cache: Option<ExpertCache>,
+    budget: u64,
+    inflight: Vec<InFlight>,
+    /// Indices (into `inflight`) admitted since the last step; they get a
+    /// prefill pass at the start of the next step.
+    admitted_now: Vec<usize>,
+    records: Vec<Record>,
+    scratch: CoreScratch,
+    unions: Vec<Vec<usize>>,
+    route_scratch: Vec<usize>,
+    demand_bytes: u64,
+    iteration: usize,
+    clock: SimTime,
+    total_tokens: usize,
+    first_arrival: Option<SimTime>,
+    last_completion: SimTime,
+}
+
+impl BatchSession {
+    /// Opens a session: validates the options, reserves the static model
+    /// footprint, and builds the expert scheduler.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::InvalidConfig`] for a zero `max_batch` or options
+    ///   the policy surface rejects.
+    /// * [`RuntimeError::OutOfMemory`] if the static footprint does not
+    ///   fit the machine.
+    pub fn new(cfg: ModelConfig, opts: SimOptions, batch: BatchConfig) -> Result<Self> {
+        if batch.max_batch == 0 {
+            return Err(RuntimeError::InvalidConfig {
+                message: "max_batch must be at least 1".into(),
+            });
+        }
+        opts.validate(&cfg)?;
+        let sched = opts.policy.build(&opts.setup_for(&cfg));
+        let topo = sched.decoder_topology(cfg.decoder_moe_layers())?;
+        let mut machine = Machine::new(opts.machine.clone());
+        let base_plan = PlacementPlan::new(&cfg, &opts, 0, 1);
+        machine.pool_mut(Tier::Hbm).alloc(base_plan.static_non_activation_bytes())?;
+        if base_plan.offload_bytes() > 0 {
+            machine.pool_mut(opts.offload_tier).alloc(base_plan.offload_bytes())?;
+        }
+        let budget = batch
+            .hbm_budget_bytes
+            .unwrap_or(opts.machine.hbm_capacity)
+            .min(opts.machine.hbm_capacity);
+        let cache = opts.cache.map(|c| ExpertCache::new(base_plan.cache_experts(), c.replacement));
+        let dec_blocks = cfg.decoder_moe_layers();
+        let scratch = CoreScratch::new(dec_blocks, cfg.num_experts);
+        Ok(BatchSession {
+            sched,
+            topo,
+            machine,
+            base_plan,
+            cache,
+            budget,
+            inflight: Vec::new(),
+            admitted_now: Vec::new(),
+            records: Vec::new(),
+            scratch,
+            unions: vec![Vec::new(); dec_blocks],
+            route_scratch: Vec::new(),
+            demand_bytes: 0,
+            iteration: 0,
+            clock: SimTime::ZERO,
+            total_tokens: 0,
+            first_arrival: None,
+            last_completion: SimTime::ZERO,
+            cfg,
+            opts,
+            batch,
+        })
+    }
+
+    /// The display name of the scheduler serving this session.
+    pub fn policy_name(&self) -> String {
+        self.sched.name()
+    }
+
+    /// Number of requests currently being decoded.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The session clock (starts at zero, advances by the measured span of
+    /// every step and by [`BatchSession::advance_clock`]).
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Advances the clock to `t` if it is ahead of the current clock —
+    /// callers do this with the next arrival stamp when the system is
+    /// idle, and live servers do it with the wall clock before offering
+    /// fresh arrivals.
+    pub fn advance_clock(&mut self, t: SimTime) {
+        self.clock = self.clock.max(t);
+    }
+
+    /// Tokens emitted so far.
+    pub fn total_tokens(&self) -> usize {
+        self.total_tokens
+    }
+
+    /// Peak HBM across the session so far.
+    pub fn peak_hbm_bytes(&self) -> u64 {
+        self.machine.pool(Tier::Hbm).peak_bytes()
+    }
+
+    /// Expert bytes migrated from the offload tier so far.
+    pub fn expert_fetch_bytes(&self) -> u64 {
+        self.machine.offload_traffic_bytes()
+    }
+
+    /// Expert bytes fetched on a block's critical path so far (on-demand
+    /// miss stalls).
+    pub fn demand_fetch_bytes(&self) -> u64 {
+        self.demand_bytes
+    }
+
+    /// Offers one request for admission at the current clock. `id` is an
+    /// opaque caller handle echoed in [`TokenEvent::id`]; it also seeds the
+    /// request's synthetic routing trace (unless the request carries an
+    /// explicit `route_seed`), so equal ids replay equal traces.
+    ///
+    /// The request's arrival stamp must not be ahead of the session clock
+    /// (advance the clock first); its queueing delay is the difference.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::InvalidConfig`] for a request with zero output
+    ///   tokens, a batch size other than 1, or an arrival stamp ahead of
+    ///   the clock.
+    /// * [`RuntimeError::OutOfMemory`] if the request cannot fit the HBM
+    ///   budget even with the batch otherwise empty — it will *never* be
+    ///   admissible, so the caller should reject it rather than retry.
+    pub fn try_admit(&mut self, id: u64, arr: ArrivedRequest) -> Result<Admission> {
+        if arr.request.output_tokens == 0 || arr.request.batch_size != 1 {
+            return Err(RuntimeError::InvalidConfig {
+                message: "batched serving admits single-sequence requests with at least one \
+                          output token"
+                    .into(),
+            });
+        }
+        let arrival = SimTime::from_nanos(arr.arrival_ns);
+        if arrival > self.clock {
+            return Err(RuntimeError::InvalidConfig {
+                message: "request arrival is ahead of the session clock".into(),
+            });
+        }
+        if self.inflight.len() >= self.batch.max_batch {
+            return Ok(Admission::BatchFull);
+        }
+        let cfg = &self.cfg;
+        let opts = &self.opts;
+        let act_bytes =
+            PlacementPlan::new(cfg, opts, arr.request.input_tokens + arr.request.output_tokens, 1)
+                .activation_bytes();
+        let in_flight_act: u64 = self.inflight.iter().map(|r| r.act_bytes).sum();
+        let prefill_inputs =
+            self.admitted_now.iter().map(|&i| self.inflight[i].request.input_tokens).sum::<usize>()
+                + arr.request.input_tokens;
+        let transient = decode_transient_bytes(
+            cfg,
+            self.sched.as_ref(),
+            &self.base_plan,
+            self.inflight.len() + 1,
+        )
+        .max(prefill_transient_bytes_of(
+            cfg,
+            self.sched.as_ref(),
+            &self.base_plan,
+            prefill_inputs,
+        ));
+        let planned =
+            self.base_plan.static_non_activation_bytes() + in_flight_act + act_bytes + transient;
+        if planned > self.budget {
+            if self.inflight.is_empty() && self.admitted_now.is_empty() {
+                // Even alone this request cannot fit: fail loudly rather
+                // than deadlock the queue.
+                return Err(RuntimeError::OutOfMemory(pgmoe_device::DeviceError::OutOfMemory {
+                    tier: Tier::Hbm,
+                    requested: planned,
+                    available: self
+                        .budget
+                        .saturating_sub(self.base_plan.static_non_activation_bytes()),
+                    capacity: self.budget,
+                }));
+            }
+            return Ok(Admission::OverBudget);
+        }
+        let act_alloc = self.machine.pool_mut(Tier::Hbm).alloc(act_bytes)?;
+        // A stamped route seed wins (fleet dispatch: routing is a property
+        // of the request, not its placement); otherwise the seed derives
+        // from the caller-chosen id.
+        let seed = arr.route_seed.unwrap_or(opts.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let trace = RoutingTrace::generate(
+            arr.request.output_tokens,
+            cfg.decoder_moe_layers(),
+            cfg.num_experts,
+            self.base_plan.active_per_block(),
+            opts.routing,
+            seed,
+        );
+        let queueing = self.clock - arrival;
+        self.first_arrival = Some(match self.first_arrival {
+            Some(t) => t.min(arrival),
+            None => arrival,
+        });
+        self.records.push(Record { queueing, ttft: SimDuration::ZERO, latency: SimDuration::ZERO });
+        self.inflight.push(InFlight {
+            id,
+            record: self.records.len() - 1,
+            arrival,
+            request: arr.request,
+            trace,
+            generated: 0,
+            first_token_at: None,
+            act_alloc,
+            act_bytes,
+        });
+        self.admitted_now.push(self.inflight.len() - 1);
+        Ok(Admission::Admitted { queueing })
+    }
+
+    /// Runs one scheduler step with synthetic trace routing: prefill for
+    /// requests admitted since the last step, then one decode iteration
+    /// emitting one token per in-flight request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures (e.g. HBM exhaustion mid-iteration).
+    pub fn step(&mut self) -> Result<Vec<TokenEvent>> {
+        self.step_impl(None)
+    }
+
+    /// Like [`BatchSession::step`], but asks `routing` for each request's
+    /// activated experts first, falling back to the synthetic trace where
+    /// it reports none (see [`LiveRouting`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`BatchSession::step`].
+    pub fn step_routed(&mut self, routing: &mut dyn LiveRouting) -> Result<Vec<TokenEvent>> {
+        self.step_impl(Some(routing))
+    }
+
+    fn step_impl(&mut self, mut routing: Option<&mut dyn LiveRouting>) -> Result<Vec<TokenEvent>> {
+        let mut events = Vec::with_capacity(self.inflight.len());
+        if self.inflight.is_empty() {
+            return Ok(events);
+        }
+        let span_start = self.machine.horizon();
+        if !self.admitted_now.is_empty() {
+            self.prefill()?;
+        }
+        self.admitted_now.clear();
+        let num_experts = self.cfg.num_experts;
+        for (b, union) in self.unions.iter_mut().enumerate() {
+            union.clear();
+            for r in &self.inflight {
+                let live = match routing.as_deref_mut() {
+                    Some(rt) => {
+                        self.route_scratch.clear();
+                        rt.experts(r.id, r.generated, b, &mut self.route_scratch)
+                    }
+                    None => false,
+                };
+                if live {
+                    union.extend(self.route_scratch.iter().copied().filter(|&e| e < num_experts));
+                } else {
+                    union.extend_from_slice(r.trace.experts(r.generated, b));
+                }
+            }
+            union.sort_unstable();
+            union.dedup();
+        }
+        let costs = DecodeCosts {
+            attn_bytes: attn_bytes_for(&self.cfg, self.inflight.iter().map(InFlight::ctx_len)),
+            ffn_bytes: dense_ffn_bytes_for(&self.cfg),
+            decoder_layers: self.cfg.decoder_layers,
+            moe_every: self.cfg.moe_every,
+        };
+        let enc_blocks = self.cfg.encoder_layers / self.cfg.moe_every;
+        let mut env = CoreEnv {
+            machine: &mut self.machine,
+            plan: &self.base_plan,
+            cache: &mut self.cache,
+            offload_tier: self.opts.offload_tier,
+            num_experts: self.cfg.num_experts,
+            demand_bytes: &mut self.demand_bytes,
+        };
+        core::decode_iteration(
+            &mut env,
+            self.sched.as_mut(),
+            &self.topo,
+            &UnionRouted { unions: &self.unions },
+            self.iteration,
+            enc_blocks,
+            &costs,
+            &mut self.scratch,
+            None,
+        )?;
+        self.iteration += 1;
+        let span = self.machine.horizon() - span_start;
+        self.clock += span;
+
+        // Retire tokens; complete and release finished requests.
+        let mut i = 0;
+        while i < self.inflight.len() {
+            let r = &mut self.inflight[i];
+            r.generated += 1;
+            self.total_tokens += 1;
+            if r.first_token_at.is_none() {
+                r.first_token_at = Some(self.clock);
+                self.records[r.record].ttft = self.clock - r.arrival;
+            }
+            let done = r.generated == r.request.output_tokens;
+            events.push(TokenEvent { id: r.id, index: r.generated - 1, done, at: self.clock });
+            if done {
+                self.records[r.record].latency = self.clock - r.arrival;
+                self.last_completion = self.last_completion.max(self.clock);
+                self.machine.pool_mut(Tier::Hbm).free(r.act_alloc).expect("activation double free");
+                self.inflight.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        Ok(events)
+    }
+
+    /// Consumes the session and reports the same [`ServeStats`] the
+    /// run-to-completion [`crate::BatchScheduler::serve`] produces, with
+    /// per-request rows in admission order. In-flight requests that never
+    /// completed report zero latency.
+    pub fn finish(self) -> ServeStats {
+        let span = match self.first_arrival {
+            Some(first) => self.last_completion.duration_since(first),
+            None => SimDuration::ZERO,
+        };
+        let tokens_per_sec = if span == SimDuration::ZERO {
+            0.0
+        } else {
+            self.total_tokens as f64 / span.as_secs_f64()
+        };
+        ServeStats {
+            policy: self.sched.name(),
+            request_latencies: self.records.iter().map(|r| r.latency).collect(),
+            queueing_delays: self.records.iter().map(|r| r.queueing).collect(),
+            ttfts: self.records.iter().map(|r| r.ttft).collect(),
+            total_tokens: self.total_tokens,
+            tokens_per_sec,
+            peak_hbm_bytes: self.machine.pool(Tier::Hbm).peak_bytes(),
+            expert_fetch_bytes: self.machine.offload_traffic_bytes(),
+            demand_fetch_bytes: self.demand_bytes,
+            gpu_busy: self.machine.gpu_busy(),
+        }
+    }
+
+    /// Prefill (encoder pass) for newly admitted requests, batched: weight
+    /// reads amortize across the admitted set, expert fetches move the
+    /// expected distinct set their prompts activate — structured by the
+    /// same scheduler hooks as everything else.
+    fn prefill(&mut self) -> Result<()> {
+        let cfg = &self.cfg;
+        let plan = &self.base_plan;
+        let total_inputs: usize =
+            self.admitted_now.iter().map(|&i| self.inflight[i].request.input_tokens).sum();
+        let distinct =
+            expected_distinct_experts(total_inputs * plan.active_per_block(), cfg.num_experts);
+        // Sample which experts the prompts activate (per block, like the
+        // batch-1 encoder pass) — a fixed 0..distinct set would turn every
+        // later prefill into a guaranteed cache hit and undercount traffic.
+        let first_id = self.admitted_now.first().map(|&i| self.inflight[i].id).unwrap_or(0);
+        let mut rng =
+            StdRng::seed_from_u64(self.opts.seed ^ first_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let tokens = total_inputs as f64;
+        let d = cfg.d_model as f64;
+        let ffn_flops = tokens * 4.0 * d * cfg.d_ff as f64;
+        let enc_blocks = cfg.encoder_layers / cfg.moe_every;
+        let costs = PrefillCosts {
+            attn_flops: tokens * 2.0 * (4.0 * d * d + 2.0 * d * tokens),
+            attn_bytes: attn_bytes_for(cfg, self.inflight.iter().map(InFlight::ctx_len)),
+            ffn_flops,
+            ffn_bytes: dense_ffn_bytes_for(cfg),
+            exec_flops: ffn_flops * plan.active_per_block() as f64,
+            encoder_layers: cfg.encoder_layers,
+            moe_every: cfg.moe_every,
+            distinct,
+            labels: ["prefill-attn", "prefill-ffn", "prefill-expert"],
+        };
+        let mut env = CoreEnv {
+            machine: &mut self.machine,
+            plan,
+            cache: &mut self.cache,
+            offload_tier: self.opts.offload_tier,
+            num_experts: cfg.num_experts,
+            demand_bytes: &mut self.demand_bytes,
+        };
+        core::prefill_pass(
+            &mut env,
+            self.sched.as_mut(),
+            &self.topo,
+            enc_blocks,
+            &costs,
+            &mut rng,
+            true,
+        )
+    }
+}
+
+/// The scheduler-facing memory profile for `active` concurrently-activated
+/// experts per block under `cfg`.
+fn profile(cfg: &ModelConfig, plan: &PlacementPlan, active: usize) -> MemoryProfile {
+    MemoryProfile {
+        expert_bytes: plan.expert_bytes(),
+        num_experts: cfg.num_experts,
+        active_per_block: active,
+        moe_layers: cfg.moe_layers(),
+    }
+}
+
+/// Worst-case migration-transient bytes while prefilling prompts with
+/// `total_inputs` tokens, per the scheduler's own memory contract.
+pub(crate) fn prefill_transient_bytes_of(
+    cfg: &ModelConfig,
+    sched: &dyn ExpertScheduler,
+    plan: &PlacementPlan,
+    total_inputs: usize,
+) -> u64 {
+    let distinct =
+        expected_distinct_experts(total_inputs * plan.active_per_block(), cfg.num_experts);
+    sched.hbm_plan(&profile(cfg, plan, distinct)).transient_bytes
+}
+
+/// Worst-case migration-transient bytes for one decode iteration at batch
+/// size `batch` — the headroom admission control keeps free.
+pub(crate) fn decode_transient_bytes(
+    cfg: &ModelConfig,
+    sched: &dyn ExpertScheduler,
+    plan: &PlacementPlan,
+    batch: usize,
+) -> u64 {
+    let union = (batch * plan.active_per_block()).min(cfg.num_experts);
+    sched.admission_transient_bytes(&profile(cfg, plan, union))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OffloadPolicy;
+    use pgmoe_workload::DecodeRequest;
+
+    fn req(input: usize, output: usize) -> DecodeRequest {
+        DecodeRequest { input_tokens: input, output_tokens: output, batch_size: 1 }
+    }
+
+    fn session(max_batch: usize) -> BatchSession {
+        BatchSession::new(
+            ModelConfig::switch_base(8),
+            SimOptions::new(OffloadPolicy::Pregated),
+            BatchConfig::new(max_batch),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn emits_one_event_per_inflight_request_per_step() {
+        let mut s = session(4);
+        for id in 0..3u64 {
+            let adm = s.try_admit(id, ArrivedRequest::at_nanos(0, req(8, 2))).unwrap();
+            assert!(matches!(adm, Admission::Admitted { .. }), "{adm:?}");
+        }
+        let first = s.step().unwrap();
+        assert_eq!(first.len(), 3);
+        assert!(first.iter().all(|e| e.index == 0 && !e.done));
+        let second = s.step().unwrap();
+        assert_eq!(second.len(), 3);
+        assert!(second.iter().all(|e| e.index == 1 && e.done));
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.total_tokens(), 6);
+    }
+
+    #[test]
+    fn batch_full_and_empty_step() {
+        let mut s = session(1);
+        assert!(s.step().unwrap().is_empty(), "empty session steps to no events");
+        let a = s.try_admit(0, ArrivedRequest::at_nanos(0, req(8, 4))).unwrap();
+        assert!(matches!(a, Admission::Admitted { .. }));
+        let b = s.try_admit(1, ArrivedRequest::at_nanos(0, req(8, 4))).unwrap();
+        assert_eq!(b, Admission::BatchFull);
+    }
+
+    #[test]
+    fn future_arrival_is_rejected_until_clock_advances() {
+        let mut s = session(2);
+        let fut = ArrivedRequest::at_nanos(5_000, req(8, 1));
+        assert!(matches!(s.try_admit(0, fut), Err(RuntimeError::InvalidConfig { .. })));
+        s.advance_clock(SimTime::from_nanos(5_000));
+        assert!(matches!(s.try_admit(0, fut).unwrap(), Admission::Admitted { .. }));
+    }
+
+    #[test]
+    fn queueing_delay_reflects_clock_gap() {
+        let mut s = session(2);
+        s.advance_clock(SimTime::from_nanos(10_000));
+        let adm = s.try_admit(0, ArrivedRequest::at_nanos(4_000, req(8, 1))).unwrap();
+        match adm {
+            Admission::Admitted { queueing } => {
+                assert_eq!(queueing, SimDuration::from_nanos(6_000));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_output_request_is_invalid() {
+        let mut s = session(2);
+        let bad = s.try_admit(0, ArrivedRequest::at_nanos(0, req(8, 0)));
+        assert!(matches!(bad, Err(RuntimeError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn never_fitting_request_errors_instead_of_deferring() {
+        let cfg = ModelConfig::switch_base(8);
+        let opts = SimOptions::new(OffloadPolicy::Pregated);
+        let base = PlacementPlan::new(&cfg, &opts, 0, 1);
+        // Budget below static + any request: the lone request can never fit.
+        let budget = base.static_non_activation_bytes() + 1;
+        let mut s =
+            BatchSession::new(cfg, opts, BatchConfig::new(2).with_hbm_budget(budget)).unwrap();
+        let res = s.try_admit(0, ArrivedRequest::at_nanos(0, req(64, 8)));
+        assert!(matches!(res, Err(RuntimeError::OutOfMemory(_))));
+    }
+
+    #[test]
+    fn live_routing_overrides_trace_and_changes_traffic() {
+        // A LiveRouting source that activates a single fixed expert must
+        // fetch no more bytes than the synthetic trace's spread (dedup to
+        // one expert per block vs up to batch-many distinct experts).
+        struct Fixed;
+        impl LiveRouting for Fixed {
+            fn experts(
+                &mut self,
+                _id: u64,
+                _generated: usize,
+                _block: usize,
+                out: &mut Vec<usize>,
+            ) -> bool {
+                out.push(0);
+                true
+            }
+        }
+        let run = |live: bool| {
+            let mut s = BatchSession::new(
+                ModelConfig::switch_base(64),
+                SimOptions::new(OffloadPolicy::Pregated),
+                BatchConfig::new(8),
+            )
+            .unwrap();
+            for id in 0..8u64 {
+                s.try_admit(id, ArrivedRequest::at_nanos(0, req(16, 4))).unwrap();
+            }
+            while s.in_flight() > 0 {
+                if live {
+                    s.step_routed(&mut Fixed).unwrap();
+                } else {
+                    s.step().unwrap();
+                }
+            }
+            s.finish()
+        };
+        let traced = run(false);
+        let fixed = run(true);
+        assert_eq!(fixed.total_tokens, traced.total_tokens);
+        assert!(
+            fixed.expert_fetch_bytes < traced.expert_fetch_bytes,
+            "single-expert live routing ({}) must migrate less than the synthetic trace ({})",
+            fixed.expert_fetch_bytes,
+            traced.expert_fetch_bytes
+        );
+    }
+
+    #[test]
+    fn finish_matches_run_to_completion_serve() {
+        use pgmoe_workload::{ArrivalProcess, ArrivalStream};
+        let cfg = ModelConfig::switch_base(8);
+        let opts = SimOptions::new(OffloadPolicy::Pregated);
+        let arrivals: Vec<ArrivedRequest> =
+            ArrivalStream::new(ArrivalProcess::Poisson { rate_per_sec: 50.0 }, req(16, 4), 1, 3)
+                .take(12)
+                .collect();
+        let via_serve =
+            crate::serve_batched(cfg.clone(), opts.clone(), BatchConfig::new(4), arrivals.clone())
+                .unwrap();
+        // Drive a session by hand with the same FIFO discipline.
+        let mut s = BatchSession::new(cfg, opts, BatchConfig::new(4)).unwrap();
+        let mut pending: std::collections::VecDeque<(u64, ArrivedRequest)> =
+            arrivals.iter().copied().enumerate().map(|(i, a)| (i as u64, a)).collect();
+        while !pending.is_empty() || s.in_flight() > 0 {
+            if s.in_flight() == 0 {
+                if let Some(&(_, next)) = pending.front() {
+                    s.advance_clock(SimTime::from_nanos(next.arrival_ns));
+                }
+            }
+            while let Some(&(id, arr)) = pending.front() {
+                if SimTime::from_nanos(arr.arrival_ns) > s.clock() {
+                    break;
+                }
+                match s.try_admit(id, arr).unwrap() {
+                    Admission::Admitted { .. } => {
+                        pending.pop_front();
+                    }
+                    _ => break,
+                }
+            }
+            s.step().unwrap();
+        }
+        let via_session = s.finish();
+        assert_eq!(via_session.request_latencies, via_serve.request_latencies);
+        assert_eq!(via_session.queueing_delays, via_serve.queueing_delays);
+        assert_eq!(via_session.ttfts, via_serve.ttfts);
+        assert_eq!(via_session.total_tokens, via_serve.total_tokens);
+        assert_eq!(via_session.peak_hbm_bytes, via_serve.peak_hbm_bytes);
+        assert_eq!(via_session.expert_fetch_bytes, via_serve.expert_fetch_bytes);
+        assert_eq!(via_session.tokens_per_sec, via_serve.tokens_per_sec);
+    }
+}

@@ -1,0 +1,63 @@
+//! `serve` — run the streaming HTTP front door until interrupted.
+//!
+//! Starts the demo engine (Switch-Base-8 on the simulated device, a small
+//! real `SwitchNet` producing the tokens) behind the hand-rolled HTTP/1.1
+//! server and blocks forever. Point `curl` at it:
+//!
+//! ```sh
+//! cargo run --release -p pgmoe-serve --bin serve -- --addr 127.0.0.1:8080
+//! curl -N -d '{"prompt":[3,14,15,9,2,6],"max_tokens":8}' http://127.0.0.1:8080/v1/generate
+//! curl http://127.0.0.1:8080/metrics
+//! ```
+
+use pgmoe_serve::{ServeConfig, Server, SloConfig};
+use std::time::Duration;
+
+const USAGE: &str = "usage: serve [--addr <ip:port>] [--io-workers <n>] [--target-ttft-ms <ms>]
+defaults: --addr 127.0.0.1:8080 --io-workers 2 --target-ttft-ms 2000";
+
+fn main() {
+    let mut cfg = ServeConfig::demo();
+    cfg.addr = "127.0.0.1:8080".parse().expect("default addr");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let v = it.next().expect("--addr <ip:port>");
+                cfg.addr = v.parse().unwrap_or_else(|_| panic!("bad address `{v}`"));
+            }
+            "--io-workers" => {
+                cfg.io_workers = it.next().expect("--io-workers <n>").parse().expect("integer");
+            }
+            "--target-ttft-ms" => {
+                let ms: u64 = it.next().expect("--target-ttft-ms <ms>").parse().expect("integer");
+                cfg.slo = SloConfig { target_ttft: Duration::from_millis(ms) };
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let handle = match Server::start(cfg) {
+        Ok(h) => h,
+        Err(err) => {
+            eprintln!("serve: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!("pgmoe-serve listening on http://{}", handle.addr());
+    println!("  POST /v1/generate  {{\"prompt\":[..],\"max_tokens\":n}}  (chunked NDJSON stream)");
+    println!("  GET  /metrics      Prometheus text format");
+    println!("  GET  /healthz      liveness");
+    println!("ctrl-c to stop.");
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,233 @@
+//! A small blocking HTTP client for the front door.
+//!
+//! Used by the integration harness, the load-test binary, and the
+//! examples — anything that needs to drive the server without external
+//! dependencies. [`generate`] consumes the chunked NDJSON token stream
+//! incrementally, recording wall-clock time-to-first-token the way a real
+//! client experiences it (first decoded token line, not first byte), and
+//! cross-checks the streamed tokens against the final `done` line so any
+//! corruption or loss in the stream is detected at the client.
+
+use crate::json::{self, Json};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Outcome of one streamed `/v1/generate` call.
+#[derive(Debug, Clone)]
+pub struct StreamedResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Tokens decoded from the stream, in order.
+    pub tokens: Vec<usize>,
+    /// The full token list declared by the final `done` line (`None` when
+    /// the stream was not a 200 or carried no `done` line).
+    pub declared: Option<Vec<usize>>,
+    /// Wall-clock arrival-to-first-token, measured at the client (`None`
+    /// when no token line was received).
+    pub ttft: Option<Duration>,
+    /// Wall-clock time for the whole exchange.
+    pub elapsed: Duration,
+    /// The raw (de-chunked) response body.
+    pub body: String,
+}
+
+impl StreamedResponse {
+    /// Whether the stream is complete and internally consistent: a `done`
+    /// line arrived and it declares exactly the tokens that were streamed.
+    pub fn verified(&self) -> bool {
+        self.status == 200 && self.declared.as_deref() == Some(&self.tokens[..])
+    }
+}
+
+/// Calls `POST /v1/generate` and consumes the token stream.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures; a `deadline` overrun reports
+/// [`io::ErrorKind::TimedOut`].
+pub fn generate(
+    addr: SocketAddr,
+    prompt: &[usize],
+    max_tokens: usize,
+    deadline: Duration,
+) -> io::Result<StreamedResponse> {
+    let body = format!(
+        "{{\"prompt\":[{}],\"max_tokens\":{}}}",
+        prompt.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(","),
+        max_tokens
+    );
+    let request = format!(
+        "POST /v1/generate HTTP/1.1\r\nhost: pgmoe\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    exchange(addr, request.as_bytes(), deadline)
+}
+
+/// Issues a plain `GET` and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Same contract as [`generate`].
+pub fn get(addr: SocketAddr, path: &str, deadline: Duration) -> io::Result<(u16, String)> {
+    let request = format!("GET {path} HTTP/1.1\r\nhost: pgmoe\r\nconnection: close\r\n\r\n");
+    let resp = exchange(addr, request.as_bytes(), deadline)?;
+    Ok((resp.status, resp.body))
+}
+
+/// Sends `request` and incrementally decodes the response.
+fn exchange(addr: SocketAddr, request: &[u8], deadline: Duration) -> io::Result<StreamedResponse> {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect_timeout(&addr, deadline)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    stream.write_all(request)?;
+
+    let mut raw: Vec<u8> = Vec::new();
+    let mut decoder = ResponseDecoder::new();
+    let mut tmp = [0u8; 4096];
+    loop {
+        if start.elapsed() > deadline {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "response deadline exceeded"));
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => break,
+            Ok(n) => {
+                raw.extend_from_slice(&tmp[..n]);
+                if decoder.advance(&mut raw, start)? {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    decoder.finish(start)
+}
+
+/// Incremental HTTP response decoder (status line, headers, then either a
+/// `Content-Length` body or chunked transfer-encoding).
+struct ResponseDecoder {
+    status: Option<u16>,
+    chunked: bool,
+    content_length: usize,
+    headers_done: bool,
+    body: Vec<u8>,
+    first_token_at: Option<Duration>,
+    complete: bool,
+}
+
+impl ResponseDecoder {
+    fn new() -> Self {
+        ResponseDecoder {
+            status: None,
+            chunked: false,
+            content_length: 0,
+            headers_done: false,
+            body: Vec::new(),
+            first_token_at: None,
+            complete: false,
+        }
+    }
+
+    /// Consumes whatever `raw` allows; returns whether the response is
+    /// complete.
+    fn advance(&mut self, raw: &mut Vec<u8>, start: Instant) -> io::Result<bool> {
+        if !self.headers_done {
+            let Some(head_end) = find(raw, b"\r\n\r\n") else { return Ok(false) };
+            let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
+            raw.drain(..head_end + 4);
+            let mut lines = head.split("\r\n");
+            let status_line = lines.next().unwrap_or("");
+            let code = status_line
+                .split(' ')
+                .nth(1)
+                .and_then(|c| c.parse::<u16>().ok())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+            self.status = Some(code);
+            for line in lines {
+                let Some((name, value)) = line.split_once(':') else { continue };
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                    self.chunked = true;
+                }
+                if name == "content-length" {
+                    self.content_length = value
+                        .parse()
+                        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad length"))?;
+                }
+            }
+            self.headers_done = true;
+        }
+        if self.chunked {
+            loop {
+                let Some(line_end) = find(raw, b"\r\n") else { return Ok(false) };
+                let size_text = String::from_utf8_lossy(&raw[..line_end]).into_owned();
+                let size = usize::from_str_radix(size_text.trim(), 16)
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size"))?;
+                let frame = line_end + 2 + size + 2;
+                if raw.len() < frame {
+                    return Ok(false);
+                }
+                if size == 0 {
+                    raw.drain(..frame);
+                    self.complete = true;
+                    return Ok(true);
+                }
+                self.body.extend_from_slice(&raw[line_end + 2..line_end + 2 + size]);
+                raw.drain(..frame);
+                if self.first_token_at.is_none() {
+                    self.first_token_at = Some(start.elapsed());
+                }
+            }
+        } else {
+            if raw.len() >= self.content_length {
+                self.body.extend_from_slice(&raw[..self.content_length]);
+                raw.drain(..self.content_length);
+                self.complete = true;
+                return Ok(true);
+            }
+            Ok(false)
+        }
+    }
+
+    fn finish(self, start: Instant) -> io::Result<StreamedResponse> {
+        let status = self
+            .status
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "no response"))?;
+        if !self.complete {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated response"));
+        }
+        let body = String::from_utf8_lossy(&self.body).into_owned();
+        let mut tokens = Vec::new();
+        let mut declared = None;
+        for line in body.lines().filter(|l| !l.trim().is_empty()) {
+            let Ok(doc) = json::parse(line) else { continue };
+            if let Some(token) = doc.get("token").and_then(Json::as_u64) {
+                tokens.push(token as usize);
+            } else if doc.get("done").is_some() {
+                declared = doc.get("tokens").and_then(Json::as_arr).map(|arr| {
+                    arr.iter().filter_map(Json::as_u64).map(|t| t as usize).collect::<Vec<_>>()
+                });
+            }
+        }
+        Ok(StreamedResponse {
+            status,
+            tokens,
+            declared,
+            ttft: self.first_token_at,
+            elapsed: start.elapsed(),
+            body,
+        })
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}

@@ -1,0 +1,324 @@
+//! HTTP/1.1 wire protocol: request parsing and response encoding.
+//!
+//! The parser is deliberately incremental and allocation-light: the
+//! connection layer accumulates bytes into a buffer and calls
+//! [`parse_request`] after every read. The parser either returns a complete
+//! request (plus how many bytes it consumed, so keep-alive pipelining can
+//! resume from the remainder), asks for more bytes, or rejects the
+//! connection with a specific protocol error that maps 1:1 onto an HTTP
+//! status code (400/413/431).
+//!
+//! Responses are plain byte vectors. Token streams use chunked
+//! transfer-encoding ([`chunk`] / [`LAST_CHUNK`]) so the client sees each
+//! token the moment the engine emits it.
+
+use std::fmt;
+
+/// Per-connection protocol limits.
+///
+/// These bound untrusted input before it reaches any allocation-heavy
+/// path: a slowloris peer is cut off by `header_deadline_ms` (enforced by
+/// the connection layer), an oversized header block by
+/// `max_header_bytes`, and an oversized body by `max_body_bytes`.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes for the request line + headers (431 beyond this).
+    pub max_header_bytes: usize,
+    /// Maximum bytes for the declared body (413 beyond this).
+    pub max_body_bytes: usize,
+    /// Wall-clock milliseconds a connection may take to deliver complete
+    /// headers before it is answered 408 and closed.
+    pub header_deadline_ms: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_header_bytes: 8 * 1024, max_body_bytes: 256 * 1024, header_deadline_ms: 2_000 }
+    }
+}
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, e.g. `/v1/generate`.
+    pub path: String,
+    /// Header name/value pairs in arrival order; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == lower).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of a parse attempt over the bytes buffered so far.
+#[derive(Debug, PartialEq)]
+pub enum Parsed {
+    /// Not enough bytes yet; read more and retry.
+    Incomplete,
+    /// A complete request, and the number of buffered bytes it consumed.
+    Complete(Request, usize),
+}
+
+/// Protocol violations detected while parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Structurally invalid request (bad request line, header, or length).
+    Malformed(&'static str),
+    /// Header block exceeded [`Limits::max_header_bytes`].
+    HeadersTooLarge,
+    /// Declared body exceeded [`Limits::max_body_bytes`].
+    BodyTooLarge,
+}
+
+impl ParseError {
+    /// The HTTP status code this violation maps to.
+    pub fn status(self) -> u16 {
+        match self {
+            ParseError::Malformed(_) => 400,
+            ParseError::HeadersTooLarge => 431,
+            ParseError::BodyTooLarge => 413,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Malformed(why) => write!(f, "malformed request: {why}"),
+            ParseError::HeadersTooLarge => write!(f, "header block too large"),
+            ParseError::BodyTooLarge => write!(f, "request body too large"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Attempts to parse one request from the front of `buf`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when the buffered bytes can never become a
+/// valid request under `limits`; the connection should answer with
+/// [`ParseError::status`] and close.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parsed, ParseError> {
+    // Locate the end of the header block.
+    let Some(head_end) = find_subslice(buf, b"\r\n\r\n") else {
+        if buf.len() > limits.max_header_bytes {
+            return Err(ParseError::HeadersTooLarge);
+        }
+        return Ok(Parsed::Incomplete);
+    };
+    if head_end + 4 > limits.max_header_bytes {
+        return Err(ParseError::HeadersTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ParseError::Malformed("non-utf8 header block"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(ParseError::Malformed("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method =
+        parts.next().filter(|m| !m.is_empty()).ok_or(ParseError::Malformed("no method"))?;
+    let path =
+        parts.next().filter(|p| p.starts_with('/')).ok_or(ParseError::Malformed("bad target"))?;
+    let version = parts.next().ok_or(ParseError::Malformed("no version"))?;
+    if parts.next().is_some() || !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(ParseError::Malformed("bad request line"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line.split_once(':').ok_or(ParseError::Malformed("bad header"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::Malformed("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        // Chunked *requests* are refused: bodies must carry Content-Length
+        // so the size cap can be enforced before buffering.
+        return Err(ParseError::Malformed("chunked request bodies unsupported"));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => {
+            v.parse::<usize>().map_err(|_| ParseError::Malformed("bad content-length"))?
+        }
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(ParseError::BodyTooLarge);
+    }
+
+    let body_start = head_end + 4;
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return Ok(Parsed::Incomplete);
+    }
+    Ok(Parsed::Complete(
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+            body: buf[body_start..total].to_vec(),
+        },
+        total,
+    ))
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Encodes a complete (non-chunked) response with `Content-Length`.
+pub fn response(status: u16, content_type: &str, body: &[u8], extra: &[(&str, &str)]) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len()
+    )
+    .into_bytes();
+    for (name, value) in extra {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+/// Encodes the head of a chunked streaming response.
+pub fn chunked_head(status: u16, content_type: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\n\r\n",
+        status,
+        status_text(status),
+        content_type
+    )
+    .into_bytes()
+}
+
+/// Encodes one chunk of a chunked response body.
+pub fn chunk(payload: &[u8]) -> Vec<u8> {
+    let mut out = format!("{:x}\r\n", payload.len()).into_bytes();
+    out.extend_from_slice(payload);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The terminating chunk of a chunked response.
+pub const LAST_CHUNK: &[u8] = b"0\r\n\r\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> Limits {
+        Limits { max_header_bytes: 256, max_body_bytes: 64, header_deadline_ms: 1_000 }
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let buf = b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n";
+        let Parsed::Complete(req, used) = parse_request(buf, &limits()).unwrap() else {
+            panic!("expected complete");
+        };
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("Host"), Some("x"));
+        assert_eq!(used, buf.len());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_reports_leftover() {
+        let buf = b"POST /v1/generate HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcdGET ...";
+        let Parsed::Complete(req, used) = parse_request(buf, &limits()).unwrap() else {
+            panic!("expected complete");
+        };
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(&buf[used..], b"GET ...");
+    }
+
+    #[test]
+    fn incomplete_until_headers_and_body_arrive() {
+        let l = limits();
+        assert!(matches!(parse_request(b"POST / HTTP/1.1\r\n", &l).unwrap(), Parsed::Incomplete));
+        let partial = b"POST / HTTP/1.1\r\ncontent-length: 8\r\n\r\nabc";
+        assert!(matches!(parse_request(partial, &l).unwrap(), Parsed::Incomplete));
+    }
+
+    #[test]
+    fn rejects_oversized_header_block() {
+        let long = format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "a".repeat(300));
+        assert_eq!(parse_request(long.as_bytes(), &limits()), Err(ParseError::HeadersTooLarge));
+        // Even with no terminator yet, an over-limit accumulation is fatal.
+        let drip = "a".repeat(300);
+        assert_eq!(parse_request(drip.as_bytes(), &limits()), Err(ParseError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn rejects_oversized_body_before_buffering_it() {
+        let buf = b"POST / HTTP/1.1\r\ncontent-length: 9999\r\n\r\n";
+        assert_eq!(parse_request(buf, &limits()), Err(ParseError::BodyTooLarge));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            &b"BOGUS\r\n\r\n"[..],
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"GET / HTTP/1.1\r\ncontent-length: nan\r\n\r\n",
+            b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse_request(bad, &limits()), Err(ParseError::Malformed(_))),
+                "{:?} should be malformed",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_encoding_round_trip_shape() {
+        assert_eq!(chunk(b"hello"), b"5\r\nhello\r\n");
+        assert_eq!(LAST_CHUNK, b"0\r\n\r\n");
+        let head = String::from_utf8(chunked_head(200, "application/x-ndjson")).unwrap();
+        assert!(head.contains("transfer-encoding: chunked"));
+        let full =
+            String::from_utf8(response(429, "application/json", b"{}", &[("retry-after", "1")]))
+                .unwrap();
+        assert!(full.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(full.contains("retry-after: 1"));
+        assert!(full.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,354 @@
+//! A minimal JSON reader for request bodies.
+//!
+//! The build environment has no crates.io access and the vendored `serde`
+//! is an API-surface stub, so the server parses its (tiny, fixed-schema)
+//! request bodies with this hand-rolled recursive-descent reader instead.
+//! It supports the full JSON value grammar except exotic number forms
+//! (`1e999`-style overflow saturates) and enforces a nesting-depth cap so
+//! hostile bodies cannot recurse the stack away. Responses are *written*
+//! with plain `format!` — the output schema is flat and fully controlled
+//! by the server, so no writer abstraction is needed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth accepted before a body is rejected as hostile.
+const MAX_DEPTH: usize = 16;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as `f64`; request ids and token ids fit
+    /// losslessly below 2^53).
+    Num(f64),
+    /// A string with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Keys are kept sorted (`BTreeMap`), which is fine for the
+    /// fixed schemas this crate reads.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value at `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// This value as a non-negative integer, if it is a whole number in
+    /// `[0, 2^53)`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && *n < 9_007_199_254_740_992.0 && n.fract() == 0.0 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Why a body failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonError {
+    /// Static description of the first violation encountered.
+    pub reason: &'static str,
+    /// Byte offset at which it was detected.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.reason, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses `input` as one JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first syntax violation, invalid
+/// UTF-8 escape, or depth overflow.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError { reason: "trailing garbage", at: pos });
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError { reason: "nesting too deep", at: *pos });
+    }
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(JsonError { reason: "unexpected end of input", at: *pos });
+    };
+    match b {
+        b'n' => expect_lit(bytes, pos, "null", Json::Null),
+        b't' => expect_lit(bytes, pos, "true", Json::Bool(true)),
+        b'f' => expect_lit(bytes, pos, "false", Json::Bool(false)),
+        b'"' => parse_string(bytes, pos).map(Json::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(JsonError { reason: "expected ',' or ']'", at: *pos }),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(JsonError { reason: "expected ':'", at: *pos });
+                }
+                *pos += 1;
+                map.insert(key, parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(JsonError { reason: "expected ',' or '}'", at: *pos }),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        _ => Err(JsonError { reason: "unexpected character", at: *pos }),
+    }
+}
+
+fn expect_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &'static str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(JsonError { reason: "invalid literal", at: *pos })
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| JsonError { reason: "invalid number", at: start })?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| JsonError { reason: "invalid number", at: start })
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(JsonError { reason: "expected string", at: *pos });
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(JsonError { reason: "unterminated string", at: *pos });
+        };
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(JsonError { reason: "unterminated escape", at: *pos });
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(JsonError { reason: "invalid \\u escape", at: *pos })?;
+                        *pos += 4;
+                        // Surrogate pairs are rejected rather than joined —
+                        // no schema in this crate carries astral-plane text.
+                        let ch = char::from_u32(hex)
+                            .ok_or(JsonError { reason: "invalid \\u escape", at: *pos })?;
+                        out.push(ch);
+                    }
+                    _ => return Err(JsonError { reason: "invalid escape", at: *pos }),
+                }
+            }
+            0x00..=0x1F => return Err(JsonError { reason: "control byte in string", at: *pos }),
+            _ => {
+                // Copy the full UTF-8 scalar the byte starts.
+                let s = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| JsonError { reason: "invalid utf-8", at: *pos })?;
+                let ch = s.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_request_schema() {
+        let v = parse(r#"{"prompt": [1, 2, 3], "max_tokens": 8, "id": 42}"#).unwrap();
+        assert_eq!(v.get("max_tokens").and_then(Json::as_u64), Some(8));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(42));
+        let prompt: Vec<u64> =
+            v.get("prompt").unwrap().as_arr().unwrap().iter().filter_map(Json::as_u64).collect();
+        assert_eq!(prompt, vec![1, 2, 3]);
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parses_scalars_strings_and_nesting() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-2.5e2").unwrap(), Json::Num(-250.0));
+        assert_eq!(parse(r#""a\nb\u0041""#).unwrap(), Json::Str("a\nbA".into()));
+        assert_eq!(parse(r#"[[], [1], {"k": []}]"#).unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(parse("{}").unwrap(), Json::Obj(BTreeMap::new()));
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            r#"{"a"}"#,
+            "tru",
+            "1 2",
+            "[1] x",
+            "\"unterminated",
+            r#"{"a": 1,}"#,
+            "\"\\q\"",
+            "\u{1}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_hostile_nesting() {
+        let deep = "[".repeat(64) + &"]".repeat(64);
+        let err = parse(&deep).unwrap_err();
+        assert_eq!(err.reason, "nesting too deep");
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(parse("3.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("0").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "line\n\"quoted\"\tand\\slash\u{1}";
+        let doc = format!("\"{}\"", escape(nasty));
+        assert_eq!(parse(&doc).unwrap(), Json::Str(nasty.into()));
+    }
+}

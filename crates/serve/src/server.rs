@@ -1,0 +1,667 @@
+//! The HTTP front door: listener, IO workers, routing, and lifecycle.
+//!
+//! Thread model (thread-per-core in the small): `io_workers` identical
+//! worker threads each run a `poll(2)` readiness loop over a shared
+//! non-blocking listener plus their own accepted connections, and one
+//! engine thread owns the model (see [`crate::engine`]). Backpressure is
+//! bounded at every hop:
+//!
+//! * kernel accept backlog → each worker caps its connection count,
+//! * connection buffers → header/body limits from [`Limits`],
+//! * admission queue → a bounded `sync_channel`; when full the request is
+//!   answered `503` instead of queueing unboundedly,
+//! * SLO governor → when the projected time-to-first-token exceeds the
+//!   [`SloConfig`] target the request is shed with `429` *before* it costs
+//!   anything (see [`crate::slo`]).
+//!
+//! Routes: `POST /v1/generate` (chunked NDJSON token stream),
+//! `GET /metrics` (Prometheus text), `GET /healthz`.
+
+use crate::engine::{run_engine, EngineConfig, EngineJob, EngineShared, OutMsg, Outbox};
+use crate::http::{
+    chunk, chunked_head, parse_request, response, Limits, Parsed, Request, LAST_CHUNK,
+};
+use crate::json::{self, Json};
+use crate::metrics::ServerMetrics;
+use crate::poll::{poll, PollFd, POLLIN, POLLOUT};
+use crate::slo::{SloConfig, SloGovernor, Verdict};
+use pgmoe_runtime::{BatchSession, RuntimeError, ServeStats};
+use pgmoe_workload::LiveClock;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Full server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:0"` (port 0 picks a free port).
+    pub addr: String,
+    /// Number of IO worker threads.
+    pub io_workers: usize,
+    /// The generation engine (model + simulated device + batching).
+    pub engine: EngineConfig,
+    /// SLO-aware admission targets.
+    pub slo: SloConfig,
+    /// Per-connection protocol limits.
+    pub limits: Limits,
+    /// Bound of the admission queue (`503` beyond it).
+    pub queue_capacity: usize,
+    /// Maximum connections each worker holds open at once.
+    pub max_conns_per_worker: usize,
+    /// Maximum prompt length accepted by `/v1/generate`.
+    pub max_prompt_tokens: usize,
+    /// Maximum `max_tokens` accepted by `/v1/generate`.
+    pub max_new_tokens: usize,
+}
+
+impl ServeConfig {
+    /// A loopback demo server over [`EngineConfig::demo`].
+    pub fn demo() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            io_workers: 2,
+            engine: EngineConfig::demo(),
+            slo: SloConfig::default(),
+            limits: Limits::default(),
+            queue_capacity: 1024,
+            max_conns_per_worker: 512,
+            max_prompt_tokens: 512,
+            max_new_tokens: 256,
+        }
+    }
+}
+
+/// Errors starting or running the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (bind, clone).
+    Io(io::Error),
+    /// The engine/device configuration was rejected by the runtime.
+    Runtime(RuntimeError),
+    /// Cross-field configuration error.
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
+            ServeError::Config(msg) => write!(f, "config error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<RuntimeError> for ServeError {
+    fn from(e: RuntimeError) -> Self {
+        ServeError::Runtime(e)
+    }
+}
+
+/// State shared by every IO worker.
+struct IoShared {
+    metrics: Arc<ServerMetrics>,
+    governor: Arc<SloGovernor>,
+    shutdown: Arc<AtomicBool>,
+    clock: LiveClock,
+    limits: Limits,
+    vocab: usize,
+    max_prompt_tokens: usize,
+    max_new_tokens: usize,
+    next_id: AtomicU64,
+}
+
+/// The serving front door.
+///
+/// [`Server::start`] binds, spawns the engine and IO workers, and returns
+/// a [`ServerHandle`] for the caller to query and eventually shut down.
+pub struct Server;
+
+impl Server {
+    /// Starts serving `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Config`] / [`ServeError::Runtime`] if the engine
+    ///   configuration is invalid (validated *before* any thread spawns).
+    /// * [`ServeError::Io`] if the listener cannot bind.
+    pub fn start(cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
+        cfg.engine.validate().map_err(ServeError::Config)?;
+        if cfg.io_workers == 0 || cfg.queue_capacity == 0 || cfg.max_conns_per_worker == 0 {
+            return Err(ServeError::Config(
+                "io_workers, queue_capacity, and max_conns_per_worker must be non-zero".into(),
+            ));
+        }
+        // Validate the device configuration now, on the caller's thread —
+        // the engine thread rebuilds its own session from the same config.
+        drop(BatchSession::new(
+            cfg.engine.model.clone(),
+            cfg.engine.opts.clone(),
+            cfg.engine.batch,
+        )?);
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let metrics = Arc::new(ServerMetrics::default());
+        let governor = Arc::new(SloGovernor::new(cfg.slo, cfg.engine.batch.max_batch));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let clock = LiveClock::start();
+        let (tx, rx) = sync_channel::<EngineJob>(cfg.queue_capacity);
+
+        let engine_shared = Arc::new(EngineShared {
+            metrics: Arc::clone(&metrics),
+            governor: Arc::clone(&governor),
+            shutdown: Arc::clone(&shutdown),
+            clock,
+        });
+        let engine_cfg = cfg.engine.clone();
+        let engine = std::thread::Builder::new()
+            .name("pgmoe-engine".into())
+            .spawn(move || run_engine(engine_cfg, rx, engine_shared))?;
+
+        let io_shared = Arc::new(IoShared {
+            metrics: Arc::clone(&metrics),
+            governor,
+            shutdown: Arc::clone(&shutdown),
+            clock,
+            limits: cfg.limits,
+            vocab: cfg.engine.net.vocab,
+            max_prompt_tokens: cfg.max_prompt_tokens,
+            max_new_tokens: cfg.max_new_tokens,
+            next_id: AtomicU64::new(0),
+        });
+        let mut workers = Vec::with_capacity(cfg.io_workers);
+        for w in 0..cfg.io_workers {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&io_shared);
+            let tx = tx.clone();
+            let cap = cfg.max_conns_per_worker;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("pgmoe-io-{w}"))
+                    .spawn(move || worker_loop(listener, tx, shared, cap))?,
+            );
+        }
+        drop(tx);
+        Ok(ServerHandle { addr, metrics, shutdown, workers, engine: Some(engine) })
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    engine: Option<JoinHandle<ServeStats>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metric registry (what `GET /metrics` renders).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Stops accepting, terminates every thread, and returns the simulated
+    /// device's final [`ServeStats`] (`None` if the engine panicked).
+    pub fn shutdown(mut self) -> Option<ServeStats> {
+        self.stop()
+    }
+
+    fn stop(&mut self) -> Option<ServeStats> {
+        self.shutdown.store(true, Ordering::Release);
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.engine.take().and_then(|engine| engine.join().ok())
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.stop();
+    }
+}
+
+#[cfg(unix)]
+fn fd_of<T: std::os::unix::io::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn fd_of<T>(_t: &T) -> i32 {
+    0
+}
+
+/// What a connection is currently doing.
+enum ConnState {
+    /// Accumulating request bytes until a full request parses.
+    Reading {
+        /// Header-completion deadline (slowloris cut-off).
+        deadline: Instant,
+    },
+    /// Streaming engine output for an admitted generate request.
+    Streaming { outbox: Arc<Outbox>, head_sent: bool },
+    /// Flushing `out`, then closing.
+    Closing,
+}
+
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    out: Vec<u8>,
+    state: ConnState,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, deadline: Instant) -> Self {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            out: Vec::new(),
+            state: ConnState::Reading { deadline },
+            dead: false,
+        }
+    }
+
+    /// Queues a complete response and returns to reading (keep-alive).
+    fn respond(&mut self, shared: &IoShared, route: &'static str, bytes: Vec<u8>, status: u16) {
+        self.out.extend_from_slice(&bytes);
+        shared.metrics.count_response(route, status);
+        self.state = ConnState::Reading { deadline: Instant::now() + self.header_deadline(shared) };
+    }
+
+    fn header_deadline(&self, shared: &IoShared) -> Duration {
+        Duration::from_millis(shared.limits.header_deadline_ms)
+    }
+
+    /// Non-blocking read into `buf`; marks the connection dead on EOF or
+    /// hard error. Returns whether any bytes arrived.
+    fn fill(&mut self) -> bool {
+        let mut tmp = [0u8; 4096];
+        let mut any = false;
+        loop {
+            match self.stream.read(&mut tmp) {
+                Ok(0) => {
+                    // Peer closed its half: a streaming connection keeps
+                    // flushing what it owes; otherwise we are done.
+                    if !matches!(self.state, ConnState::Streaming { .. }) || self.out.is_empty() {
+                        self.dead = true;
+                    }
+                    return any;
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&tmp[..n]);
+                    any = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return any,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return any;
+                }
+            }
+        }
+    }
+
+    /// Non-blocking flush of `out`.
+    fn flush(&mut self) {
+        while !self.out.is_empty() {
+            match self.stream.write(&self.out) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.out.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        if matches!(self.state, ConnState::Closing) {
+            self.dead = true;
+        }
+    }
+}
+
+fn worker_loop(
+    listener: TcpListener,
+    tx: SyncSender<EngineJob>,
+    shared: Arc<IoShared>,
+    cap: usize,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut events: Vec<OutMsg> = Vec::new();
+    while !shared.shutdown.load(Ordering::Acquire) {
+        fds.clear();
+        let accepting = conns.len() < cap;
+        if accepting {
+            fds.push(PollFd::new(fd_of(&listener), POLLIN));
+        }
+        let tracked = conns.len();
+        for c in &conns {
+            let mut want = 0i16;
+            if matches!(c.state, ConnState::Reading { .. }) {
+                want |= POLLIN;
+            }
+            if !c.out.is_empty() {
+                want |= POLLOUT;
+            }
+            fds.push(PollFd::new(fd_of(&c.stream), want));
+        }
+        if poll(&mut fds, 5).is_err() {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+
+        if accepting && fds[0].readable() {
+            while conns.len() < cap {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        shared.metrics.connections_total.inc();
+                        shared.metrics.connections_open.inc();
+                        let deadline = Instant::now()
+                            + Duration::from_millis(shared.limits.header_deadline_ms);
+                        conns.push(Conn::new(stream, deadline));
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+
+        let offset = usize::from(accepting);
+        let now = Instant::now();
+        for i in 0..tracked {
+            let readable = fds[offset + i].readable();
+            tick(&mut conns[i], readable, now, &shared, &tx, &mut events);
+        }
+        conns.retain(|c| {
+            if c.dead {
+                shared.metrics.connections_open.dec();
+            }
+            !c.dead
+        });
+    }
+    for _ in conns.drain(..) {
+        shared.metrics.connections_open.dec();
+    }
+}
+
+/// One readiness-loop turn for one connection.
+fn tick(
+    conn: &mut Conn,
+    readable: bool,
+    now: Instant,
+    shared: &IoShared,
+    tx: &SyncSender<EngineJob>,
+    events: &mut Vec<OutMsg>,
+) {
+    if conn.dead {
+        return;
+    }
+    if readable {
+        conn.fill();
+    }
+    // Run the state machine until it stops making progress (a pipelined
+    // request already in `buf` is served without waiting for more IO).
+    loop {
+        match &mut conn.state {
+            ConnState::Reading { deadline } => {
+                let deadline = *deadline;
+                match parse_request(&conn.buf, &shared.limits) {
+                    Ok(Parsed::Complete(req, used)) => {
+                        conn.buf.drain(..used);
+                        route(conn, req, shared, tx);
+                        if conn.dead {
+                            return;
+                        }
+                        continue;
+                    }
+                    Ok(Parsed::Incomplete) => {
+                        if now >= deadline {
+                            if conn.buf.is_empty() {
+                                // Idle keep-alive connection: close quietly.
+                                conn.state = ConnState::Closing;
+                            } else {
+                                // Partial request past the deadline:
+                                // classic slowloris, answer 408 and close.
+                                let body = br#"{"error":"header timeout"}"#;
+                                conn.out.extend_from_slice(&response(
+                                    408,
+                                    "application/json",
+                                    body,
+                                    &[("connection", "close")],
+                                ));
+                                shared.metrics.count_response("*", 408);
+                                conn.state = ConnState::Closing;
+                            }
+                            continue;
+                        }
+                    }
+                    Err(e) => {
+                        let status = e.status();
+                        let body = format!("{{\"error\":\"{}\"}}", json::escape(&e.to_string()));
+                        conn.out.extend_from_slice(&response(
+                            status,
+                            "application/json",
+                            body.as_bytes(),
+                            &[("connection", "close")],
+                        ));
+                        shared.metrics.count_response("*", status);
+                        conn.state = ConnState::Closing;
+                        continue;
+                    }
+                }
+            }
+            ConnState::Streaming { outbox, head_sent } => {
+                events.clear();
+                outbox.drain_into(events);
+                let mut finished = None;
+                for msg in events.drain(..) {
+                    match msg {
+                        OutMsg::Token { index, token } => {
+                            if !*head_sent {
+                                conn.out
+                                    .extend_from_slice(&chunked_head(200, "application/x-ndjson"));
+                                *head_sent = true;
+                            }
+                            let line = format!("{{\"index\":{index},\"token\":{token}}}\n");
+                            conn.out.extend_from_slice(&chunk(line.as_bytes()));
+                        }
+                        OutMsg::Done { tokens } => {
+                            let list =
+                                tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(",");
+                            let line = format!(
+                                "{{\"done\":true,\"n\":{},\"tokens\":[{}]}}\n",
+                                tokens.len(),
+                                list
+                            );
+                            conn.out.extend_from_slice(&chunk(line.as_bytes()));
+                            conn.out.extend_from_slice(LAST_CHUNK);
+                            finished = Some(200);
+                        }
+                        OutMsg::Failed { reason } => {
+                            let body = format!("{{\"error\":\"{}\"}}", json::escape(reason));
+                            if *head_sent {
+                                // Head already committed as 200; terminate
+                                // the stream with an error line.
+                                conn.out.extend_from_slice(&chunk(body.as_bytes()));
+                                conn.out.extend_from_slice(LAST_CHUNK);
+                            } else {
+                                conn.out.extend_from_slice(&response(
+                                    500,
+                                    "application/json",
+                                    body.as_bytes(),
+                                    &[],
+                                ));
+                            }
+                            finished = Some(500);
+                        }
+                    }
+                }
+                if let Some(status) = finished {
+                    shared.metrics.count_response("/v1/generate", status);
+                    conn.state = ConnState::Reading {
+                        deadline: Instant::now()
+                            + Duration::from_millis(shared.limits.header_deadline_ms),
+                    };
+                    continue;
+                }
+            }
+            ConnState::Closing => {}
+        }
+        break;
+    }
+    conn.flush();
+}
+
+/// Dispatches one parsed request.
+fn route(conn: &mut Conn, req: Request, shared: &IoShared, tx: &SyncSender<EngineJob>) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            conn.respond(shared, "/healthz", response(200, "text/plain", b"ok\n", &[]), 200);
+        }
+        ("GET", "/metrics") => {
+            let text = shared.metrics.render();
+            conn.respond(
+                shared,
+                "/metrics",
+                response(200, "text/plain; version=0.0.4", text.as_bytes(), &[]),
+                200,
+            );
+        }
+        ("POST", "/v1/generate") => handle_generate(conn, &req, shared, tx),
+        (_, "/healthz" | "/metrics" | "/v1/generate") => {
+            let bytes =
+                response(405, "application/json", br#"{"error":"method not allowed"}"#, &[]);
+            conn.respond(shared, "*", bytes, 405);
+        }
+        _ => {
+            let bytes = response(404, "application/json", br#"{"error":"no such route"}"#, &[]);
+            conn.respond(shared, "*", bytes, 404);
+        }
+    }
+}
+
+/// Validates and admits one generate request.
+fn handle_generate(conn: &mut Conn, req: &Request, shared: &IoShared, tx: &SyncSender<EngineJob>) {
+    let reject = |conn: &mut Conn, shared: &IoShared, status: u16, msg: &str| {
+        let body = format!("{{\"error\":\"{}\"}}", json::escape(msg));
+        let bytes = response(status, "application/json", body.as_bytes(), &[]);
+        conn.respond(shared, "/v1/generate", bytes, status);
+    };
+
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return reject(conn, shared, 400, "body is not utf-8");
+    };
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return reject(conn, shared, 400, &format!("invalid json: {e}")),
+    };
+    let Some(prompt_json) = doc.get("prompt").and_then(Json::as_arr) else {
+        return reject(conn, shared, 400, "missing \"prompt\" array");
+    };
+    if prompt_json.is_empty() || prompt_json.len() > shared.max_prompt_tokens {
+        return reject(
+            conn,
+            shared,
+            400,
+            &format!("prompt must have 1..={} tokens", shared.max_prompt_tokens),
+        );
+    }
+    let mut prompt = Vec::with_capacity(prompt_json.len());
+    for v in prompt_json {
+        match v.as_u64() {
+            Some(t) if (t as usize) < shared.vocab => prompt.push(t as usize),
+            _ => {
+                return reject(
+                    conn,
+                    shared,
+                    400,
+                    &format!("prompt tokens must be integers below vocab {}", shared.vocab),
+                )
+            }
+        }
+    }
+    let max_tokens = match doc.get("max_tokens").and_then(Json::as_u64) {
+        Some(n) if n >= 1 && n <= shared.max_new_tokens as u64 => n as usize,
+        _ => {
+            return reject(
+                conn,
+                shared,
+                400,
+                &format!("max_tokens must be in 1..={}", shared.max_new_tokens),
+            )
+        }
+    };
+
+    // SLO-aware load shedding: refuse on the IO thread, before the
+    // request costs queue space or engine time.
+    if let Verdict::Shed { projected } = shared.governor.verdict() {
+        shared.metrics.shed_total.inc();
+        let body = format!(
+            "{{\"error\":\"shed: projected ttft {}ms exceeds slo\",\"projected_ttft_ms\":{}}}",
+            projected.as_millis(),
+            projected.as_millis()
+        );
+        let bytes = response(429, "application/json", body.as_bytes(), &[("retry-after", "1")]);
+        conn.respond(shared, "/v1/generate", bytes, 429);
+        return;
+    }
+
+    let outbox = Arc::new(Outbox::default());
+    let job = EngineJob {
+        id: shared.next_id.fetch_add(1, Ordering::Relaxed),
+        prompt,
+        max_tokens,
+        arrival_ns: shared.clock.now_ns(),
+        outbox: Arc::clone(&outbox),
+    };
+    shared.governor.on_enqueue();
+    shared.metrics.queue_depth.inc();
+    match tx.try_send(job) {
+        Ok(()) => {
+            conn.state = ConnState::Streaming { outbox, head_sent: false };
+        }
+        Err(err) => {
+            shared.governor.on_dequeue();
+            shared.metrics.queue_depth.dec();
+            let (status, msg) = match err {
+                TrySendError::Full(_) => (503, "admission queue full"),
+                TrySendError::Disconnected(_) => (500, "engine unavailable"),
+            };
+            reject(conn, shared, status, msg);
+        }
+    }
+}

@@ -44,7 +44,7 @@
 // audited lifetime-erasure transmute (see `pool.rs` for the safety argument);
 // every other module remains unsafe-free.
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod error;
 mod shape;

@@ -18,7 +18,7 @@
 //!   for the continuous-batching serving experiments.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod requests;
 pub mod routing;
@@ -26,7 +26,7 @@ pub mod task;
 
 pub use requests::{
     split_by_assignment, stamp_route_seeds, ArrivalProcess, ArrivalStream, ArrivedRequest,
-    DecodeRequest, RequestStream,
+    DecodeRequest, LiveClock, RequestStream,
 };
 pub use routing::{domain_of, RoutingKind, RoutingTrace};
 pub use task::{Example, TaskKind, TaskSpec};

@@ -242,6 +242,52 @@ impl Iterator for ArrivalStream {
     }
 }
 
+/// Stamps *live* arrivals — requests that materialise on real sockets
+/// rather than from a pre-generated [`ArrivalStream`] — with nanoseconds
+/// since the clock's epoch, in the same `arrival_ns` convention the
+/// simulated streams use. A serving front door creates one clock when it
+/// starts listening and stamps every accepted request with it, so the
+/// open-loop serving machinery (admission queues, queueing-delay and TTFT
+/// accounting) works identically whether arrivals were synthesised or
+/// carried by HTTP.
+///
+/// Stamps from one clock are monotone non-decreasing (`std::time::Instant`
+/// is monotonic), which is exactly the sortedness contract
+/// [`ArrivedRequest`] consumers validate.
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_workload::{DecodeRequest, LiveClock};
+///
+/// let clock = LiveClock::start();
+/// let a = clock.stamp(DecodeRequest::paper_default());
+/// let b = clock.stamp(DecodeRequest::paper_default());
+/// assert!(a.arrival_ns <= b.arrival_ns);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LiveClock {
+    epoch: std::time::Instant,
+}
+
+impl LiveClock {
+    /// Starts a clock; its epoch is "now".
+    pub fn start() -> Self {
+        LiveClock { epoch: std::time::Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since the epoch (saturating at `u64::MAX`,
+    /// ~584 years).
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Wraps `request` as an [`ArrivedRequest`] arriving "now".
+    pub fn stamp(&self, request: DecodeRequest) -> ArrivedRequest {
+        ArrivedRequest::at_nanos(self.now_ns(), request)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

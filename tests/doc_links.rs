@@ -1,0 +1,97 @@
+//! Relative links in the top-level docs must resolve.
+//!
+//! Scans `README.md` and `ARCHITECTURE.md` for markdown links and inline
+//! file references and asserts every relative target exists in the
+//! repository. This is the link check the CI docs job runs — a renamed
+//! test file or a moved document breaks the build, not the reader.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extract `[text](target)` link targets from a markdown document.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let bytes = markdown.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+            let start = i + 2;
+            if let Some(len) = markdown[start..].find(')') {
+                out.push(markdown[start..start + len].to_string());
+                i = start + len;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Backtick-quoted repo paths (`tests/foo.rs`, `crates/x/src/y.rs`) —
+/// the prose equivalent of a link; keep them resolving too.
+fn inline_path_refs(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for piece in markdown.split('`').skip(1).step_by(2) {
+        let looks_like_path = (piece.ends_with(".rs")
+            || piece.ends_with(".md")
+            || piece.ends_with(".json")
+            || piece.ends_with(".toml"))
+            && piece.contains('/')
+            && !piece.contains(' ')
+            && !piece.contains('*')
+            && !piece.starts_with('/');
+        if looks_like_path {
+            out.push(piece.to_string());
+        }
+    }
+    out
+}
+
+fn check_document(root: &Path, name: &str) {
+    let text = fs::read_to_string(root.join(name)).unwrap_or_else(|_| panic!("{name} missing"));
+    let mut broken = Vec::new();
+
+    for target in link_targets(&text) {
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with('#')
+            || target.starts_with("mailto:")
+        {
+            continue;
+        }
+        let path = target.split('#').next().unwrap_or(&target);
+        if !root.join(path).exists() {
+            broken.push(format!("{name}: link target `{target}` does not exist"));
+        }
+    }
+    for path in inline_path_refs(&text) {
+        if !root.join(&path).exists() {
+            broken.push(format!("{name}: referenced path `{path}` does not exist"));
+        }
+    }
+
+    assert!(broken.is_empty(), "broken references:\n{}", broken.join("\n"));
+}
+
+#[test]
+fn readme_links_resolve() {
+    check_document(&repo_root(), "README.md");
+}
+
+#[test]
+fn architecture_links_resolve() {
+    check_document(&repo_root(), "ARCHITECTURE.md");
+}
+
+#[test]
+fn architecture_is_linked_from_readme() {
+    let root = repo_root();
+    let readme = fs::read_to_string(root.join("README.md")).expect("README.md");
+    assert!(
+        link_targets(&readme).iter().any(|t| t.split('#').next() == Some("ARCHITECTURE.md")),
+        "README must link to ARCHITECTURE.md"
+    );
+}

@@ -1,0 +1,107 @@
+//! README code snippets must not rot.
+//!
+//! Every ```rust fenced block in `README.md` has to correspond to code the
+//! compiler actually sees: after normalisation (comment lines dropped, all
+//! whitespace collapsed), the block must appear verbatim inside at least
+//! one `.rs` file of the repository — an example, a test, or crate source
+//! (where doctests live). Editing a snippet without editing the code it
+//! was lifted from fails this test, and vice versa.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Pull out the contents of every ```rust fenced block.
+fn rust_blocks(markdown: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in markdown.lines() {
+        let trimmed = line.trim();
+        match &mut current {
+            None if trimmed == "```rust" => current = Some(String::new()),
+            None => {}
+            Some(block) => {
+                if trimmed == "```" {
+                    blocks.push(current.take().unwrap());
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "README has an unterminated ```rust block");
+    blocks
+}
+
+/// Drop comment-only lines and collapse every whitespace run to one space,
+/// so formatting and interleaved doc comments don't count as drift.
+fn normalize(code: &str) -> String {
+    let mut out = String::new();
+    for line in code.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("//") || trimmed.is_empty() {
+            continue;
+        }
+        for token in trimmed.split_whitespace() {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(token);
+        }
+    }
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Source trees only: skip build output and the vendored stubs
+            // (README snippets must come from this repo's own code).
+            if name != "target" && name != "vendor" && !name.starts_with('.') {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_readme_rust_snippet_matches_compiling_code() {
+    let root = repo_root();
+    let readme = fs::read_to_string(root.join("README.md")).expect("README.md");
+    let blocks = rust_blocks(&readme);
+    assert!(!blocks.is_empty(), "README should contain at least one rust snippet");
+
+    let mut sources = Vec::new();
+    for dir in ["examples", "tests", "crates", "src"] {
+        collect_rs_files(&root.join(dir), &mut sources);
+    }
+    assert!(sources.len() > 10, "source scan looks broken: {} files", sources.len());
+    let normalized_sources: Vec<(PathBuf, String)> = sources
+        .into_iter()
+        .map(|p| {
+            let text = fs::read_to_string(&p).unwrap_or_default();
+            (p, normalize(&text))
+        })
+        .collect();
+
+    for (i, block) in blocks.iter().enumerate() {
+        let needle = normalize(block);
+        assert!(!needle.is_empty(), "README rust block #{i} is empty");
+        let found = normalized_sources.iter().any(|(_, hay)| hay.contains(&needle));
+        assert!(
+            found,
+            "README rust snippet #{i} matches no .rs file in the repo \
+             (snippets must be lifted from compiling code):\n{block}"
+        );
+    }
+}
