@@ -320,6 +320,107 @@ pub fn fleet_shootout() -> String {
     out
 }
 
+/// The chaos suite (`repro -- chaos`): fault injection, replica failure
+/// recovery, autoscaling, and online policy switching on the controlled
+/// fleet layer. Every row is recomputed and the robustness claims are
+/// self-asserted — a regression in recovery or the controller loop panics
+/// here, not just in CI.
+pub fn chaos_suite() -> String {
+    let model = ModelConfig::switch_base(8);
+    let controlled = |replicas: usize, policy: OffloadPolicy| {
+        ControlledFleet::new(
+            model.clone(),
+            SimOptions::new(policy),
+            FleetConfig::new(replicas, BatchConfig::new(4)),
+        )
+    };
+    let request = DecodeRequest { input_tokens: 16, output_tokens: 8, batch_size: 1 };
+    let trace = |n: usize, seed: u64| -> Vec<ArrivedRequest> {
+        ArrivalStream::new(
+            ArrivalProcess::Diurnal { trough_per_sec: 15.0, peak_per_sec: 350.0, period_s: 1.0 },
+            request,
+            1,
+            seed,
+        )
+        .take(n)
+        .collect()
+    };
+    let mut out =
+        String::from("== Chaos suite: faults, recovery, autoscaling, policy switching ==\n");
+
+    // Kill-one-replica recovery: zero requests lost, full token delivery.
+    let burst = trace(48, 23);
+    let expected_tokens: usize = burst.iter().map(|a| a.request.output_tokens).sum();
+    let plan = FaultPlan::new().kill_at(burst[12].arrival_ns + 1, 1);
+    let survived = controlled(3, OffloadPolicy::Pregated)
+        .serve(burst.clone(), &mut JoinShortestQueue::new(), &plan, &mut NoControl)
+        .expect("kill run");
+    let ctl = survived.control.as_ref().expect("control stats");
+    out.push_str(&format!(
+        "kill 1 of 3 replicas: {}/{} requests served, {}/{} tokens, {} redispatched, \
+         {} tokens re-decoded\n",
+        survived.request_latencies.len(),
+        burst.len(),
+        survived.total_tokens,
+        expected_tokens,
+        ctl.redispatched,
+        ctl.dropped_tokens,
+    ));
+    assert_eq!(survived.request_latencies.len(), burst.len(), "zero requests lost to the kill");
+    assert_eq!(survived.total_tokens, expected_tokens, "every stream completed in full");
+
+    // Autoscaling on the diurnal trace, billed elastically.
+    let wave = trace(96, 17);
+    let opts = ControlOptions { window_ns: 25_000_000, warmup_ns: 25_000_000 };
+    let mut scaler = QueueAutoScaler::new(1, 5, 4);
+    let adaptive = controlled(1, OffloadPolicy::Pregated)
+        .with_control(opts)
+        .serve(wave.clone(), &mut JoinShortestQueue::new(), &FaultPlan::new(), &mut scaler)
+        .expect("adaptive run");
+    let c = adaptive.control.as_ref().expect("control stats");
+    out.push_str(&format!(
+        "autoscaler on diurnal load: peak {} replicas ({} ups, {} downs), \
+         {:.1} tokens/s-per-GPU at p99 {}\n",
+        c.peak_replicas,
+        c.scale_ups,
+        c.scale_downs,
+        adaptive.tokens_per_gpu_second(),
+        adaptive.p99(),
+    ));
+    assert!(c.scale_ups > 0 && c.scale_downs > 0, "diurnal load must exercise both knobs");
+    assert_eq!(adaptive.request_latencies.len(), wave.len());
+
+    // Drift-triggered online policy switch cuts miss-stall bytes.
+    let drifting = trace(48, 29);
+    let stay = controlled(2, OffloadPolicy::OnDemand)
+        .with_control(opts)
+        .serve(drifting.clone(), &mut RoundRobin::new(), &FaultPlan::new(), &mut NoControl)
+        .expect("unswitched run");
+    let mut switcher = DriftSwitcher::new(PolicySpec::from(OffloadPolicy::Pregated), 1e-9, 1);
+    let switched = controlled(2, OffloadPolicy::OnDemand)
+        .with_control(opts)
+        .serve(drifting, &mut RoundRobin::new(), &FaultPlan::new(), &mut switcher)
+        .expect("switched run");
+    out.push_str(&format!(
+        "drift switch (OnDemand -> Pre-gated): demand-fetch {:.3} GB -> {:.3} GB\n",
+        stay.demand_fetch_bytes as f64 / 1e9,
+        switched.demand_fetch_bytes as f64 / 1e9,
+    ));
+    assert!(switcher.fired(), "the drift detector must fire on on-demand traffic");
+    assert!(
+        switched.demand_fetch_bytes < stay.demand_fetch_bytes,
+        "switching policies mid-run must cut demand-fetch bytes"
+    );
+    assert_eq!(switched.total_tokens, stay.total_tokens, "no request lost across the swap");
+
+    out.push_str(
+        "shape: replica death redispatches with zero loss, the queue scaler rides the\n\
+         diurnal wave on elastic billing, and the drift detector swaps policies on live\n\
+         replicas. See tests/fleet_chaos.rs for the CI gate.\n",
+    );
+    out
+}
+
 /// Section III-A's motivation, quantified: multi-GPU expert parallelism
 /// leaves GPUs idle at batch 1, while Pre-gated MoE matches the work to one
 /// GPU + CPU memory.
@@ -461,6 +562,20 @@ mod tests {
             "join-shortest-queue",
             "cache-affinity",
             "TCO:",
+        ] {
+            assert!(report.contains(needle), "missing `{needle}`:\n{report}");
+        }
+    }
+
+    #[test]
+    fn chaos_suite_reports_and_self_asserts() {
+        // Recovery, autoscaling, and policy-switch claims self-assert
+        // inside; here we pin the report shape for the repro target.
+        let report = chaos_suite();
+        for needle in [
+            "kill 1 of 3 replicas: 48/48 requests served",
+            "autoscaler on diurnal load",
+            "drift switch (OnDemand -> Pre-gated)",
         ] {
             assert!(report.contains(needle), "missing `{needle}`:\n{report}");
         }

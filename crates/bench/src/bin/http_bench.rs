@@ -99,6 +99,7 @@ fn main() {
     let next = Arc::new(AtomicUsize::new(0));
     let shed = Arc::new(AtomicUsize::new(0));
     let failed = Arc::new(AtomicUsize::new(0));
+    let retries = Arc::new(AtomicUsize::new(0));
     let ttfts: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
     let totals: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
     let tokens = Arc::new(AtomicUsize::new(0));
@@ -107,10 +108,11 @@ fn main() {
 
     let workers: Vec<_> = (0..args.concurrency)
         .map(|w| {
-            let (next, shed, failed, ttfts, totals, tokens, barrier) = (
+            let (next, shed, failed, retries, ttfts, totals, tokens, barrier) = (
                 Arc::clone(&next),
                 Arc::clone(&shed),
                 Arc::clone(&failed),
+                Arc::clone(&retries),
                 Arc::clone(&ttfts),
                 Arc::clone(&totals),
                 Arc::clone(&tokens),
@@ -130,18 +132,31 @@ fn main() {
                     let prompt: Vec<usize> =
                         (0..prompt_len).map(|j| (i * 31 + j * 7 + w) % vocab).collect();
                     let started = Instant::now();
-                    match client::generate(addr, &prompt, max_tokens, deadline) {
-                        Ok(resp) if resp.status == 200 && resp.verified() => {
-                            tokens.fetch_add(resp.tokens.len(), Ordering::Relaxed);
-                            if let Some(t) = resp.ttft {
+                    // Honor server backpressure the way a production client
+                    // would: 429/503 responses are retried with capped
+                    // exponential backoff (retry-after hint compressed by
+                    // the cap so shed storms resolve in bench time).
+                    let policy = client::RetryPolicy {
+                        max_retries: 3,
+                        base_delay: Duration::from_millis(25),
+                        max_delay: Duration::from_millis(250),
+                        jitter_seed: ((w as u64) << 32) | i as u64,
+                    };
+                    match client::generate_with_retry(addr, &prompt, max_tokens, deadline, policy) {
+                        Ok(r) if r.response.status == 200 && r.response.verified() => {
+                            retries.fetch_add(r.retries as usize, Ordering::Relaxed);
+                            tokens.fetch_add(r.response.tokens.len(), Ordering::Relaxed);
+                            if let Some(t) = r.response.ttft {
                                 ttfts.lock().unwrap().push(t);
                             }
                             totals.lock().unwrap().push(started.elapsed());
                         }
-                        Ok(resp) if resp.status == 429 => {
+                        Ok(r) if r.response.status == 429 => {
+                            retries.fetch_add(r.retries as usize, Ordering::Relaxed);
                             shed.fetch_add(1, Ordering::Relaxed);
                         }
-                        Ok(resp) => {
+                        Ok(r) => {
+                            let resp = r.response;
                             eprintln!("request {i}: status {} body {}", resp.status, resp.body);
                             failed.fetch_add(1, Ordering::Relaxed);
                         }
@@ -170,10 +185,12 @@ fn main() {
     let shed = shed.load(Ordering::Relaxed);
     let failed = failed.load(Ordering::Relaxed);
     let tokens = tokens.load(Ordering::Relaxed);
+    let retries = retries.load(Ordering::Relaxed);
 
     println!("\n{:<28} {:>12}", "metric", "value");
     println!("{:<28} {:>12}", "completed streams", ok);
-    println!("{:<28} {:>12}", "shed (429)", shed);
+    println!("{:<28} {:>12}", "shed (429, retries spent)", shed);
+    println!("{:<28} {:>12}", "backpressure retries", retries);
     println!("{:<28} {:>12}", "failed", failed);
     println!("{:<28} {:>12}", "tokens streamed", tokens);
     println!("{:<28} {:>12.1}", "tokens/s (wire)", tokens as f64 / wall.as_secs_f64().max(1e-9));

@@ -18,6 +18,7 @@ targets:
   precision                  expert-precision sweep (policies x f32/f16/int8)
   policies                   six-scheduler shootout (4 built-ins + Speculative-TopM + Cache-Pinned)
   fleet                      iso-GPU fleet shootout (N offload replicas vs N-GPU expert parallelism)
+  chaos                      fault injection + recovery + autoscaling + policy-switch suite
   ablations                  PCIe/level/batch/top-k/precision/scheduler/fleet sweeps
   csv <dir>                  write artifact-style CSV files (incl. fleet.csv)
   all                        every figure target (table1, fig2-3, fig10-16, timeline)
@@ -43,6 +44,7 @@ fn main() {
         "precision" => print!("{}", ablations::precision_sweep()),
         "policies" => print!("{}", ablations::policies_sweep()),
         "fleet" => print!("{}", ablations::fleet_shootout()),
+        "chaos" => print!("{}", ablations::chaos_suite()),
         "ablations" => {
             print!("{}", ablations::pcie_sweep());
             print!("{}", ablations::level_sweep());

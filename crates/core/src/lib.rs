@@ -59,16 +59,18 @@ pub mod prelude {
     pub use pgmoe_model::{ExpertPrecision, GateTopology, GatingMode, ModelConfig, Precision};
     pub use pgmoe_runtime::{
         serve_batched, serve_cluster, serve_stream, Admission, BatchConfig, BatchScheduler,
-        BatchSession, CacheAffinity, CacheCapacity, CacheConfig, ClusterConfig, DispatchPolicy,
-        ExpertScheduler, FetchSet, FleetConfig, FleetSim, FleetStats, InferenceSim,
-        JoinShortestQueue, LiveRouting, OffloadPolicy, PolicyCtx, PolicySpec, Prefetch,
-        Replacement, ReplicaView, RequestProfile, Residency, RoundRobin, RunReport,
-        SchedulerFactory, ServeStats, SimOptions, TokenEvent,
+        BatchSession, CacheAffinity, CacheCapacity, CacheConfig, ClusterConfig, ControlAction,
+        ControlOptions, ControlStats, ControlWindow, ControlledFleet, DispatchPolicy,
+        DriftSwitcher, ExpertScheduler, FetchSet, FleetConfig, FleetController, FleetSim,
+        FleetStats, InferenceSim, JoinShortestQueue, LiveRouting, NoControl, OffloadPolicy,
+        PolicyCtx, PolicySpec, Prefetch, QueueAutoScaler, Replacement, ReplicaObs, ReplicaView,
+        RequestProfile, Residency, RoundRobin, RunReport, SchedulerFactory, ServeStats, SimOptions,
+        TokenEvent,
     };
     pub use pgmoe_serve::{EngineConfig, ServeConfig, Server, ServerHandle, SloConfig};
     pub use pgmoe_train::{Trainer, TrainerConfig};
     pub use pgmoe_workload::{
-        ArrivalProcess, ArrivalStream, ArrivedRequest, DecodeRequest, RequestStream, RoutingKind,
-        RoutingTrace, TaskKind, TaskSpec,
+        ArrivalProcess, ArrivalStream, ArrivedRequest, DecodeRequest, FaultEvent, FaultKind,
+        FaultPlan, RequestStream, RoutingKind, RoutingTrace, TaskKind, TaskSpec,
     };
 }

@@ -33,6 +33,7 @@
 //! [`PolicySpec::expert_parallel`]: crate::PolicySpec::expert_parallel
 //! [`ExpertCache`]: crate::ExpertCache
 
+use crate::control::ControlStats;
 use crate::multi_gpu::ClusterConfig;
 use crate::scheduler::PolicySpec;
 use crate::serve::{quantile_of, ServeStats};
@@ -57,6 +58,29 @@ impl FleetConfig {
     /// knobs.
     pub fn new(replicas: usize, batch: BatchConfig) -> Self {
         FleetConfig { replicas, batch }
+    }
+
+    /// Rejects fleet shapes that cannot serve anything: zero replicas, or a
+    /// batch config that admits no requests. Mirrors the
+    /// [`ClusterConfig::validate`] convention — construction stays infallible
+    /// and every serving entry point validates before touching a machine.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] with a message naming the bad knob.
+    pub fn validate(&self) -> Result<()> {
+        if self.replicas == 0 {
+            return Err(RuntimeError::InvalidConfig {
+                message: "a fleet needs at least 1 replica".into(),
+            });
+        }
+        if self.batch.max_batch == 0 {
+            return Err(RuntimeError::InvalidConfig {
+                message: "fleet batch config must admit at least one request (max_batch >= 1)"
+                    .into(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -242,12 +266,34 @@ pub struct FleetStats {
     /// busy fraction amortized over the cluster's GPUs, so it stays
     /// comparable with a replica fleet's per-GPU figures.
     pub utilization: Vec<f64>,
+    /// Total GPU-time the deployment was billed for: each replica charged
+    /// from when it joined the fleet (or the first arrival) until it retired
+    /// (or the last completion). For a static fleet this is simply
+    /// `makespan × gpus`; under autoscaling it is what an elastic deployment
+    /// actually pays, the denominator of [`FleetStats::tokens_per_gpu_second`].
+    pub gpu_time: SimDuration,
+    /// Control-loop accounting (faults injected, redispatches, scaling and
+    /// policy-switch actions). `None` for runs outside
+    /// [`ControlledFleet`](crate::control::ControlledFleet).
+    pub control: Option<ControlStats>,
 }
 
 impl FleetStats {
     /// Tokens/s per occupied GPU — the TCO metric of the iso-GPU shootout.
     pub fn tokens_per_sec_per_gpu(&self) -> f64 {
         self.tokens_per_sec / self.gpus.max(1) as f64
+    }
+
+    /// Delivered tokens per GPU-*second* billed — the elastic-deployment
+    /// TCO metric. Identical to [`FleetStats::tokens_per_sec_per_gpu`] for a
+    /// static fleet (where `gpu_time = makespan × gpus`); under autoscaling
+    /// it credits the controller for GPU-time it did *not* rent.
+    pub fn tokens_per_gpu_second(&self) -> f64 {
+        if self.gpu_time == SimDuration::ZERO {
+            0.0
+        } else {
+            self.total_tokens as f64 / self.gpu_time.as_secs_f64()
+        }
     }
 
     /// End-to-end latency at quantile `q ∈ [0, 1]` (nearest-rank).
@@ -361,11 +407,7 @@ impl FleetSim {
         arrivals: impl IntoIterator<Item = ArrivedRequest>,
         dispatch: &mut dyn DispatchPolicy,
     ) -> Result<FleetStats> {
-        if self.fleet.replicas == 0 {
-            return Err(RuntimeError::InvalidConfig {
-                message: "a fleet needs at least 1 replica".into(),
-            });
-        }
+        self.fleet.validate()?;
         self.opts.validate(&self.cfg)?;
         let mut arrivals: Vec<ArrivedRequest> = arrivals.into_iter().collect();
         // Fills only unseeded requests; caller-pinned seeds survive.
@@ -395,78 +437,156 @@ impl FleetSim {
         arrivals: &[ArrivedRequest],
         dispatch: &mut dyn DispatchPolicy,
     ) -> Result<Vec<usize>> {
-        let n = self.fleet.replicas;
-        let est = self.service_estimator()?;
-        let mut est_done: Vec<Vec<u64>> = vec![Vec::new(); n];
-        let mut est_free: Vec<u64> = vec![0; n];
-        let mut affinity: Vec<Vec<u64>> = vec![vec![0; self.cfg.num_experts]; n];
-        let mut assigned = vec![0usize; n];
-        let mut assignment = Vec::with_capacity(arrivals.len());
-        let dec_blocks = self.cfg.decoder_moe_layers();
-        let active = self.opts.active_per_block(&self.cfg);
-        for (idx, arr) in arrivals.iter().enumerate() {
-            let t = arr.arrival_ns;
-            // The routing fingerprint the dispatcher may inspect: the
-            // request's first decode token, regenerated from its seed (the
-            // replica will draw the identical trace).
-            let seed = arr.route_seed.unwrap_or(self.opts.seed);
-            let probe_trace = RoutingTrace::generate(
-                1,
-                dec_blocks,
-                self.cfg.num_experts,
-                active,
-                self.opts.routing,
-                seed,
-            );
-            let mut probe: Vec<usize> =
-                (0..dec_blocks).flat_map(|b| probe_trace.experts(0, b).iter().copied()).collect();
-            probe.sort_unstable();
-            probe.dedup();
-
-            let views: Vec<ReplicaView<'_>> = (0..n)
-                .map(|r| ReplicaView {
-                    queue_depth: est_done[r].iter().filter(|&&d| d > t).count(),
-                    assigned: assigned[r],
-                    est_free_at_ns: est_free[r].max(t),
-                    affinity: &affinity[r],
-                })
-                .collect();
-            let profile = RequestProfile { arrival_ns: t, request: arr.request, probe: &probe };
-            let r = dispatch.choose(&views, &profile);
-            if r >= n {
-                return Err(RuntimeError::InvalidConfig {
-                    message: format!(
-                        "dispatch policy `{}` chose replica {r} of {n} for request {idx}",
-                        dispatch.name()
-                    ),
-                });
-            }
-            let start = est_free[r].max(t);
-            let done = start + est(&arr.request);
-            est_free[r] = done;
-            est_done[r].push(done);
-            assigned[r] += 1;
-            for &e in &probe {
-                affinity[r][e] += 1;
-            }
-            assignment.push(r);
-        }
-        Ok(assignment)
+        let mut state = DispatchState::new(&self.cfg, &self.opts, self.fleet.replicas)?;
+        let all: Vec<usize> = (0..self.fleet.replicas).collect();
+        arrivals
+            .iter()
+            .enumerate()
+            .map(|(idx, arr)| state.place(idx, arr, &all, dispatch))
+            .collect()
     }
+}
 
-    /// A deterministic per-request service-time estimate for queue-depth
-    /// bookkeeping, calibrated once on the replica configuration (one short
-    /// batch-1 run). Dispatchers only need relative ordering, not absolute
-    /// accuracy — real load balancers work from the same kind of estimate.
-    fn service_estimator(&self) -> Result<impl Fn(&DecodeRequest) -> u64> {
+/// A deterministic per-request service-time estimate for queue-depth
+/// bookkeeping, calibrated once on the replica configuration (one short
+/// batch-1 run). Dispatchers only need relative ordering, not absolute
+/// accuracy — real load balancers work from the same kind of estimate.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ServiceEstimate {
+    ttft_ns: u64,
+    per_decode_ns: u64,
+}
+
+impl ServiceEstimate {
+    pub(crate) fn calibrate(cfg: &ModelConfig, opts: &SimOptions) -> Result<Self> {
         let calib = DecodeRequest { input_tokens: 32, output_tokens: 8, batch_size: 1 };
-        let report = InferenceSim::new(self.cfg.clone(), self.opts.clone()).run(calib, 1)?;
+        let report = InferenceSim::new(cfg.clone(), opts.clone()).run(calib, 1)?;
         let ttft_ns = report.time_to_first_token.as_nanos();
         let per_decode_ns = (report.total_time.as_nanos().saturating_sub(ttft_ns))
             / (calib.output_tokens - 1) as u64;
-        Ok(move |req: &DecodeRequest| {
-            ttft_ns + per_decode_ns * req.output_tokens.saturating_sub(1) as u64
+        Ok(ServiceEstimate { ttft_ns, per_decode_ns })
+    }
+
+    pub(crate) fn ns_for(&self, req: &DecodeRequest) -> u64 {
+        self.ttft_ns + self.per_decode_ns * req.output_tokens.saturating_sub(1) as u64
+    }
+}
+
+/// The dispatcher-observable bookkeeping behind [`FleetSim::dispatch`],
+/// factored out so the fault-tolerant control loop ([`crate::control`]) can
+/// place arrivals *incrementally* — one at a time, restricted to the
+/// replicas currently eligible (alive, warm, not draining) — while the
+/// static path places the whole trace upfront. Both paths call the same
+/// [`DispatchState::place`], so placement decisions are bit-identical
+/// whenever the eligible set is the full fleet.
+pub(crate) struct DispatchState {
+    est: ServiceEstimate,
+    est_done: Vec<Vec<u64>>,
+    est_free: Vec<u64>,
+    affinity: Vec<Vec<u64>>,
+    assigned: Vec<usize>,
+    num_experts: usize,
+    dec_blocks: usize,
+    active: usize,
+    routing: pgmoe_workload::RoutingKind,
+    default_seed: u64,
+}
+
+impl DispatchState {
+    pub(crate) fn new(cfg: &ModelConfig, opts: &SimOptions, replicas: usize) -> Result<Self> {
+        Ok(DispatchState {
+            est: ServiceEstimate::calibrate(cfg, opts)?,
+            est_done: vec![Vec::new(); replicas],
+            est_free: vec![0; replicas],
+            affinity: vec![vec![0; cfg.num_experts]; replicas],
+            assigned: vec![0; replicas],
+            num_experts: cfg.num_experts,
+            dec_blocks: cfg.decoder_moe_layers(),
+            active: opts.active_per_block(cfg),
+            routing: opts.routing,
+            default_seed: opts.seed,
         })
+    }
+
+    /// Opens bookkeeping for one more replica (a scale-up); it starts with
+    /// an empty queue estimate and a cold affinity histogram.
+    pub(crate) fn add_replica(&mut self) {
+        self.est_done.push(Vec::new());
+        self.est_free.push(0);
+        self.affinity.push(vec![0; self.num_experts]);
+        self.assigned.push(0);
+    }
+
+    /// Clears a dead replica's queue estimates so redispatch does not steer
+    /// around a ghost backlog. The affinity history stays: it describes
+    /// requests, not the replica's health.
+    pub(crate) fn forget_replica(&mut self, r: usize) {
+        self.est_done[r].clear();
+        self.est_free[r] = 0;
+    }
+
+    /// The routing fingerprint the dispatcher may inspect: the request's
+    /// first decode token, regenerated from its seed (the replica will draw
+    /// the identical trace).
+    fn probe_of(&self, arr: &ArrivedRequest) -> Vec<usize> {
+        let seed = arr.route_seed.unwrap_or(self.default_seed);
+        let probe_trace = RoutingTrace::generate(
+            1,
+            self.dec_blocks,
+            self.num_experts,
+            self.active,
+            self.routing,
+            seed,
+        );
+        let mut probe: Vec<usize> =
+            (0..self.dec_blocks).flat_map(|b| probe_trace.experts(0, b).iter().copied()).collect();
+        probe.sort_unstable();
+        probe.dedup();
+        probe
+    }
+
+    /// Places arrival `idx` on one of the `eligible` replicas (global
+    /// indices, ascending). The dispatcher sees views in `eligible` order
+    /// and its choice maps back to the global index, which is returned.
+    pub(crate) fn place(
+        &mut self,
+        idx: usize,
+        arr: &ArrivedRequest,
+        eligible: &[usize],
+        dispatch: &mut dyn DispatchPolicy,
+    ) -> Result<usize> {
+        let t = arr.arrival_ns;
+        let probe = self.probe_of(arr);
+        let views: Vec<ReplicaView<'_>> = eligible
+            .iter()
+            .map(|&r| ReplicaView {
+                queue_depth: self.est_done[r].iter().filter(|&&d| d > t).count(),
+                assigned: self.assigned[r],
+                est_free_at_ns: self.est_free[r].max(t),
+                affinity: &self.affinity[r],
+            })
+            .collect();
+        let profile = RequestProfile { arrival_ns: t, request: arr.request, probe: &probe };
+        let v = dispatch.choose(&views, &profile);
+        if v >= eligible.len() {
+            return Err(RuntimeError::InvalidConfig {
+                message: format!(
+                    "dispatch policy `{}` chose replica {v} of {} for request {idx}",
+                    dispatch.name(),
+                    eligible.len()
+                ),
+            });
+        }
+        let r = eligible[v];
+        let start = self.est_free[r].max(t);
+        let done = start + self.est.ns_for(&arr.request);
+        self.est_free[r] = done;
+        self.est_done[r].push(done);
+        self.assigned[r] += 1;
+        for &e in &probe {
+            self.affinity[r][e] += 1;
+        }
+        Ok(r)
     }
 }
 
@@ -530,6 +650,8 @@ fn aggregate(
         makespan,
         tokens_per_sec,
         utilization,
+        gpu_time: SimDuration::from_nanos(makespan.as_nanos() * replicas as u64),
+        control: None,
     }
 }
 
@@ -577,6 +699,7 @@ pub fn serve_cluster(
         vec![stats],
     );
     fleet.gpus = cluster.num_gpus;
+    fleet.gpu_time = SimDuration::from_nanos(fleet.makespan.as_nanos() * cluster.num_gpus as u64);
     // The single timeline stands for the lockstep cluster's critical path;
     // amortize its busy fraction over every GPU the deployment occupies so
     // the figure is per-GPU like a replica fleet's. (Attention is

@@ -56,6 +56,7 @@
 
 mod batch;
 mod cache;
+pub mod control;
 mod core;
 mod engine;
 mod error;
@@ -70,6 +71,10 @@ pub mod session;
 
 pub use batch::{serve_batched, BatchConfig, BatchScheduler};
 pub use cache::{CacheStats, ExpertCache, ExpertKey};
+pub use control::{
+    ControlAction, ControlOptions, ControlStats, ControlWindow, ControlledFleet, DriftSwitcher,
+    FleetController, NoControl, QueueAutoScaler, ReplicaObs,
+};
 pub use engine::{InferenceSim, RunReport};
 pub use error::{Result, RuntimeError};
 pub use fleet::{
@@ -87,4 +92,4 @@ pub use scheduler::{
     Prefetch, Residency, SchedulerFactory, SchedulerSetup,
 };
 pub use serve::{serve_stream, ServeStats};
-pub use session::{Admission, BatchSession, LiveRouting, TokenEvent};
+pub use session::{AbortedRequest, Admission, BatchSession, LiveRouting, TokenEvent};

@@ -192,6 +192,8 @@ mod tests {
             demand_fetch_bytes: 500_000_000,
             peak_hbm_bytes: 1,
             utilization: vec![0.5, 0.7],
+            gpu_time: SimDuration::from_millis(40),
+            control: None,
         };
         let csv = csv_fleet_summary(&[stats]);
         assert!(csv.starts_with("backend,dispatch,gpus,tokens_per_sec,tokens_per_sec_per_gpu"));
@@ -217,6 +219,8 @@ mod tests {
             demand_fetch_bytes: 0,
             peak_hbm_bytes: 0,
             utilization: Vec::new(),
+            gpu_time: SimDuration::ZERO,
+            control: None,
         };
         let csv = csv_fleet_summary(&[empty]);
         assert!(csv.contains("Pre-gated MoE,round-robin,2,0.00,0.00,0.00,0.00,0.00"), "{csv}");

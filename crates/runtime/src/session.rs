@@ -42,7 +42,7 @@ use crate::core::{
     self, expected_distinct_experts, CoreEnv, CoreScratch, DecodeCosts, PrefillCosts,
 };
 use crate::engine::{attn_bytes_for, dense_ffn_bytes_for};
-use crate::scheduler::{ExpertScheduler, MemoryProfile, RoutedSource};
+use crate::scheduler::{ExpertScheduler, MemoryProfile, PolicySpec, RoutedSource};
 use crate::serve::ServeStats;
 use crate::{ExpertCache, PlacementPlan, Result, RuntimeError, SimOptions};
 use pgmoe_device::{AllocId, Machine, SimDuration, SimTime, Tier};
@@ -82,6 +82,19 @@ pub struct TokenEvent {
     pub done: bool,
     /// Session clock when the token was emitted.
     pub at: SimTime,
+}
+
+/// What [`BatchSession::abort`] hands back for a request removed from the
+/// batch before completing: enough for a control layer to account the
+/// wasted work and redispatch the request elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortedRequest {
+    /// The id the caller passed to [`BatchSession::try_admit`].
+    pub id: u64,
+    /// Tokens the request had generated when it was aborted — work that is
+    /// thrown away (the replica that takes the request over regenerates the
+    /// stream from its route seed).
+    pub tokens_generated: usize,
 }
 
 /// Caller-supplied expert routing for [`BatchSession::step_routed`].
@@ -397,6 +410,79 @@ impl BatchSession {
         Ok(Admission::Admitted { queueing })
     }
 
+    /// Removes an in-flight request from the batch before it completes —
+    /// the client disconnected or a control layer is draining the replica.
+    /// The request's HBM activation reservation is released immediately
+    /// (its batch slot is admissible again at the next
+    /// [`BatchSession::try_admit`]); its per-request row in
+    /// [`BatchSession::finish`] keeps zero latency, exactly like a request
+    /// still in flight when the session ends.
+    ///
+    /// Returns `None` if `id` is not in flight.
+    pub fn abort(&mut self, id: u64) -> Option<AbortedRequest> {
+        let i = self.inflight.iter().position(|r| r.id == id)?;
+        let r = self.inflight.swap_remove(i);
+        // `admitted_now` holds indices into `inflight`: drop the aborted
+        // entry and re-point whichever entry the swap_remove relocated.
+        let moved = self.inflight.len();
+        self.admitted_now.retain(|&x| x != i);
+        for x in &mut self.admitted_now {
+            if *x == moved {
+                *x = i;
+            }
+        }
+        self.machine.pool_mut(Tier::Hbm).free(r.act_alloc).expect("activation double free");
+        Some(AbortedRequest { id: r.id, tokens_generated: r.generated })
+    }
+
+    /// Aborts every in-flight request (replica death / shutdown drain), in
+    /// admission order. See [`BatchSession::abort`].
+    pub fn drain_inflight(&mut self) -> Vec<AbortedRequest> {
+        let mut order: Vec<(usize, u64)> = self.inflight.iter().map(|r| (r.record, r.id)).collect();
+        order.sort_unstable();
+        order.into_iter().filter_map(|(_, id)| self.abort(id)).collect()
+    }
+
+    /// Swaps the expert scheduler for `policy` at an iteration boundary,
+    /// keeping the machine state, expert cache contents, clock and every
+    /// in-flight request — the online policy-switching seam a drift
+    /// controller uses on a *live* replica.
+    ///
+    /// The swap is only legal between steps (which is the only place a
+    /// caller driving the admit/step protocol can be), and the new policy
+    /// must keep the static placement footprint byte-identical — the
+    /// session cannot re-place weights that are already resident.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::InvalidConfig`] if the options reject the new
+    ///   policy or its static placement differs from the current one.
+    pub fn swap_scheduler(&mut self, policy: PolicySpec) -> Result<()> {
+        let mut opts = self.opts.clone();
+        opts.policy = policy;
+        opts.validate(&self.cfg)?;
+        let new_plan = PlacementPlan::new(&self.cfg, &opts, 0, 1);
+        if new_plan.static_non_activation_bytes() != self.base_plan.static_non_activation_bytes()
+            || new_plan.offload_bytes() != self.base_plan.offload_bytes()
+        {
+            return Err(RuntimeError::InvalidConfig {
+                message: format!(
+                    "scheduler swap must preserve the static placement footprint \
+                     (current {} B resident, replacement wants {} B)",
+                    self.base_plan.static_non_activation_bytes(),
+                    new_plan.static_non_activation_bytes()
+                ),
+            });
+        }
+        let sched = opts.policy.build(&opts.setup_for(&self.cfg));
+        let topo = sched.decoder_topology(self.cfg.decoder_moe_layers())?;
+        self.sched = sched;
+        self.topo = topo;
+        self.base_plan = new_plan;
+        self.opts = opts;
+        Ok(())
+    }
+
     /// Runs one scheduler step with synthetic trace routing: prefill for
     /// requests admitted since the last step, then one decode iteration
     /// emitting one token per in-flight request.
@@ -509,7 +595,9 @@ impl BatchSession {
     /// completed report zero latency.
     pub fn finish(self) -> ServeStats {
         let span = match self.first_arrival {
-            Some(first) => self.last_completion.duration_since(first),
+            // max: a session drained before completing anything has a
+            // last-completion watermark predating its first arrival.
+            Some(first) => self.last_completion.max(first).duration_since(first),
             None => SimDuration::ZERO,
         };
         let tokens_per_sec = if span == SimDuration::ZERO {
@@ -753,6 +841,118 @@ mod tests {
             fixed.expert_fetch_bytes,
             traced.expert_fetch_bytes
         );
+    }
+
+    #[test]
+    fn abort_releases_hbm_reservation_and_readmits_a_queued_request() {
+        // A batch-1 session holding one mid-decode request rejects the next
+        // offer; aborting the in-flight request must free both the slot and
+        // its activation bytes so the queued request is admissible at once.
+        let mut s = session(1);
+        let adm = s.try_admit(0, ArrivedRequest::at_nanos(0, req(8, 16))).unwrap();
+        assert!(matches!(adm, Admission::Admitted { .. }));
+        s.step().unwrap();
+        s.step().unwrap();
+        let blocked = s.try_admit(1, ArrivedRequest::at_nanos(0, req(8, 4))).unwrap();
+        assert_eq!(blocked, Admission::BatchFull);
+        let hbm_held = s.machine.pool(Tier::Hbm).used_bytes();
+
+        let aborted = s.abort(0).expect("request 0 is in flight");
+        assert_eq!(aborted, AbortedRequest { id: 0, tokens_generated: 2 });
+        assert_eq!(s.in_flight(), 0);
+        assert!(
+            s.machine.pool(Tier::Hbm).used_bytes() < hbm_held,
+            "abort must release the activation reservation"
+        );
+        assert_eq!(
+            s.machine.pool(Tier::Hbm).used_bytes(),
+            s.base_plan.static_non_activation_bytes(),
+            "only the static footprint stays resident after the drain"
+        );
+        assert!(s.abort(0).is_none(), "double abort is a no-op");
+
+        // The queued request now admits and runs to completion.
+        let readmitted = s.try_admit(1, ArrivedRequest::at_nanos(0, req(8, 4))).unwrap();
+        assert!(matches!(readmitted, Admission::Admitted { .. }));
+        let mut done = 0;
+        while s.in_flight() > 0 {
+            done += s.step().unwrap().iter().filter(|e| e.done).count();
+        }
+        assert_eq!(done, 1);
+        let stats = s.finish();
+        // Two admission records: the aborted one reports zero latency, the
+        // completed one a real one.
+        assert_eq!(stats.request_latencies.len(), 2);
+        assert_eq!(stats.request_latencies[0], SimDuration::ZERO);
+        assert!(stats.request_latencies[1] > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn drain_aborts_every_inflight_request_in_admission_order() {
+        let mut s = session(4);
+        for id in 0..3u64 {
+            s.try_admit(id, ArrivedRequest::at_nanos(0, req(8, 8))).unwrap();
+        }
+        s.step().unwrap();
+        let drained = s.drain_inflight();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained.iter().map(|a| a.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(drained.iter().all(|a| a.tokens_generated == 1));
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(
+            s.machine.pool(Tier::Hbm).used_bytes(),
+            s.base_plan.static_non_activation_bytes()
+        );
+        assert!(s.step().unwrap().is_empty(), "a drained session steps to nothing");
+    }
+
+    #[test]
+    fn abort_before_first_step_cancels_the_pending_prefill() {
+        // Admit two, abort one before stepping: the survivor's prefill must
+        // still run exactly once and the session must stay consistent.
+        let mut s = session(4);
+        s.try_admit(0, ArrivedRequest::at_nanos(0, req(8, 2))).unwrap();
+        s.try_admit(1, ArrivedRequest::at_nanos(0, req(8, 2))).unwrap();
+        assert!(s.abort(0).is_some());
+        let events = s.step().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].id, 1);
+        while s.in_flight() > 0 {
+            s.step().unwrap();
+        }
+        assert_eq!(s.total_tokens(), 2);
+    }
+
+    #[test]
+    fn scheduler_swap_at_iteration_boundary_keeps_inflight_requests() {
+        use crate::scheduler::PolicySpec;
+        let mut s = session(4);
+        s.try_admit(0, ArrivedRequest::at_nanos(0, req(8, 6))).unwrap();
+        s.step().unwrap();
+        assert_eq!(s.policy_name(), "Pre-gated MoE");
+        s.swap_scheduler(PolicySpec::from(OffloadPolicy::OnDemand)).unwrap();
+        assert_eq!(s.policy_name(), "MoE-OnDemand");
+        let mut tokens = 1;
+        while s.in_flight() > 0 {
+            tokens += s.step().unwrap().len();
+        }
+        assert_eq!(tokens, 6, "the in-flight request finishes under the new scheduler");
+        let stats = s.finish();
+        assert_eq!(stats.policy, "MoE-OnDemand");
+        assert_eq!(stats.request_latencies.len(), 1);
+        assert!(stats.request_latencies[0] > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn scheduler_swap_rejects_a_different_static_footprint() {
+        // GpuOnly places every expert in HBM — a radically different static
+        // footprint the live session cannot adopt.
+        let mut s = session(2);
+        s.try_admit(0, ArrivedRequest::at_nanos(0, req(8, 4))).unwrap();
+        s.step().unwrap();
+        let err = s.swap_scheduler(PolicySpec::from(OffloadPolicy::GpuOnly));
+        assert!(matches!(err, Err(RuntimeError::InvalidConfig { .. })));
+        assert_eq!(s.policy_name(), "Pre-gated MoE", "a rejected swap leaves the scheduler alone");
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub struct StreamedResponse {
     pub elapsed: Duration,
     /// The raw (de-chunked) response body.
     pub body: String,
+    /// Seconds from a `retry-after` header, when the server sent one
+    /// (`429` shed and `503` failover responses do).
+    pub retry_after: Option<u64>,
 }
 
 impl StreamedResponse {
@@ -64,6 +67,91 @@ pub fn generate(
         body
     );
     exchange(addr, request.as_bytes(), deadline)
+}
+
+/// Backoff schedule for [`generate_with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` behaves like [`generate`]).
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles each subsequent retry.
+    pub base_delay: Duration,
+    /// Cap on any single delay — also caps a server `retry-after` hint, so
+    /// tests and benches can compress the server's one-second hint.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter (xorshift, no external RNG).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry `attempt` (0-based): the server's
+    /// `retry-after` hint when present, else `base_delay * 2^attempt`;
+    /// capped at `max_delay`; then jittered down to 50–100% of itself so
+    /// synchronized retry storms decorrelate.
+    fn delay(&self, attempt: u32, retry_after_secs: Option<u64>, jitter: &mut u64) -> Duration {
+        let backoff = match retry_after_secs {
+            Some(secs) => Duration::from_secs(secs),
+            None => self.base_delay.saturating_mul(1u32 << attempt.min(16)),
+        };
+        let capped = backoff.min(self.max_delay);
+        // xorshift64 step for deterministic, dependency-free jitter.
+        *jitter ^= *jitter << 13;
+        *jitter ^= *jitter >> 7;
+        *jitter ^= *jitter << 17;
+        let frac = 0.5 + (*jitter % 1000) as f64 / 2000.0;
+        capped.mul_f64(frac)
+    }
+}
+
+/// Outcome of [`generate_with_retry`]: the final response plus how many
+/// backpressure retries (`429` shed, `503` failover/queue-full) it took.
+#[derive(Debug, Clone)]
+pub struct RetriedResponse {
+    /// The last response received (the first non-retryable one, or the
+    /// final retryable one once the budget is spent).
+    pub response: StreamedResponse,
+    /// How many retries were made.
+    pub retries: u32,
+}
+
+/// Like [`generate`], but honors server backpressure: a `429` or `503`
+/// response sleeps out the `retry-after` hint (capped exponential backoff
+/// with deterministic jitter when absent) and tries again, up to
+/// [`RetryPolicy::max_retries`] times.
+///
+/// # Errors
+///
+/// Same transport contract as [`generate`]; HTTP error statuses are
+/// returned in the response, never as `Err`.
+pub fn generate_with_retry(
+    addr: SocketAddr,
+    prompt: &[usize],
+    max_tokens: usize,
+    deadline: Duration,
+    policy: RetryPolicy,
+) -> io::Result<RetriedResponse> {
+    let mut jitter = policy.jitter_seed | 1;
+    let mut retries = 0;
+    loop {
+        let response = generate(addr, prompt, max_tokens, deadline)?;
+        let retryable = response.status == 429 || response.status == 503;
+        if !retryable || retries >= policy.max_retries {
+            return Ok(RetriedResponse { response, retries });
+        }
+        std::thread::sleep(policy.delay(retries, response.retry_after, &mut jitter));
+        retries += 1;
+    }
 }
 
 /// Issues a plain `GET` and returns `(status, body)`.
@@ -120,6 +208,7 @@ struct ResponseDecoder {
     body: Vec<u8>,
     first_token_at: Option<Duration>,
     complete: bool,
+    retry_after: Option<u64>,
 }
 
 impl ResponseDecoder {
@@ -132,6 +221,7 @@ impl ResponseDecoder {
             body: Vec::new(),
             first_token_at: None,
             complete: false,
+            retry_after: None,
         }
     }
 
@@ -161,6 +251,9 @@ impl ResponseDecoder {
                     self.content_length = value
                         .parse()
                         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad length"))?;
+                }
+                if name == "retry-after" {
+                    self.retry_after = value.parse().ok();
                 }
             }
             self.headers_done = true;
@@ -224,10 +317,51 @@ impl ResponseDecoder {
             ttft: self.first_token_at,
             elapsed: start.elapsed(),
             body,
+            retry_after: self.retry_after,
         })
     }
 }
 
 fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_honors_hints_and_stays_capped() {
+        let policy = RetryPolicy {
+            max_retries: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            jitter_seed: 7,
+        };
+        let mut jitter = policy.jitter_seed | 1;
+        // No hint: exponential from base, jittered into [50%, 100%].
+        let d0 = policy.delay(0, None, &mut jitter);
+        assert!(d0 >= Duration::from_millis(5) && d0 <= Duration::from_millis(10), "{d0:?}");
+        let d3 = policy.delay(3, None, &mut jitter);
+        assert!(d3 >= Duration::from_millis(40) && d3 <= Duration::from_millis(80), "{d3:?}");
+        // A server hint wins but the cap still applies: a 1s retry-after
+        // never waits more than max_delay.
+        let hinted = policy.delay(0, Some(1), &mut jitter);
+        assert!(hinted <= Duration::from_millis(100), "{hinted:?}");
+        assert!(hinted >= Duration::from_millis(50), "{hinted:?}");
+        // Deep attempts can't overflow the shift.
+        let deep = policy.delay(40, None, &mut jitter);
+        assert!(deep <= Duration::from_millis(100), "{deep:?}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let run = |seed: u64| {
+            let mut j = seed | 1;
+            (0..4).map(|a| policy.delay(a, None, &mut j)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different seeds decorrelate the schedule");
+    }
 }

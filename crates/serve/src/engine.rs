@@ -49,6 +49,16 @@ pub struct EngineConfig {
     pub net: SwitchNetConfig,
     /// Seed for the network's parameter initialisation.
     pub net_seed: u64,
+    /// Chaos knob: crash the engine replica after this many decode
+    /// iterations (`None` disables). The supervisor in
+    /// [`Server`](crate::Server) restarts the engine with this cleared, so
+    /// a seeded run fails exactly once — the deterministic fault the chaos
+    /// tests inject.
+    pub fail_after_iterations: Option<u64>,
+    /// How long the supervisor waits before restarting a crashed engine.
+    /// During this window `/v1/generate` answers `503` with a
+    /// `retry-after` header instead of queueing into a dead replica.
+    pub restart_backoff_ms: u64,
 }
 
 impl EngineConfig {
@@ -63,6 +73,8 @@ impl EngineConfig {
             batch: BatchConfig::new(8),
             net: SwitchNetConfig::small(64, 16, 8, GatingMode::Pregated { level: 1 }),
             net_seed: 7,
+            fail_after_iterations: None,
+            restart_backoff_ms: 0,
         }
     }
 
@@ -111,6 +123,10 @@ pub(crate) enum OutMsg {
 #[derive(Debug, Default)]
 pub(crate) struct Outbox {
     events: Mutex<VecDeque<OutMsg>>,
+    /// Set by the IO layer when the owning connection died. The engine
+    /// sweeps closed outboxes every iteration and aborts their requests so
+    /// a disconnected client never holds batch slots or HBM reservation.
+    closed: AtomicBool,
 }
 
 impl Outbox {
@@ -122,6 +138,15 @@ impl Outbox {
     pub(crate) fn drain_into(&self, into: &mut Vec<OutMsg>) {
         let mut q = self.events.lock().expect("outbox poisoned");
         into.extend(q.drain(..));
+    }
+
+    /// Marks the receiving connection as gone.
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
     }
 }
 
@@ -219,13 +244,34 @@ fn argmax(row: &[f32]) -> usize {
     best
 }
 
-/// Runs the engine until shutdown (or the inbound channel closes) and
-/// returns the simulated device's final serving statistics.
+/// Why one engine run ended.
+pub(crate) enum EngineExit {
+    /// Clean exit: shutdown flag, closed channel, or device error. The
+    /// server is done serving.
+    Shutdown(pgmoe_runtime::ServeStats),
+    /// The replica crashed (the seeded `fail_after_iterations` fault).
+    /// Ownership of the inbound channel and the still-queued work comes
+    /// back so the supervisor can hand both to a fresh replica — queued
+    /// requests survive the crash; only mid-decode streams are failed.
+    Crashed {
+        /// Final statistics of the dead replica's simulated device.
+        #[allow(dead_code)]
+        stats: pgmoe_runtime::ServeStats,
+        /// The admission queue, returned for the next replica.
+        rx: Receiver<EngineJob>,
+        /// Jobs accepted but not yet admitted into the decode batch.
+        carryover: VecDeque<EngineJob>,
+    },
+}
+
+/// Runs one engine replica until shutdown, channel close, or injected
+/// crash; [`EngineExit`] says which.
 pub(crate) fn run_engine(
     cfg: EngineConfig,
     rx: Receiver<EngineJob>,
+    carryover: VecDeque<EngineJob>,
     shared: Arc<EngineShared>,
-) -> pgmoe_runtime::ServeStats {
+) -> EngineExit {
     let mut rng = StdRng::seed_from_u64(cfg.net_seed);
     let mut net = SwitchNet::new(cfg.net.clone(), &mut rng);
     if let Some(p) = cfg.opts.expert_precision {
@@ -238,8 +284,11 @@ pub(crate) fn run_engine(
     let mut session = BatchSession::new(cfg.model, cfg.opts, cfg.batch)
         .expect("engine config validated before spawn");
 
-    let mut waiting: VecDeque<EngineJob> = VecDeque::new();
+    let mut waiting = carryover;
     let mut active: HashMap<u64, Decoding> = HashMap::new();
+    let mut iterations_run: u64 = 0;
+    // A fresh replica is serving again: lift the failover gate.
+    shared.metrics.failover_active.set(0);
 
     let fail = |shared: &EngineShared, outbox: &Outbox, reason: &'static str| {
         outbox.push(OutMsg::Failed { reason });
@@ -261,6 +310,27 @@ pub(crate) fn run_engine(
         }
         while let Ok(job) = rx.try_recv() {
             waiting.push_back(job);
+        }
+
+        // Disconnect sweep: a request whose connection died is dropped
+        // from the queue or aborted on the device, so a vanished client
+        // never holds a batch slot or its HBM admission reservation.
+        waiting.retain(|job| {
+            let gone = job.outbox.is_closed();
+            if gone {
+                shared.governor.on_dequeue();
+                shared.metrics.queue_depth.dec();
+                shared.metrics.streams_aborted.inc();
+            }
+            !gone
+        });
+        let disconnected: Vec<u64> =
+            active.iter().filter(|(_, d)| d.outbox.is_closed()).map(|(&id, _)| id).collect();
+        for id in disconnected {
+            let _ = session.abort(id);
+            active.remove(&id);
+            shared.metrics.inflight.dec();
+            shared.metrics.streams_aborted.inc();
         }
 
         // Admission, only at the iteration boundary (continuous batching).
@@ -345,6 +415,21 @@ pub(crate) fn run_engine(
             expert_fetch_bytes: session.expert_fetch_bytes(),
             demand_fetch_bytes: session.demand_fetch_bytes(),
         });
+
+        iterations_run += 1;
+        if cfg.fail_after_iterations.is_some_and(|n| iterations_run >= n) {
+            // Injected replica crash. Raise the failover gate *before*
+            // failing the live streams so a client that watches its stream
+            // die and retries immediately gets a clean 503 + retry-after
+            // instead of a queue slot on a dead replica.
+            shared.metrics.failover_active.set(1);
+            for d in active.values() {
+                d.outbox.push(OutMsg::Failed { reason: "engine replica failed; retry" });
+                shared.metrics.inflight.dec();
+            }
+            active.clear();
+            return EngineExit::Crashed { stats: session.finish(), rx, carryover: waiting };
+        }
     }
 
     // Shutdown: everything still queued or decoding is failed explicitly
@@ -356,7 +441,7 @@ pub(crate) fn run_engine(
         d.outbox.push(OutMsg::Failed { reason: "server shutting down" });
         shared.metrics.inflight.dec();
     }
-    session.finish()
+    EngineExit::Shutdown(session.finish())
 }
 
 #[cfg(test)]
@@ -401,6 +486,17 @@ mod tests {
         events
     }
 
+    fn run_to_shutdown(
+        cfg: EngineConfig,
+        rx: Receiver<EngineJob>,
+        shared: Arc<EngineShared>,
+    ) -> pgmoe_runtime::ServeStats {
+        match run_engine(cfg, rx, VecDeque::new(), shared) {
+            EngineExit::Shutdown(stats) => stats,
+            EngineExit::Crashed { .. } => panic!("engine crashed without a fault injected"),
+        }
+    }
+
     #[test]
     fn generates_streams_tokens_and_reports_stats() {
         let shared = shared();
@@ -410,7 +506,7 @@ mod tests {
         tx.send(job_a).unwrap();
         tx.send(job_b).unwrap();
         drop(tx); // channel closes once drained → engine exits when idle
-        let stats = run_engine(EngineConfig::demo(), rx, Arc::clone(&shared));
+        let stats = run_to_shutdown(EngineConfig::demo(), rx, Arc::clone(&shared));
 
         let a = collect(&out_a);
         let b = collect(&out_b);
@@ -451,12 +547,96 @@ mod tests {
             let (j, out) = job(id, &shared, vec![5, 6, 7], 5);
             tx.send(j).unwrap();
             drop(tx);
-            run_engine(EngineConfig::demo(), rx, shared);
+            run_to_shutdown(EngineConfig::demo(), rx, shared);
             collect(&out)
         };
         // Token content is a pure function of the prompt and the net seed —
         // not of the request id or batch composition.
         assert_eq!(run(1), run(99));
+    }
+
+    fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+        let start = Instant::now();
+        while !cond() {
+            assert!(start.elapsed() < Duration::from_secs(10), "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn injected_crash_hands_queued_work_to_the_next_replica() {
+        let shared = shared();
+        let mut cfg = EngineConfig::demo();
+        cfg.batch = BatchConfig::new(1); // job 2 must wait behind job 1
+        cfg.fail_after_iterations = Some(1);
+        let (tx, rx) = sync_channel(16);
+        let (job_a, out_a) = job(1, &shared, vec![1, 2, 3], 4);
+        let (job_b, out_b) = job(2, &shared, vec![9, 8], 3);
+        tx.send(job_a).unwrap();
+        tx.send(job_b).unwrap();
+        drop(tx);
+
+        let (rx, carryover) = match run_engine(cfg.clone(), rx, VecDeque::new(), shared.clone()) {
+            EngineExit::Crashed { rx, carryover, .. } => (rx, carryover),
+            EngineExit::Shutdown(_) => panic!("seeded fault must crash the replica"),
+        };
+        // Mid-decode stream failed; queued work survived; gate is up.
+        assert_eq!(carryover.len(), 1, "job 2 must ride into the next replica");
+        assert_eq!(shared.metrics.failover_active.get(), 1);
+        assert_eq!(shared.metrics.inflight.get(), 0);
+        let a = collect(&out_a);
+        assert!(
+            a.iter().any(|m| matches!(m, OutMsg::Failed { reason } if reason.contains("retry"))),
+            "crashed stream must tell the client to retry: {a:?}"
+        );
+
+        // Restart with the fault cleared: the carried-over job completes.
+        cfg.fail_after_iterations = None;
+        let stats = match run_engine(cfg, rx, carryover, shared.clone()) {
+            EngineExit::Shutdown(stats) => stats,
+            EngineExit::Crashed { .. } => panic!("fault was cleared"),
+        };
+        assert_eq!(shared.metrics.failover_active.get(), 0, "fresh replica lifts the gate");
+        let b = collect(&out_b);
+        assert!(matches!(b.last(), Some(OutMsg::Done { tokens }) if tokens.len() == 3), "{b:?}");
+        assert_eq!(stats.total_tokens, 3, "replacement replica decodes only the survivor");
+        assert_eq!(shared.governor.queued(), 0);
+    }
+
+    #[test]
+    fn a_closed_outbox_in_the_queue_is_dropped_without_decoding() {
+        let shared = shared();
+        let (tx, rx) = sync_channel(4);
+        let (j, out) = job(1, &shared, vec![1, 2], 5);
+        out.close(); // client hung up before the engine ever saw the job
+        tx.send(j).unwrap();
+        drop(tx);
+        let stats = run_to_shutdown(EngineConfig::demo(), rx, Arc::clone(&shared));
+        assert_eq!(stats.total_tokens, 0, "nothing decodes for a dead connection");
+        assert_eq!(shared.metrics.streams_aborted.get(), 1);
+        assert_eq!(shared.governor.queued(), 0, "admission slot released");
+        assert!(collect(&out).is_empty());
+    }
+
+    #[test]
+    fn a_disconnected_active_stream_is_aborted_mid_decode() {
+        let shared = shared();
+        let (tx, rx) = sync_channel(4);
+        // Long enough that only the abort can end this stream in test
+        // time, small enough to clear the HBM admission budget.
+        let (j, out) = job(1, &shared, vec![1, 2, 3], 50_000);
+        tx.send(j).unwrap();
+        let engine = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run_to_shutdown(EngineConfig::demo(), rx, shared))
+        };
+        wait_until("admission", || shared.metrics.inflight.get() == 1);
+        out.close();
+        wait_until("abort sweep", || shared.metrics.streams_aborted.get() == 1);
+        drop(tx);
+        let stats = engine.join().expect("engine thread");
+        assert_eq!(shared.metrics.inflight.get(), 0, "batch slot released");
+        assert!(stats.total_tokens < 50_000, "stream did not run to completion");
     }
 
     #[test]
@@ -466,7 +646,7 @@ mod tests {
         let (tx, rx) = sync_channel(4);
         let (j, out) = job(1, &shared, vec![1], 2);
         tx.send(j).unwrap();
-        let stats = run_engine(EngineConfig::demo(), rx, Arc::clone(&shared));
+        let stats = run_to_shutdown(EngineConfig::demo(), rx, Arc::clone(&shared));
         // recv_timeout path may or may not pull the job before noticing the
         // flag; either way nothing decodes and nothing hangs.
         let events = collect(&out);

@@ -182,6 +182,13 @@ pub struct ServerMetrics {
     pub streams_completed: Counter,
     /// Decode iterations the engine has run.
     pub engine_iterations: Counter,
+    /// Engine replicas restarted by the supervisor after a crash.
+    pub engine_restarts: Counter,
+    /// `1` while the engine is down and restarting (requests get `503` +
+    /// `retry-after`), `0` while serving.
+    pub failover_active: Gauge,
+    /// Streams aborted because their connection disconnected mid-flight.
+    pub streams_aborted: Counter,
     /// Wall-clock time to first token, per completed stream.
     pub ttft_seconds: Histogram,
     /// Wall-clock request latency (arrival → last token), per stream.
@@ -202,6 +209,9 @@ impl Default for ServerMetrics {
             tokens_total: Counter::default(),
             streams_completed: Counter::default(),
             engine_iterations: Counter::default(),
+            engine_restarts: Counter::default(),
+            failover_active: Gauge::default(),
+            streams_aborted: Counter::default(),
             ttft_seconds: Histogram::latency(),
             request_seconds: Histogram::latency(),
             sim: Mutex::new(SimSnapshot::default()),
@@ -277,6 +287,24 @@ impl ServerMetrics {
             "counter",
             "Decode iterations the engine has run.",
             self.engine_iterations.get().to_string(),
+        );
+        scalar(
+            "pgmoe_engine_restarts_total",
+            "counter",
+            "Engine replicas restarted by the supervisor after a crash.",
+            self.engine_restarts.get().to_string(),
+        );
+        scalar(
+            "pgmoe_failover_active",
+            "gauge",
+            "1 while the engine is down and restarting, 0 while serving.",
+            self.failover_active.get().to_string(),
+        );
+        scalar(
+            "pgmoe_streams_aborted_total",
+            "counter",
+            "Streams aborted because their connection disconnected mid-flight.",
+            self.streams_aborted.get().to_string(),
         );
         let sim = *self.sim.lock().expect("metrics poisoned");
         scalar(

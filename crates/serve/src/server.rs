@@ -17,7 +17,9 @@
 //! Routes: `POST /v1/generate` (chunked NDJSON token stream),
 //! `GET /metrics` (Prometheus text), `GET /healthz`.
 
-use crate::engine::{run_engine, EngineConfig, EngineJob, EngineShared, OutMsg, Outbox};
+use crate::engine::{
+    run_engine, EngineConfig, EngineExit, EngineJob, EngineShared, OutMsg, Outbox,
+};
 use crate::http::{
     chunk, chunked_head, parse_request, response, Limits, Parsed, Request, LAST_CHUNK,
 };
@@ -170,9 +172,32 @@ impl Server {
             clock,
         });
         let engine_cfg = cfg.engine.clone();
-        let engine = std::thread::Builder::new()
-            .name("pgmoe-engine".into())
-            .spawn(move || run_engine(engine_cfg, rx, engine_shared))?;
+        // The engine thread is its own supervisor: when a replica crashes
+        // (the seeded chaos fault) it inherits the admission channel and
+        // the still-queued jobs, backs off while `/v1/generate` answers
+        // 503 + retry-after, and brings up a fresh replica. Only the run
+        // that shuts down cleanly reports final stats.
+        let engine = std::thread::Builder::new().name("pgmoe-engine".into()).spawn(move || {
+            let mut cfg = engine_cfg;
+            let mut rx = rx;
+            let mut carryover = std::collections::VecDeque::new();
+            loop {
+                match run_engine(cfg.clone(), rx, carryover, Arc::clone(&engine_shared)) {
+                    EngineExit::Shutdown(stats) => return stats,
+                    EngineExit::Crashed { rx: channel, carryover: queued, .. } => {
+                        engine_shared.metrics.engine_restarts.inc();
+                        // The seeded fault fires once; the replacement
+                        // replica serves to completion.
+                        cfg.fail_after_iterations = None;
+                        if cfg.restart_backoff_ms > 0 {
+                            std::thread::sleep(Duration::from_millis(cfg.restart_backoff_ms));
+                        }
+                        rx = channel;
+                        carryover = queued;
+                    }
+                }
+            }
+        })?;
 
         let io_shared = Arc::new(IoShared {
             metrics: Arc::clone(&metrics),
@@ -408,12 +433,20 @@ fn worker_loop(
         }
         conns.retain(|c| {
             if c.dead {
+                // A dead connection mid-stream tells the engine to abort
+                // the decode and release the request's batch slot.
+                if let ConnState::Streaming { outbox, .. } = &c.state {
+                    outbox.close();
+                }
                 shared.metrics.connections_open.dec();
             }
             !c.dead
         });
     }
-    for _ in conns.drain(..) {
+    for c in conns.drain(..) {
+        if let ConnState::Streaming { outbox, .. } = &c.state {
+            outbox.close();
+        }
         shared.metrics.connections_open.dec();
     }
 }
@@ -626,6 +659,16 @@ fn handle_generate(conn: &mut Conn, req: &Request, shared: &IoShared, tx: &SyncS
         }
     };
 
+    // Failover gate: while the engine is between replicas nothing drains
+    // the queue, so answer 503 + retry-after instead of parking the
+    // request behind a restart.
+    if shared.metrics.failover_active.get() != 0 {
+        let body = br#"{"error":"engine restarting, retry shortly"}"#;
+        let bytes = response(503, "application/json", body, &[("retry-after", "1")]);
+        conn.respond(shared, "/v1/generate", bytes, 503);
+        return;
+    }
+
     // SLO-aware load shedding: refuse on the IO thread, before the
     // request costs queue space or engine time.
     if let Verdict::Shed { projected } = shared.governor.verdict() {
@@ -663,5 +706,57 @@ fn handle_generate(conn: &mut Conn, req: &Request, shared: &IoShared, tx: &SyncS
             };
             reject(conn, shared, status, msg);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    /// Life of a request through replica death, end to end over real
+    /// sockets: the crashed stream tells its client to retry, the failover
+    /// window sheds with `503` + `retry-after`, a retrying client rides it
+    /// out, and `/metrics` records the restart.
+    #[test]
+    fn engine_crash_fails_over_and_keeps_serving() {
+        let mut cfg = ServeConfig::demo();
+        cfg.engine.fail_after_iterations = Some(2);
+        cfg.engine.restart_backoff_ms = 800;
+        let handle = Server::start(cfg).expect("server starts");
+        let addr = handle.addr();
+        let deadline = Duration::from_secs(30);
+
+        // The seeded fault fires two iterations into the first stream:
+        // the client gets its partial tokens, then an error line.
+        let first = client::generate(addr, &[1, 2, 3], 8, deadline).expect("transport ok");
+        assert!(!first.verified(), "stream must be cut by the crash: {first:?}");
+        assert!(first.body.contains("retry"), "{}", first.body);
+
+        // The failover gate went up before the error line was delivered,
+        // so an immediate follow-up is shed cleanly with a retry hint.
+        let during = client::generate(addr, &[1, 2, 3], 4, deadline).expect("transport ok");
+        assert_eq!(during.status, 503, "{}", during.body);
+        assert_eq!(during.retry_after, Some(1));
+
+        // A client that honors the hint completes once the replacement
+        // replica is up.
+        let policy = client::RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(200),
+            jitter_seed: 42,
+        };
+        let retried = client::generate_with_retry(addr, &[4, 5, 6], 4, deadline, policy)
+            .expect("transport ok");
+        assert!(retried.retries >= 1, "request must have waited out the failover window");
+        assert!(retried.response.verified(), "{:?}", retried.response);
+
+        let (status, metrics) = client::get(addr, "/metrics", deadline).expect("metrics");
+        assert_eq!(status, 200);
+        assert!(metrics.contains("pgmoe_engine_restarts_total 1"), "{metrics}");
+        assert!(metrics.contains("pgmoe_failover_active 0"), "{metrics}");
+        let stats = handle.shutdown().expect("engine stats");
+        assert!(stats.total_tokens >= 4, "replacement replica served the retried stream");
     }
 }

@@ -1,0 +1,201 @@
+//! Deterministic fault schedules for chaos experiments.
+//!
+//! A serving fleet's failure modes are part of its workload: replicas die
+//! mid-decode, host links degrade, and machines stall for garbage-collection
+//! or preemption pauses. [`FaultPlan`] describes those events as *data* —
+//! placement-level instants and durations, with no dependency on the
+//! runtime that executes them — so the same plan can be replayed against
+//! any fleet implementation and a chaos run is exactly as reproducible as
+//! the arrival trace it rides on.
+//!
+//! Plans are built either explicitly ([`FaultPlan::kill_at`],
+//! [`FaultPlan::stall_at`], [`FaultPlan::degrade_link_at`]) or drawn from a
+//! seed ([`FaultPlan::random`]) for fuzz-style chaos drills; both produce
+//! the identical schedule on every run with the same inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What happens to the targeted replica when a [`FaultEvent`] fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The replica dies: its in-flight and queued requests must be drained
+    /// and redispatched, and it serves nothing afterwards.
+    KillReplica,
+    /// The replica freezes for `for_ns` (GC pause, preemption, thermal
+    /// throttle): its clock jumps forward, work queued behind the stall
+    /// pays the delay, and service then resumes.
+    StallReplica {
+        /// Length of the freeze, nanoseconds.
+        for_ns: u64,
+    },
+    /// The replica's host link degrades: decode iterations stretch by
+    /// `factor` (≥ 1.0) until `for_ns` elapses.
+    DegradeLink {
+        /// Iteration wall-time multiplier while degraded (≥ 1.0).
+        factor: f64,
+        /// How long the degradation lasts, nanoseconds.
+        for_ns: u64,
+    },
+}
+
+/// One scheduled fault: `kind` hits `replica` at `at_ns`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Fleet time the fault fires, nanoseconds.
+    pub at_ns: u64,
+    /// Replica index the fault targets.
+    pub replica: usize,
+    /// The fault itself.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of fault events, sorted by fire time.
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_workload::{FaultKind, FaultPlan};
+///
+/// let plan = FaultPlan::new()
+///     .kill_at(2_000_000_000, 1)
+///     .stall_at(500_000_000, 0, 100_000_000);
+/// assert_eq!(plan.events().len(), 2);
+/// // Events iterate in fire order regardless of builder order.
+/// assert_eq!(plan.events()[0].kind, FaultKind::StallReplica { for_ns: 100_000_000 });
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults ever fire (the healthy-fleet baseline).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builder: kill `replica` at `at_ns`.
+    pub fn kill_at(mut self, at_ns: u64, replica: usize) -> Self {
+        self.push(FaultEvent { at_ns, replica, kind: FaultKind::KillReplica });
+        self
+    }
+
+    /// Builder: stall `replica` for `for_ns` starting at `at_ns`.
+    pub fn stall_at(mut self, at_ns: u64, replica: usize, for_ns: u64) -> Self {
+        self.push(FaultEvent { at_ns, replica, kind: FaultKind::StallReplica { for_ns } });
+        self
+    }
+
+    /// Builder: degrade `replica`'s link by `factor` for `for_ns` starting
+    /// at `at_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0` — a degradation cannot speed a link up.
+    pub fn degrade_link_at(mut self, at_ns: u64, replica: usize, factor: f64, for_ns: u64) -> Self {
+        assert!(factor >= 1.0, "link degradation factor must be >= 1.0, got {factor}");
+        self.push(FaultEvent { at_ns, replica, kind: FaultKind::DegradeLink { factor, for_ns } });
+        self
+    }
+
+    /// A seed-driven plan of `events` faults over `replicas` replicas,
+    /// spread uniformly over `(0, horizon_ns]`. Kill, stall and degrade
+    /// events are drawn with equal probability; stalls and degradations
+    /// last 1–10 % of the horizon. Never kills replica 0, so a fleet that
+    /// started with one replica keeps a survivor to drain onto.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0` or `horizon_ns == 0`.
+    pub fn random(seed: u64, replicas: usize, horizon_ns: u64, events: usize) -> Self {
+        assert!(replicas > 0, "a fault plan needs at least one replica to target");
+        assert!(horizon_ns > 0, "fault horizon must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..events {
+            let at_ns = rng.gen_range(1..=horizon_ns);
+            let dur = rng.gen_range(horizon_ns / 100..=horizon_ns / 10).max(1);
+            match rng.gen_range(0..3u8) {
+                0 if replicas > 1 => {
+                    let replica = rng.gen_range(1..replicas);
+                    plan.push(FaultEvent { at_ns, replica, kind: FaultKind::KillReplica });
+                }
+                1 => {
+                    let replica = rng.gen_range(0..replicas);
+                    plan.push(FaultEvent {
+                        at_ns,
+                        replica,
+                        kind: FaultKind::StallReplica { for_ns: dur },
+                    });
+                }
+                _ => {
+                    let replica = rng.gen_range(0..replicas);
+                    let factor = 1.5 + rng.gen_range(0.0..2.5);
+                    plan.push(FaultEvent {
+                        at_ns,
+                        replica,
+                        kind: FaultKind::DegradeLink { factor, for_ns: dur },
+                    });
+                }
+            }
+        }
+        plan
+    }
+
+    /// The scheduled events, sorted by fire time (stable for ties).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// `true` when no fault ever fires.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+        self.events.sort_by_key(|e| e.at_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_sort_by_fire_time() {
+        let plan =
+            FaultPlan::new().kill_at(300, 2).degrade_link_at(100, 0, 2.0, 50).stall_at(200, 1, 25);
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at_ns).collect();
+        assert_eq!(times, vec![100, 200, 300]);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_in_bounds() {
+        let a = FaultPlan::random(7, 4, 1_000_000, 12);
+        let b = FaultPlan::random(7, 4, 1_000_000, 12);
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 12);
+        for e in a.events() {
+            assert!(e.at_ns >= 1 && e.at_ns <= 1_000_000);
+            assert!(e.replica < 4);
+            if let FaultKind::KillReplica = e.kind {
+                assert_ne!(e.replica, 0, "replica 0 is never killed");
+            }
+            if let FaultKind::DegradeLink { factor, .. } = e.kind {
+                assert!(factor >= 1.0);
+            }
+        }
+        let c = FaultPlan::random(8, 4, 1_000_000, 12);
+        assert_ne!(a, c, "different seeds draw different schedules");
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be >= 1.0")]
+    fn speedup_degradation_is_rejected() {
+        let _ = FaultPlan::new().degrade_link_at(0, 0, 0.5, 10);
+    }
+}

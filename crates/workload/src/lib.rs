@@ -14,19 +14,24 @@
 //! * [`routing`] — expert-selection traces with uniform, Zipf-skewed (hot
 //!   experts, Fig 15's caching study) or domain-conditioned statistics.
 //! * [`requests`] — decode request streams (batch-1 is the paper's serving
-//!   point, Section VI-A) and open-loop arrival processes (Poisson/bursty)
-//!   for the continuous-batching serving experiments.
+//!   point, Section VI-A) and open-loop arrival processes (Poisson, bursty,
+//!   diurnal, flash-crowd) for the continuous-batching and fleet-control
+//!   serving experiments.
+//! * [`faults`] — deterministic, seed-driven fault schedules (replica
+//!   kills, stalls, link degradations) for the chaos experiments.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod faults;
 pub mod requests;
 pub mod routing;
 pub mod task;
 
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use requests::{
-    split_by_assignment, stamp_route_seeds, ArrivalProcess, ArrivalStream, ArrivedRequest,
-    DecodeRequest, LiveClock, RequestStream,
+    split_by_assignment, stamp_domain_rotation, stamp_route_seeds, ArrivalProcess, ArrivalStream,
+    ArrivedRequest, DecodeRequest, LiveClock, RequestStream,
 };
 pub use routing::{domain_of, RoutingKind, RoutingTrace};
 pub use task::{Example, TaskKind, TaskSpec};

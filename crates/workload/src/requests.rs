@@ -112,6 +112,42 @@ pub fn stamp_route_seeds(arrivals: &mut [ArrivedRequest], base_seed: u64) {
     }
 }
 
+/// Stamps every request with a route seed whose
+/// [`crate::routing::RoutingKind::ZipfDomains`] domain *rotates over time*:
+/// requests arriving in window `w = arrival_ns / rotate_every_ns` map to
+/// domain `w % domains`. This is the drift scenario an online
+/// policy-switching controller must detect — the population's hot-expert
+/// set moves mid-stream, so whatever a scheduler pinned or learned before
+/// the rotation starts missing afterwards.
+///
+/// Existing seeds are overwritten (drift is a property of the *trace*, so
+/// the stamper owns routing identity end to end); seeds remain
+/// placement-independent and deterministic in `base_seed`.
+///
+/// # Panics
+///
+/// Panics if `domains == 0` or `rotate_every_ns == 0`.
+pub fn stamp_domain_rotation(
+    arrivals: &mut [ArrivedRequest],
+    domains: usize,
+    rotate_every_ns: u64,
+    base_seed: u64,
+) {
+    assert!(domains > 0, "domain rotation needs at least one domain");
+    assert!(rotate_every_ns > 0, "rotation window must be positive");
+    for (idx, arr) in arrivals.iter_mut().enumerate() {
+        let target = ((arr.arrival_ns / rotate_every_ns) as usize) % domains;
+        // Start from the placement-independent default seed and walk until
+        // the seed hashes into the scheduled domain; the walk is bounded in
+        // expectation by `domains` steps and fully deterministic.
+        let mut seed = base_seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        while crate::routing::domain_of(seed, domains) != target {
+            seed = seed.wrapping_add(0x9E37_79B9);
+        }
+        arr.route_seed = Some(seed);
+    }
+}
+
 /// Splits an arrival stream into `replicas` per-replica sub-streams per the
 /// given assignment (`assignment[i]` is request `i`'s replica). Arrival
 /// order — and therefore sortedness — is preserved within each sub-stream.
@@ -157,6 +193,81 @@ pub enum ArrivalProcess {
         /// Gap between consecutive arrivals, nanoseconds.
         interval_ns: u64,
     },
+    /// Diurnal (non-stationary Poisson) arrivals: the instantaneous rate
+    /// swings sinusoidally between `trough_per_sec` (at time zero) and
+    /// `peak_per_sec` (half a period later), sampled by thinning — the load
+    /// shape a day/night traffic cycle presents to an autoscaler.
+    Diurnal {
+        /// Rate at the bottom of the cycle, requests per second (> 0).
+        trough_per_sec: f64,
+        /// Rate at the top of the cycle, requests per second (≥ trough).
+        peak_per_sec: f64,
+        /// Length of one full cycle, seconds (> 0).
+        period_s: f64,
+    },
+    /// Flash-crowd arrivals: Poisson at `base_per_sec`, except during the
+    /// window `[flash_start_s, flash_start_s + flash_len_s)` where the rate
+    /// jumps to `flash_per_sec` — the sudden-viral-event shape that
+    /// overwhelms a statically-sized fleet.
+    FlashCrowd {
+        /// Steady-state rate outside the flash window, per second (> 0).
+        base_per_sec: f64,
+        /// Rate during the flash window, per second (> 0).
+        flash_per_sec: f64,
+        /// When the flash starts, seconds.
+        flash_start_s: f64,
+        /// How long the flash lasts, seconds (> 0).
+        flash_len_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The instantaneous arrival rate at `t_ns`, requests per second.
+    /// Constant for the stationary processes.
+    pub fn rate_at(&self, t_ns: u64) -> f64 {
+        let t_s = t_ns as f64 / 1e9;
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec }
+            | ArrivalProcess::Bursty { rate_per_sec, .. } => rate_per_sec,
+            ArrivalProcess::Uniform { interval_ns } => {
+                if interval_ns == 0 {
+                    0.0
+                } else {
+                    1e9 / interval_ns as f64
+                }
+            }
+            ArrivalProcess::Diurnal { trough_per_sec, peak_per_sec, period_s } => {
+                let phase = 2.0 * std::f64::consts::PI * (t_s / period_s);
+                trough_per_sec + (peak_per_sec - trough_per_sec) * 0.5 * (1.0 - phase.cos())
+            }
+            ArrivalProcess::FlashCrowd {
+                base_per_sec,
+                flash_per_sec,
+                flash_start_s,
+                flash_len_s,
+            } => {
+                if t_s >= flash_start_s && t_s < flash_start_s + flash_len_s {
+                    flash_per_sec
+                } else {
+                    base_per_sec
+                }
+            }
+        }
+    }
+
+    /// An upper bound on the instantaneous rate — the thinning envelope for
+    /// the non-stationary processes.
+    fn max_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Diurnal { trough_per_sec, peak_per_sec, .. } => {
+                trough_per_sec.max(peak_per_sec)
+            }
+            ArrivalProcess::FlashCrowd { base_per_sec, flash_per_sec, .. } => {
+                base_per_sec.max(flash_per_sec)
+            }
+            other => other.rate_at(0),
+        }
+    }
 }
 
 /// A seeded open-loop arrival stream: request shapes from a
@@ -195,6 +306,16 @@ impl ArrivalStream {
                 assert!(rate_per_sec > 0.0, "arrival rate must be positive");
             }
             ArrivalProcess::Uniform { .. } => {}
+            ArrivalProcess::Diurnal { trough_per_sec, peak_per_sec, period_s } => {
+                assert!(trough_per_sec > 0.0, "trough rate must be positive");
+                assert!(peak_per_sec >= trough_per_sec, "peak rate must be >= trough rate");
+                assert!(period_s > 0.0, "diurnal period must be positive");
+            }
+            ArrivalProcess::FlashCrowd { base_per_sec, flash_per_sec, flash_len_s, .. } => {
+                assert!(base_per_sec > 0.0, "base rate must be positive");
+                assert!(flash_per_sec > 0.0, "flash rate must be positive");
+                assert!(flash_len_s > 0.0, "flash window must have positive length");
+            }
         }
         if let ArrivalProcess::Bursty { burst, .. } = process {
             assert!(burst >= 1, "burst size must be >= 1");
@@ -212,6 +333,22 @@ impl ArrivalStream {
     fn exp_gap_ns(&mut self, rate_per_sec: f64) -> u64 {
         let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
         ((-u.ln() / rate_per_sec) * 1e9).round() as u64
+    }
+
+    /// Next arrival of a non-stationary Poisson process by thinning: draw
+    /// candidate gaps at the envelope rate and accept each with probability
+    /// `rate(t) / max_rate` — the standard exact sampler for rate functions
+    /// bounded by a constant envelope.
+    fn thinned_gap_to(&mut self, process: ArrivalProcess) -> u64 {
+        let envelope = process.max_rate();
+        let mut t = self.clock_ns;
+        loop {
+            t += self.exp_gap_ns(envelope).max(1);
+            let accept: f64 = self.rng.gen();
+            if accept < process.rate_at(t) / envelope {
+                return t;
+            }
+        }
     }
 }
 
@@ -235,6 +372,9 @@ impl Iterator for ArrivalStream {
                     self.burst_left = burst;
                 }
                 self.burst_left -= 1;
+            }
+            p @ (ArrivalProcess::Diurnal { .. } | ArrivalProcess::FlashCrowd { .. }) => {
+                self.clock_ns = self.thinned_gap_to(p);
             }
         }
         let request = self.requests.next()?;
@@ -412,6 +552,89 @@ mod tests {
         let req = DecodeRequest::paper_default();
         let arrivals = vec![ArrivedRequest::at_nanos(0, req)];
         let _ = split_by_assignment(&arrivals, &[3], 2);
+    }
+
+    #[test]
+    fn diurnal_rate_tracks_the_cycle() {
+        let process =
+            ArrivalProcess::Diurnal { trough_per_sec: 20.0, peak_per_sec: 200.0, period_s: 20.0 };
+        assert!((process.rate_at(0) - 20.0).abs() < 1e-9, "cycle starts at the trough");
+        assert!((process.rate_at(10_000_000_000) - 200.0).abs() < 1e-9, "peak at half period");
+        let arrivals: Vec<_> = ArrivalStream::new(process, DecodeRequest::paper_default(), 0, 11)
+            .take(2_000)
+            .collect();
+        assert!(arrivals.windows(2).all(|w| w[0].arrival_ns < w[1].arrival_ns));
+        // The valley (first quarter-period) must be materially sparser than
+        // the crest (the quarter around the peak).
+        let count_in = |lo_s: f64, hi_s: f64| {
+            arrivals
+                .iter()
+                .filter(|a| {
+                    let t = a.arrival_ns as f64 / 1e9;
+                    t >= lo_s && t < hi_s
+                })
+                .count()
+        };
+        let valley = count_in(0.0, 5.0).max(1);
+        let crest = count_in(7.5, 12.5);
+        assert!(
+            crest > 3 * valley,
+            "peak window must out-arrive the trough window ({crest} vs {valley})"
+        );
+        // Determinism.
+        let again: Vec<_> = ArrivalStream::new(process, DecodeRequest::paper_default(), 0, 11)
+            .take(2_000)
+            .collect();
+        assert_eq!(arrivals, again);
+    }
+
+    #[test]
+    fn flash_crowd_spikes_inside_its_window() {
+        let process = ArrivalProcess::FlashCrowd {
+            base_per_sec: 10.0,
+            flash_per_sec: 400.0,
+            flash_start_s: 2.0,
+            flash_len_s: 1.0,
+        };
+        assert!((process.rate_at(0) - 10.0).abs() < 1e-9);
+        assert!((process.rate_at(2_500_000_000) - 400.0).abs() < 1e-9);
+        assert!((process.rate_at(3_500_000_000) - 10.0).abs() < 1e-9);
+        let arrivals: Vec<_> =
+            ArrivalStream::new(process, DecodeRequest::paper_default(), 0, 5).take(600).collect();
+        let inside = arrivals
+            .iter()
+            .filter(|a| (2_000_000_000..3_000_000_000).contains(&a.arrival_ns))
+            .count();
+        let before = arrivals.iter().filter(|a| a.arrival_ns < 2_000_000_000).count();
+        assert!(
+            inside > 5 * before.max(1),
+            "the one-second flash ({inside}) must dwarf two seconds of base load ({before})"
+        );
+    }
+
+    #[test]
+    fn domain_rotation_follows_the_schedule() {
+        use crate::routing::domain_of;
+        let req = DecodeRequest::paper_default();
+        // Arrivals spread over 4 windows of 1 ms each.
+        let mut arrivals: Vec<ArrivedRequest> =
+            (0..40).map(|i| ArrivedRequest::at_nanos(i * 100_000, req)).collect();
+        stamp_domain_rotation(&mut arrivals, 3, 1_000_000, 42);
+        for arr in &arrivals {
+            let expected = ((arr.arrival_ns / 1_000_000) as usize) % 3;
+            assert_eq!(domain_of(arr.route_seed.unwrap(), 3), expected, "at {}", arr.arrival_ns);
+        }
+        // Deterministic and distinct.
+        let mut again = arrivals.clone();
+        for a in &mut again {
+            a.route_seed = None;
+        }
+        stamp_domain_rotation(&mut again, 3, 1_000_000, 42);
+        assert_eq!(arrivals, again);
+        let mut seeds: Vec<u64> = arrivals.iter().map(|a| a.route_seed.unwrap()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 40, "seeds stay distinct per request");
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Adaptive fleet control under non-stationary traffic and injected faults.
+//!
+//! Three demonstrations on the controlled fleet layer, all self-asserted:
+//!
+//! 1. **Autoscaling shootout** — a diurnal trace (deep troughs, sharp
+//!    peaks) is served by every static replica count and by the queue
+//!    autoscaler. The figure of merit is tokens/s-per-GPU *at equal p99*:
+//!    every static size either misses the adaptive fleet's tail latency
+//!    (underprovisioned) or pays for idle GPUs in the trough and loses on
+//!    per-GPU throughput (overprovisioned). Only the autoscaler gets both.
+//! 2. **Kill-one-replica recovery** — a seeded fault plan kills a replica
+//!    mid-run; its queued and in-flight work is redispatched and every
+//!    request still completes with its full token count.
+//! 3. **Online policy switching** — a drift detector watching
+//!    demand-fetch-bytes-per-token swaps every live replica from on-demand
+//!    fetching to the pre-gated policy, cutting miss-stall bytes without
+//!    dropping a request.
+//!
+//! ```sh
+//! cargo run --release --example serve_chaos
+//! ```
+
+use pregated_moe::prelude::*;
+
+const MAX_REPLICAS: usize = 5;
+
+fn controlled(replicas: usize, policy: OffloadPolicy) -> ControlledFleet {
+    ControlledFleet::new(
+        ModelConfig::switch_base(8),
+        SimOptions::new(policy),
+        FleetConfig::new(replicas, BatchConfig::new(4)),
+    )
+}
+
+fn diurnal_trace(n: usize, seed: u64) -> Vec<ArrivedRequest> {
+    let request = DecodeRequest { input_tokens: 16, output_tokens: 8, batch_size: 1 };
+    ArrivalStream::new(
+        ArrivalProcess::Diurnal { trough_per_sec: 15.0, peak_per_sec: 350.0, period_s: 1.0 },
+        request,
+        1,
+        seed,
+    )
+    .take(n)
+    .collect()
+}
+
+fn row(label: &str, s: &FleetStats) {
+    let c = s.control.as_ref();
+    println!(
+        "{label:<26} {:>5} {:>13.1} {:>10} {:>7} {:>7}",
+        s.gpus,
+        s.tokens_per_gpu_second(),
+        format!("{}", s.p99()),
+        c.map_or(0, |c| c.scale_ups),
+        c.map_or(0, |c| c.scale_downs),
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. autoscaling vs every static size on a diurnal trace ----------
+    let arrivals = diurnal_trace(96, 17);
+    println!("=== Diurnal trace: {} requests, trough 15/s, peak 350/s ===\n", arrivals.len());
+    println!(
+        "{:<26} {:>5} {:>13} {:>10} {:>7} {:>7}",
+        "deployment", "GPUs", "tok/s-per-GPU", "p99", "ups", "downs"
+    );
+
+    let mut statics = Vec::new();
+    for k in 1..=MAX_REPLICAS {
+        let s = controlled(k, OffloadPolicy::Pregated).serve(
+            arrivals.clone(),
+            &mut JoinShortestQueue::new(),
+            &FaultPlan::new(),
+            &mut NoControl,
+        )?;
+        row(&format!("static {k} replica(s)"), &s);
+        statics.push(s);
+    }
+
+    let ctl = ControlOptions { window_ns: 25_000_000, warmup_ns: 25_000_000 };
+    let mut scaler = QueueAutoScaler::new(1, MAX_REPLICAS, 4);
+    let adaptive = controlled(1, OffloadPolicy::Pregated).with_control(ctl).serve(
+        arrivals.clone(),
+        &mut JoinShortestQueue::new(),
+        &FaultPlan::new(),
+        &mut scaler,
+    )?;
+    row("adaptive (queue scaler)", &adaptive);
+
+    let c = adaptive.control.as_ref().unwrap();
+    assert!(c.scale_ups > 0 && c.scale_downs > 0, "the diurnal trace must exercise both knobs");
+    assert_eq!(adaptive.request_latencies.len(), arrivals.len());
+    // The headline claim: at the adaptive fleet's p99, no static size
+    // matches its per-GPU throughput. Underprovisioned statics blow the
+    // tail; overprovisioned statics idle through the trough.
+    for (k, s) in statics.iter().enumerate() {
+        let matches_tail = s.p99() <= adaptive.p99();
+        let beats_tco = adaptive.tokens_per_gpu_second() > s.tokens_per_gpu_second();
+        assert!(
+            !matches_tail || beats_tco,
+            "static {} replicas matched the adaptive p99 ({} vs {}) AND its tokens/s-per-GPU \
+             ({:.1} vs {:.1}) — autoscaling should dominate",
+            k + 1,
+            s.p99(),
+            adaptive.p99(),
+            s.tokens_per_gpu_second(),
+            adaptive.tokens_per_gpu_second()
+        );
+    }
+    println!(
+        "\nheadline: the autoscaler rides the diurnal wave at {:.1} tokens/s-per-GPU — every \
+         static size either misses its p99 ({}) or loses on per-GPU throughput.\n",
+        adaptive.tokens_per_gpu_second(),
+        adaptive.p99()
+    );
+
+    // --- 2. kill-one-replica recovery ------------------------------------
+    let burst = diurnal_trace(48, 23);
+    let expected_tokens: usize = burst.iter().map(|a| a.request.output_tokens).sum();
+    let kill_at = burst[12].arrival_ns + 1;
+    let plan = FaultPlan::new().kill_at(kill_at, 1);
+    let survived = controlled(3, OffloadPolicy::Pregated).serve(
+        burst.clone(),
+        &mut JoinShortestQueue::new(),
+        &plan,
+        &mut NoControl,
+    )?;
+    let ctl_stats = survived.control.as_ref().unwrap();
+    println!("--- kill replica 1 at t={kill_at}ns (3-replica fleet) ---");
+    println!(
+        "served {}/{} requests, {} tokens (expected {}), {} redispatched, {} tokens re-decoded",
+        survived.request_latencies.len(),
+        burst.len(),
+        survived.total_tokens,
+        expected_tokens,
+        ctl_stats.redispatched,
+        ctl_stats.dropped_tokens,
+    );
+    assert_eq!(survived.request_latencies.len(), burst.len(), "zero requests lost");
+    assert_eq!(survived.total_tokens, expected_tokens, "every stream completed in full");
+    assert!(ctl_stats.redispatched > 0);
+
+    // --- 3. drift-triggered online policy switch --------------------------
+    let drifting = diurnal_trace(48, 29);
+    let stay = controlled(2, OffloadPolicy::OnDemand).with_control(ctl).serve(
+        drifting.clone(),
+        &mut RoundRobin::new(),
+        &FaultPlan::new(),
+        &mut NoControl,
+    )?;
+    let mut switcher = DriftSwitcher::new(PolicySpec::from(OffloadPolicy::Pregated), 1e-9, 1);
+    let switched = controlled(2, OffloadPolicy::OnDemand).with_control(ctl).serve(
+        drifting,
+        &mut RoundRobin::new(),
+        &FaultPlan::new(),
+        &mut switcher,
+    )?;
+    println!("\n--- drift switch: MoE-OnDemand -> Pre-gated MoE on live replicas ---");
+    println!(
+        "demand-fetch bytes: {:.3} GB unswitched -> {:.3} GB switched ({} replica swaps)",
+        stay.demand_fetch_bytes as f64 / 1e9,
+        switched.demand_fetch_bytes as f64 / 1e9,
+        switched.control.as_ref().unwrap().policy_switches,
+    );
+    assert!(switcher.fired(), "the detector must fire on on-demand traffic");
+    assert!(
+        switched.demand_fetch_bytes < stay.demand_fetch_bytes,
+        "switching mid-run must cut demand-fetch bytes"
+    );
+    assert_eq!(switched.total_tokens, stay.total_tokens, "no request lost across the swap");
+
+    println!("\nserve_chaos: all claims verified.");
+    Ok(())
+}

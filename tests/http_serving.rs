@@ -186,6 +186,8 @@ fn sheds_with_429_before_the_slo_breaks() {
             batch: BatchConfig::new(2),
             net,
             net_seed: 7,
+            fail_after_iterations: None,
+            restart_backoff_ms: 0,
         },
         slo: SloConfig { target_ttft: Duration::from_millis(20) },
         ..ServeConfig::demo()
