@@ -19,6 +19,7 @@ targets:
   policies                   six-scheduler shootout (4 built-ins + Speculative-TopM + Cache-Pinned)
   fleet                      iso-GPU fleet shootout (N offload replicas vs N-GPU expert parallelism)
   chaos                      fault injection + recovery + autoscaling + policy-switch suite
+  paged                      paged-KV gate (block paging + prefix reuse vs worst-case KV)
   ablations                  PCIe/level/batch/top-k/precision/scheduler/fleet sweeps
   csv <dir>                  write artifact-style CSV files (incl. fleet.csv)
   all                        every figure target (table1, fig2-3, fig10-16, timeline)
@@ -45,6 +46,7 @@ fn main() {
         "policies" => print!("{}", ablations::policies_sweep()),
         "fleet" => print!("{}", ablations::fleet_shootout()),
         "chaos" => print!("{}", ablations::chaos_suite()),
+        "paged" => print!("{}", ablations::paged_kv_gate()),
         "ablations" => {
             print!("{}", ablations::pcie_sweep());
             print!("{}", ablations::level_sweep());
@@ -54,6 +56,7 @@ fn main() {
             print!("{}", ablations::policies_sweep());
             print!("{}", ablations::multi_gpu_motivation());
             print!("{}", ablations::fleet_shootout());
+            print!("{}", ablations::paged_kv_gate());
         }
         "motivation" => print!("{}", ablations::multi_gpu_motivation()),
         "csv" => {

@@ -62,15 +62,16 @@ pub mod prelude {
         BatchSession, CacheAffinity, CacheCapacity, CacheConfig, ClusterConfig, ControlAction,
         ControlOptions, ControlStats, ControlWindow, ControlledFleet, DispatchPolicy,
         DriftSwitcher, ExpertScheduler, FetchSet, FleetConfig, FleetController, FleetSim,
-        FleetStats, InferenceSim, JoinShortestQueue, LiveRouting, NoControl, OffloadPolicy,
-        PolicyCtx, PolicySpec, Prefetch, QueueAutoScaler, Replacement, ReplicaObs, ReplicaView,
-        RequestProfile, Residency, RoundRobin, RunReport, SchedulerFactory, ServeStats, SimOptions,
-        TokenEvent,
+        FleetStats, InferenceSim, JoinShortestQueue, KvBlockPool, KvServeStats, LiveRouting,
+        NoControl, OffloadPolicy, PagedKvConfig, PolicyCtx, PolicySpec, Prefetch, QueueAutoScaler,
+        Replacement, ReplicaObs, ReplicaView, RequestProfile, Residency, RoundRobin, RunReport,
+        SchedulerFactory, ServeStats, SimOptions, TokenEvent,
     };
     pub use pgmoe_serve::{EngineConfig, ServeConfig, Server, ServerHandle, SloConfig};
     pub use pgmoe_train::{Trainer, TrainerConfig};
     pub use pgmoe_workload::{
-        ArrivalProcess, ArrivalStream, ArrivedRequest, DecodeRequest, FaultEvent, FaultKind,
-        FaultPlan, RequestStream, RoutingKind, RoutingTrace, TaskKind, TaskSpec,
+        mixed_context_trace, ArrivalProcess, ArrivalStream, ArrivedRequest, DecodeRequest,
+        FaultEvent, FaultKind, FaultPlan, RequestStream, RoutingKind, RoutingTrace, SharedPrefix,
+        TaskKind, TaskSpec,
     };
 }

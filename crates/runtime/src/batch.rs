@@ -45,18 +45,29 @@ pub struct BatchConfig {
     /// HBM budget for admission control, bytes. `None` uses the machine's
     /// full HBM capacity. Values above the capacity are clamped to it.
     pub hbm_budget_bytes: Option<u64>,
+    /// Block-paged KV cache with chunked prefill and shared-prefix reuse.
+    /// `None` keeps the classic unpaged path (worst-case contiguous KV
+    /// reserved per request at admission).
+    pub paged_kv: Option<crate::kv::PagedKvConfig>,
 }
 
 impl BatchConfig {
     /// A config admitting up to `max_batch` concurrent requests under the
     /// machine's full HBM capacity.
     pub fn new(max_batch: usize) -> Self {
-        BatchConfig { max_batch, hbm_budget_bytes: None }
+        BatchConfig { max_batch, hbm_budget_bytes: None, paged_kv: None }
     }
 
     /// Builder: cap the HBM bytes admission control may plan against.
     pub fn with_hbm_budget(mut self, bytes: u64) -> Self {
         self.hbm_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Builder: switch the session to the block-paged KV path (see
+    /// [`crate::PagedKvConfig`]).
+    pub fn with_paged_kv(mut self, paged: crate::kv::PagedKvConfig) -> Self {
+        self.paged_kv = Some(paged);
         self
     }
 }
@@ -133,6 +144,8 @@ impl BatchScheduler {
                 expert_fetch_bytes: 0,
                 demand_fetch_bytes: 0,
                 gpu_busy: pgmoe_device::SimDuration::ZERO,
+                peak_batch: 0,
+                kv: None,
             });
         }
 

@@ -158,6 +158,24 @@ impl ExpertCache {
         false
     }
 
+    /// Resizes the cache to hold `capacity` experts, evicting down through
+    /// the configured replacement policy when the new capacity is below the
+    /// current residency. This is the KV-arbitration seam: the paged-KV
+    /// session shrinks the cache when KV blocks need its HBM and regrows it
+    /// when headroom returns.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.entries.len() > self.capacity {
+            match self.pick_victim() {
+                Some(victim) => {
+                    self.entries.remove(&victim);
+                    self.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
     /// The eviction candidate under the configured policy (ties broken by
     /// key order for determinism).
     fn pick_victim(&self) -> Option<ExpertKey> {

@@ -957,6 +957,8 @@ impl ControlledFleet {
             expert_fetch_bytes: 0,
             demand_fetch_bytes: 0,
             gpu_busy: SimDuration::ZERO,
+            peak_batch: 0,
+            kv: None,
         };
         FleetStats {
             dispatch,

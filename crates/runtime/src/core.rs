@@ -108,6 +108,37 @@ pub(crate) struct PrefillCosts {
     pub labels: [&'static str; 3],
 }
 
+/// The batched serving paths' encoder-pass cost model: prefilling
+/// `total_inputs` prompt tokens against a batch whose live contexts read
+/// `attn_bytes` per attention layer. The all-at-once prefill and the paged
+/// path's chunked prefill both build their [`PrefillCosts`] here so the two
+/// cannot drift — with an unbounded chunk they submit byte- and
+/// flop-identical passes.
+pub(crate) fn batched_prefill_costs(
+    cfg: &pgmoe_model::ModelConfig,
+    plan: &PlacementPlan,
+    total_inputs: usize,
+    attn_bytes: u64,
+) -> PrefillCosts {
+    let tokens = total_inputs as f64;
+    let d = cfg.d_model as f64;
+    let ffn_flops = tokens * 4.0 * d * cfg.d_ff as f64;
+    PrefillCosts {
+        attn_flops: tokens * 2.0 * (4.0 * d * d + 2.0 * d * tokens),
+        attn_bytes,
+        ffn_flops,
+        ffn_bytes: crate::engine::dense_ffn_bytes_for(cfg),
+        exec_flops: ffn_flops * plan.active_per_block() as f64,
+        encoder_layers: cfg.encoder_layers,
+        moe_every: cfg.moe_every,
+        distinct: expected_distinct_experts(
+            total_inputs * plan.active_per_block(),
+            cfg.num_experts,
+        ),
+        labels: ["prefill-attn", "prefill-ffn", "prefill-expert"],
+    }
+}
+
 /// Enqueues migration of `experts` for cache key-space `block`. Experts the
 /// scheduler pins resident cost nothing; cache hits cost nothing; every
 /// other expert gets (when `alloc_buffers`) a transient HBM buffer pushed

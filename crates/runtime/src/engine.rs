@@ -303,12 +303,15 @@ impl InferenceSim {
 
 /// HBM bytes streamed by one decoder attention layer: the projection
 /// weights are read once regardless of batch size, the KV cache is scanned
-/// per live context (one entry per batched request).
+/// per live context (one entry per batched request). The KV term is the
+/// shared [`crate::memory::kv_bytes`] accounting path at depth 1 — the same
+/// per-token bytes admission control multiplies by the full layer count.
 pub(crate) fn attn_bytes_for(cfg: &ModelConfig, ctx_lens: impl IntoIterator<Item = usize>) -> u64 {
     let d = cfg.d_model as u64;
     let bpp = cfg.precision.bytes_per_param();
     let weights = (4 * d * d) as f64 * bpp;
-    let kv: u64 = ctx_lens.into_iter().map(|ctx| 2 * ctx as u64 * d * 4).sum();
+    let kv: u64 =
+        ctx_lens.into_iter().map(|ctx| crate::memory::kv_bytes(1, ctx, cfg.d_model, 1)).sum();
     (weights + kv as f64) as u64
 }
 

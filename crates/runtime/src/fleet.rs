@@ -296,11 +296,12 @@ impl FleetStats {
         }
     }
 
-    /// End-to-end latency at quantile `q ∈ [0, 1]` (nearest-rank).
+    /// End-to-end latency at quantile `q ∈ [0, 1]` (nearest-rank). Zero
+    /// when no requests were served.
     ///
     /// # Panics
     ///
-    /// Panics if no requests were served or `q` is outside `[0, 1]`.
+    /// Panics if `q` is outside `[0, 1]`.
     pub fn latency_quantile(&self, q: f64) -> SimDuration {
         quantile_of(&self.request_latencies, q)
     }
@@ -320,20 +321,22 @@ impl FleetStats {
         self.latency_quantile(0.99)
     }
 
-    /// Time-to-first-token at quantile `q ∈ [0, 1]` (nearest-rank).
+    /// Time-to-first-token at quantile `q ∈ [0, 1]` (nearest-rank). Zero
+    /// when no requests were served.
     ///
     /// # Panics
     ///
-    /// Panics if no requests were served or `q` is outside `[0, 1]`.
+    /// Panics if `q` is outside `[0, 1]`.
     pub fn ttft_quantile(&self, q: f64) -> SimDuration {
         quantile_of(&self.ttfts, q)
     }
 
-    /// Queueing delay at quantile `q ∈ [0, 1]` (nearest-rank).
+    /// Queueing delay at quantile `q ∈ [0, 1]` (nearest-rank). Zero when
+    /// no requests were served.
     ///
     /// # Panics
     ///
-    /// Panics if no requests were served or `q` is outside `[0, 1]`.
+    /// Panics if `q` is outside `[0, 1]`.
     pub fn queueing_quantile(&self, q: f64) -> SimDuration {
         quantile_of(&self.queueing_delays, q)
     }

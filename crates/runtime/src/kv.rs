@@ -1,0 +1,579 @@
+//! Block-paged KV cache with copy-on-write prefix sharing.
+//!
+//! The unpaged serving path reserves **worst-case contiguous KV** per
+//! request at admission (`input + output` tokens, all layers), which caps
+//! the admitted batch far below what HBM actually holds: most of the
+//! reservation is decode context that does not exist yet, and tenants'
+//! shared system prompts are stored once *per request*. This module is the
+//! vLLM-style fix:
+//!
+//! * KV lives in fixed-size **blocks** of [`KvBlockPool::block_tokens`]
+//!   tokens; a request holds a [`BlockTable`] of physical block ids and
+//!   only the blocks its *current* context needs.
+//! * Full blocks inside a request's declared shared-prefix region are
+//!   content-addressed by a chained FNV-1a hash; a second request whose
+//!   prompt opens with the same tokens points its table at the **same
+//!   physical block** ([`KvPoolStats::shared_hit_bytes`] counts the copies
+//!   avoided).
+//! * Shared blocks are refcounted and immutable. Writing into a shared
+//!   *partial* block (possible after [`KvBlockPool::fork`], the
+//!   parallel-sampling seam) triggers **copy-on-write**: the writer gets a
+//!   private copy, the sibling's contents are untouched.
+//!
+//! The pool is a pure data structure — it owns no device memory. The
+//! serving session reconciles [`KvBlockPool::used_bytes`] against the
+//! simulated HBM pool and arbitrates the budget between KV blocks and the
+//! expert cache (see `session.rs`).
+
+use std::collections::HashMap;
+
+/// Knobs for the paged-KV serving path (see
+/// [`crate::BatchConfig::with_paged_kv`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagedKvConfig {
+    /// Tokens per KV block. Small blocks waste less tail space but shard
+    /// the prefix index finer; vLLM's default is 16.
+    pub block_tokens: usize,
+    /// Maximum prompt tokens prefilled per scheduler step. Prefill work for
+    /// longer prompts is chunked across decode-iteration boundaries so one
+    /// long prompt cannot stall the whole batch. `usize::MAX` prefills
+    /// every pending prompt in one step (timing-identical to the unpaged
+    /// path when HBM is roomy).
+    pub prefill_chunk_tokens: usize,
+    /// Whether full blocks inside a declared shared prefix are deduplicated
+    /// across requests.
+    pub share_prefixes: bool,
+}
+
+impl PagedKvConfig {
+    /// Paged KV with `block_tokens`-token blocks, unbounded prefill chunks,
+    /// and prefix sharing enabled.
+    pub fn new(block_tokens: usize) -> Self {
+        PagedKvConfig { block_tokens, prefill_chunk_tokens: usize::MAX, share_prefixes: true }
+    }
+
+    /// Builder: bound prompt prefill to `tokens` per scheduler step.
+    pub fn with_prefill_chunk(mut self, tokens: usize) -> Self {
+        self.prefill_chunk_tokens = tokens.max(1);
+        self
+    }
+
+    /// Builder: disable shared-prefix deduplication (every request gets
+    /// private blocks).
+    pub fn without_prefix_sharing(mut self) -> Self {
+        self.share_prefixes = false;
+        self
+    }
+}
+
+/// Counters the pool accumulates across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvPoolStats {
+    /// Bytes of KV *not* written because a full shared-prefix block was
+    /// already resident (one hit = one block's bytes).
+    pub shared_hit_bytes: u64,
+    /// Bytes copied by copy-on-write when a writer appended into a shared
+    /// partial block.
+    pub cow_copy_bytes: u64,
+    /// Copy-on-write events.
+    pub cow_copies: u64,
+    /// Physical blocks allocated over the pool's lifetime (frees not
+    /// subtracted).
+    pub blocks_allocated: u64,
+}
+
+/// Per-session paged-KV statistics surfaced in
+/// [`crate::ServeStats::kv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvServeStats {
+    /// Tokens per block the session ran with.
+    pub block_tokens: usize,
+    /// High-water physical blocks in use.
+    pub peak_blocks: usize,
+    /// High-water KV bytes in use (`peak_blocks` × block bytes).
+    pub peak_kv_bytes: u64,
+    /// Bytes saved by shared-prefix block reuse.
+    pub shared_hit_bytes: u64,
+    /// Bytes copied by copy-on-write.
+    pub cow_copy_bytes: u64,
+    /// Times the expert cache was shrunk to make room for KV blocks.
+    pub cache_shrink_events: u64,
+    /// Expert-cache capacity (in experts) when the session finished, after
+    /// any KV-pressure arbitration.
+    pub final_cache_experts: usize,
+}
+
+/// One request's view of its KV cache: an ordered list of physical block
+/// ids plus the number of logical tokens stored. Obtained from
+/// [`KvBlockPool::new_table`]; must be returned via
+/// [`KvBlockPool::release`].
+#[derive(Debug, Clone)]
+pub struct BlockTable {
+    blocks: Vec<usize>,
+    tokens: usize,
+    /// Running chained hash over every stamp appended so far — the content
+    /// address of the *next* full block boundary.
+    chain: u64,
+    /// Leading tokens eligible for shared-prefix deduplication.
+    sharable_tokens: usize,
+}
+
+impl BlockTable {
+    /// Logical tokens stored.
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Physical blocks referenced (shared blocks count once per table).
+    pub fn blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The physical block ids, in logical order (the "block-table walk" an
+    /// attention kernel would gather from).
+    pub fn physical_blocks(&self) -> &[usize] {
+        &self.blocks
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PhysBlock {
+    refcount: u32,
+    /// Per-token content stamps. Length < `block_tokens` means partial.
+    stamps: Vec<u64>,
+    /// The chained content hash this block is indexed under, if shared.
+    key: Option<u64>,
+}
+
+/// A refcounted slab of fixed-size KV blocks with a content-addressed
+/// prefix index (module docs above).
+///
+/// # Example
+///
+/// ```
+/// use pgmoe_runtime::KvBlockPool;
+///
+/// let mut pool = KvBlockPool::new(4, 1024); // 4-token blocks, 1 KiB/token
+/// let mut a = pool.new_table(8);
+/// pool.append(&mut a, &[1, 2, 3, 4, 5, 6, 7, 8]);
+/// let mut b = pool.new_table(8);
+/// pool.append(&mut b, &[1, 2, 3, 4, 5, 6, 7, 8]); // same prefix content
+/// assert_eq!(pool.used_blocks(), 2, "both tables share both blocks");
+/// assert_eq!(pool.stats().shared_hit_bytes, 2 * 4 * 1024);
+/// pool.release(a);
+/// pool.release(b);
+/// assert_eq!(pool.used_blocks(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvBlockPool {
+    block_tokens: usize,
+    bytes_per_token: u64,
+    blocks: Vec<PhysBlock>,
+    free: Vec<usize>,
+    index: HashMap<u64, usize>,
+    used_blocks: usize,
+    peak_blocks: usize,
+    stats: KvPoolStats,
+}
+
+fn fnv1a_u64(mut hash: u64, value: u64) -> u64 {
+    for byte in value.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+impl KvBlockPool {
+    /// A pool of `block_tokens`-token blocks costing `bytes_per_token` KV
+    /// bytes per token (all layers). `block_tokens` is clamped to ≥ 1.
+    pub fn new(block_tokens: usize, bytes_per_token: u64) -> Self {
+        KvBlockPool {
+            block_tokens: block_tokens.max(1),
+            bytes_per_token,
+            blocks: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            used_blocks: 0,
+            peak_blocks: 0,
+            stats: KvPoolStats::default(),
+        }
+    }
+
+    /// Tokens per block.
+    pub fn block_tokens(&self) -> usize {
+        self.block_tokens
+    }
+
+    /// HBM bytes one block occupies.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_tokens as u64 * self.bytes_per_token
+    }
+
+    /// Physical blocks currently in use.
+    pub fn used_blocks(&self) -> usize {
+        self.used_blocks
+    }
+
+    /// High-water physical blocks.
+    pub fn peak_blocks(&self) -> usize {
+        self.peak_blocks
+    }
+
+    /// HBM bytes currently occupied by KV blocks.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_blocks as u64 * self.block_bytes()
+    }
+
+    /// High-water KV bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_blocks as u64 * self.block_bytes()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> KvPoolStats {
+        self.stats
+    }
+
+    /// An empty table whose first `sharable_tokens` tokens may be
+    /// deduplicated against other tables' identical prefixes. Pass 0 to
+    /// keep every block private.
+    pub fn new_table(&self, sharable_tokens: usize) -> BlockTable {
+        BlockTable { blocks: Vec::new(), tokens: 0, chain: FNV_OFFSET, sharable_tokens }
+    }
+
+    /// How many of the first `min(tokens, sharable)` tokens' full blocks
+    /// are already resident for the given stamp sequence — what admission
+    /// control subtracts from a prompt's planned KV footprint. Does not
+    /// touch refcounts.
+    pub fn probe_shared_blocks(&self, stamps: impl IntoIterator<Item = u64>) -> usize {
+        let mut chain = FNV_OFFSET;
+        let mut hits = 0;
+        let mut in_block = 0;
+        for stamp in stamps {
+            chain = fnv1a_u64(chain, stamp);
+            in_block += 1;
+            if in_block == self.block_tokens {
+                match self.index.get(&chain) {
+                    Some(_) => hits += 1,
+                    // A miss breaks the chain of *resident* prefix blocks;
+                    // later blocks would chain off a private block anyway.
+                    None => break,
+                }
+                in_block = 0;
+            }
+        }
+        hits
+    }
+
+    fn alloc_block(&mut self) -> usize {
+        self.stats.blocks_allocated += 1;
+        self.used_blocks += 1;
+        self.peak_blocks = self.peak_blocks.max(self.used_blocks);
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert_eq!(self.blocks[id].refcount, 0);
+                self.blocks[id].refcount = 1;
+                self.blocks[id].stamps.clear();
+                self.blocks[id].key = None;
+                id
+            }
+            None => {
+                self.blocks.push(PhysBlock { refcount: 1, stamps: Vec::new(), key: None });
+                self.blocks.len() - 1
+            }
+        }
+    }
+
+    fn release_block(&mut self, id: usize) {
+        let b = &mut self.blocks[id];
+        debug_assert!(b.refcount > 0, "block double free");
+        b.refcount -= 1;
+        if b.refcount == 0 {
+            if let Some(key) = b.key.take() {
+                self.index.remove(&key);
+            }
+            b.stamps.clear();
+            self.free.push(id);
+            self.used_blocks -= 1;
+        }
+    }
+
+    /// Appends token `stamps` to `table`, sharing full shared-prefix blocks
+    /// with identical content and copy-on-write-copying a shared partial
+    /// tail before writing into it. Stamps are the per-token content
+    /// identity (real token ids, or deterministic synthetic stamps).
+    pub fn append(&mut self, table: &mut BlockTable, stamps: &[u64]) {
+        let mut rest = stamps;
+        while !rest.is_empty() {
+            let filled = table.tokens % self.block_tokens;
+            let at_boundary = filled == 0;
+            // Whole-block fast path: at a boundary, with a full block of
+            // stamps entirely inside the sharable region, try the index
+            // before allocating anything.
+            if at_boundary
+                && rest.len() >= self.block_tokens
+                && table.tokens + self.block_tokens <= table.sharable_tokens
+            {
+                let (seg, tail) = rest.split_at(self.block_tokens);
+                let chain = seg.iter().fold(table.chain, |h, &s| fnv1a_u64(h, s));
+                if let Some(&shared) = self.index.get(&chain) {
+                    self.blocks[shared].refcount += 1;
+                    table.blocks.push(shared);
+                    table.tokens += self.block_tokens;
+                    table.chain = chain;
+                    self.stats.shared_hit_bytes += self.block_bytes();
+                    rest = tail;
+                    continue;
+                }
+            }
+            // Slow path: write into the (possibly new) last block.
+            if at_boundary {
+                let id = self.alloc_block();
+                table.blocks.push(id);
+            }
+            let last = *table.blocks.last().expect("table has a tail block");
+            let last = if self.blocks[last].refcount > 1 {
+                // Copy-on-write: the tail is shared (a fork sibling or an
+                // immutable prefix block we must not mutate).
+                let copy = self.alloc_block();
+                let stamps_now = self.blocks[last].stamps.clone();
+                self.stats.cow_copies += 1;
+                self.stats.cow_copy_bytes += stamps_now.len() as u64 * self.bytes_per_token;
+                self.blocks[copy].stamps = stamps_now;
+                self.release_block(last);
+                *table.blocks.last_mut().expect("table has a tail block") = copy;
+                copy
+            } else {
+                last
+            };
+            let room = self.block_tokens - self.blocks[last].stamps.len();
+            let take = room.min(rest.len());
+            let (seg, tail) = rest.split_at(take);
+            for &s in seg {
+                self.blocks[last].stamps.push(s);
+                table.chain = fnv1a_u64(table.chain, s);
+            }
+            table.tokens += take;
+            rest = tail;
+            // Seal: a block that just filled inside the sharable region is
+            // registered so later identical prefixes dedup against it.
+            if self.blocks[last].stamps.len() == self.block_tokens
+                && table.tokens <= table.sharable_tokens
+                && self.blocks[last].key.is_none()
+            {
+                self.index.entry(table.chain).or_insert(last);
+                if self.index[&table.chain] == last {
+                    self.blocks[last].key = Some(table.chain);
+                }
+            }
+        }
+    }
+
+    /// Forks `table` — the parallel-sampling/beam-search seam: the child
+    /// shares every physical block (refcounts bumped), including a partial
+    /// tail. The first append through either table copy-on-writes the tail.
+    pub fn fork(&mut self, table: &BlockTable) -> BlockTable {
+        for &id in &table.blocks {
+            self.blocks[id].refcount += 1;
+        }
+        table.clone()
+    }
+
+    /// Content stamps of the physical block at `table`'s `idx`-th position
+    /// (test/diagnostic: lets callers assert CoW really isolated a fork).
+    pub fn block_stamps(&self, table: &BlockTable, idx: usize) -> &[u64] {
+        &self.blocks[table.blocks[idx]].stamps
+    }
+
+    /// Returns `table`'s blocks to the pool; physical blocks are freed when
+    /// their last reference drops (shared-prefix blocks leave the index at
+    /// that point).
+    pub fn release(&mut self, table: BlockTable) {
+        for id in table.blocks {
+            self.release_block(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BPT: u64 = 100; // bytes per token
+
+    #[test]
+    fn blocks_grow_and_free_by_refcount() {
+        let mut pool = KvBlockPool::new(4, BPT);
+        let mut t = pool.new_table(0);
+        pool.append(&mut t, &[1, 2, 3, 4, 5]);
+        assert_eq!(t.tokens(), 5);
+        assert_eq!(t.blocks(), 2, "5 tokens over 4-token blocks");
+        assert_eq!(pool.used_blocks(), 2);
+        assert_eq!(pool.used_bytes(), 2 * 4 * BPT);
+        pool.append(&mut t, &[6, 7, 8]);
+        assert_eq!(t.blocks(), 2, "tail block had room");
+        pool.append(&mut t, &[9]);
+        assert_eq!(t.blocks(), 3);
+        assert_eq!(pool.peak_blocks(), 3);
+        pool.release(t);
+        assert_eq!(pool.used_blocks(), 0);
+        assert_eq!(pool.peak_blocks(), 3, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn freed_blocks_are_reused() {
+        let mut pool = KvBlockPool::new(2, BPT);
+        let mut a = pool.new_table(0);
+        pool.append(&mut a, &[1, 2, 3, 4]);
+        pool.release(a);
+        let mut b = pool.new_table(0);
+        pool.append(&mut b, &[5, 6]);
+        assert_eq!(pool.blocks.len(), 2, "slab must not grow while free blocks exist");
+        assert_eq!(pool.used_blocks(), 1);
+        pool.release(b);
+    }
+
+    #[test]
+    fn identical_shared_prefixes_occupy_one_physical_copy() {
+        let mut pool = KvBlockPool::new(4, BPT);
+        let stamps: Vec<u64> = (100..112).collect(); // 3 full blocks
+        let mut a = pool.new_table(12);
+        pool.append(&mut a, &stamps);
+        assert_eq!(pool.used_blocks(), 3);
+        let mut b = pool.new_table(12);
+        pool.append(&mut b, &stamps);
+        assert_eq!(pool.used_blocks(), 3, "b shares all of a's blocks");
+        assert_eq!(pool.stats().shared_hit_bytes, 3 * 4 * BPT);
+        assert_eq!(a.physical_blocks(), b.physical_blocks());
+        // Releasing one table keeps the blocks for the other.
+        pool.release(a);
+        assert_eq!(pool.used_blocks(), 3);
+        pool.release(b);
+        assert_eq!(pool.used_blocks(), 0);
+    }
+
+    #[test]
+    fn different_content_or_private_regions_do_not_share() {
+        let mut pool = KvBlockPool::new(4, BPT);
+        let mut a = pool.new_table(8);
+        pool.append(&mut a, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        // Same sharable length, different content: no sharing.
+        let mut b = pool.new_table(8);
+        pool.append(&mut b, &[9, 9, 9, 9, 5, 6, 7, 8]);
+        assert_eq!(pool.used_blocks(), 4);
+        // Same content, sharable region zero: no sharing.
+        let mut c = pool.new_table(0);
+        pool.append(&mut c, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(pool.used_blocks(), 6);
+        assert_eq!(pool.stats().shared_hit_bytes, 0);
+        pool.release(a);
+        pool.release(b);
+        pool.release(c);
+    }
+
+    #[test]
+    fn partial_tail_inside_sharable_region_stays_private() {
+        let mut pool = KvBlockPool::new(4, BPT);
+        let mut a = pool.new_table(6);
+        pool.append(&mut a, &[1, 2, 3, 4, 5, 6]);
+        let mut b = pool.new_table(6);
+        pool.append(&mut b, &[1, 2, 3, 4, 5, 6]);
+        // First (full) block shared; 2-token tails private to each table.
+        assert_eq!(pool.used_blocks(), 3);
+        assert_eq!(pool.stats().shared_hit_bytes, 4 * BPT);
+        // Appends into the private tails never CoW.
+        pool.append(&mut a, &[7]);
+        pool.append(&mut b, &[8]);
+        assert_eq!(pool.stats().cow_copies, 0);
+        assert_ne!(pool.block_stamps(&a, 1), pool.block_stamps(&b, 1));
+        pool.release(a);
+        pool.release(b);
+    }
+
+    #[test]
+    fn cow_isolates_forked_tables() {
+        // The satellite's aliasing property: fork a table mid-block, write
+        // through one fork, and the sibling's bytes must be untouched.
+        let mut pool = KvBlockPool::new(4, BPT);
+        let mut a = pool.new_table(0);
+        pool.append(&mut a, &[1, 2, 3, 4, 5, 6]); // partial tail [5, 6]
+        let mut b = pool.fork(&a);
+        assert_eq!(pool.used_blocks(), 2, "fork shares, does not copy");
+        pool.append(&mut b, &[77]);
+        assert_eq!(pool.stats().cow_copies, 1);
+        assert_eq!(pool.stats().cow_copy_bytes, 2 * BPT, "two stamps copied");
+        assert_eq!(pool.used_blocks(), 3);
+        assert_eq!(pool.block_stamps(&a, 1), &[5, 6], "sibling untouched");
+        assert_eq!(pool.block_stamps(&b, 1), &[5, 6, 77]);
+        // The still-shared full block CoWs for whichever fork appends past
+        // it... (it is full, so appends open new blocks — no aliasing).
+        pool.append(&mut a, &[8, 9]);
+        assert_eq!(pool.block_stamps(&b, 1), &[5, 6, 77], "a's append cannot reach b");
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.used_blocks(), 0);
+    }
+
+    #[test]
+    fn appending_past_a_shared_prefix_never_mutates_it() {
+        let mut pool = KvBlockPool::new(4, BPT);
+        let prefix: Vec<u64> = (0..4).collect();
+        let mut a = pool.new_table(4);
+        pool.append(&mut a, &prefix);
+        let mut b = pool.new_table(4);
+        pool.append(&mut b, &prefix);
+        assert_eq!(pool.used_blocks(), 1);
+        // Both continue privately: the shared block is full, so each append
+        // opens a fresh private block.
+        pool.append(&mut a, &[10]);
+        pool.append(&mut b, &[20]);
+        assert_eq!(pool.used_blocks(), 3);
+        assert_eq!(pool.block_stamps(&a, 0), pool.block_stamps(&b, 0));
+        assert_eq!(pool.block_stamps(&a, 1), &[10]);
+        assert_eq!(pool.block_stamps(&b, 1), &[20]);
+        pool.release(a);
+        pool.release(b);
+    }
+
+    #[test]
+    fn probe_counts_resident_prefix_blocks_without_touching_refcounts() {
+        let mut pool = KvBlockPool::new(4, BPT);
+        let stamps: Vec<u64> = (0..8).collect();
+        assert_eq!(pool.probe_shared_blocks(stamps.iter().copied()), 0);
+        let mut a = pool.new_table(8);
+        pool.append(&mut a, &stamps);
+        assert_eq!(pool.probe_shared_blocks(stamps.iter().copied()), 2);
+        // A diverging second block only credits the first.
+        let diverge: Vec<u64> = (0..4).chain(90..94).collect();
+        assert_eq!(pool.probe_shared_blocks(diverge.iter().copied()), 1);
+        assert_eq!(pool.used_blocks(), 2, "probe allocates nothing");
+        pool.release(a);
+        assert_eq!(pool.probe_shared_blocks(stamps.iter().copied()), 0, "index cleared on free");
+    }
+
+    #[test]
+    fn block_size_one_and_prime_sizes_behave() {
+        for bt in [1usize, 3, 16, 17] {
+            let mut pool = KvBlockPool::new(bt, BPT);
+            let stamps: Vec<u64> = (0..37).collect();
+            let mut a = pool.new_table(37);
+            pool.append(&mut a, &stamps);
+            assert_eq!(a.tokens(), 37);
+            assert_eq!(a.blocks(), 37_usize.div_ceil(bt), "block count at size {bt}");
+            let mut b = pool.new_table(37);
+            pool.append(&mut b, &stamps);
+            let full = 37 / bt;
+            assert_eq!(
+                pool.stats().shared_hit_bytes,
+                (full * bt) as u64 * BPT,
+                "full blocks shared at size {bt}"
+            );
+            pool.release(a);
+            pool.release(b);
+            assert_eq!(pool.used_blocks(), 0);
+        }
+    }
+}

@@ -61,6 +61,7 @@ mod core;
 mod engine;
 mod error;
 pub mod fleet;
+mod kv;
 mod memory;
 mod multi_gpu;
 mod policy;
@@ -81,7 +82,8 @@ pub use fleet::{
     serve_cluster, CacheAffinity, DispatchPolicy, FleetConfig, FleetSim, FleetStats,
     JoinShortestQueue, ReplicaView, RequestProfile, RoundRobin,
 };
-pub use memory::PlacementPlan;
+pub use kv::{BlockTable, KvBlockPool, KvPoolStats, KvServeStats, PagedKvConfig};
+pub use memory::{kv_bytes, PlacementPlan};
 pub use multi_gpu::{simulate_expert_parallel, ClusterConfig, ClusterReport};
 pub use policy::{CacheCapacity, CacheConfig, OffloadPolicy, Replacement, SimOptions};
 pub use report::{

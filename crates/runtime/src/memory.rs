@@ -156,16 +156,31 @@ impl PlacementPlan {
     }
 }
 
+/// KV-cache bytes for `batch` sequences holding `ctx_tokens` of live
+/// context across `layers` attention layers: one K and one V vector of
+/// `d_model` f32 elements per token per layer.
+///
+/// This is the **single** KV accounting path. Admission control
+/// ([`PlacementPlan::activation_bytes`], full-depth) and the decode cost
+/// model ([`crate::InferenceSim`]'s per-layer attention bytes, `layers = 1`)
+/// both route through it; they once used two hand-expanded copies of this
+/// formula that disagreed on the layer factor, so admission and the cost
+/// model accounted different KV footprints for the same request.
+pub fn kv_bytes(layers: usize, ctx_tokens: usize, d_model: usize, batch: usize) -> u64 {
+    2 * layers as u64 * ctx_tokens as u64 * d_model as u64 * 4 * batch as u64
+}
+
+/// Non-KV working buffers (logits, residuals, attention scratch) for
+/// `batch` sequences of `ctx_tokens` context.
+pub(crate) fn working_bytes(cfg: &ModelConfig, ctx_tokens: usize, batch: usize) -> u64 {
+    8 * ctx_tokens as u64 * cfg.d_model as u64 * 4 * batch as u64
+}
+
 /// Live activation footprint: KV cache over every attention layer plus
 /// working buffers. Small next to parameters, but part of Equation 1.
 pub(crate) fn activation_bytes(cfg: &ModelConfig, ctx_tokens: usize, batch: usize) -> u64 {
-    let d = cfg.d_model as u64;
-    let layers = cfg.total_layers() as u64;
-    let ctx = ctx_tokens as u64;
-    let b = batch as u64;
-    let kv = 2 * layers * ctx * d * 4 * b;
-    let working = 8 * ctx * d * 4 * b;
-    kv + working
+    kv_bytes(cfg.total_layers(), ctx_tokens, cfg.d_model, batch)
+        + working_bytes(cfg, ctx_tokens, batch)
 }
 
 #[cfg(test)]
@@ -292,6 +307,42 @@ mod tests {
             PlacementPlan::new(&tagged, &SimOptions::new(OffloadPolicy::Pregated), 320, 1);
         assert_eq!(tagged_plan.expert_bytes(), int8_plan.expert_bytes());
         assert_eq!(tagged_plan.offload_bytes(), int8_plan.offload_bytes());
+    }
+
+    #[test]
+    fn admission_and_cost_model_kv_accounting_agree() {
+        // Regression: admission control (PlacementPlan::activation_bytes,
+        // all layers) and the decode cost model (attn_bytes_for, one layer
+        // at a time) once hand-expanded the KV formula separately and
+        // disagreed on the layer factor. Both now route through kv_bytes:
+        // the full-depth footprint must be exactly the per-layer footprint
+        // times the layer count, and the plan's activation bytes must
+        // decompose into that same KV term plus working buffers.
+        let cfg = ModelConfig::switch_base(8);
+        let opts = SimOptions::new(OffloadPolicy::Pregated);
+        for (ctx, batch) in [(1usize, 1usize), (320, 1), (544, 4), (7, 3)] {
+            let per_layer = kv_bytes(1, ctx, cfg.d_model, 1);
+            assert_eq!(
+                kv_bytes(cfg.total_layers(), ctx, cfg.d_model, batch),
+                per_layer * cfg.total_layers() as u64 * batch as u64,
+                "layer factor must be the only difference between the two views"
+            );
+            let plan = PlacementPlan::new(&cfg, &opts, ctx, batch);
+            assert_eq!(
+                plan.activation_bytes(),
+                kv_bytes(cfg.total_layers(), ctx, cfg.d_model, batch)
+                    + working_bytes(&cfg, ctx, batch),
+                "admission accounting must decompose into shared kv + working terms"
+            );
+            // The cost model's per-layer KV scan (attn_bytes_for minus its
+            // batch-independent weight term) is the same shared term.
+            let weights = {
+                let d = cfg.d_model as u64;
+                ((4 * d * d) as f64 * cfg.precision.bytes_per_param()) as u64
+            };
+            let attn = crate::engine::attn_bytes_for(&cfg, std::iter::repeat_n(ctx, batch));
+            assert_eq!(attn - weights, per_layer * batch as u64);
+        }
     }
 
     #[test]

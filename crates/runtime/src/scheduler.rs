@@ -224,6 +224,16 @@ pub struct HbmPlan {
     pub encoder_staging_experts: u64,
 }
 
+impl HbmPlan {
+    /// Resident plus transient bytes — the scheduler's whole claim on the
+    /// HBM budget for one in-flight block. The paged-KV session arbitrates
+    /// the expert cache against KV blocks around this floor: the cache may
+    /// shrink under KV pressure, but the scheduler's own claim never does.
+    pub fn total_bytes(&self) -> u64 {
+        self.resident_bytes + self.transient_bytes
+    }
+}
+
 /// Byte geometry a scheduler's memory hooks are evaluated against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryProfile {

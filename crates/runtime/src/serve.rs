@@ -48,11 +48,25 @@ pub struct ServeStats {
     /// GPU compute-busy time across the stream (the utilization numerator a
     /// fleet divides by its makespan).
     pub gpu_busy: SimDuration,
+    /// Largest number of requests decoded together in one iteration (1 on
+    /// the batch-1 path; the admitted-batch metric the paged-KV gate
+    /// compares).
+    pub peak_batch: usize,
+    /// Paged-KV statistics when the stream ran with
+    /// [`crate::BatchConfig::with_paged_kv`]; `None` on the unpaged path.
+    pub kv: Option<crate::kv::KvServeStats>,
 }
 
+/// Nearest-rank quantile. An empty population reports
+/// [`SimDuration::ZERO`] — dashboards and controllers read quantiles off
+/// idle windows and drained replicas, where "no requests" must mean "no
+/// latency", not a panic (this used to assert non-emptiness and took down
+/// callers on empty fleet windows).
 pub(crate) fn quantile_of(samples: &[SimDuration], q: f64) -> SimDuration {
     assert!((0.0..=1.0).contains(&q), "quantile out of range");
-    assert!(!samples.is_empty(), "no requests served");
+    if samples.is_empty() {
+        return SimDuration::ZERO;
+    }
     let mut sorted: Vec<u64> = samples.iter().map(|d| d.as_nanos()).collect();
     sorted.sort_unstable();
     let idx = ((sorted.len() - 1) as f64 * q).floor() as usize;
@@ -65,11 +79,12 @@ fn mean_of(samples: &[SimDuration]) -> SimDuration {
 }
 
 impl ServeStats {
-    /// End-to-end latency at quantile `q ∈ [0, 1]` (nearest-rank).
+    /// End-to-end latency at quantile `q ∈ [0, 1]` (nearest-rank). Zero
+    /// when no requests were served.
     ///
     /// # Panics
     ///
-    /// Panics if no requests were served or `q` is outside `[0, 1]`.
+    /// Panics if `q` is outside `[0, 1]`.
     pub fn latency_quantile(&self, q: f64) -> SimDuration {
         quantile_of(&self.request_latencies, q)
     }
@@ -90,11 +105,12 @@ impl ServeStats {
         self.latency_quantile(0.99)
     }
 
-    /// Time-to-first-token at quantile `q ∈ [0, 1]` (nearest-rank).
+    /// Time-to-first-token at quantile `q ∈ [0, 1]` (nearest-rank). Zero
+    /// when no requests were served.
     ///
     /// # Panics
     ///
-    /// Panics if no requests were served or `q` is outside `[0, 1]`.
+    /// Panics if `q` is outside `[0, 1]`.
     pub fn ttft_quantile(&self, q: f64) -> SimDuration {
         quantile_of(&self.ttfts, q)
     }
@@ -195,6 +211,8 @@ pub fn serve_stream(
         expert_fetch_bytes: fetched,
         demand_fetch_bytes: demand,
         gpu_busy,
+        peak_batch: if total_tokens > 0 { 1 } else { 0 },
+        kv: None,
     })
 }
 
@@ -271,15 +289,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no requests served")]
-    fn quantile_of_empty_stream_panics() {
+    fn quantiles_of_empty_stream_are_zero() {
+        // Regression: these asserted "no requests served" and panicked,
+        // which took down anything reading tail stats off an idle window.
         let stats = serve_stream(
             ModelConfig::switch_base(8),
             SimOptions::new(OffloadPolicy::Pregated),
             std::iter::empty(),
         )
         .unwrap();
-        let _ = stats.latency_quantile(0.5);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(stats.latency_quantile(q), SimDuration::ZERO);
+            assert_eq!(stats.ttft_quantile(q), SimDuration::ZERO);
+        }
+        assert_eq!(stats.p50(), SimDuration::ZERO);
+        assert_eq!(stats.p95(), SimDuration::ZERO);
+        assert_eq!(stats.p99(), SimDuration::ZERO);
+        assert_eq!(stats.mean_latency(), SimDuration::ZERO);
+        assert_eq!(stats.peak_batch, 0);
     }
 
     /// A hand-built stats value with known latencies, for quantile edge
@@ -297,6 +324,8 @@ mod tests {
             expert_fetch_bytes: 0,
             demand_fetch_bytes: 0,
             gpu_busy: SimDuration::ZERO,
+            peak_batch: 1,
+            kv: None,
         }
     }
 

@@ -39,15 +39,16 @@
 
 use crate::batch::BatchConfig;
 use crate::core::{
-    self, expected_distinct_experts, CoreEnv, CoreScratch, DecodeCosts, PrefillCosts,
+    self, batched_prefill_costs, expected_distinct_experts, CoreEnv, CoreScratch, DecodeCosts,
 };
 use crate::engine::{attn_bytes_for, dense_ffn_bytes_for};
+use crate::kv::{BlockTable, KvBlockPool, KvServeStats, PagedKvConfig};
 use crate::scheduler::{ExpertScheduler, MemoryProfile, PolicySpec, RoutedSource};
 use crate::serve::ServeStats;
 use crate::{ExpertCache, PlacementPlan, Result, RuntimeError, SimOptions};
 use pgmoe_device::{AllocId, Machine, SimDuration, SimTime, Tier};
 use pgmoe_model::{GateTopology, ModelConfig};
-use pgmoe_workload::{ArrivedRequest, RoutingTrace};
+use pgmoe_workload::{ArrivedRequest, RoutingTrace, SharedPrefix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -124,12 +125,65 @@ struct InFlight {
     first_token_at: Option<SimTime>,
     act_alloc: AllocId,
     act_bytes: u64,
+    /// Prompt tokens prefilled so far. The unpaged path prefills whole
+    /// prompts in the admission step, so this starts at `input_tokens`;
+    /// the paged path advances it chunk by chunk across steps.
+    prefilled: usize,
+    /// Paged-KV block table (paged sessions only).
+    table: Option<BlockTable>,
+    /// Seed for synthetic KV content stamps outside the shared prefix.
+    stamp_seed: u64,
+    shared_prefix: Option<SharedPrefix>,
 }
 
 impl InFlight {
     fn ctx_len(&self) -> usize {
         self.request.input_tokens + self.generated
     }
+
+    /// Whether the whole prompt is prefilled — only then does the request
+    /// join decode iterations.
+    fn ready(&self) -> bool {
+        self.prefilled >= self.request.input_tokens
+    }
+
+    /// Content stamp of the token at position `pos`: shared-prefix tokens
+    /// stamp off the tenant's prefix hash (equal across that tenant's
+    /// requests, which is what makes their KV blocks deduplicate), every
+    /// other position off the request's private seed.
+    fn stamp_at(&self, pos: usize) -> u64 {
+        match self.shared_prefix {
+            Some(p) if pos < p.tokens.min(self.request.input_tokens) => kv_stamp(p.hash, pos),
+            _ => kv_stamp(self.stamp_seed, pos),
+        }
+    }
+}
+
+/// Splitmix-style finalizer: deterministic, well-spread content stamps for
+/// synthetic KV blocks.
+fn kv_stamp(seed: u64, pos: usize) -> u64 {
+    let mut z = seed ^ (pos as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Paged-KV machinery for one session: the block pool, its machine-side
+/// byte mirror, and the resizable expert-cache region it arbitrates
+/// against (see [`crate::kv`]).
+struct PagedState {
+    cfg: PagedKvConfig,
+    pool: KvBlockPool,
+    /// One HBM alloc mirroring `pool.used_bytes()`, re-reconciled whenever
+    /// the pool grows or shrinks.
+    kv_alloc: Option<AllocId>,
+    kv_alloc_bytes: u64,
+    /// The expert-cache region's own alloc, resizable under KV pressure.
+    cache_alloc: Option<AllocId>,
+    cache_experts_now: usize,
+    plan_cache_experts: usize,
+    expert_bytes: u64,
+    shrink_events: u64,
 }
 
 /// Per-request completion record, in admission order.
@@ -201,6 +255,8 @@ pub struct BatchSession {
     total_tokens: usize,
     first_arrival: Option<SimTime>,
     last_completion: SimTime,
+    paged: Option<PagedState>,
+    peak_batch: usize,
 }
 
 impl BatchSession {
@@ -219,12 +275,53 @@ impl BatchSession {
                 message: "max_batch must be at least 1".into(),
             });
         }
+        if let Some(p) = batch.paged_kv {
+            if p.block_tokens == 0 || p.prefill_chunk_tokens == 0 {
+                return Err(RuntimeError::InvalidConfig {
+                    message: "paged KV needs block_tokens and prefill_chunk_tokens of at least 1"
+                        .into(),
+                });
+            }
+        }
         opts.validate(&cfg)?;
         let sched = opts.policy.build(&opts.setup_for(&cfg));
         let topo = sched.decoder_topology(cfg.decoder_moe_layers())?;
         let mut machine = Machine::new(opts.machine.clone());
         let base_plan = PlacementPlan::new(&cfg, &opts, 0, 1);
-        machine.pool_mut(Tier::Hbm).alloc(base_plan.static_non_activation_bytes())?;
+        // Paged sessions place the expert-cache region as its own alloc so
+        // KV arbitration can resize it; the unpaged path keeps the single
+        // static alloc (same total bytes either way, so peak accounting is
+        // untouched).
+        let cache_region = base_plan.cache_experts() as u64 * base_plan.expert_bytes();
+        let paged = match batch.paged_kv {
+            Some(pcfg) => {
+                machine
+                    .pool_mut(Tier::Hbm)
+                    .alloc(base_plan.static_non_activation_bytes() - cache_region)?;
+                let cache_alloc = if cache_region > 0 {
+                    Some(machine.pool_mut(Tier::Hbm).alloc(cache_region)?)
+                } else {
+                    None
+                };
+                let bytes_per_token =
+                    crate::memory::kv_bytes(cfg.total_layers(), 1, cfg.d_model, 1);
+                Some(PagedState {
+                    cfg: pcfg,
+                    pool: KvBlockPool::new(pcfg.block_tokens, bytes_per_token),
+                    kv_alloc: None,
+                    kv_alloc_bytes: 0,
+                    cache_alloc,
+                    cache_experts_now: base_plan.cache_experts(),
+                    plan_cache_experts: base_plan.cache_experts(),
+                    expert_bytes: base_plan.expert_bytes(),
+                    shrink_events: 0,
+                })
+            }
+            None => {
+                machine.pool_mut(Tier::Hbm).alloc(base_plan.static_non_activation_bytes())?;
+                None
+            }
+        };
         if base_plan.offload_bytes() > 0 {
             machine.pool_mut(opts.offload_tier).alloc(base_plan.offload_bytes())?;
         }
@@ -254,6 +351,8 @@ impl BatchSession {
             total_tokens: 0,
             first_arrival: None,
             last_completion: SimTime::ZERO,
+            paged,
+            peak_batch: 0,
             cfg,
             opts,
             batch,
@@ -340,13 +439,48 @@ impl BatchSession {
         }
         let cfg = &self.cfg;
         let opts = &self.opts;
-        let act_bytes =
-            PlacementPlan::new(cfg, opts, arr.request.input_tokens + arr.request.output_tokens, 1)
-                .activation_bytes();
+        let full_ctx = arr.request.input_tokens + arr.request.output_tokens;
+        // Unpaged: reserve worst-case contiguous KV + working buffers for
+        // the whole lifetime up front. Paged: reserve working buffers only,
+        // and plan KV at block granularity — live blocks, the prompt's new
+        // blocks (discounting blocks a sibling's shared prefix already
+        // holds), and one growth block per in-flight sequence.
+        let (act_bytes, kv_planned) = match &self.paged {
+            Some(p) => {
+                let working = crate::memory::working_bytes(cfg, full_ctx, 1);
+                let block_bytes = p.pool.block_bytes();
+                let prompt_blocks = arr.request.input_tokens.div_ceil(p.cfg.block_tokens) as u64;
+                let shared = match (p.cfg.share_prefixes, arr.shared_prefix) {
+                    (true, Some(sp)) => {
+                        let n = sp.tokens.min(arr.request.input_tokens);
+                        p.pool.probe_shared_blocks((0..n).map(|i| kv_stamp(sp.hash, i))) as u64
+                    }
+                    _ => 0,
+                };
+                let growth = (self.inflight.len() as u64 + 1) * block_bytes;
+                (working, p.pool.used_bytes() + (prompt_blocks - shared) * block_bytes + growth)
+            }
+            None => (PlacementPlan::new(cfg, opts, full_ctx, 1).activation_bytes(), 0),
+        };
         let in_flight_act: u64 = self.inflight.iter().map(|r| r.act_bytes).sum();
-        let prefill_inputs =
-            self.admitted_now.iter().map(|&i| self.inflight[i].request.input_tokens).sum::<usize>()
-                + arr.request.input_tokens;
+        let prefill_inputs = match &self.paged {
+            Some(p) => {
+                let pending: usize = self
+                    .inflight
+                    .iter()
+                    .map(|r| r.request.input_tokens - r.prefilled)
+                    .sum::<usize>()
+                    + arr.request.input_tokens;
+                pending.min(p.cfg.prefill_chunk_tokens)
+            }
+            None => {
+                self.admitted_now
+                    .iter()
+                    .map(|&i| self.inflight[i].request.input_tokens)
+                    .sum::<usize>()
+                    + arr.request.input_tokens
+            }
+        };
         let transient = decode_transient_bytes(
             cfg,
             self.sched.as_ref(),
@@ -359,8 +493,11 @@ impl BatchSession {
             &self.base_plan,
             prefill_inputs,
         ));
-        let planned =
-            self.base_plan.static_non_activation_bytes() + in_flight_act + act_bytes + transient;
+        let planned = self.base_plan.static_non_activation_bytes()
+            + in_flight_act
+            + act_bytes
+            + kv_planned
+            + transient;
         if planned > self.budget {
             if self.inflight.is_empty() && self.admitted_now.is_empty() {
                 // Even alone this request cannot fit: fail loudly rather
@@ -394,6 +531,18 @@ impl BatchSession {
             Some(t) => t.min(arrival),
             None => arrival,
         });
+        let (prefilled, table) = match self.paged.as_mut() {
+            Some(p) => {
+                let sharable = if p.cfg.share_prefixes {
+                    arr.shared_prefix.map(|sp| sp.tokens.min(arr.request.input_tokens)).unwrap_or(0)
+                } else {
+                    0
+                };
+                (0, Some(p.pool.new_table(sharable)))
+            }
+            // Unpaged prompts prefill whole in the admission step.
+            None => (arr.request.input_tokens, None),
+        };
         self.records.push(Record { queueing, ttft: SimDuration::ZERO, latency: SimDuration::ZERO });
         self.inflight.push(InFlight {
             id,
@@ -405,8 +554,14 @@ impl BatchSession {
             first_token_at: None,
             act_alloc,
             act_bytes,
+            prefilled,
+            table,
+            stamp_seed: seed ^ 0xD6E8_FEB8_6659_FD93,
+            shared_prefix: arr.shared_prefix,
         });
-        self.admitted_now.push(self.inflight.len() - 1);
+        if self.paged.is_none() {
+            self.admitted_now.push(self.inflight.len() - 1);
+        }
         Ok(Admission::Admitted { queueing })
     }
 
@@ -432,6 +587,14 @@ impl BatchSession {
             }
         }
         self.machine.pool_mut(Tier::Hbm).free(r.act_alloc).expect("activation double free");
+        if let Some(p) = self.paged.as_mut() {
+            if let Some(table) = r.table {
+                p.pool.release(table);
+            }
+            // Releasing blocks only shrinks the pool, so the reconcile's
+            // free-then-alloc cannot fail.
+            self.sync_paged_kv().expect("kv reconcile after abort");
+        }
         Some(AbortedRequest { id: r.id, tokens_generated: r.generated })
     }
 
@@ -511,63 +674,81 @@ impl BatchSession {
             return Ok(events);
         }
         let span_start = self.machine.horizon();
-        if !self.admitted_now.is_empty() {
+        if self.paged.is_some() {
+            self.chunked_prefill()?;
+        } else if !self.admitted_now.is_empty() {
             self.prefill()?;
         }
         self.admitted_now.clear();
-        let num_experts = self.cfg.num_experts;
-        for (b, union) in self.unions.iter_mut().enumerate() {
-            union.clear();
-            for r in &self.inflight {
-                let live = match routing.as_deref_mut() {
-                    Some(rt) => {
-                        self.route_scratch.clear();
-                        rt.experts(r.id, r.generated, b, &mut self.route_scratch)
+        // Only fully-prefilled requests decode (the unpaged path prefills
+        // whole prompts at admission, so there the filter admits everyone).
+        let ready = self.inflight.iter().filter(|r| r.ready()).count();
+        self.peak_batch = self.peak_batch.max(ready);
+        if ready > 0 {
+            let num_experts = self.cfg.num_experts;
+            for (b, union) in self.unions.iter_mut().enumerate() {
+                union.clear();
+                for r in self.inflight.iter().filter(|r| r.ready()) {
+                    let live = match routing.as_deref_mut() {
+                        Some(rt) => {
+                            self.route_scratch.clear();
+                            rt.experts(r.id, r.generated, b, &mut self.route_scratch)
+                        }
+                        None => false,
+                    };
+                    if live {
+                        union.extend(
+                            self.route_scratch.iter().copied().filter(|&e| e < num_experts),
+                        );
+                    } else {
+                        union.extend_from_slice(r.trace.experts(r.generated, b));
                     }
-                    None => false,
-                };
-                if live {
-                    union.extend(self.route_scratch.iter().copied().filter(|&e| e < num_experts));
-                } else {
-                    union.extend_from_slice(r.trace.experts(r.generated, b));
                 }
+                union.sort_unstable();
+                union.dedup();
             }
-            union.sort_unstable();
-            union.dedup();
+            let costs = DecodeCosts {
+                attn_bytes: attn_bytes_for(
+                    &self.cfg,
+                    self.inflight.iter().filter(|r| r.ready()).map(|r| r.ctx_len()),
+                ),
+                ffn_bytes: dense_ffn_bytes_for(&self.cfg),
+                decoder_layers: self.cfg.decoder_layers,
+                moe_every: self.cfg.moe_every,
+            };
+            let enc_blocks = self.cfg.encoder_layers / self.cfg.moe_every;
+            let mut env = CoreEnv {
+                machine: &mut self.machine,
+                plan: &self.base_plan,
+                cache: &mut self.cache,
+                offload_tier: self.opts.offload_tier,
+                num_experts: self.cfg.num_experts,
+                demand_bytes: &mut self.demand_bytes,
+            };
+            core::decode_iteration(
+                &mut env,
+                self.sched.as_mut(),
+                &self.topo,
+                &UnionRouted { unions: &self.unions },
+                self.iteration,
+                enc_blocks,
+                &costs,
+                &mut self.scratch,
+                None,
+            )?;
+            self.iteration += 1;
         }
-        let costs = DecodeCosts {
-            attn_bytes: attn_bytes_for(&self.cfg, self.inflight.iter().map(InFlight::ctx_len)),
-            ffn_bytes: dense_ffn_bytes_for(&self.cfg),
-            decoder_layers: self.cfg.decoder_layers,
-            moe_every: self.cfg.moe_every,
-        };
-        let enc_blocks = self.cfg.encoder_layers / self.cfg.moe_every;
-        let mut env = CoreEnv {
-            machine: &mut self.machine,
-            plan: &self.base_plan,
-            cache: &mut self.cache,
-            offload_tier: self.opts.offload_tier,
-            num_experts: self.cfg.num_experts,
-            demand_bytes: &mut self.demand_bytes,
-        };
-        core::decode_iteration(
-            &mut env,
-            self.sched.as_mut(),
-            &self.topo,
-            &UnionRouted { unions: &self.unions },
-            self.iteration,
-            enc_blocks,
-            &costs,
-            &mut self.scratch,
-            None,
-        )?;
-        self.iteration += 1;
         let span = self.machine.horizon() - span_start;
         self.clock += span;
 
-        // Retire tokens; complete and release finished requests.
+        // Retire tokens; complete and release finished requests. Requests
+        // still mid-prefill did not decode and are skipped.
         let mut i = 0;
         while i < self.inflight.len() {
+            if !self.inflight[i].ready() {
+                i += 1;
+                continue;
+            }
             let r = &mut self.inflight[i];
             r.generated += 1;
             self.total_tokens += 1;
@@ -581,11 +762,23 @@ impl BatchSession {
                 self.records[r.record].latency = self.clock - r.arrival;
                 self.last_completion = self.last_completion.max(self.clock);
                 self.machine.pool_mut(Tier::Hbm).free(r.act_alloc).expect("activation double free");
-                self.inflight.swap_remove(i);
+                let finished = self.inflight.swap_remove(i);
+                if let (Some(p), Some(table)) = (self.paged.as_mut(), finished.table) {
+                    p.pool.release(table);
+                }
             } else {
+                if let Some(p) = self.paged.as_mut() {
+                    // The new decode token's KV joins the block table
+                    // (opening a fresh block at each boundary).
+                    let r = &mut self.inflight[i];
+                    let stamp = r.stamp_at(r.ctx_len() - 1);
+                    let table = r.table.as_mut().expect("paged request has a table");
+                    p.pool.append(table, &[stamp]);
+                }
                 i += 1;
             }
         }
+        self.sync_paged_kv()?;
         Ok(events)
     }
 
@@ -605,6 +798,15 @@ impl BatchSession {
         } else {
             self.total_tokens as f64 / span.as_secs_f64()
         };
+        let kv = self.paged.as_ref().map(|p| KvServeStats {
+            block_tokens: p.pool.block_tokens(),
+            peak_blocks: p.pool.peak_blocks(),
+            peak_kv_bytes: p.pool.peak_bytes(),
+            shared_hit_bytes: p.pool.stats().shared_hit_bytes,
+            cow_copy_bytes: p.pool.stats().cow_copy_bytes,
+            cache_shrink_events: p.shrink_events,
+            final_cache_experts: p.cache_experts_now,
+        });
         ServeStats {
             policy: self.sched.name(),
             request_latencies: self.records.iter().map(|r| r.latency).collect(),
@@ -616,6 +818,8 @@ impl BatchSession {
             expert_fetch_bytes: self.machine.offload_traffic_bytes(),
             demand_fetch_bytes: self.demand_bytes,
             gpu_busy: self.machine.gpu_busy(),
+            peak_batch: self.peak_batch,
+            kv,
         }
     }
 
@@ -624,36 +828,75 @@ impl BatchSession {
     /// expected distinct set their prompts activate — structured by the
     /// same scheduler hooks as everything else.
     fn prefill(&mut self) -> Result<()> {
-        let cfg = &self.cfg;
-        let plan = &self.base_plan;
         let total_inputs: usize =
             self.admitted_now.iter().map(|&i| self.inflight[i].request.input_tokens).sum();
-        let distinct =
-            expected_distinct_experts(total_inputs * plan.active_per_block(), cfg.num_experts);
+        let first_id = self.admitted_now.first().map(|&i| self.inflight[i].id).unwrap_or(0);
+        self.prefill_pass_for(total_inputs, first_id)
+    }
+
+    /// Chunked prefill at the decode-iteration boundary (paged sessions):
+    /// spends at most `prefill_chunk_tokens` prompt tokens on the oldest
+    /// pending prompts (admission order), appending their KV blocks as it
+    /// goes. With an unbounded chunk this submits the same encoder pass as
+    /// the unpaged all-at-once prefill ([`batched_prefill_costs`] is
+    /// shared), so long prompts only change *when* prefill work runs, not
+    /// what it costs.
+    fn chunked_prefill(&mut self) -> Result<()> {
+        let p = self.paged.as_mut().expect("chunked prefill requires paged state");
+        let mut budget = p.cfg.prefill_chunk_tokens;
+        let mut order: Vec<usize> =
+            (0..self.inflight.len()).filter(|&i| !self.inflight[i].ready()).collect();
+        order.sort_unstable_by_key(|&i| self.inflight[i].record);
+        let mut total = 0usize;
+        let mut first_id = None;
+        let mut stamps: Vec<u64> = Vec::new();
+        for &i in &order {
+            if budget == 0 {
+                break;
+            }
+            let r = &mut self.inflight[i];
+            let todo = (r.request.input_tokens - r.prefilled).min(budget);
+            if todo == 0 {
+                continue;
+            }
+            if first_id.is_none() {
+                first_id = Some(r.id);
+            }
+            stamps.clear();
+            stamps.extend((r.prefilled..r.prefilled + todo).map(|pos| r.stamp_at(pos)));
+            let table = r.table.as_mut().expect("paged request has a table");
+            p.pool.append(table, &stamps);
+            r.prefilled += todo;
+            total += todo;
+            budget -= todo;
+        }
+        if total == 0 {
+            return Ok(());
+        }
+        self.sync_paged_kv()?;
+        self.prefill_pass_for(total, first_id.unwrap_or(0))
+    }
+
+    /// The shared encoder pass both prefill flavours submit: `total_inputs`
+    /// prompt tokens, expert samples seeded off the first prefilled
+    /// request's id.
+    fn prefill_pass_for(&mut self, total_inputs: usize, first_id: u64) -> Result<()> {
+        let cfg = &self.cfg;
         // Sample which experts the prompts activate (per block, like the
         // batch-1 encoder pass) — a fixed 0..distinct set would turn every
         // later prefill into a guaranteed cache hit and undercount traffic.
-        let first_id = self.admitted_now.first().map(|&i| self.inflight[i].id).unwrap_or(0);
         let mut rng =
             StdRng::seed_from_u64(self.opts.seed ^ first_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let tokens = total_inputs as f64;
-        let d = cfg.d_model as f64;
-        let ffn_flops = tokens * 4.0 * d * cfg.d_ff as f64;
+        let costs = batched_prefill_costs(
+            cfg,
+            &self.base_plan,
+            total_inputs,
+            attn_bytes_for(cfg, self.inflight.iter().map(InFlight::ctx_len)),
+        );
         let enc_blocks = cfg.encoder_layers / cfg.moe_every;
-        let costs = PrefillCosts {
-            attn_flops: tokens * 2.0 * (4.0 * d * d + 2.0 * d * tokens),
-            attn_bytes: attn_bytes_for(cfg, self.inflight.iter().map(InFlight::ctx_len)),
-            ffn_flops,
-            ffn_bytes: dense_ffn_bytes_for(cfg),
-            exec_flops: ffn_flops * plan.active_per_block() as f64,
-            encoder_layers: cfg.encoder_layers,
-            moe_every: cfg.moe_every,
-            distinct,
-            labels: ["prefill-attn", "prefill-ffn", "prefill-expert"],
-        };
         let mut env = CoreEnv {
             machine: &mut self.machine,
-            plan,
+            plan: &self.base_plan,
             cache: &mut self.cache,
             offload_tier: self.opts.offload_tier,
             num_experts: cfg.num_experts,
@@ -668,6 +911,61 @@ impl BatchSession {
             &mut rng,
             true,
         )
+    }
+
+    /// Reconciles the machine's HBM bookkeeping with the block pool and
+    /// arbitrates the expert-cache region against KV pressure: when live
+    /// KV blocks plus working buffers and the scheduler's own claim
+    /// ([`crate::HbmPlan::total_bytes`]) leave less headroom than the
+    /// cache's plan capacity, the cache shrinks (evicting through its
+    /// replacement policy); when headroom returns it regrows, up to the
+    /// plan capacity.
+    fn sync_paged_kv(&mut self) -> Result<()> {
+        let Some(p) = self.paged.as_mut() else {
+            return Ok(());
+        };
+        let want = p.pool.used_bytes();
+        if want != p.kv_alloc_bytes {
+            if let Some(id) = p.kv_alloc.take() {
+                self.machine.pool_mut(Tier::Hbm).free(id).expect("kv alloc double free");
+            }
+            if want > 0 {
+                p.kv_alloc = Some(self.machine.pool_mut(Tier::Hbm).alloc(want)?);
+            }
+            p.kv_alloc_bytes = want;
+        }
+        if p.plan_cache_experts == 0 {
+            return Ok(());
+        }
+        let static_wo_cache = self.base_plan.static_non_activation_bytes()
+            - p.plan_cache_experts as u64 * p.expert_bytes;
+        let working: u64 = self.inflight.iter().map(|r| r.act_bytes).sum();
+        let transient = decode_transient_bytes(
+            &self.cfg,
+            self.sched.as_ref(),
+            &self.base_plan,
+            self.inflight.len().max(1),
+        );
+        let committed = static_wo_cache + working + want + transient;
+        let headroom = self.budget.saturating_sub(committed);
+        let target = p.plan_cache_experts.min((headroom / p.expert_bytes.max(1)) as usize);
+        if target != p.cache_experts_now {
+            if target < p.cache_experts_now {
+                p.shrink_events += 1;
+            }
+            if let Some(id) = p.cache_alloc.take() {
+                self.machine.pool_mut(Tier::Hbm).free(id).expect("cache alloc double free");
+            }
+            if target > 0 {
+                p.cache_alloc =
+                    Some(self.machine.pool_mut(Tier::Hbm).alloc(target as u64 * p.expert_bytes)?);
+            }
+            if let Some(c) = self.cache.as_mut() {
+                c.set_capacity(target);
+            }
+            p.cache_experts_now = target;
+        }
+        Ok(())
     }
 }
 

@@ -102,7 +102,14 @@ impl RetryPolicy {
     fn delay(&self, attempt: u32, retry_after_secs: Option<u64>, jitter: &mut u64) -> Duration {
         let backoff = match retry_after_secs {
             Some(secs) => Duration::from_secs(secs),
-            None => self.base_delay.saturating_mul(1u32 << attempt.min(16)),
+            // `checked_shl` + `checked_mul` instead of a magic clamp on the
+            // shift amount: any attempt deep enough to overflow either step
+            // is already past the cap, so it collapses straight to
+            // `max_delay` rather than wrapping to a near-zero wait.
+            None => 1u32
+                .checked_shl(attempt)
+                .and_then(|factor| self.base_delay.checked_mul(factor))
+                .unwrap_or(self.max_delay),
         };
         let capped = backoff.min(self.max_delay);
         // xorshift64 step for deterministic, dependency-free jitter.
@@ -352,6 +359,28 @@ mod tests {
         // Deep attempts can't overflow the shift.
         let deep = policy.delay(40, None, &mut jitter);
         assert!(deep <= Duration::from_millis(100), "{deep:?}");
+    }
+
+    #[test]
+    fn pathological_attempts_saturate_at_the_cap() {
+        // Regression: `base_delay * (1 << attempt)` used to rely on a magic
+        // shift clamp; the checked form must hold for any attempt count and
+        // any hint without wrapping into a tiny (or panicking) wait.
+        let policy = RetryPolicy {
+            max_retries: u32::MAX,
+            base_delay: Duration::from_secs(u64::MAX / 2),
+            max_delay: Duration::from_millis(250),
+            jitter_seed: 11,
+        };
+        let mut jitter = policy.jitter_seed | 1;
+        for attempt in [31, 32, 63, 64, 1_000, u32::MAX] {
+            let d = policy.delay(attempt, None, &mut jitter);
+            assert!(d <= policy.max_delay, "attempt {attempt}: {d:?}");
+            assert!(d >= policy.max_delay / 2, "attempt {attempt}: {d:?}");
+        }
+        // An absurd server hint saturates the same way.
+        let hinted = policy.delay(0, Some(u64::MAX), &mut jitter);
+        assert!(hinted <= policy.max_delay, "{hinted:?}");
     }
 
     #[test]

@@ -27,7 +27,7 @@ use pgmoe_model::net::{RouteDecision, SwitchNet, SwitchNetConfig};
 use pgmoe_model::{GatingMode, ModelConfig};
 use pgmoe_runtime::{Admission, BatchConfig, BatchSession, LiveRouting, OffloadPolicy, SimOptions};
 use pgmoe_tensor::ScratchArena;
-use pgmoe_workload::{ArrivedRequest, DecodeRequest, LiveClock};
+use pgmoe_workload::{ArrivedRequest, DecodeRequest, LiveClock, SharedPrefix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
@@ -341,7 +341,14 @@ pub(crate) fn run_engine(
                 output_tokens: job.max_tokens,
                 batch_size: 1,
             };
-            match session.try_admit(job.id, ArrivedRequest::at_nanos(job.arrival_ns, request)) {
+            // Declare the whole prompt as the sharable-prefix region: under
+            // a paged session, requests carrying an identical prompt (the
+            // common shared-system-prompt shape) land on one physical KV
+            // copy instead of one per stream.
+            let prefix = SharedPrefix::of_tokens(&job.prompt);
+            let arrived = ArrivedRequest::at_nanos(job.arrival_ns, request)
+                .with_shared_prefix(prefix.hash, prefix.tokens);
+            match session.try_admit(job.id, arrived) {
                 Ok(Admission::Admitted { .. }) => {
                     let job = waiting.pop_front().expect("front exists");
                     shared.governor.on_dequeue();

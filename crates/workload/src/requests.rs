@@ -63,6 +63,39 @@ impl Iterator for RequestStream {
     }
 }
 
+/// Declaration that the leading `tokens` of a request's prompt are a
+/// shared prefix (e.g. a tenant's system prompt), identified by a content
+/// hash. A paged-KV serving layer uses this to point multiple requests'
+/// block tables at one physical copy of the prefix's KV cache.
+///
+/// The hash is over prompt *content*: two requests declaring the same
+/// `(hash, tokens)` pair promise their first `tokens` prompt tokens are
+/// identical. [`SharedPrefix::of_tokens`] derives the hash from real token
+/// ids; synthetic traces pick tenant constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedPrefix {
+    /// Content hash of the shared prefix (FNV-1a over the token ids).
+    pub hash: u64,
+    /// Number of leading prompt tokens covered by the prefix.
+    pub tokens: usize,
+}
+
+impl SharedPrefix {
+    /// Hashes real prompt `tokens` into a prefix declaration covering all
+    /// of them (FNV-1a over the token ids), for serving layers that see
+    /// the actual prompt.
+    pub fn of_tokens(tokens: &[usize]) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &t in tokens {
+            for byte in (t as u64).to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        SharedPrefix { hash, tokens: tokens.len() }
+    }
+}
+
 /// A request stamped with its (simulated) arrival time, for open-loop
 /// serving experiments where requests arrive while earlier ones are still
 /// decoding.
@@ -81,19 +114,30 @@ pub struct ArrivedRequest {
     /// *same* experts no matter which replica serves it (routing identity
     /// must be a property of the request, not of its placement).
     pub route_seed: Option<u64>,
+    /// Declared shared prompt prefix, if any (see [`SharedPrefix`]). Ignored
+    /// by unpaged serving paths.
+    pub shared_prefix: Option<SharedPrefix>,
 }
 
 impl ArrivedRequest {
     /// A request arriving at `arrival_ns` — handy for deterministic traces
     /// in tests.
     pub fn at_nanos(arrival_ns: u64, request: DecodeRequest) -> Self {
-        ArrivedRequest { arrival_ns, request, route_seed: None }
+        ArrivedRequest { arrival_ns, request, route_seed: None, shared_prefix: None }
     }
 
     /// Builder: pin this request's routing-trace seed (see
     /// [`ArrivedRequest::route_seed`]).
     pub fn with_route_seed(mut self, seed: u64) -> Self {
         self.route_seed = Some(seed);
+        self
+    }
+
+    /// Builder: declare that the leading `tokens` of this request's prompt
+    /// are the shared prefix identified by `hash` (see [`SharedPrefix`]).
+    /// The declared length is clamped to the prompt by consumers.
+    pub fn with_shared_prefix(mut self, hash: u64, tokens: usize) -> Self {
+        self.shared_prefix = Some(SharedPrefix { hash, tokens });
         self
     }
 }
@@ -378,8 +422,45 @@ impl Iterator for ArrivalStream {
             }
         }
         let request = self.requests.next()?;
-        Some(ArrivedRequest { arrival_ns: self.clock_ns, request, route_seed: None })
+        Some(ArrivedRequest::at_nanos(self.clock_ns, request))
     }
+}
+
+/// A deterministic mixed short/long-context arrival trace for paged-KV
+/// experiments: short chat-style requests interleaved with long-context
+/// requests whose prompts open with a per-tenant shared system prefix.
+///
+/// The trace alternates short (32-in/16-out) and long (`long_input`-in/
+/// 24-out) requests; long requests rotate across `tenants` tenants, each
+/// declaring the same [`SharedPrefix`] (`prefix_tokens` tokens, hash keyed
+/// on the tenant id) so a prefix-sharing KV pool stores each tenant's
+/// system prompt once. Arrivals are uniformly spaced `gap_ns` apart, which
+/// keeps queueing pressure high enough that admission capacity — not
+/// arrival spacing — bounds the concurrent batch.
+pub fn mixed_context_trace(
+    n: usize,
+    long_input: usize,
+    prefix_tokens: usize,
+    tenants: usize,
+    gap_ns: u64,
+) -> Vec<ArrivedRequest> {
+    let tenants = tenants.max(1);
+    (0..n)
+        .map(|i| {
+            let arrival_ns = i as u64 * gap_ns;
+            if i % 2 == 0 {
+                let short = DecodeRequest { input_tokens: 32, output_tokens: 16, batch_size: 1 };
+                ArrivedRequest::at_nanos(arrival_ns, short)
+            } else {
+                let tenant = (i / 2) % tenants;
+                let long =
+                    DecodeRequest { input_tokens: long_input, output_tokens: 24, batch_size: 1 };
+                let hash = 0x7e1a_57ab_c0ff_ee00 ^ (tenant as u64).wrapping_mul(0x9E37_79B9);
+                ArrivedRequest::at_nanos(arrival_ns, long)
+                    .with_shared_prefix(hash, prefix_tokens.min(long_input))
+            }
+        })
+        .collect()
 }
 
 /// Stamps *live* arrivals — requests that materialise on real sockets
