@@ -99,12 +99,19 @@ fn bench_gemm_512_baseline(_c: &mut Criterion) {
         m.dequant_int8_fused_ms, m.speedup_dequant_int8_fused
     );
 
+    let plan = pgmoe_bench_gate::measure_plan_host();
+    println!(
+        "bench gemm_512/plan_replay_us_per_token                  {:>10.2} us  ({:.2}x vs {:.2} \
+         interpreted)",
+        plan.plan_on_us_per_token, plan.speedup_plan_cache, plan.plan_off_us_per_token
+    );
+
     // Default to the workspace root (cargo runs benches from the package
     // dir) so the committed baseline lives at `/BENCH_substrate.json`.
     let path = std::env::var("PGMOE_BENCH_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json").into()
     });
-    match std::fs::write(&path, m.to_json()) {
+    match std::fs::write(&path, pgmoe_bench_gate::merge_plan_json(&m.to_json(), &plan)) {
         Ok(()) => println!("bench gemm_512: baseline written to {path}"),
         Err(err) => println!("bench gemm_512: could not write {path}: {err}"),
     }
@@ -116,6 +123,7 @@ fn bench_gemm_512_baseline(_c: &mut Criterion) {
     // not a kernel regression). The CI `bench-gate` job additionally
     // compares these numbers against the committed baseline.
     pgmoe_bench_gate::assert_speedup_floors(&m);
+    pgmoe_bench_gate::assert_plan_floor(&plan);
 }
 
 fn bench_engine(c: &mut Criterion) {

@@ -527,6 +527,46 @@ pub fn multi_gpu_motivation() -> String {
     out
 }
 
+/// Compiled-plan tracer (`repro -- plans`): captures the op-IR one decode
+/// iteration lowers to under two schedulers and diffs the streams. The
+/// diff is *asserted* nonempty — two different migration policies must
+/// compile different plans, and an empty diff would mean the plan IR
+/// stopped carrying the decisions the scheduler hooks inject.
+pub fn plans_diff() -> String {
+    let cfg = ModelConfig::switch_base(8);
+    let request = crate::smoke_request();
+    let trace = |spec: PolicySpec| {
+        InferenceSim::new(cfg.clone(), SimOptions::new(spec))
+            .trace_plan(request, 1)
+            .expect("plan capture")
+    };
+    let pregated = trace(PolicySpec::from(OffloadPolicy::Pregated));
+    let speculative = trace(PolicySpec::speculative_top_m(4));
+    let (diff, differing) = pregated.diff(&speculative);
+    assert!(
+        differing > 0,
+        "two schedulers compiled identical decode plans:\n{}",
+        pregated.render()
+    );
+    let mut out =
+        String::from("== Compiled decode plans (op-IR): Pre-gated vs Speculative-TopM ==\n");
+    out.push_str(&format!(
+        "{}: {} ops   {}: {} ops   {} line(s) differ\n",
+        pregated.policy(),
+        pregated.ops().len(),
+        speculative.policy(),
+        speculative.ops().len(),
+        differing
+    ));
+    out.push_str(&diff);
+    out.push_str(
+        "shape: same attention/FFN/gate skeleton, different fetch sets — the\n\
+         speculative margin prefetches extra experts per block, the pre-gate\n\
+         moves only the activated set.\n",
+    );
+    out
+}
+
 fn expected_distinct(draws: usize, experts: usize) -> usize {
     let e = experts as f64;
     ((e * (1.0 - (1.0 - 1.0 / e).powi(draws as i32))).round() as usize).clamp(1, experts)
@@ -647,6 +687,17 @@ mod tests {
             "autoscaler on diurnal load",
             "drift switch (OnDemand -> Pre-gated)",
         ] {
+            assert!(report.contains(needle), "missing `{needle}`:\n{report}");
+        }
+    }
+
+    #[test]
+    fn plans_diff_reports_and_self_asserts() {
+        // The function self-asserts the diff is nonempty (two schedulers
+        // must compile different op streams); here we pin the report shape
+        // so the `repro -- plans` target stays parseable.
+        let report = plans_diff();
+        for needle in ["Pre-gated MoE", "Speculative-Top4", "ops", "line(s) differ", "fetch"] {
             assert!(report.contains(needle), "missing `{needle}`:\n{report}");
         }
     }

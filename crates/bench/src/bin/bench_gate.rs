@@ -68,7 +68,11 @@ fn main() {
 
     println!("bench_gate: measuring 512^3 GEMM kernels (best of 9)...");
     let candidate = gate::measure_gemm_512();
-    if let Err(err) = std::fs::write(&out_path, candidate.to_json()) {
+    println!("bench_gate: measuring compiled-plan host speedup (best of 7)...");
+    let plan_candidate = gate::measure_plan_host();
+    if let Err(err) =
+        std::fs::write(&out_path, gate::merge_plan_json(&candidate.to_json(), &plan_candidate))
+    {
         eprintln!("bench_gate: could not write candidate {out_path}: {err}");
     } else {
         println!("bench_gate: candidate written to {out_path}");
@@ -83,7 +87,16 @@ fn main() {
         candidate.hardware_threads,
         tolerance * 100.0
     );
-    let verdicts = gate::compare(&baseline, &candidate, tolerance);
+    let mut verdicts = gate::compare(&baseline, &candidate, tolerance);
+    match gate::PlanHostMeasurement::parse_json(&baseline_text) {
+        Some(plan_baseline) => {
+            verdicts.push(gate::compare_plan(&plan_baseline, &plan_candidate, tolerance))
+        }
+        None => println!(
+            "  speedup_plan_cache           no baseline yet — candidate {:.2}x (informational)",
+            plan_candidate.speedup_plan_cache
+        ),
+    }
     let mut failed = false;
     for v in &verdicts {
         println!(
@@ -101,6 +114,9 @@ fn main() {
         );
         failed |= !v.ok;
     }
+    // Absolute acceptance bar on top of the relative gate: plan replay
+    // must beat the interpreted decode loop by >= 1.3x on this machine.
+    gate::assert_plan_floor(&plan_candidate);
     if failed {
         eprintln!(
             "bench_gate: FAIL — kernel speedup regressed more than {:.0}% vs the committed \

@@ -20,6 +20,7 @@ targets:
   fleet                      iso-GPU fleet shootout (N offload replicas vs N-GPU expert parallelism)
   chaos                      fault injection + recovery + autoscaling + policy-switch suite
   paged                      paged-KV gate (block paging + prefix reuse vs worst-case KV)
+  plans                      compiled decode-plan diff (Pre-gated vs Speculative-TopM op-IR)
   ablations                  PCIe/level/batch/top-k/precision/scheduler/fleet sweeps
   csv <dir>                  write artifact-style CSV files (incl. fleet.csv)
   all                        every figure target (table1, fig2-3, fig10-16, timeline)
@@ -47,6 +48,7 @@ fn main() {
         "fleet" => print!("{}", ablations::fleet_shootout()),
         "chaos" => print!("{}", ablations::chaos_suite()),
         "paged" => print!("{}", ablations::paged_kv_gate()),
+        "plans" => print!("{}", ablations::plans_diff()),
         "ablations" => {
             print!("{}", ablations::pcie_sweep());
             print!("{}", ablations::level_sweep());

@@ -227,6 +227,137 @@ impl Gemm512Measurement {
     }
 }
 
+/// Host-side scheduler cost of the decode loop — wall microseconds per
+/// generated token of the `block_latency` scheduler-overhead workload
+/// (Switch-Base-64, Pre-gated, batch-1 steady state), measured with the
+/// compiled-plan cache on and off in the same process. The ratio is
+/// machine-normalized the same way the GEMM speedups are: both runs share
+/// the machine, so `speedup_plan_cache` transfers between the laptop that
+/// committed the baseline and the CI runner that checks it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanHostMeasurement {
+    /// Host µs per generated token with plan replay (the default path).
+    pub plan_on_us_per_token: f64,
+    /// Host µs per generated token with `SimOptions::without_plan_cache`.
+    pub plan_off_us_per_token: f64,
+    /// `plan_off_us_per_token / plan_on_us_per_token`.
+    pub speedup_plan_cache: f64,
+}
+
+/// Times the `block_latency`-style batch-1 decode loop (block latencies
+/// sampled, long outputs, routing counts stable — the cache-hit steady
+/// state) with the plan cache on and off (best-of-N wall clock each). The
+/// on-run is cross-checked to actually replay plans before its timing is
+/// trusted.
+///
+/// # Panics
+///
+/// Panics if the plan-cache-on run reports fewer hits than misses — a
+/// hitless run would time the interpreter twice and the speedup would be
+/// meaningless.
+pub fn measure_plan_host() -> PlanHostMeasurement {
+    use pregated_moe::prelude::*;
+    const RUNS: usize = 7;
+    // Long outputs relative to prompts: the measurement targets the
+    // cache-hit steady state of the decode loop, not prefill.
+    let request = DecodeRequest { input_tokens: 16, output_tokens: 512, batch_size: 1 };
+    let run = |plan: bool| {
+        let opts = SimOptions::new(OffloadPolicy::Pregated);
+        let opts = if plan { opts } else { opts.without_plan_cache() };
+        InferenceSim::new(ModelConfig::switch_base(64), opts).run(request, 4).expect("run")
+    };
+    let report = run(true);
+    assert!(
+        report.plan_cache_hits > report.plan_cache_misses,
+        "the gate workload must spend most decode iterations replaying plans \
+         ({} hits / {} misses)",
+        report.plan_cache_hits,
+        report.plan_cache_misses
+    );
+    let tokens = (report.plan_cache_hits + report.plan_cache_misses) as f64;
+    let on_ms = time_best_ms(RUNS, || {
+        black_box(run(true));
+    });
+    let off_ms = time_best_ms(RUNS, || {
+        black_box(run(false));
+    });
+    PlanHostMeasurement {
+        plan_on_us_per_token: on_ms * 1e3 / tokens,
+        plan_off_us_per_token: off_ms * 1e3 / tokens,
+        speedup_plan_cache: off_ms / on_ms,
+    }
+}
+
+/// The compiled-plan acceptance bar: replay must cut host µs/token by at
+/// least 1.3x versus the interpreted core on the same machine.
+///
+/// # Panics
+///
+/// Panics when the floor is broken.
+pub fn assert_plan_floor(m: &PlanHostMeasurement) {
+    assert!(
+        m.speedup_plan_cache >= 1.3,
+        "compiled-plan replay must be >= 1.3x the interpreted decode loop \
+         (got {:.2}x: {:.1} us/token interpreted vs {:.1} us/token replayed)",
+        m.speedup_plan_cache,
+        m.plan_off_us_per_token,
+        m.plan_on_us_per_token
+    );
+}
+
+impl PlanHostMeasurement {
+    /// Parses the plan-gate fields out of a `BENCH_substrate.json`-shaped
+    /// document; `None` when the baseline predates the plan gate.
+    pub fn parse_json(text: &str) -> Option<Self> {
+        let num = |key: &str| -> Option<f64> {
+            let tag = format!("\"{key}\"");
+            let rest = &text[text.find(&tag)? + tag.len()..];
+            let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        Some(PlanHostMeasurement {
+            plan_on_us_per_token: num("plan_on_us_per_token")?,
+            plan_off_us_per_token: num("plan_off_us_per_token")?,
+            speedup_plan_cache: num("speedup_plan_cache")?,
+        })
+    }
+}
+
+/// Splices the plan-gate fields into a rendered GEMM measurement so the
+/// committed baseline stays one flat JSON object.
+///
+/// # Panics
+///
+/// Panics if `gemm_json` is not a `}`-terminated object.
+pub fn merge_plan_json(gemm_json: &str, plan: &PlanHostMeasurement) -> String {
+    let body = gemm_json.trim_end().strip_suffix('}').expect("json object").trim_end();
+    format!(
+        "{body},\n  \"plan_on_us_per_token\": {:.3},\n  \"plan_off_us_per_token\": {:.3},\n  \
+         \"speedup_plan_cache\": {:.3}\n}}\n",
+        plan.plan_on_us_per_token, plan.plan_off_us_per_token, plan.speedup_plan_cache,
+    )
+}
+
+/// Gate verdict for the plan-cache speedup: same tolerance semantics as
+/// [`compare`], always gated (both runs share one machine, so the ratio has
+/// no thread-count caveat).
+pub fn compare_plan(
+    baseline: &PlanHostMeasurement,
+    candidate: &PlanHostMeasurement,
+    tolerance: f64,
+) -> GateLine {
+    GateLine {
+        metric: "speedup_plan_cache".to_string(),
+        baseline: baseline.speedup_plan_cache,
+        candidate: candidate.speedup_plan_cache,
+        gated: true,
+        ok: candidate.speedup_plan_cache >= baseline.speedup_plan_cache * (1.0 - tolerance),
+    }
+}
+
 /// One gated metric's verdict.
 #[derive(Debug, Clone)]
 pub struct GateLine {
@@ -411,5 +542,59 @@ mod tests {
         bad.speedup_blocked_serial = 1.2;
         let err = std::panic::catch_unwind(move || assert_speedup_floors(&bad));
         assert!(err.is_err(), "a 1.2x blocked speedup breaks the 1.5x floor");
+    }
+
+    fn plan_fixture() -> PlanHostMeasurement {
+        PlanHostMeasurement {
+            plan_on_us_per_token: 0.6,
+            plan_off_us_per_token: 1.0,
+            speedup_plan_cache: 1.667,
+        }
+    }
+
+    #[test]
+    fn plan_fields_round_trip_through_the_merged_baseline() {
+        let merged = merge_plan_json(&fixture().to_json(), &plan_fixture());
+        // Both halves of the spliced document parse back unchanged.
+        let gemm = Gemm512Measurement::parse_json(&merged).expect("gemm half");
+        assert!((gemm.speedup_blocked_serial - 2.105).abs() < 1e-9);
+        let plan = PlanHostMeasurement::parse_json(&merged).expect("plan half");
+        assert!((plan.plan_on_us_per_token - 0.6).abs() < 1e-9);
+        assert!((plan.speedup_plan_cache - 1.667).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_parse_is_none_on_a_pre_plan_baseline() {
+        // A baseline committed before the plan gate existed has only the
+        // GEMM fields — the gate treats the plan figure as informational.
+        assert!(PlanHostMeasurement::parse_json(&fixture().to_json()).is_none());
+    }
+
+    #[test]
+    fn committed_baseline_has_plan_fields() {
+        let text = include_str!("../../../BENCH_substrate.json");
+        let plan = PlanHostMeasurement::parse_json(text).expect("committed plan baseline");
+        assert!(plan.speedup_plan_cache >= 1.3, "committed baseline must clear the plan floor");
+        assert_plan_floor(&plan);
+    }
+
+    #[test]
+    fn plan_compare_gates_on_tolerance() {
+        let base = plan_fixture();
+        let mut cand = plan_fixture();
+        cand.speedup_plan_cache *= 0.85; // −15 % < 25 % tolerance
+        let v = compare_plan(&base, &cand, 0.25);
+        assert!(v.gated && v.ok, "{v:?}");
+        cand.speedup_plan_cache = base.speedup_plan_cache / 2.0;
+        let v = compare_plan(&base, &cand, 0.25);
+        assert!(v.gated && !v.ok, "a 2x replay slowdown must fail: {v:?}");
+    }
+
+    #[test]
+    fn plan_floor_rejects_sub_1_3x_replay() {
+        let mut bad = plan_fixture();
+        bad.speedup_plan_cache = 1.1;
+        let err = std::panic::catch_unwind(move || assert_plan_floor(&bad));
+        assert!(err.is_err(), "1.1x replay breaks the 1.3x acceptance bar");
     }
 }

@@ -63,9 +63,9 @@ pub mod prelude {
         ControlOptions, ControlStats, ControlWindow, ControlledFleet, DispatchPolicy,
         DriftSwitcher, ExpertScheduler, FetchSet, FleetConfig, FleetController, FleetSim,
         FleetStats, InferenceSim, JoinShortestQueue, KvBlockPool, KvServeStats, LiveRouting,
-        NoControl, OffloadPolicy, PagedKvConfig, PolicyCtx, PolicySpec, Prefetch, QueueAutoScaler,
-        Replacement, ReplicaObs, ReplicaView, RequestProfile, Residency, RoundRobin, RunReport,
-        SchedulerFactory, ServeStats, SimOptions, TokenEvent,
+        NoControl, OffloadPolicy, PagedKvConfig, PlanTrace, PolicyCtx, PolicySpec, Prefetch,
+        QueueAutoScaler, Replacement, ReplicaObs, ReplicaView, RequestProfile, Residency,
+        RoundRobin, RunReport, SchedulerFactory, ServeStats, SimOptions, TokenEvent,
     };
     pub use pgmoe_serve::{EngineConfig, ServeConfig, Server, ServerHandle, SloConfig};
     pub use pgmoe_train::{Trainer, TrainerConfig};

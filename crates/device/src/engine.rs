@@ -167,6 +167,25 @@ impl SimEngine {
         self.streams[stream.0].tail
     }
 
+    /// Fast-forwards `stream` — and the resource it is bound to — to `tail`,
+    /// accruing `busy` occupancy on the resource, without materializing any
+    /// events. This is the end state a replayed schedule fragment whose op
+    /// times were computed externally would have left behind (compiled
+    /// decode plans replay whole iterations this way); because the
+    /// fragment's ops are elided, nothing may wait on them later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tail` would move the stream backwards.
+    pub fn fast_forward(&mut self, stream: StreamId, tail: SimTime, busy: SimDuration) {
+        let s = &mut self.streams[stream.0];
+        assert!(tail >= s.tail, "fast_forward cannot rewind a stream");
+        s.tail = tail;
+        let r = &mut self.resources[s.resource.0];
+        r.free_at = r.free_at.max(tail);
+        r.busy += busy;
+    }
+
     /// The latest instant across all streams — "wall clock" after everything
     /// submitted so far has drained.
     pub fn horizon(&self) -> SimTime {
@@ -269,6 +288,33 @@ mod tests {
         assert_eq!(eng.trace().len(), 2);
         assert_eq!(eng.trace()[0].label, "fetch");
         assert_eq!(eng.trace()[1].stream, "compute");
+    }
+
+    #[test]
+    fn fast_forward_matches_equivalent_submissions() {
+        // Submitting ops and fast-forwarding to their computed end state
+        // must be indistinguishable to every engine observable.
+        let (mut a, compute_a, copy_a) = engine_with_two_streams();
+        a.submit(compute_a, "x", SimDuration::from_nanos(70), &[]);
+        a.submit(copy_a, "y", SimDuration::from_nanos(40), &[]);
+        let (mut b, compute_b, copy_b) = engine_with_two_streams();
+        b.fast_forward(compute_b, SimTime::from_nanos(70), SimDuration::from_nanos(70));
+        b.fast_forward(copy_b, SimTime::from_nanos(40), SimDuration::from_nanos(40));
+        assert_eq!(a.horizon(), b.horizon());
+        assert_eq!(a.stream_tail(compute_a), b.stream_tail(compute_b));
+        assert_eq!(a.resource_busy(ResourceId(0)), b.resource_busy(ResourceId(0)));
+        // Later submissions schedule identically on both engines.
+        let ea = a.submit(compute_a, "z", SimDuration::from_nanos(5), &[]);
+        let eb = b.submit(compute_b, "z", SimDuration::from_nanos(5), &[]);
+        assert_eq!(a.event_time(ea), b.event_time(eb));
+    }
+
+    #[test]
+    #[should_panic(expected = "rewind")]
+    fn fast_forward_rejects_rewinds() {
+        let (mut eng, compute, _) = engine_with_two_streams();
+        eng.submit(compute, "a", SimDuration::from_nanos(100), &[]);
+        eng.fast_forward(compute, SimTime::from_nanos(50), SimDuration::ZERO);
     }
 
     #[test]

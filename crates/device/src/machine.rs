@@ -183,6 +183,35 @@ impl Machine {
         self.offload_traffic
     }
 
+    /// Duration a [`Machine::copy_to_gpu`] of `bytes` from `source` would
+    /// take — the same law the copy path applies, exposed so replayers can
+    /// compute a schedule's times without submitting its ops.
+    pub fn transfer_time(&self, bytes: u64, source: Tier) -> SimDuration {
+        match source {
+            Tier::Ddr => self.pcie.transfer_time(bytes),
+            Tier::Ssd => self.ssd_link.transfer_time(bytes),
+            Tier::Hbm => self.cost.sync_overhead,
+        }
+    }
+
+    /// Applies the net machine-state effect of a schedule fragment whose op
+    /// times were computed externally (compiled decode-plan replay): both
+    /// stream tails fast-forward, resource busy accrues, and `offload`
+    /// bytes count toward offload traffic. The fragment's events are never
+    /// materialized, so callers must not wait on its ops afterwards.
+    pub fn apply_replay(
+        &mut self,
+        compute_tail: SimTime,
+        copy_tail: SimTime,
+        gpu_busy: SimDuration,
+        pcie_busy: SimDuration,
+        offload: u64,
+    ) {
+        self.engine.fast_forward(self.compute, compute_tail, gpu_busy);
+        self.engine.fast_forward(self.copy, copy_tail, pcie_busy);
+        self.offload_traffic += offload;
+    }
+
     /// Completion time of an event.
     pub fn event_time(&self, event: EventId) -> SimTime {
         self.engine.event_time(event)
@@ -281,6 +310,33 @@ mod tests {
         let mut m = Machine::new(MachineConfig::a100_like());
         let e = m.copy_to_gpu("hit", 1 << 30, Tier::Hbm, &[]);
         assert_eq!(m.event_time(e) - SimTime::ZERO, m.cost().sync_overhead);
+    }
+
+    #[test]
+    fn apply_replay_matches_submitted_schedule() {
+        // Computing a fetch+exec schedule externally and applying its net
+        // effect must leave the machine in the same observable state as
+        // submitting the ops.
+        let bytes = 18_874_368u64;
+        let mut live = Machine::new(MachineConfig::a100_like());
+        let fetch = live.copy_to_gpu("expert", bytes, Tier::Ddr, &[]);
+        live.launch_kernel("ffn", 0.0, bytes, &[fetch]);
+
+        let mut replayed = Machine::new(MachineConfig::a100_like());
+        let copy_end = SimTime::ZERO + replayed.transfer_time(bytes, Tier::Ddr);
+        let exec_dur = replayed.cost().kernel_time(0.0, bytes);
+        let exec_end = copy_end + exec_dur;
+        replayed.apply_replay(
+            exec_end,
+            copy_end,
+            exec_dur,
+            replayed.transfer_time(bytes, Tier::Ddr),
+            bytes,
+        );
+        assert_eq!(replayed.horizon(), live.horizon());
+        assert_eq!(replayed.gpu_busy(), live.gpu_busy());
+        assert_eq!(replayed.pcie_busy(), live.pcie_busy());
+        assert_eq!(replayed.offload_traffic_bytes(), live.offload_traffic_bytes());
     }
 
     #[test]

@@ -145,6 +145,8 @@ impl BatchScheduler {
                 demand_fetch_bytes: 0,
                 gpu_busy: pgmoe_device::SimDuration::ZERO,
                 peak_batch: 0,
+                plan_cache_hits: 0,
+                plan_cache_misses: 0,
                 kv: None,
             });
         }

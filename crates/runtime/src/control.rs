@@ -958,6 +958,8 @@ impl ControlledFleet {
             demand_fetch_bytes: 0,
             gpu_busy: SimDuration::ZERO,
             peak_batch: 0,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
             kv: None,
         };
         FleetStats {

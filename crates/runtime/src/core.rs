@@ -12,6 +12,7 @@
 //! fetch, when, for which block) through the hooks defined in
 //! [`crate::scheduler`].
 
+use crate::plan::{CacheProbe, PlanBytes, PlanCopy, PlanOp, PlanRecorder};
 use crate::scheduler::{
     ExpertScheduler, FetchSet, Phase, PolicyCtx, Prefetch, Residency, RoutedSource, RoutedView,
 };
@@ -82,6 +83,11 @@ impl CoreScratch {
         self.waits.clear();
         self.missing.clear();
     }
+
+    /// Decoder MoE blocks this scratch was sized for.
+    pub(crate) fn dec_blocks(&self) -> usize {
+        self.pending.len()
+    }
 }
 
 /// Fixed per-iteration decode costs (attention/FFN bytes differ between the
@@ -145,7 +151,9 @@ pub(crate) fn batched_prefill_costs(
 /// onto `buffers` and a copy from the offload tier. Returns the event after
 /// which every requested expert is GPU-resident, plus the bytes actually
 /// copied. On OOM the block's buffers are freed before the error
-/// propagates.
+/// propagates. When a [`PlanRecorder`] is attached the whole fetch —
+/// probes, allocations, copies, and `demand` accounting — is captured as
+/// one [`PlanOp::Fetch`].
 #[allow(clippy::too_many_arguments)]
 fn issue_copy(
     machine: &mut Machine,
@@ -158,26 +166,48 @@ fn issue_copy(
     waits: &[EventId],
     alloc_buffers: bool,
     buffers: &mut Vec<AllocId>,
+    demand: bool,
+    mut rec: Option<&mut PlanRecorder>,
 ) -> Result<(EventId, u64)> {
     let trace = machine.trace_enabled();
     let mut last = None;
     let mut copied = 0u64;
+    let mut probes: Vec<CacheProbe> = Vec::new();
+    let mut copies: Vec<PlanCopy> = Vec::new();
+    let evictions_before = match (&rec, cache.as_ref()) {
+        (Some(_), Some(c)) => c.stats().evictions,
+        _ => 0,
+    };
     for &e in experts {
         let key = ExpertKey { block, expert: e };
         if sched.is_resident(key) {
             continue;
         }
-        let hit = cache
-            .as_mut()
-            .map(|c| c.access_with(key, sched.cache_admission(key), sched.eviction_hint(key)))
-            .unwrap_or(false);
+        let hit = match cache.as_mut() {
+            Some(c) => {
+                let admit = sched.cache_admission(key);
+                let hint = sched.eviction_hint(key);
+                let hit = c.access_with(key, admit, hint);
+                if rec.is_some() {
+                    probes.push(CacheProbe { key, admit, hint, hit });
+                }
+                hit
+            }
+            None => false,
+        };
         if hit {
             continue;
         }
         // Transient staging buffer; OOM here is a real capacity failure.
+        let mut buf_slot = None;
         if alloc_buffers {
             match machine.pool_mut(Tier::Hbm).alloc(plan.expert_bytes()) {
-                Ok(id) => buffers.push(id),
+                Ok(id) => {
+                    buffers.push(id);
+                    if let Some(r) = rec.as_deref_mut() {
+                        buf_slot = Some(r.buffer(id));
+                    }
+                }
                 Err(err) => {
                     free_buffers(machine, buffers);
                     return Err(err.into());
@@ -198,6 +228,9 @@ fn issue_copy(
         };
         copied += plan.expert_bytes();
         last = Some(ev);
+        if rec.is_some() {
+            copies.push(PlanCopy { expert: e, buf: buf_slot });
+        }
     }
     // All experts resident: the copy stream is in-order, so the last
     // submitted copy dominates. All-hit fetches complete immediately
@@ -209,6 +242,26 @@ fn issue_copy(
             machine.engine_mut().barrier(copy, waits)
         }
     };
+    if let Some(r) = rec {
+        let wait_slots = r.slots_of(waits);
+        let out = r.event(done);
+        r.op(PlanOp::Fetch {
+            block,
+            bytes_each: plan.expert_bytes(),
+            tier: offload_tier,
+            probes,
+            copies,
+            waits: wait_slots,
+            demand,
+            out,
+        });
+        if let Some(c) = cache.as_ref() {
+            let after = c.stats().evictions;
+            if after > evictions_before {
+                r.op(PlanOp::Evict { block, count: after - evictions_before });
+            }
+        }
+    }
     Ok((done, copied))
 }
 
@@ -229,6 +282,7 @@ pub(crate) fn decode_iteration(
     costs: &DecodeCosts,
     scratch: &mut CoreScratch,
     mut block_latencies: Option<&mut Vec<SimDuration>>,
+    mut rec: Option<&mut PlanRecorder>,
 ) -> Result<()> {
     let dec_blocks = scratch.pending.len();
     scratch.reset();
@@ -242,7 +296,16 @@ pub(crate) fn decode_iteration(
         sched.on_iteration_start(&ctx, &mut prefetches);
     }
     for p in prefetches.drain(..) {
-        issue_decode_prefetch(env, sched, &p, routed, None, enc_blocks, scratch)?;
+        issue_decode_prefetch(
+            env,
+            sched,
+            &p,
+            routed,
+            None,
+            enc_blocks,
+            scratch,
+            rec.as_deref_mut(),
+        )?;
     }
 
     let mut moe_idx = 0usize;
@@ -250,14 +313,37 @@ pub(crate) fn decode_iteration(
         let is_moe = layer % costs.moe_every == costs.moe_every - 1;
         let compute = env.machine.compute_stream();
         let block_start = env.machine.engine_mut().stream_tail(compute);
+        if let Some(r) = rec.as_deref_mut() {
+            r.op(PlanOp::BlockStart);
+        }
         env.machine.launch_kernel("attn", 0.0, costs.attn_bytes, &[]);
+        if let Some(r) = rec.as_deref_mut() {
+            r.op(PlanOp::Gemm {
+                label: "attn",
+                bytes: PlanBytes::Attn,
+                waits: Vec::new(),
+                out: None,
+            });
+        }
         if !is_moe {
             env.machine.launch_kernel("ffn", 0.0, costs.ffn_bytes, &[]);
+            if let Some(r) = rec.as_deref_mut() {
+                r.op(PlanOp::Gemm {
+                    label: "ffn",
+                    bytes: PlanBytes::Ffn,
+                    waits: Vec::new(),
+                    out: None,
+                });
+            }
             continue;
         }
         let b = moe_idx;
         let experts = routed.experts(b);
         let gate = env.machine.compute_op("gate", env.machine.cost().gate_overhead, &[]);
+        if let Some(r) = rec.as_deref_mut() {
+            let out = r.event(gate);
+            r.op(PlanOp::Gate { out });
+        }
 
         // Resolve this block's expert availability FIRST: a serialized
         // residency fetch is on the block's critical path and must not
@@ -289,6 +375,8 @@ pub(crate) fn decode_iteration(
                     waits,
                     true,
                     &mut pending.buffers,
+                    true,
+                    rec.as_deref_mut(),
                 )?;
                 *env.demand_bytes += copied;
                 scratch.waits.push(ev);
@@ -321,6 +409,8 @@ pub(crate) fn decode_iteration(
                             &[gate],
                             true,
                             &mut pending.buffers,
+                            true,
+                            rec.as_deref_mut(),
                         )?;
                         *env.demand_bytes += copied;
                         scratch.waits.push(dev);
@@ -343,6 +433,8 @@ pub(crate) fn decode_iteration(
                         &[gate],
                         true,
                         &mut pending.buffers,
+                        true,
+                        rec.as_deref_mut(),
                     )?;
                     *env.demand_bytes += copied;
                     scratch.waits.push(ev);
@@ -358,7 +450,16 @@ pub(crate) fn decode_iteration(
             sched.on_gate(&ctx, b, &mut prefetches);
         }
         for p in prefetches.drain(..) {
-            issue_decode_prefetch(env, sched, &p, routed, Some(gate), enc_blocks, scratch)?;
+            issue_decode_prefetch(
+                env,
+                sched,
+                &p,
+                routed,
+                Some(gate),
+                enc_blocks,
+                scratch,
+                rec.as_deref_mut(),
+            )?;
         }
 
         // How the resident experts execute: single-GPU streaming by default,
@@ -371,27 +472,69 @@ pub(crate) fn decode_iteration(
         };
         let dispatch_wait;
         let exec_waits: &[EventId] = if eplan.dispatch > SimDuration::ZERO {
-            dispatch_wait =
-                [env.machine.compute_op("a2a-dispatch", eplan.dispatch, &scratch.waits)];
+            let dispatch = env.machine.compute_op("a2a-dispatch", eplan.dispatch, &scratch.waits);
+            if let Some(r) = rec.as_deref_mut() {
+                let waits = r.slots_of(&scratch.waits);
+                let out = r.event(dispatch);
+                r.op(PlanOp::AllToAll { label: "a2a-dispatch", dur: eplan.dispatch, waits, out });
+            }
+            dispatch_wait = [dispatch];
             &dispatch_wait
         } else {
             &scratch.waits
         };
         let exec = env.machine.launch_kernel("expert", 0.0, eplan.exec_bytes, exec_waits);
+        if let Some(r) = rec.as_deref_mut() {
+            if r.dequant() {
+                r.op(PlanOp::Dequant { block: b });
+            }
+            let waits = r.slots_of(exec_waits);
+            let out = r.event(exec);
+            r.op(PlanOp::Gemm {
+                label: "expert",
+                bytes: PlanBytes::Lit(eplan.exec_bytes),
+                waits,
+                out: Some(out),
+            });
+        }
         let done = if eplan.combine > SimDuration::ZERO {
-            env.machine.compute_op("a2a-combine", eplan.combine, &[exec])
+            let combine = env.machine.compute_op("a2a-combine", eplan.combine, &[exec]);
+            if let Some(r) = rec.as_deref_mut() {
+                let waits = r.slots_of(&[exec]);
+                let out = r.event(combine);
+                r.op(PlanOp::AllToAll { label: "a2a-combine", dur: eplan.combine, waits, out });
+            }
+            combine
         } else {
             exec
         };
+        if let Some(r) = rec.as_deref_mut() {
+            if !scratch.pending[b].buffers.is_empty() {
+                let bufs = r.buf_slots_of(&scratch.pending[b].buffers);
+                r.op(PlanOp::FreeBufs { bufs });
+            }
+        }
         free_buffers(env.machine, &mut scratch.pending[b].buffers);
         if let Some(lat) = block_latencies.as_deref_mut() {
             lat.push(env.machine.event_time(done) - block_start);
+            if let Some(r) = rec.as_deref_mut() {
+                let done_slots = r.slots_of(&[done]);
+                if let Some(&slot) = done_slots.first() {
+                    r.op(PlanOp::Latency { done: slot });
+                }
+            }
         }
         moe_idx += 1;
     }
     // Safety net for schedulers that prefetched blocks which never
     // consumed their buffers.
     for p in &mut scratch.pending {
+        if let Some(r) = rec.as_deref_mut() {
+            if !p.buffers.is_empty() {
+                let bufs = r.buf_slots_of(&p.buffers);
+                r.op(PlanOp::FreeBufs { bufs });
+            }
+        }
         free_buffers(env.machine, &mut p.buffers);
     }
     scratch.prefetches = prefetches;
@@ -399,6 +542,7 @@ pub(crate) fn decode_iteration(
 }
 
 /// Issues one decode-phase prefetch directive into its pending slot.
+#[allow(clippy::too_many_arguments)]
 fn issue_decode_prefetch(
     env: &mut CoreEnv<'_>,
     sched: &dyn ExpertScheduler,
@@ -407,6 +551,7 @@ fn issue_decode_prefetch(
     gate: Option<EventId>,
     enc_blocks: usize,
     scratch: &mut CoreScratch,
+    rec: Option<&mut PlanRecorder>,
 ) -> Result<()> {
     if p.block >= scratch.pending.len() {
         return Ok(()); // directive past the stack: ignore
@@ -457,6 +602,8 @@ fn issue_decode_prefetch(
         waits,
         true,
         &mut pending.buffers,
+        false,
+        rec,
     )?;
     pending.done = Some(ev);
     Ok(())
@@ -577,6 +724,8 @@ pub(crate) fn prefill_pass(
                     copy_waits,
                     alloc_buffers,
                     &mut pending[b].buffers,
+                    true,
+                    None,
                 )?;
                 *env.demand_bytes += copied;
                 waits.push(ev);
@@ -602,6 +751,8 @@ pub(crate) fn prefill_pass(
                         &[gate],
                         alloc_buffers,
                         &mut pending[b].buffers,
+                        true,
+                        None,
                     )?;
                     *env.demand_bytes += copied;
                     waits.push(ev);
@@ -697,6 +848,8 @@ fn issue_prefill_prefetch(
         waits,
         alloc_buffers,
         &mut pending[p.block].buffers,
+        false,
+        None,
     )?;
     pending[p.block].done = Some(ev);
     Ok(())

@@ -3,10 +3,11 @@
 use crate::core::{
     self, expected_distinct_experts, CoreEnv, CoreScratch, DecodeCosts, PrefillCosts,
 };
+use crate::plan::{self, PlanSession, PlanTrace};
 use crate::scheduler::{ExpertScheduler, RoutedSource};
 use crate::{CacheStats, ExpertCache, PlacementPlan, Result, RuntimeError, SimOptions};
 use pgmoe_device::{Machine, SimDuration, SimTime, Tier};
-use pgmoe_model::{GateTopology, ModelConfig};
+use pgmoe_model::{ExpertPrecision, GateTopology, ModelConfig};
 use pgmoe_workload::{DecodeRequest, RoutingTrace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +53,12 @@ pub struct RunReport {
     /// ASCII execution timeline of the final decode iteration, when
     /// requested (Fig 9).
     pub timeline: Option<String>,
+    /// Decode iterations replayed from a compiled plan (see [`crate::plan`]).
+    pub plan_cache_hits: u64,
+    /// Decode iterations lowered and compiled because no cached plan
+    /// matched (uncacheable configurations run interpreted and count
+    /// neither way).
+    pub plan_cache_misses: u64,
 }
 
 impl RunReport {
@@ -111,6 +118,41 @@ impl InferenceSim {
     ///   HBM footprint (GPU-only on Switch-Large-128).
     /// * [`RuntimeError::InvalidConfig`] for inconsistent options.
     pub fn run(&self, request: DecodeRequest, num_requests: usize) -> Result<RunReport> {
+        let mut ps = PlanSession::new(self.opts.plan_cache, self.dequant());
+        self.run_with(request, num_requests, &mut ps)
+    }
+
+    /// Compiles one decode iteration under this simulator's policy and
+    /// returns its rendered plan, without caching or replaying it. Works for
+    /// every scheduler — including uncacheable ones like
+    /// `speculative_top_m` — because capture only records the interpreted
+    /// iteration. The captured iteration is the run's *last* decode
+    /// iteration (steady state: caches warm, frequency histograms settled).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceSim::run`].
+    pub fn trace_plan(&self, request: DecodeRequest, num_requests: usize) -> Result<PlanTrace> {
+        let mut ps = PlanSession::capturing(self.dequant());
+        let report = self.run_with(request, num_requests, &mut ps)?;
+        let plan = ps.take_captured().ok_or_else(|| RuntimeError::InvalidConfig {
+            message: "plan capture recorded no decode iteration".into(),
+        })?;
+        Ok(PlanTrace::new(report.policy, plan))
+    }
+
+    /// Whether this run executes quantized experts through the fused
+    /// dequant-GEMM path (annotates compiled plans).
+    fn dequant(&self) -> bool {
+        self.opts.expert_precision.unwrap_or(self.cfg.expert_precision) != ExpertPrecision::F32
+    }
+
+    fn run_with(
+        &self,
+        request: DecodeRequest,
+        num_requests: usize,
+        ps: &mut PlanSession,
+    ) -> Result<RunReport> {
         self.validate(&request)?;
         let cfg = &self.cfg;
         let opts = &self.opts;
@@ -179,7 +221,7 @@ impl InferenceSim {
                     num_experts: cfg.num_experts,
                     demand_bytes: &mut demand_bytes,
                 };
-                core::decode_iteration(
+                plan::decode_iteration_planned(
                     &mut env,
                     sched.as_mut(),
                     &topo,
@@ -189,6 +231,8 @@ impl InferenceSim {
                     &costs,
                     &mut scratch,
                     Some(&mut block_latencies),
+                    ps,
+                    1,
                 )?;
                 if first_token_time.is_none() {
                     first_token_time = Some(machine.horizon());
@@ -216,6 +260,8 @@ impl InferenceSim {
             expert_fetch_bytes: machine.offload_traffic_bytes(),
             demand_fetch_bytes: demand_bytes,
             timeline,
+            plan_cache_hits: ps.stats().hits,
+            plan_cache_misses: ps.stats().misses,
         })
     }
 

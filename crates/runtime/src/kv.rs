@@ -43,13 +43,25 @@ pub struct PagedKvConfig {
     /// Whether full blocks inside a declared shared prefix are deduplicated
     /// across requests.
     pub share_prefixes: bool,
+    /// Whether block-table bookkeeping costs *simulated* time: each fresh
+    /// block allocation charges one stream-sync of overhead and each
+    /// copy-on-write copy charges a memory-bound read+write of the copied
+    /// bytes (see `crate::plan::kv_append_duration`). Off by default so the
+    /// paged path stays timing-identical to the unpaged path when HBM is
+    /// roomy (the golden-equivalence pins rely on that).
+    pub timed_appends: bool,
 }
 
 impl PagedKvConfig {
     /// Paged KV with `block_tokens`-token blocks, unbounded prefill chunks,
     /// and prefix sharing enabled.
     pub fn new(block_tokens: usize) -> Self {
-        PagedKvConfig { block_tokens, prefill_chunk_tokens: usize::MAX, share_prefixes: true }
+        PagedKvConfig {
+            block_tokens,
+            prefill_chunk_tokens: usize::MAX,
+            share_prefixes: true,
+            timed_appends: false,
+        }
     }
 
     /// Builder: bound prompt prefill to `tokens` per scheduler step.
@@ -62,6 +74,13 @@ impl PagedKvConfig {
     /// private blocks).
     pub fn without_prefix_sharing(mut self) -> Self {
         self.share_prefixes = false;
+        self
+    }
+
+    /// Builder: charge simulated time for block allocation and
+    /// copy-on-write copies (see [`PagedKvConfig::timed_appends`]).
+    pub fn with_timed_appends(mut self) -> Self {
+        self.timed_appends = true;
         self
     }
 }

@@ -350,6 +350,7 @@ pub fn simulate_expert_parallel(
             &costs,
             &mut scratch,
             Some(&mut block_latencies),
+            None,
         )?;
     }
     debug_assert_eq!(demand_bytes, 0, "cluster experts never migrate");

@@ -162,6 +162,10 @@ pub struct SimOptions {
     ///
     /// [`ModelConfig::expert_precision`]: pgmoe_model::ModelConfig
     pub expert_precision: Option<ExpertPrecision>,
+    /// Whether decode iterations compile through the plan cache
+    /// ([`crate::plan`], on by default). Bit-exact either way; disable only
+    /// to measure the interpreted path (the bench A/B harness does).
+    pub plan_cache: bool,
 }
 
 impl SimOptions {
@@ -180,7 +184,15 @@ impl SimOptions {
             routing: RoutingKind::Uniform,
             seed: 0x5EED,
             expert_precision: None,
+            plan_cache: true,
         }
+    }
+
+    /// Builder: force every decode iteration through the interpreted core,
+    /// bypassing the compiled-plan cache.
+    pub fn without_plan_cache(mut self) -> Self {
+        self.plan_cache = false;
+        self
     }
 
     /// Builder: set the decode routing statistics.

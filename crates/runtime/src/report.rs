@@ -146,6 +146,8 @@ mod tests {
             expert_fetch_bytes: 0,
             demand_fetch_bytes: 0,
             timeline: None,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
         }
     }
 

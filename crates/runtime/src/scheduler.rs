@@ -35,6 +35,7 @@
 //! [`PolicySpec::cache_pinned`]; `examples/custom_policy.rs` builds one
 //! entirely outside this crate.
 
+use crate::plan::{fingerprint_str, fnv_mix, RoutingSensitivity};
 use crate::{ExpertCache, ExpertKey, OffloadPolicy, Result, RuntimeError};
 use pgmoe_device::SimDuration;
 use pgmoe_model::{GateTopology, GatingMode};
@@ -378,6 +379,33 @@ pub trait ExpertScheduler {
         let _ = key;
         None
     }
+
+    /// Fingerprint of this scheduler's *decision function* for compiled-plan
+    /// caching, or `None` (the default) to opt out of plan caching.
+    ///
+    /// Returning `Some(fp)` is a contract: every hook must be a pure
+    /// function of the scheduler's construction-time configuration (folded
+    /// into `fp`) and the [`PolicyCtx`] fields the plan cache keys on — the
+    /// routing window, the expert-cache state, and `expert_bytes`. Hooks
+    /// must not consult mutable state accumulated across iterations and
+    /// must not condition on `ctx.token`; schedulers that do either (e.g.
+    /// the frequency-tracking `speculative_top_m`) must keep the `None`
+    /// default, which makes the core interpret every iteration.
+    fn plan_fingerprint(&self) -> Option<u64> {
+        None
+    }
+
+    /// How much of the routing window this scheduler's decisions read,
+    /// which bounds what the plan cache must key on. The conservative
+    /// default says hooks may read exact expert ids; schedulers whose
+    /// decisions depend only on per-block routed-set *sizes* can answer
+    /// [`RoutingSensitivity::Counts`] and share one compiled plan across
+    /// every token with the same per-block counts. Ignored (forced to
+    /// `Exact`) whenever an [`ExpertCache`](crate::ExpertCache) is
+    /// attached, since cache probes are keyed on expert ids.
+    fn plan_routing_sensitivity(&self) -> RoutingSensitivity {
+        RoutingSensitivity::Exact
+    }
 }
 
 /// Builds a fresh [`ExpertScheduler`] for each run.
@@ -507,6 +535,14 @@ impl ExpertScheduler for GpuOnlySched {
     fn on_block_start(&mut self, _ctx: &PolicyCtx<'_>, _block: usize) -> Residency {
         Residency::Resident
     }
+
+    fn plan_fingerprint(&self) -> Option<u64> {
+        Some(fingerprint_str("gpu-only"))
+    }
+
+    fn plan_routing_sensitivity(&self) -> RoutingSensitivity {
+        RoutingSensitivity::Counts
+    }
 }
 
 /// HF-Accelerate-style fetch-on-demand: gate, then fetch, then execute.
@@ -528,6 +564,14 @@ impl ExpertScheduler for OnDemandSched {
 
     fn on_block_start(&mut self, _ctx: &PolicyCtx<'_>, _block: usize) -> Residency {
         Residency::Fetch { set: FetchSet::Routed, after_gate: true }
+    }
+
+    fn plan_fingerprint(&self) -> Option<u64> {
+        Some(fingerprint_str("on-demand"))
+    }
+
+    fn plan_routing_sensitivity(&self) -> RoutingSensitivity {
+        RoutingSensitivity::Counts
     }
 }
 
@@ -569,6 +613,14 @@ impl ExpertScheduler for PrefetchAllSched {
         if ctx.phase == Phase::Decode && block + 1 < ctx.blocks {
             out.push(Prefetch { block: block + 1, set: FetchSet::All, after_gate: false });
         }
+    }
+
+    fn plan_fingerprint(&self) -> Option<u64> {
+        Some(fingerprint_str("prefetch-all"))
+    }
+
+    fn plan_routing_sensitivity(&self) -> RoutingSensitivity {
+        RoutingSensitivity::Counts
     }
 }
 
@@ -614,6 +666,14 @@ impl ExpertScheduler for PregatedSched {
 
     fn on_gate(&mut self, ctx: &PolicyCtx<'_>, block: usize, out: &mut Vec<Prefetch>) {
         pregated_on_gate(ctx, block, out);
+    }
+
+    fn plan_fingerprint(&self) -> Option<u64> {
+        Some(fnv_mix(fingerprint_str("pregated"), self.level as u64))
+    }
+
+    fn plan_routing_sensitivity(&self) -> RoutingSensitivity {
+        RoutingSensitivity::Counts
     }
 }
 
@@ -884,6 +944,15 @@ impl ExpertScheduler for CachePinnedSched {
 
     fn on_gate(&mut self, ctx: &PolicyCtx<'_>, block: usize, out: &mut Vec<Prefetch>) {
         pregated_on_gate(ctx, block, out);
+    }
+
+    fn plan_fingerprint(&self) -> Option<u64> {
+        // Keeps the `Exact` routing-sensitivity default: `is_resident`
+        // partitions the routed set by expert id.
+        Some(fnv_mix(
+            fnv_mix(fingerprint_str("cache-pinned"), self.per_block as u64),
+            self.level as u64,
+        ))
     }
 }
 

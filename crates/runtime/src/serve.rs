@@ -52,6 +52,12 @@ pub struct ServeStats {
     /// the batch-1 path; the admitted-batch metric the paged-KV gate
     /// compares).
     pub peak_batch: usize,
+    /// Decode iterations replayed from a compiled plan across the stream
+    /// (see [`crate::plan`]). Uncacheable configurations count neither hits
+    /// nor misses.
+    pub plan_cache_hits: u64,
+    /// Decode iterations that compiled a fresh plan across the stream.
+    pub plan_cache_misses: u64,
     /// Paged-KV statistics when the stream ran with
     /// [`crate::BatchConfig::with_paged_kv`]; `None` on the unpaged path.
     pub kv: Option<crate::kv::KvServeStats>,
@@ -177,6 +183,8 @@ pub fn serve_stream(
     let mut fetched = 0u64;
     let mut demand = 0u64;
     let mut gpu_busy = SimDuration::ZERO;
+    let mut plan_hits = 0u64;
+    let mut plan_misses = 0u64;
     let mut policy_name: Option<String> = None;
     for (i, request) in requests.into_iter().enumerate() {
         // Each request runs on a fresh simulated timeline; back-to-back
@@ -194,6 +202,8 @@ pub fn serve_stream(
         fetched += report.expert_fetch_bytes;
         demand += report.demand_fetch_bytes;
         gpu_busy += report.gpu_busy;
+        plan_hits += report.plan_cache_hits;
+        plan_misses += report.plan_cache_misses;
         policy_name.get_or_insert(report.policy);
     }
     let tokens_per_sec =
@@ -212,6 +222,8 @@ pub fn serve_stream(
         demand_fetch_bytes: demand,
         gpu_busy,
         peak_batch: if total_tokens > 0 { 1 } else { 0 },
+        plan_cache_hits: plan_hits,
+        plan_cache_misses: plan_misses,
         kv: None,
     })
 }
@@ -325,6 +337,8 @@ mod tests {
             demand_fetch_bytes: 0,
             gpu_busy: SimDuration::ZERO,
             peak_batch: 1,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
             kv: None,
         }
     }

@@ -43,11 +43,12 @@ use crate::core::{
 };
 use crate::engine::{attn_bytes_for, dense_ffn_bytes_for};
 use crate::kv::{BlockTable, KvBlockPool, KvServeStats, PagedKvConfig};
+use crate::plan::{self, PlanCacheStats, PlanSession};
 use crate::scheduler::{ExpertScheduler, MemoryProfile, PolicySpec, RoutedSource};
 use crate::serve::ServeStats;
 use crate::{ExpertCache, PlacementPlan, Result, RuntimeError, SimOptions};
 use pgmoe_device::{AllocId, Machine, SimDuration, SimTime, Tier};
-use pgmoe_model::{GateTopology, ModelConfig};
+use pgmoe_model::{ExpertPrecision, GateTopology, ModelConfig};
 use pgmoe_workload::{ArrivedRequest, RoutingTrace, SharedPrefix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -247,6 +248,7 @@ pub struct BatchSession {
     admitted_now: Vec<usize>,
     records: Vec<Record>,
     scratch: CoreScratch,
+    plans: PlanSession,
     unions: Vec<Vec<usize>>,
     route_scratch: Vec<usize>,
     demand_bytes: u64,
@@ -287,6 +289,10 @@ impl BatchSession {
         let sched = opts.policy.build(&opts.setup_for(&cfg));
         let topo = sched.decoder_topology(cfg.decoder_moe_layers())?;
         let mut machine = Machine::new(opts.machine.clone());
+        // Sessions never render machine timelines, and span tracing forces
+        // every iteration through the interpreted core (compiled-plan
+        // replay does not re-emit trace spans — see [`crate::plan`]).
+        machine.set_trace_enabled(false);
         let base_plan = PlacementPlan::new(&cfg, &opts, 0, 1);
         // Paged sessions place the expert-cache region as its own alloc so
         // KV arbitration can resize it; the unpaged path keeps the single
@@ -332,6 +338,10 @@ impl BatchSession {
         let cache = opts.cache.map(|c| ExpertCache::new(base_plan.cache_experts(), c.replacement));
         let dec_blocks = cfg.decoder_moe_layers();
         let scratch = CoreScratch::new(dec_blocks, cfg.num_experts);
+        let plans = PlanSession::new(
+            opts.plan_cache,
+            opts.expert_precision.unwrap_or(cfg.expert_precision) != ExpertPrecision::F32,
+        );
         Ok(BatchSession {
             sched,
             topo,
@@ -343,6 +353,7 @@ impl BatchSession {
             admitted_now: Vec::new(),
             records: Vec::new(),
             scratch,
+            plans,
             unions: vec![Vec::new(); dec_blocks],
             route_scratch: Vec::new(),
             demand_bytes: 0,
@@ -402,6 +413,14 @@ impl BatchSession {
     /// miss stalls).
     pub fn demand_fetch_bytes(&self) -> u64 {
         self.demand_bytes
+    }
+
+    /// Plan-cache counters so far: decode iterations replayed from a
+    /// compiled plan (`hits`), iterations that compiled a fresh plan
+    /// (`misses`), and explicit invalidations (scheduler swaps). See
+    /// [`crate::plan`].
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
     }
 
     /// Offers one request for admission at the current clock. `id` is an
@@ -643,6 +662,10 @@ impl BatchSession {
         self.topo = topo;
         self.base_plan = new_plan;
         self.opts = opts;
+        // Compiled plans bake in the old scheduler's decisions; drop them
+        // all rather than trust the key to separate two schedulers that
+        // might share a fingerprint scheme.
+        self.plans.invalidate();
         Ok(())
     }
 
@@ -725,7 +748,7 @@ impl BatchSession {
                 num_experts: self.cfg.num_experts,
                 demand_bytes: &mut self.demand_bytes,
             };
-            core::decode_iteration(
+            plan::decode_iteration_planned(
                 &mut env,
                 self.sched.as_mut(),
                 &self.topo,
@@ -735,6 +758,8 @@ impl BatchSession {
                 &costs,
                 &mut self.scratch,
                 None,
+                &mut self.plans,
+                ready as u64,
             )?;
             self.iteration += 1;
         }
@@ -773,12 +798,27 @@ impl BatchSession {
                     let r = &mut self.inflight[i];
                     let stamp = r.stamp_at(r.ctx_len() - 1);
                     let table = r.table.as_mut().expect("paged request has a table");
+                    let before = p.pool.stats();
                     p.pool.append(table, &[stamp]);
+                    if p.cfg.timed_appends {
+                        let after = p.pool.stats();
+                        plan::execute_kv_append(
+                            &mut self.machine,
+                            after.blocks_allocated - before.blocks_allocated,
+                            after.cow_copy_bytes - before.cow_copy_bytes,
+                        );
+                    }
                 }
                 i += 1;
             }
         }
         self.sync_paged_kv()?;
+        // Timed paged-KV appends submitted during token retirement land
+        // after the measured span: fold their cost into the clock here so
+        // the next step starts from a consistent horizon. A no-op unless
+        // `timed_appends` charged something above.
+        let tail = self.machine.horizon() - span_start;
+        self.clock += tail.saturating_sub(span);
         Ok(events)
     }
 
@@ -819,6 +859,8 @@ impl BatchSession {
             demand_fetch_bytes: self.demand_bytes,
             gpu_busy: self.machine.gpu_busy(),
             peak_batch: self.peak_batch,
+            plan_cache_hits: self.plans.stats().hits,
+            plan_cache_misses: self.plans.stats().misses,
             kv,
         }
     }
@@ -865,7 +907,16 @@ impl BatchSession {
             stamps.clear();
             stamps.extend((r.prefilled..r.prefilled + todo).map(|pos| r.stamp_at(pos)));
             let table = r.table.as_mut().expect("paged request has a table");
+            let before = p.pool.stats();
             p.pool.append(table, &stamps);
+            if p.cfg.timed_appends {
+                let after = p.pool.stats();
+                plan::execute_kv_append(
+                    &mut self.machine,
+                    after.blocks_allocated - before.blocks_allocated,
+                    after.cow_copy_bytes - before.cow_copy_bytes,
+                );
+            }
             r.prefilled += todo;
             total += todo;
             budget -= todo;
@@ -1251,6 +1302,120 @@ mod tests {
         let err = s.swap_scheduler(PolicySpec::from(OffloadPolicy::GpuOnly));
         assert!(matches!(err, Err(RuntimeError::InvalidConfig { .. })));
         assert_eq!(s.policy_name(), "Pre-gated MoE", "a rejected swap leaves the scheduler alone");
+    }
+
+    #[test]
+    fn scheduler_swap_invalidates_compiled_plans() {
+        use crate::scheduler::PolicySpec;
+        let mut s = session(2);
+        s.try_admit(0, ArrivedRequest::at_nanos(0, req(8, 6))).unwrap();
+        while s.in_flight() > 0 {
+            s.step().unwrap();
+        }
+        let warm = s.plan_cache_stats();
+        assert!(warm.hits > 0, "steady-state decode must replay compiled plans: {warm:?}");
+        assert_eq!(warm.invalidations, 0);
+
+        s.swap_scheduler(PolicySpec::from(OffloadPolicy::OnDemand)).unwrap();
+        assert_eq!(
+            s.plan_cache_stats().invalidations,
+            1,
+            "a swap must flush plans that baked in the old scheduler's decisions"
+        );
+
+        s.try_admit(1, ArrivedRequest::at_nanos(0, req(8, 6))).unwrap();
+        while s.in_flight() > 0 {
+            s.step().unwrap();
+        }
+        let resumed = s.plan_cache_stats();
+        assert!(resumed.misses > warm.misses, "the first post-swap iteration must recompile");
+        assert!(resumed.hits > warm.hits, "later iterations replay the fresh plan");
+    }
+
+    #[test]
+    fn routing_drift_compiles_one_plan_per_distinct_shape() {
+        // A live router whose fan-out width drifts across iterations: every
+        // distinct per-block set-size vector is a different plan key, so
+        // the session must recompile instead of replaying a plan whose
+        // fetch set no longer matches the routing.
+        struct Fan(usize);
+        impl LiveRouting for Fan {
+            fn experts(
+                &mut self,
+                _id: u64,
+                _generated: usize,
+                block: usize,
+                out: &mut Vec<usize>,
+            ) -> bool {
+                for e in 0..self.0 {
+                    out.push((block + e) % 8);
+                }
+                true
+            }
+        }
+        let run = |width: &dyn Fn(usize) -> usize| {
+            let mut s = session(1);
+            s.try_admit(0, ArrivedRequest::at_nanos(0, req(8, 9))).unwrap();
+            let mut i = 0;
+            while s.in_flight() > 0 {
+                s.step_routed(&mut Fan(width(i))).unwrap();
+                i += 1;
+            }
+            s.plan_cache_stats()
+        };
+        let steady = run(&|_| 1);
+        assert!(steady.hits > 0, "a constant width replays: {steady:?}");
+        let drifting = run(&|i| 1 + i % 3);
+        assert!(drifting.misses >= 3, "three distinct widths need three compiles: {drifting:?}");
+        assert!(drifting.misses > steady.misses, "{drifting:?} vs {steady:?}");
+    }
+
+    #[test]
+    fn kv_pressure_cache_shrink_recompiles_plans_bit_exactly() {
+        use crate::{serve_batched, CacheConfig, Replacement};
+        // A budget that fits the full expert-cache region while the KV pool
+        // is empty but squeezes it once decode KV accumulates: the
+        // paged-KV reconcile shrinks the cache mid-run via set_capacity,
+        // which changes the plan key's cache-state fingerprint. A stale
+        // pre-shrink plan must never replay — asserted by bitwise equality
+        // against the interpreted (plan-cache-off) run.
+        let cfg = ModelConfig::switch_base(8);
+        let eb = PlacementPlan::new(&cfg, &SimOptions::new(OffloadPolicy::Pregated), 0, 1)
+            .expert_bytes();
+        let opts = |plan: bool| {
+            let o = SimOptions::new(OffloadPolicy::Pregated)
+                .with_cache(CacheConfig::bytes(8 * eb, Replacement::Lru));
+            if plan {
+                o
+            } else {
+                o.without_plan_cache()
+            }
+        };
+        let base = PlacementPlan::new(&cfg, &opts(true), 0, 1);
+        let long = PlacementPlan::new(&cfg, &opts(true), 536, 1).activation_bytes();
+        // The paged-KV gate's tight-budget recipe: static weights + two
+        // long requests' activations + the expert working set. Paging
+        // admits a deep batch whose accumulated KV blocks push the
+        // analytic headroom below the cache's plan capacity mid-run.
+        let budget = base.static_non_activation_bytes() + 2 * long + 2 * 8 * eb;
+        let batch = BatchConfig::new(16)
+            .with_hbm_budget(budget)
+            .with_paged_kv(PagedKvConfig::new(16).with_prefill_chunk(256));
+        let arrivals = pgmoe_workload::mixed_context_trace(24, 512, 384, 2, 50_000);
+        let run =
+            |plan: bool| serve_batched(cfg.clone(), opts(plan), batch, arrivals.clone()).unwrap();
+        let on = run(true);
+        let off = run(false);
+        let kv = on.kv.as_ref().expect("paged run reports kv stats");
+        assert!(kv.cache_shrink_events > 0, "the budget must squeeze the cache mid-run: {kv:?}");
+        assert_eq!(off.plan_cache_misses, 0, "the interpreted run never compiles");
+        assert_eq!(
+            on.request_latencies, off.request_latencies,
+            "replay across a capacity shrink must stay bit-exact"
+        );
+        assert_eq!(on.ttfts, off.ttfts);
+        assert_eq!(on.expert_fetch_bytes, off.expert_fetch_bytes);
+        assert_eq!(on.demand_fetch_bytes, off.demand_fetch_bytes);
     }
 
     #[test]

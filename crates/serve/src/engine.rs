@@ -421,6 +421,8 @@ pub(crate) fn run_engine(
             peak_hbm_bytes: session.peak_hbm_bytes(),
             expert_fetch_bytes: session.expert_fetch_bytes(),
             demand_fetch_bytes: session.demand_fetch_bytes(),
+            plan_cache_hits: session.plan_cache_stats().hits,
+            plan_cache_misses: session.plan_cache_stats().misses,
         });
 
         iterations_run += 1;

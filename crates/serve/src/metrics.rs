@@ -158,6 +158,10 @@ pub struct SimSnapshot {
     pub expert_fetch_bytes: u64,
     /// Expert bytes fetched on the critical path (demand-miss stalls).
     pub demand_fetch_bytes: u64,
+    /// Decode iterations replayed from a compiled plan.
+    pub plan_cache_hits: u64,
+    /// Decode iterations that compiled a fresh plan.
+    pub plan_cache_misses: u64,
 }
 
 /// The server's full metric registry.
@@ -330,6 +334,18 @@ impl ServerMetrics {
             "counter",
             "Expert bytes fetched on the critical path (demand-miss stalls).",
             sim.demand_fetch_bytes.to_string(),
+        );
+        scalar(
+            "pgmoe_plan_cache_hits_total",
+            "counter",
+            "Decode iterations replayed from a compiled plan.",
+            sim.plan_cache_hits.to_string(),
+        );
+        scalar(
+            "pgmoe_plan_cache_misses_total",
+            "counter",
+            "Decode iterations that compiled a fresh plan.",
+            sim.plan_cache_misses.to_string(),
         );
 
         let _ = writeln!(out, "# HELP pgmoe_http_responses_total Completed HTTP responses.");

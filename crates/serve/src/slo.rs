@@ -158,6 +158,48 @@ mod tests {
     }
 
     #[test]
+    fn admission_depth_scales_inversely_with_iteration_speed() {
+        // The wave-model bound the serving e2e test cannot measure
+        // speed-independently, pinned with synthetic iteration times
+        // instead of a wall clock: every arrival the governor admits
+        // projects within the target (bounded TTFT by construction), and
+        // the queue depth it tolerates shrinks as iterations slow.
+        let depth = |iter: Duration| {
+            let g = governor(100, 4);
+            g.observe_iteration(iter);
+            let mut admitted = 0u64;
+            loop {
+                match g.verdict() {
+                    Verdict::Admit => {
+                        assert!(
+                            g.projected_ttft() <= g.target_ttft(),
+                            "an admitted arrival projects within the target"
+                        );
+                        g.on_enqueue();
+                        admitted += 1;
+                        assert!(admitted < 1_000_000, "governor never saturates");
+                    }
+                    Verdict::Shed { projected } => {
+                        assert!(projected > g.target_ttft());
+                        break;
+                    }
+                }
+            }
+            admitted
+        };
+        let fast = depth(Duration::from_micros(50));
+        let mid = depth(Duration::from_millis(1));
+        let slow = depth(Duration::from_millis(12));
+        assert!(fast > mid && mid > slow, "depths {fast} / {mid} / {slow}");
+
+        // A sub-iteration target sheds even an empty queue once the EWMA
+        // is warm — the deterministic regime the serving e2e test pins.
+        let g = governor(0, 4);
+        g.observe_iteration(Duration::from_micros(50));
+        assert!(matches!(g.verdict(), Verdict::Shed { .. }));
+    }
+
+    #[test]
     fn ewma_tracks_load_and_dequeue_saturates() {
         let g = governor(1_000, 1);
         g.observe_iteration(Duration::from_millis(8));
