@@ -10,8 +10,11 @@
 //! thread everywhere; on machines with ≥ 2 hardware threads, ≥ 2x
 //! regardless of the configured thread count (regression floor), and ≥ 4x
 //! when ≥ 2 threads are configured (acceptance bar); the fused dequant GEMM
-//! ≥ 1.2x the seed loop despite its panel-dequant tax. CI runs this bench
-//! with `PGMOE_THREADS=2`, so a kernel regression fails loud.
+//! ≥ 1.2x the seed loop despite its panel-dequant tax. The Q4 sub-byte gate
+//! rides along at a decode shape (8×512×512): the scalar fused path must be
+//! ≥ 1.2x over materialize-then-multiply, and when the AVX2 tier is live
+//! the dispatched path must be ≥ 1.2x over the scalar one. CI runs this
+//! bench with `PGMOE_THREADS=2`, so a kernel regression fails loud.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pgmoe_bench::gate as pgmoe_bench_gate;
@@ -71,6 +74,16 @@ fn bench_gemm_kernels(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("matmul_dequant_int8", n), &n, |bench, &n| {
             bench.iter(|| quant::matmul_dequant_into(black_box(&mut out), &a, &bq, n, n, n))
         });
+        let bq4 = QuantizedTensor::quantize(
+            &pregated_moe::tensor::Tensor::from_vec([n, n], b.clone()).unwrap(),
+            QuantMode::Q4,
+        );
+        group.bench_with_input(BenchmarkId::new("matmul_dequant_q4", n), &n, |bench, &n| {
+            bench.iter(|| quant::matmul_dequant_into(black_box(&mut out), &a, &bq4, n, n, n))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_dequant_q4_scalar", n), &n, |bench, &n| {
+            bench.iter(|| quant::matmul_dequant_scalar_into(black_box(&mut out), &a, &bq4, n, n, n))
+        });
     }
     group.finish();
 }
@@ -99,6 +112,18 @@ fn bench_gemm_512_baseline(_c: &mut Criterion) {
         m.dequant_int8_fused_ms, m.speedup_dequant_int8_fused
     );
 
+    let q4 = pgmoe_bench_gate::measure_q4_fused();
+    println!(
+        "bench gemm_512/q4_fused_scalar[8x512x512]                {:>10.3} ms  ({:.2}x vs unfused)",
+        q4.q4_fused_scalar_ms, q4.speedup_q4_scalar
+    );
+    println!(
+        "bench gemm_512/q4_fused_simd[8x512x512, simd={}]          {:>9.3} ms  ({:.2}x vs scalar)",
+        u8::from(q4.simd),
+        q4.q4_fused_simd_ms,
+        q4.speedup_q4_simd
+    );
+
     let plan = pgmoe_bench_gate::measure_plan_host();
     println!(
         "bench gemm_512/plan_replay_us_per_token                  {:>10.2} us  ({:.2}x vs {:.2} \
@@ -111,7 +136,11 @@ fn bench_gemm_512_baseline(_c: &mut Criterion) {
     let path = std::env::var("PGMOE_BENCH_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_substrate.json").into()
     });
-    match std::fs::write(&path, pgmoe_bench_gate::merge_plan_json(&m.to_json(), &plan)) {
+    let json = pgmoe_bench_gate::merge_q4_json(
+        &pgmoe_bench_gate::merge_plan_json(&m.to_json(), &plan),
+        &q4,
+    );
+    match std::fs::write(&path, json) {
         Ok(()) => println!("bench gemm_512: baseline written to {path}"),
         Err(err) => println!("bench gemm_512: could not write {path}: {err}"),
     }
@@ -123,6 +152,7 @@ fn bench_gemm_512_baseline(_c: &mut Criterion) {
     // not a kernel regression). The CI `bench-gate` job additionally
     // compares these numbers against the committed baseline.
     pgmoe_bench_gate::assert_speedup_floors(&m);
+    pgmoe_bench_gate::assert_q4_floors(&q4);
     pgmoe_bench_gate::assert_plan_floor(&plan);
 }
 

@@ -112,17 +112,19 @@ pub fn topk_sweep() -> String {
     out
 }
 
-/// Expert-precision sweep: all four offload policies × {f32, f16, int8}
-/// expert storage. Reduced precision shrinks the migrated bytes (the cost
-/// every offloading policy pays per fetch) and the expert kernels' HBM
-/// traffic, so block latency drops everywhere and the OnDemand/Prefetch
-/// penalty compresses toward the GPU-only bound.
+/// Expert-precision sweep: all four offload policies × {f32, f16, int8,
+/// q4, q4k} expert storage. Reduced precision shrinks the migrated bytes
+/// (the cost every offloading policy pays per fetch) and the expert
+/// kernels' HBM traffic, so block latency drops everywhere and the
+/// OnDemand/Prefetch penalty compresses toward the GPU-only bound; the
+/// sub-byte formats roughly double the int8 win again.
 pub fn precision_sweep() -> String {
     use pregated_moe::model::ExpertPrecision;
     let cfg = ModelConfig::switch_base(64);
     let request = crate::smoke_request();
     let mut out = String::from(
-        "== Ablation: expert storage precision (Switch-Base-64, policies × {f32, f16, int8}) ==\n",
+        "== Ablation: expert storage precision (Switch-Base-64, policies × {f32, f16, int8, q4, \
+         q4k}) ==\n",
     );
     out.push_str(&format!(
         "{:<16} {:>10} {:>16} {:>14} {:>12}\n",
@@ -148,7 +150,8 @@ pub fn precision_sweep() -> String {
     }
     out.push_str(
         "shape: int8 (~3.8x smaller experts) compresses every offloading policy's\n\
-         block latency toward GPU-only; fetched bytes shrink by the same factor.\n",
+         block latency toward GPU-only; fetched bytes shrink by the same factor.\n\
+         q4/q4k (~7.1x smaller than f32) roughly halve the int8 fetch bytes again.\n",
     );
     out
 }
@@ -604,21 +607,35 @@ mod tests {
         let report = precision_sweep();
         for policy in OffloadPolicy::ALL {
             let rows = report.lines().filter(|l| l.starts_with(policy.paper_name())).count();
-            assert_eq!(rows, 3, "{policy}: one row per precision\n{report}");
+            assert_eq!(rows, 5, "{policy}: one row per precision\n{report}");
         }
-        // Every int8 row's speedup-vs-f32 column must be >= 1.0 (never a
-        // slowdown) and offloading policies must show a real gain.
-        let int8_speedups: Vec<f64> = report
-            .lines()
-            .filter(|l| l.contains(" int8 "))
-            .filter_map(|l| l.split_whitespace().last()?.trim_end_matches('x').parse().ok())
-            .collect();
+        // Every reduced-precision row's speedup-vs-f32 column must be
+        // >= 1.0 (never a slowdown) and offloading policies must show a
+        // real gain.
+        let speedups = |needle: &str| -> Vec<f64> {
+            report
+                .lines()
+                .filter(|l| l.contains(needle))
+                .filter_map(|l| l.split_whitespace().last()?.trim_end_matches('x').parse().ok())
+                .collect()
+        };
+        let int8_speedups = speedups(" int8 ");
         assert_eq!(int8_speedups.len(), 4, "{report}");
         assert!(int8_speedups.iter().all(|&s| s >= 1.0), "{int8_speedups:?}\n{report}");
         assert!(
             int8_speedups.iter().any(|&s| s > 1.2),
             "offloading policies should gain >1.2x from int8: {int8_speedups:?}"
         );
+        // The sub-byte formats never lose to f32 either, and at least one
+        // offloading policy beats its own int8 cell (fewer migrated bytes).
+        let q4_speedups = speedups(" q4 ");
+        assert_eq!(q4_speedups.len(), 4, "{report}");
+        assert!(q4_speedups.iter().all(|&s| s >= 1.0), "{q4_speedups:?}\n{report}");
+        assert!(
+            q4_speedups.iter().zip(&int8_speedups).any(|(&q, &i)| q > i),
+            "q4 should beat int8 for at least one offloading policy:\n{report}"
+        );
+        assert_eq!(speedups(" q4k ").len(), 4, "{report}");
     }
 
     #[test]

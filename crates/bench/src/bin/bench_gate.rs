@@ -68,11 +68,15 @@ fn main() {
 
     println!("bench_gate: measuring 512^3 GEMM kernels (best of 9)...");
     let candidate = gate::measure_gemm_512();
+    println!("bench_gate: measuring fused Q4 dequant kernels (best of 25)...");
+    let q4_candidate = gate::measure_q4_fused();
     println!("bench_gate: measuring compiled-plan host speedup (best of 7)...");
     let plan_candidate = gate::measure_plan_host();
-    if let Err(err) =
-        std::fs::write(&out_path, gate::merge_plan_json(&candidate.to_json(), &plan_candidate))
-    {
+    let candidate_json = gate::merge_q4_json(
+        &gate::merge_plan_json(&candidate.to_json(), &plan_candidate),
+        &q4_candidate,
+    );
+    if let Err(err) = std::fs::write(&out_path, candidate_json) {
         eprintln!("bench_gate: could not write candidate {out_path}: {err}");
     } else {
         println!("bench_gate: candidate written to {out_path}");
@@ -88,6 +92,16 @@ fn main() {
         tolerance * 100.0
     );
     let mut verdicts = gate::compare(&baseline, &candidate, tolerance);
+    match gate::Q4FusedMeasurement::parse_json(&baseline_text) {
+        Some(q4_baseline) => {
+            verdicts.extend(gate::compare_q4(&q4_baseline, &q4_candidate, tolerance))
+        }
+        None => println!(
+            "  speedup_q4_scalar/simd       no baseline yet — candidate {:.2}x / {:.2}x \
+             (informational)",
+            q4_candidate.speedup_q4_scalar, q4_candidate.speedup_q4_simd
+        ),
+    }
     match gate::PlanHostMeasurement::parse_json(&baseline_text) {
         Some(plan_baseline) => {
             verdicts.push(gate::compare_plan(&plan_baseline, &plan_candidate, tolerance))
@@ -114,9 +128,13 @@ fn main() {
         );
         failed |= !v.ok;
     }
-    // Absolute acceptance bar on top of the relative gate: plan replay
-    // must beat the interpreted decode loop by >= 1.3x on this machine.
+    // Absolute acceptance bars on top of the relative gate: plan replay
+    // must beat the interpreted decode loop by >= 1.3x on this machine,
+    // and the fused Q4 floors (scalar fused >= 1.2x over unfused
+    // dequantize-then-matmul; SIMD >= 1.2x over scalar when the AVX2 tier
+    // ran) must hold.
     gate::assert_plan_floor(&plan_candidate);
+    gate::assert_q4_floors(&q4_candidate);
     if failed {
         eprintln!(
             "bench_gate: FAIL — kernel speedup regressed more than {:.0}% vs the committed \

@@ -15,7 +15,7 @@ targets:
   fig10 fig11 fig12 fig14    systems latency/throughput/memory
   fig15 fig16 timeline       caching / SSD / Fig 9 timelines
   table2 fig13 [--full]      accuracy (trains models; --full = paper recipe)
-  precision                  expert-precision sweep (policies x f32/f16/int8)
+  precision                  expert-precision sweep (policies x f32/f16/int8/q4/q4k)
   policies                   six-scheduler shootout (4 built-ins + Speculative-TopM + Cache-Pinned)
   fleet                      iso-GPU fleet shootout (N offload replicas vs N-GPU expert parallelism)
   chaos                      fault injection + recovery + autoscaling + policy-switch suite

@@ -18,25 +18,45 @@
 //! precision. Int8 payloads store the quantization group, the per-group
 //! f32 scales, then the raw i8 data; loading dequantizes, so a quantized
 //! checkpoint round-trips its *stored* values exactly.
+//!
+//! Version 3 extends v2 with the sub-byte payload tags (3 = Q4_0,
+//! 4 = Q4K); the header layout is identical. The writer emits version 2
+//! whenever the precision only needs v2 tags — old-precision streams stay
+//! byte-identical to what v2 writers produced — and version 3 only for
+//! `Q4`/`Q4K`. The loader accepts both versions but rejects sub-byte tags
+//! inside a v2 stream, so a v2-era reader's error behaviour is preserved
+//! exactly. Q4_0 payloads store the per-block f16 scale words then the
+//! packed nibble data; Q4K payloads store the super-block `d`/`dmin` f16
+//! words, the per-sub-block `sc`/`mn` codes, then the packed nibble data.
+//! Loading dequantizes the *stored* codes exactly, same as every other
+//! payload kind (Q4_0 re-quantization is additionally a fixed point, so
+//! load-then-resave stays byte-identical; Q4K is not, which is why the
+//! loader round-trip is specified in terms of stored values).
 
 use crate::config::ExpertPrecision;
 use pgmoe_tensor::nn::Layer;
+use pgmoe_tensor::quant::{Q4K_SUB, Q4K_SUPER, Q4_BLOCK};
 use pgmoe_tensor::{QuantMode, QuantizedTensor, Tensor};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 6] = b"PGMOE\0";
 const VERSION: u32 = 1;
 const QUANT_VERSION: u32 = 2;
+const QUANT_VERSION_V3: u32 = 3;
 
 const TAG_F32: u8 = 0;
 const TAG_F16: u8 = 1;
 const TAG_INT8: u8 = 2;
+const TAG_Q4: u8 = 3;
+const TAG_Q4K: u8 = 4;
 
 fn precision_tag(p: ExpertPrecision) -> u8 {
     match p {
         ExpertPrecision::F32 => TAG_F32,
         ExpertPrecision::F16 => TAG_F16,
         ExpertPrecision::Int8 => TAG_INT8,
+        ExpertPrecision::Q4 => TAG_Q4,
+        ExpertPrecision::Q4K => TAG_Q4K,
     }
 }
 
@@ -45,7 +65,18 @@ fn tag_precision(tag: u8) -> Option<ExpertPrecision> {
         TAG_F32 => Some(ExpertPrecision::F32),
         TAG_F16 => Some(ExpertPrecision::F16),
         TAG_INT8 => Some(ExpertPrecision::Int8),
+        TAG_Q4 => Some(ExpertPrecision::Q4),
+        TAG_Q4K => Some(ExpertPrecision::Q4K),
         _ => None,
+    }
+}
+
+/// The stream version a quantized save at `p` produces: v2 unless the
+/// precision needs the sub-byte tags v2 readers don't know.
+fn quant_stream_version(p: ExpertPrecision) -> u32 {
+    match p {
+        ExpertPrecision::F32 | ExpertPrecision::F16 | ExpertPrecision::Int8 => QUANT_VERSION,
+        ExpertPrecision::Q4 | ExpertPrecision::Q4K => QUANT_VERSION_V3,
     }
 }
 
@@ -184,7 +215,8 @@ pub fn load_params<R: Read>(layer: &mut dyn Layer, r: &mut R) -> Result<(), Chec
     Ok(())
 }
 
-/// Serializes every parameter of `layer` at `precision` (format v2).
+/// Serializes every parameter of `layer` at `precision` (format v2, or
+/// v3 for the sub-byte `Q4`/`Q4K` precisions).
 ///
 /// Only *expert* weight matrices — the parameters the layer reports via
 /// [`Layer::visit_expert_params`], identified by [`Param::id`] — are
@@ -214,7 +246,7 @@ pub fn save_params_quantized<W: Write>(
     let mut tensors: Vec<(bool, Tensor)> = Vec::new();
     layer.visit_params(&mut |p| tensors.push((expert_ids.contains(&p.id()), p.value.clone())));
     w.write_all(MAGIC)?;
-    w.write_all(&QUANT_VERSION.to_le_bytes())?;
+    w.write_all(&quant_stream_version(precision).to_le_bytes())?;
     w.write_all(&[precision_tag(precision)])?;
     w.write_all(&(tensors.len() as u64).to_le_bytes())?;
     for (is_expert, t) in &tensors {
@@ -250,13 +282,39 @@ pub fn save_params_quantized<W: Write>(
                 let bytes: Vec<u8> = data.iter().map(|&v| v as u8).collect();
                 w.write_all(&bytes)?;
             }
+            Some(QuantMode::Q4) => {
+                let q = QuantizedTensor::quantize(t, QuantMode::Q4);
+                let (data, scales) = q.q4_parts().expect("q4 storage");
+                w.write_all(&[TAG_Q4])?;
+                w.write_all(&(scales.len() as u64).to_le_bytes())?;
+                for s in scales {
+                    w.write_all(&s.to_le_bytes())?;
+                }
+                w.write_all(data)?;
+            }
+            Some(QuantMode::Q4K) => {
+                let q = QuantizedTensor::quantize(t, QuantMode::Q4K);
+                let (data, d, dmin, sc, mn) = q.q4k_parts().expect("q4k storage");
+                w.write_all(&[TAG_Q4K])?;
+                w.write_all(&(d.len() as u64).to_le_bytes())?;
+                for v in d.iter().chain(dmin) {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+                w.write_all(&(sc.len() as u64).to_le_bytes())?;
+                w.write_all(sc)?;
+                w.write_all(mn)?;
+                w.write_all(data)?;
+            }
         }
     }
     Ok(())
 }
 
-/// Restores every parameter of `layer` from a v2 quantized checkpoint,
-/// dequantizing payloads into f32 parameters (gradients are zeroed).
+/// Restores every parameter of `layer` from a v2 or v3 quantized
+/// checkpoint, dequantizing payloads into f32 parameters (gradients are
+/// zeroed). Sub-byte payload tags are only accepted in v3 streams — a v2
+/// stream carrying them is malformed, exactly as a v2-era reader would
+/// judge it.
 ///
 /// # Errors
 ///
@@ -274,7 +332,7 @@ pub fn load_params_quantized<R: Read>(
         return Err(CheckpointError::BadHeader);
     }
     let version = read_u32(r)?;
-    if version != QUANT_VERSION {
+    if version != QUANT_VERSION && version != QUANT_VERSION_V3 {
         return Err(CheckpointError::BadHeader);
     }
     let mut tag = [0u8; 1];
@@ -333,6 +391,46 @@ pub fn load_params_quantized<R: Read>(
                 r.read_exact(&mut bytes)?;
                 let data: Vec<i8> = bytes.into_iter().map(|b| b as i8).collect();
                 QuantizedTensor::from_int8_parts(dims, data, scales, group).dequantize()
+            }
+            TAG_Q4 if version >= QUANT_VERSION_V3 => {
+                let scale_count = read_u64(r)? as usize;
+                if dims.len() != 2 || scale_count != dims[0] * dims[1].div_ceil(Q4_BLOCK) {
+                    return Err(CheckpointError::BadHeader);
+                }
+                let mut scales = vec![0u16; scale_count];
+                for s in &mut scales {
+                    let mut buf = [0u8; 2];
+                    r.read_exact(&mut buf)?;
+                    *s = u16::from_le_bytes(buf);
+                }
+                let mut data = vec![0u8; dims[0] * dims[1].div_ceil(2)];
+                r.read_exact(&mut data)?;
+                QuantizedTensor::from_q4_parts(dims, data, scales).dequantize()
+            }
+            TAG_Q4K if version >= QUANT_VERSION_V3 => {
+                let super_count = read_u64(r)? as usize;
+                if dims.len() != 2 || super_count != dims[0] * dims[1].div_ceil(Q4K_SUPER) {
+                    return Err(CheckpointError::BadHeader);
+                }
+                let mut words = vec![0u16; 2 * super_count];
+                for v in &mut words {
+                    let mut buf = [0u8; 2];
+                    r.read_exact(&mut buf)?;
+                    *v = u16::from_le_bytes(buf);
+                }
+                let dmin = words.split_off(super_count);
+                let d = words;
+                let sub_count = read_u64(r)? as usize;
+                if sub_count != dims[0] * dims[1].div_ceil(Q4K_SUB) {
+                    return Err(CheckpointError::BadHeader);
+                }
+                let mut sc = vec![0u8; sub_count];
+                r.read_exact(&mut sc)?;
+                let mut mn = vec![0u8; sub_count];
+                r.read_exact(&mut mn)?;
+                let mut data = vec![0u8; dims[0] * dims[1].div_ceil(2)];
+                r.read_exact(&mut data)?;
+                QuantizedTensor::from_q4k_parts(dims, data, d, dmin, sc, mn).dequantize()
             }
             _ => return Err(CheckpointError::BadHeader),
         };
@@ -435,7 +533,11 @@ mod tests {
     fn quantized_save_load_round_trips_exactly() {
         // Quantize-then-save is lossy once; load-then-save must be a fixed
         // point: the dequantized values re-quantize to the identical stream.
-        for precision in [ExpertPrecision::Int8, ExpertPrecision::F16, ExpertPrecision::F32] {
+        // (Q4_0 qualifies — the block max pins the stored scale exactly —
+        // but Q4K does not, so it has its own stored-value test below.)
+        for precision in
+            [ExpertPrecision::Int8, ExpertPrecision::F16, ExpertPrecision::F32, ExpertPrecision::Q4]
+        {
             let mut a = net(1);
             let mut buf = Vec::new();
             save_params_quantized(&mut a, precision, &mut buf).unwrap();
@@ -450,6 +552,69 @@ mod tests {
             let tokens = [1usize, 2, 3, 4, 5, 0];
             assert_eq!(b.forward_inference(&tokens), c.forward_inference(&tokens));
         }
+    }
+
+    #[test]
+    fn q4k_checkpoint_loads_exact_stored_values() {
+        // Q4K re-quantization is not a fixed point, so the contract is the
+        // direct one: loaded params are exactly the dequantized stored
+        // codes — i.e. exactly what quantizing the original experts yields.
+        let tokens = [1usize, 2, 3, 4, 5, 0];
+        let mut a = net(8);
+        let mut buf = Vec::new();
+        save_params_quantized(&mut a, ExpertPrecision::Q4K, &mut buf).unwrap();
+        let mut b = net(9);
+        load_params_quantized(&mut b, ExpertPrecision::Q4K, &mut buf.as_slice()).unwrap();
+        let mut expert_ids = std::collections::HashSet::new();
+        a.visit_expert_params(&mut |p| {
+            expert_ids.insert(p.id());
+        });
+        let collect = |n: &mut SwitchNet| {
+            let mut experts = Vec::new();
+            n.visit_params(&mut |p| {
+                if expert_ids.contains(&p.id()) && p.value.shape().rank() == 2 {
+                    experts.push(p.value.clone());
+                }
+            });
+            experts
+        };
+        // Same architecture from the same constructor: param ids line up.
+        for (orig, loaded) in collect(&mut a).iter().zip(collect(&mut b)) {
+            let stored = QuantizedTensor::quantize(orig, QuantMode::Q4K).dequantize();
+            assert_eq!(stored, loaded, "loaded expert must equal dequantized stored codes");
+        }
+        let mut aq = a.clone();
+        aq.quantize_experts(ExpertPrecision::Q4K);
+        assert_eq!(b.forward_inference(&tokens), aq.forward_inference(&tokens));
+    }
+
+    #[test]
+    fn sub_byte_streams_are_v3_and_legacy_streams_stay_v2() {
+        let mut a = net(1);
+        let version_of = |buf: &[u8]| u32::from_le_bytes(buf[6..10].try_into().unwrap());
+        let mut int8_buf = Vec::new();
+        save_params_quantized(&mut a, ExpertPrecision::Int8, &mut int8_buf).unwrap();
+        assert_eq!(version_of(&int8_buf), 2, "old precisions must keep emitting v2 streams");
+        let mut q4_buf = Vec::new();
+        save_params_quantized(&mut a, ExpertPrecision::Q4, &mut q4_buf).unwrap();
+        assert_eq!(version_of(&q4_buf), 3);
+        let mut q4k_buf = Vec::new();
+        save_params_quantized(&mut a, ExpertPrecision::Q4K, &mut q4k_buf).unwrap();
+        assert_eq!(version_of(&q4k_buf), 3);
+        // A v2 stream may not smuggle sub-byte payload tags: patch the Q4
+        // stream's version down to 2 and the loader must call it malformed
+        // (exactly as a v2-era reader would), without mutating the target.
+        let mut patched = q4_buf.clone();
+        patched[6..10].copy_from_slice(&2u32.to_le_bytes());
+        let mut b = net(2);
+        let tokens = [1usize, 2, 3, 4, 5, 0];
+        let before = b.forward_inference(&tokens);
+        let err = load_params_quantized(&mut b, ExpertPrecision::Q4, &mut patched.as_slice());
+        assert!(matches!(err, Err(CheckpointError::BadHeader)));
+        assert_eq!(b.forward_inference(&tokens), before, "failed load must not mutate");
+        // Sub-byte streams really are smaller than the int8 ones.
+        assert!(q4_buf.len() < int8_buf.len());
+        assert!(q4k_buf.len() < int8_buf.len());
     }
 
     #[test]

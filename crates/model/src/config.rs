@@ -32,9 +32,41 @@ impl Precision {
 /// while `expert_precision` selects how the runtime stores and migrates
 /// the expert FFNs specifically. [`ExpertPrecision::F32`] (the default)
 /// defers to the analytic `precision`, so every Table I number is
-/// unchanged; `F16`/`Int8` shrink each expert 2–3.8× — fetches get
+/// unchanged; `F16`/`Int8` shrink each expert 2–3.8×, and the sub-byte
+/// `Q4`/`Q4K` formats reach 7.1×/6.9× versus f32 — fetches get
 /// proportionally faster and proportionally more experts fit any HBM
 /// budget.
+///
+/// # Example: quantize → checkpoint → serve
+///
+/// The precision flows through the whole stack from this one enum: the
+/// numeric net stores its experts in the matching
+/// [`pgmoe_tensor::QuantMode`], checkpoints tag every expert bank with it,
+/// and the runtime's placement/fetch accounting scales by
+/// [`ExpertPrecision::bytes_per_param`].
+///
+/// ```
+/// use pgmoe_model::net::{SwitchNet, SwitchNetConfig};
+/// use pgmoe_model::{checkpoint, ExpertPrecision, GatingMode, ModelConfig};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// // Quantize a numeric net's experts to Q4.
+/// let cfg = SwitchNetConfig::small(64, 8, 4, GatingMode::Pregated { level: 1 });
+/// let mut net = SwitchNet::new(cfg.clone(), &mut StdRng::seed_from_u64(7));
+/// net.quantize_experts(ExpertPrecision::Q4);
+///
+/// // Checkpoint it (format v3 carries the Q4-tagged expert banks) …
+/// let mut buf = Vec::new();
+/// checkpoint::save_params_quantized(&mut net, ExpertPrecision::Q4, &mut buf).unwrap();
+/// let mut restored = SwitchNet::new(cfg, &mut StdRng::seed_from_u64(999));
+/// checkpoint::load_params_quantized(&mut restored, ExpertPrecision::Q4, &mut buf.as_slice())
+///     .unwrap();
+///
+/// // … and serve: the analytic device model now migrates 4.5-bit experts.
+/// let model = ModelConfig::switch_base(4).with_expert_precision(ExpertPrecision::Q4);
+/// assert!(model.expert_bytes() < ModelConfig::switch_base(4).expert_bytes() / 7);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ExpertPrecision {
     /// Full-precision experts (defers to the model's analytic
@@ -45,12 +77,24 @@ pub enum ExpertPrecision {
     /// Per-group symmetric int8 (group of [`ExpertPrecision::INT8_GROUP`]
     /// weights per f32 scale): 1 + 4/group ≈ 1.0625 bytes per parameter.
     Int8,
+    /// Sub-byte Q4_0 (32-wide blocks, one f16 scale each, packed nibbles):
+    /// 18/32 = 0.5625 bytes per parameter — 4.5 bits per weight.
+    Q4,
+    /// Sub-byte K-quant Q4K (256-wide super-blocks with per-sub-block u8
+    /// scale/min): 148/256 = 0.578125 bytes per parameter — 4.625 bits per
+    /// weight, better tails than Q4_0 on skewed expert rows.
+    Q4K,
 }
 
 impl ExpertPrecision {
     /// All precisions, in sweep order.
-    pub const ALL: [ExpertPrecision; 3] =
-        [ExpertPrecision::F32, ExpertPrecision::F16, ExpertPrecision::Int8];
+    pub const ALL: [ExpertPrecision; 5] = [
+        ExpertPrecision::F32,
+        ExpertPrecision::F16,
+        ExpertPrecision::Int8,
+        ExpertPrecision::Q4,
+        ExpertPrecision::Q4K,
+    ];
 
     /// Int8 quantization group used for byte accounting and checkpointing
     /// (matches `pgmoe_tensor::quant::DEFAULT_INT8_GROUP`).
@@ -63,6 +107,10 @@ impl ExpertPrecision {
             ExpertPrecision::F32 => base.bytes_per_param(),
             ExpertPrecision::F16 => 2.0,
             ExpertPrecision::Int8 => 1.0 + 4.0 / Self::INT8_GROUP as f64,
+            // 16 payload bytes + one f16 scale per 32-wide block.
+            ExpertPrecision::Q4 => 18.0 / 32.0,
+            // 128 payload bytes + 2×f16 + 2×8×u8 per 256-wide super-block.
+            ExpertPrecision::Q4K => 148.0 / 256.0,
         }
     }
 
@@ -75,6 +123,8 @@ impl ExpertPrecision {
             ExpertPrecision::Int8 => {
                 Some(pgmoe_tensor::QuantMode::Int8 { group: Self::INT8_GROUP })
             }
+            ExpertPrecision::Q4 => Some(pgmoe_tensor::QuantMode::Q4),
+            ExpertPrecision::Q4K => Some(pgmoe_tensor::QuantMode::Q4K),
         }
     }
 }
@@ -85,6 +135,8 @@ impl std::fmt::Display for ExpertPrecision {
             ExpertPrecision::F32 => "f32",
             ExpertPrecision::F16 => "f16",
             ExpertPrecision::Int8 => "int8",
+            ExpertPrecision::Q4 => "q4",
+            ExpertPrecision::Q4K => "q4k",
         })
     }
 }

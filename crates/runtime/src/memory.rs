@@ -301,6 +301,18 @@ mod tests {
         assert!((3.7..3.8).contains(&ratio), "int8 expert shrink {ratio}");
         assert!(int8_plan.offload_bytes() < f32_plan.offload_bytes() / 3);
         assert!(int8_plan.transient_bytes_per_block() < f32_plan.transient_bytes_per_block() / 3);
+        // Sub-byte Q4 pushes past 7× vs f32 and ≥1.7× vs int8 — the byte
+        // geometry the quantized-offload e2e gate asserts end to end.
+        let q4_plan = PlacementPlan::new(
+            &cfg,
+            &SimOptions::new(OffloadPolicy::Pregated).with_expert_precision(ExpertPrecision::Q4),
+            320,
+            1,
+        );
+        let q4_ratio = f32_plan.expert_bytes() as f64 / q4_plan.expert_bytes() as f64;
+        assert!((7.0..7.2).contains(&q4_ratio), "q4 expert shrink {q4_ratio}");
+        let int8_vs_q4 = int8_plan.expert_bytes() as f64 / q4_plan.expert_bytes() as f64;
+        assert!(int8_vs_q4 >= 1.7, "q4 must beat int8 by ≥1.7×, got {int8_vs_q4}");
         // The override matches tagging the model itself.
         let tagged = cfg.with_expert_precision(ExpertPrecision::Int8);
         let tagged_plan =
@@ -361,9 +373,14 @@ mod tests {
         let f32_cap = plan_at(ExpertPrecision::F32).cache_experts();
         let f16_cap = plan_at(ExpertPrecision::F16).cache_experts();
         let int8_cap = plan_at(ExpertPrecision::Int8).cache_experts();
+        let q4_cap = plan_at(ExpertPrecision::Q4).cache_experts();
+        let q4k_cap = plan_at(ExpertPrecision::Q4K).cache_experts();
         assert_eq!(f32_cap, 16);
         assert_eq!(f16_cap, 32);
         assert!(int8_cap >= 2 * f32_cap, "int8 cache {int8_cap} vs f32 {f32_cap}");
+        // 4.5 bits/weight: the same budget holds ~7.1× the f32 experts.
+        assert_eq!(q4_cap, 113, "q4 cache {q4_cap} vs f32 {f32_cap}");
+        assert!(q4k_cap >= 6 * f32_cap && q4k_cap <= q4_cap, "q4k cache {q4k_cap}");
         // The HBM the region costs is capped by the budget either way.
         for p in ExpertPrecision::ALL {
             let plan = plan_at(p);

@@ -1,7 +1,7 @@
 //! Compiled decode plans: an op-IR, a plan cache, and an executor for the
 //! shared decode core.
 //!
-//! The decode core ([`crate::core`]) derives every iteration's schedule from
+//! The decode core (`crate::core`) derives every iteration's schedule from
 //! `ExpertScheduler` trait-object hooks — pure host overhead once the HTTP
 //! front door and the fleet multiply it by thousands of concurrent streams.
 //! This module lowers one decode iteration into a small op-IR
@@ -235,7 +235,7 @@ pub enum PlanOp {
     },
     /// Paged-KV block bookkeeping charged to simulated time: `blocks`
     /// freshly allocated KV blocks and `cow_bytes` of copy-on-write block
-    /// copies (see [`kv_append_duration`] for the cost model).
+    /// copies (see `kv_append_duration` for the cost model).
     KvAppend {
         /// KV blocks newly allocated this iteration.
         blocks: u64,

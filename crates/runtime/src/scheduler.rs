@@ -401,7 +401,7 @@ pub trait ExpertScheduler {
     /// decisions depend only on per-block routed-set *sizes* can answer
     /// [`RoutingSensitivity::Counts`] and share one compiled plan across
     /// every token with the same per-block counts. Ignored (forced to
-    /// `Exact`) whenever an [`ExpertCache`](crate::ExpertCache) is
+    /// `Exact`) whenever an [`ExpertCache`] is
     /// attached, since cache probes are keyed on expert ids.
     fn plan_routing_sensitivity(&self) -> RoutingSensitivity {
         RoutingSensitivity::Exact

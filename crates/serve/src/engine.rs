@@ -281,6 +281,13 @@ pub(crate) fn run_engine(
     }
     let arena = ScratchArena::new();
     let seq_len = cfg.net.seq_len;
+    // The migration unit at the precision actually served (the options
+    // override wins over the model tag) — exported as a gauge so byte
+    // counters above it are interpretable in experts, not just bytes.
+    let expert_bytes = {
+        let p = cfg.opts.expert_precision.unwrap_or(cfg.model.expert_precision);
+        cfg.model.clone().with_expert_precision(p).expert_bytes()
+    };
     let mut session = BatchSession::new(cfg.model, cfg.opts, cfg.batch)
         .expect("engine config validated before spawn");
 
@@ -423,6 +430,7 @@ pub(crate) fn run_engine(
             demand_fetch_bytes: session.demand_fetch_bytes(),
             plan_cache_hits: session.plan_cache_stats().hits,
             plan_cache_misses: session.plan_cache_stats().misses,
+            expert_bytes,
         });
 
         iterations_run += 1;

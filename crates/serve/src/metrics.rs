@@ -162,6 +162,10 @@ pub struct SimSnapshot {
     pub plan_cache_hits: u64,
     /// Decode iterations that compiled a fresh plan.
     pub plan_cache_misses: u64,
+    /// Bytes of one expert at the serving precision (the migration unit
+    /// every fetch/cache figure above is denominated in — 4 B/param at
+    /// f32 down to 0.5625 B/param at Q4).
+    pub expert_bytes: u64,
 }
 
 /// The server's full metric registry.
@@ -347,6 +351,12 @@ impl ServerMetrics {
             "Decode iterations that compiled a fresh plan.",
             sim.plan_cache_misses.to_string(),
         );
+        scalar(
+            "pgmoe_sim_expert_bytes",
+            "gauge",
+            "Bytes of one expert at the serving precision (the migration unit).",
+            sim.expert_bytes.to_string(),
+        );
 
         let _ = writeln!(out, "# HELP pgmoe_http_responses_total Completed HTTP responses.");
         let _ = writeln!(out, "# TYPE pgmoe_http_responses_total counter");
@@ -398,10 +408,16 @@ mod tests {
         m.count_response("/v1/generate", 200);
         m.count_response("/healthz", 200);
         m.ttft_seconds.observe(Duration::from_millis(3));
-        m.publish_sim(SimSnapshot { total_tokens: 7, peak_hbm_bytes: 1, ..Default::default() });
+        m.publish_sim(SimSnapshot {
+            total_tokens: 7,
+            peak_hbm_bytes: 1,
+            expert_bytes: 2_654_208,
+            ..Default::default()
+        });
         let text = m.render();
         assert!(text.contains("pgmoe_tokens_streamed_total 7"));
         assert!(text.contains("pgmoe_sim_tokens_total 7"));
+        assert!(text.contains("pgmoe_sim_expert_bytes 2654208"));
         assert!(
             text.contains("pgmoe_http_responses_total{route=\"/v1/generate\",status=\"200\"} 2")
         );

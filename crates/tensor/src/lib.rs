@@ -12,9 +12,12 @@
 //!   transpose-aware `matmul_nt`/`matmul_tn` variants) every matmul lowers
 //!   to, parallelised across [`pool::WorkerPool`] worker threads
 //!   (`PGMOE_THREADS`) above a size cutoff.
-//! * [`quant`] — [`QuantizedTensor`] (per-group int8 / f16 storage) and the
-//!   fused dequantizing GEMM `matmul_dequant_into`, the numeric substrate of
-//!   the reproduction's expert-precision axis.
+//! * [`quant`] — [`QuantizedTensor`] (per-group int8 / f16 / sub-byte Q4_0
+//!   and Q4K storage) and the fused dequantizing GEMM `matmul_dequant_into`,
+//!   the numeric substrate of the reproduction's expert-precision axis.
+//! * [`simd`] — runtime-detected AVX2 microkernels for the fused GEMM's
+//!   panel-dequant pass (scalar fallback everywhere else; `PGMOE_NO_SIMD=1`
+//!   forces it), bitwise identical to the scalar path by construction.
 //! * [`arena`] — [`ScratchArena`], recycled scratch buffers that make the
 //!   arena-aware inference paths allocation-free in steady state.
 //! * [`nn`] — gradient-carrying layers (`Linear`, `Embedding`, `LayerNorm`,
@@ -41,8 +44,9 @@
 //! runtime's routing logic.
 
 // `deny` rather than `forbid`: the worker pool's scoped execution needs one
-// audited lifetime-erasure transmute (see `pool.rs` for the safety argument);
-// every other module remains unsafe-free.
+// audited lifetime-erasure transmute (see `pool.rs` for the safety argument)
+// and the `simd` module wraps `std::arch` intrinsics behind runtime feature
+// detection; every other module remains unsafe-free.
 #![deny(unsafe_code)]
 #![deny(missing_docs)]
 
@@ -57,6 +61,7 @@ pub mod nn;
 pub mod ops;
 pub mod pool;
 pub mod quant;
+pub mod simd;
 
 pub use arena::{ArenaStats, ScratchArena};
 pub use error::{Result, TensorError};

@@ -1,0 +1,249 @@
+//! Runtime-dispatched SIMD microkernels for the fused dequantizing GEMM.
+//!
+//! The fused kernel in [`crate::quant`] spends its `O(k·n)` panel-dequant
+//! pass unpacking sub-byte codes one element at a time — shift/mask/index
+//! arithmetic the autovectorizer does not turn into vector code. This
+//! module provides explicit `std::arch` AVX2 panel-dequant microkernels
+//! that unpack 16 nibbles (one [`crate::kernel::JT`]-wide panel row) in
+//! registers, selected once per process by runtime feature detection:
+//!
+//! * **Tier 1 (AVX2)** — taken when `is_x86_feature_detected!("avx2")`
+//!   holds and `PGMOE_NO_SIMD` is unset. Covers Q4_0, Q4K, and
+//!   single-group int8 panel rows.
+//! * **Tier 0 (scalar)** — the safe per-element loops in `quant.rs`,
+//!   taken on every other architecture, when the CPU lacks AVX2, or when
+//!   `PGMOE_NO_SIMD=1` forces the fallback (CI runs the quant property
+//!   suite under this env var so the non-AVX2 path stays covered).
+//!
+//! # Determinism: why the microkernels never use FMA
+//!
+//! The repo-wide contract says the fused GEMM is **bitwise identical** to
+//! dequantize-then-matmul for 1 and N threads — which extends to SIMD vs
+//! scalar dispatch: a machine with AVX2 and a machine without must produce
+//! the same bits. A fused multiply-add (`_mm256_fmadd_ps`) rounds once
+//! where `mul` + `add` round twice, so FMA contraction would silently
+//! change low bits. These kernels therefore emit only separate
+//! `_mm256_mul_ps`/`_mm256_sub_ps` ops in exactly the scalar evaluation
+//! order (Rust's strict f32 semantics mean the scalar path is never
+//! contracted either), and the FMA feature bit plays no role in dispatch.
+//!
+//! Every microkernel here mirrors a scalar formula in `quant.rs`:
+//!
+//! | format | scalar formula              | SIMD evaluation               |
+//! |--------|-----------------------------|-------------------------------|
+//! | Q4_0   | `(q − 8) as f32 * s`        | `mul(cvt(q − 8), set1(s))`    |
+//! | Q4K    | `ds * q as f32 - dm`        | `sub(mul(cvt(q), ds), dm)`    |
+//! | int8   | `q as f32 * s`              | `mul(cvt(q), set1(s))`        |
+//!
+//! Integer→f32 conversion is exact and f32 multiply is IEEE-correctly
+//! rounded in both forms, so the lanes match the scalar bits exactly; the
+//! property tests in `tests/properties.rs` pin SIMD ≡ scalar down.
+
+#![allow(unsafe_code)]
+
+/// Environment variable that forces the scalar fallback when set to
+/// anything other than `0` or the empty string (checked once per process).
+pub const NO_SIMD_ENV: &str = "PGMOE_NO_SIMD";
+
+/// Whether this CPU has the AVX2 tier at all, regardless of
+/// [`NO_SIMD_ENV`] — what the bench gate uses to decide if the
+/// SIMD-vs-scalar speedup is measurable on this machine.
+pub fn available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether the fused GEMM will actually dispatch to the AVX2 microkernels:
+/// [`available`] and not disabled via [`NO_SIMD_ENV`]. Cached on first use.
+pub fn enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        let disabled = std::env::var(NO_SIMD_ENV).is_ok_and(|v| !v.is_empty() && v != "0");
+        available() && !disabled
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) use x86::{deq_panel_int8, deq_panel_q4, deq_panel_q4k};
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use crate::kernel::JT;
+    use crate::quant::{f16_to_f32, Q4K_SUB, Q4K_SUPER, Q4_BLOCK};
+    use std::arch::x86_64::*;
+
+    /// Dequantizes the Q4_0 `[k, JT]` panel at column `jj` into `panel`
+    /// (row-major `k × JT`). Caller must have checked [`super::enabled`];
+    /// `jj` is 16-aligned and `jj + JT ≤ cols`, so the 16 columns share one
+    /// 32-wide block and its single f16 scale.
+    pub(crate) fn deq_panel_q4(
+        data: &[u8],
+        scales: &[u16],
+        bstride: usize,
+        sstride: usize,
+        k: usize,
+        jj: usize,
+        panel: &mut [f32],
+    ) {
+        debug_assert_eq!(jj % JT, 0);
+        debug_assert!(panel.len() >= k * JT);
+        // SAFETY: `enabled()` verified AVX2 before this path is reachable;
+        // all loads/stores below stay inside the checked slice bounds.
+        unsafe { deq_panel_q4_avx2(data, scales, bstride, sstride, k, jj, panel) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn deq_panel_q4_avx2(
+        data: &[u8],
+        scales: &[u16],
+        bstride: usize,
+        sstride: usize,
+        k: usize,
+        jj: usize,
+        panel: &mut [f32],
+    ) {
+        let lo_mask = _mm_set1_epi8(0x0f);
+        let bias = _mm_set1_epi8(8);
+        for kx in 0..k {
+            let s = _mm256_set1_ps(f16_to_f32(scales[kx * sstride + jj / Q4_BLOCK]));
+            let src = &data[kx * bstride + jj / 2..kx * bstride + jj / 2 + JT / 2];
+            // 8 packed bytes → 16 nibbles in element order (lo, hi, lo, …).
+            let bytes = _mm_loadl_epi64(src.as_ptr() as *const __m128i);
+            let lo = _mm_and_si128(bytes, lo_mask);
+            let hi = _mm_and_si128(_mm_srli_epi16::<4>(bytes), lo_mask);
+            let q = _mm_sub_epi8(_mm_unpacklo_epi8(lo, hi), bias);
+            let q16 = _mm256_cvtepi8_epi16(q);
+            let q0 = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(q16));
+            let q1 = _mm256_cvtepi16_epi32(_mm256_extracti128_si256::<1>(q16));
+            let dst = panel[kx * JT..(kx + 1) * JT].as_mut_ptr();
+            // Scalar order is `(q − 8) as f32 * s`: one exact conversion,
+            // one correctly rounded multiply — identical lanes here.
+            _mm256_storeu_ps(dst, _mm256_mul_ps(_mm256_cvtepi32_ps(q0), s));
+            _mm256_storeu_ps(dst.add(8), _mm256_mul_ps(_mm256_cvtepi32_ps(q1), s));
+        }
+    }
+
+    /// Q4K form of [`deq_panel_q4`]: the 16 columns share one sub-block, so
+    /// one `(d·sc, dmin·mn)` pair covers the whole panel row.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn deq_panel_q4k(
+        data: &[u8],
+        d: &[u16],
+        dmin: &[u16],
+        sc: &[u8],
+        mn: &[u8],
+        strides: (usize, usize, usize),
+        k: usize,
+        jj: usize,
+        panel: &mut [f32],
+    ) {
+        debug_assert_eq!(jj % JT, 0);
+        debug_assert!(panel.len() >= k * JT);
+        // SAFETY: AVX2 checked by the caller via `enabled()`; bounds are
+        // slice-checked.
+        unsafe { deq_panel_q4k_avx2(data, d, dmin, sc, mn, strides, k, jj, panel) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn deq_panel_q4k_avx2(
+        data: &[u8],
+        d: &[u16],
+        dmin: &[u16],
+        sc: &[u8],
+        mn: &[u8],
+        (bstride, dstride, sstride): (usize, usize, usize),
+        k: usize,
+        jj: usize,
+        panel: &mut [f32],
+    ) {
+        let lo_mask = _mm_set1_epi8(0x0f);
+        for kx in 0..k {
+            let sup = kx * dstride + jj / Q4K_SUPER;
+            let sub = kx * sstride + jj / Q4K_SUB;
+            // Same two f32 products the scalar path computes per element.
+            let ds = f16_to_f32(d[sup]) * sc[sub] as f32;
+            let dm = f16_to_f32(dmin[sup]) * mn[sub] as f32;
+            let dsv = _mm256_set1_ps(ds);
+            let dmv = _mm256_set1_ps(dm);
+            let src = &data[kx * bstride + jj / 2..kx * bstride + jj / 2 + JT / 2];
+            let bytes = _mm_loadl_epi64(src.as_ptr() as *const __m128i);
+            let lo = _mm_and_si128(bytes, lo_mask);
+            let hi = _mm_and_si128(_mm_srli_epi16::<4>(bytes), lo_mask);
+            let q = _mm_unpacklo_epi8(lo, hi);
+            let q16 = _mm256_cvtepi8_epi16(q);
+            let q0 = _mm256_cvtepi16_epi32(_mm256_castsi256_si128(q16));
+            let q1 = _mm256_cvtepi16_epi32(_mm256_extracti128_si256::<1>(q16));
+            let dst = panel[kx * JT..(kx + 1) * JT].as_mut_ptr();
+            // Scalar order is `ds * q as f32 - dm`: mul then sub, no FMA.
+            let v0 = _mm256_sub_ps(_mm256_mul_ps(dsv, _mm256_cvtepi32_ps(q0)), dmv);
+            let v1 = _mm256_sub_ps(_mm256_mul_ps(dsv, _mm256_cvtepi32_ps(q1)), dmv);
+            _mm256_storeu_ps(dst, v0);
+            _mm256_storeu_ps(dst.add(8), v1);
+        }
+    }
+
+    /// Int8 form of [`deq_panel_q4`], valid only when the 16 columns fall
+    /// inside a single scale group (the caller checks; the default group of
+    /// 64 always qualifies).
+    pub(crate) fn deq_panel_int8(
+        data: &[i8],
+        scales: &[f32],
+        cols: usize,
+        sstride: usize,
+        group: usize,
+        k: usize,
+        jj: usize,
+        panel: &mut [f32],
+    ) {
+        debug_assert_eq!(jj % JT, 0);
+        debug_assert_eq!(jj / group, (jj + JT - 1) / group);
+        debug_assert!(panel.len() >= k * JT);
+        // SAFETY: AVX2 checked by the caller via `enabled()`; bounds are
+        // slice-checked.
+        unsafe { deq_panel_int8_avx2(data, scales, cols, sstride, group, k, jj, panel) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn deq_panel_int8_avx2(
+        data: &[i8],
+        scales: &[f32],
+        cols: usize,
+        sstride: usize,
+        group: usize,
+        k: usize,
+        jj: usize,
+        panel: &mut [f32],
+    ) {
+        for kx in 0..k {
+            let s = _mm256_set1_ps(scales[kx * sstride + jj / group]);
+            let src = &data[kx * cols + jj..kx * cols + jj + JT];
+            let bytes = _mm_loadu_si128(src.as_ptr() as *const __m128i);
+            let q0 = _mm256_cvtepi8_epi32(bytes);
+            let q1 = _mm256_cvtepi8_epi32(_mm_srli_si128::<8>(bytes));
+            let dst = panel[kx * JT..(kx + 1) * JT].as_mut_ptr();
+            // Scalar order is `q as f32 * s`.
+            _mm256_storeu_ps(dst, _mm256_mul_ps(_mm256_cvtepi32_ps(q0), s));
+            _mm256_storeu_ps(dst.add(8), _mm256_mul_ps(_mm256_cvtepi32_ps(q1), s));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn enabled_implies_available() {
+        // `enabled()` may be false on AVX2 hardware (env override) but can
+        // never be true without the hardware tier.
+        if super::enabled() {
+            assert!(super::available());
+        }
+    }
+}

@@ -273,13 +273,69 @@ proptest! {
     }
 
     #[test]
+    fn q4_round_trip_error_bounded_by_block_scale(
+        (rows, cols) in (1usize..6, 1usize..80),
+        seed in 0u32..1000,
+    ) {
+        // Covers block-edge geometry by construction: cols frequently not a
+        // multiple of 32, 1×N rows, blocks wider than the row. Q4_0's scale
+        // is d = max|v|/8, every element lands within |d| (rounding
+        // half-step, plus one code of clamp slack at the positive edge).
+        let data = lcg_fill(rows * cols, seed + 3);
+        let t = Tensor::from_vec([rows, cols], data.clone()).unwrap();
+        let q = QuantizedTensor::quantize(&t, QuantMode::Q4);
+        let back = q.dequantize();
+        let (_, scales) = q.q4_parts().unwrap();
+        let blocks_per_row = cols.div_ceil(32);
+        for (i, (&v, &b)) in data.iter().zip(back.as_slice()).enumerate() {
+            let (r, c) = (i / cols, i % cols);
+            let d = quant::f16_to_f32(scales[r * blocks_per_row + c / 32]).abs();
+            prop_assert!(
+                (v - b).abs() <= d + 1e-6,
+                "elem {i}: {v} → {b} exceeds the block scale {d}"
+            );
+        }
+        prop_assert_eq!(q.bytes(), rows * (cols.div_ceil(2) + 2 * blocks_per_row));
+    }
+
+    #[test]
+    fn q4k_round_trip_error_bounded_by_sub_block_geometry(
+        (rows, cols) in (1usize..4, 1usize..300),
+        seed in 0u32..1000,
+    ) {
+        // Super-block edges by construction: cols spanning none, one, or
+        // several 256-wide super-blocks, with ragged 32-wide sub-blocks.
+        // The asymmetric bound is half the reconstructed sub-block scale
+        // (value rounding) plus one dmin step (min-code rounding + clamp).
+        let data = lcg_fill(rows * cols, seed + 5);
+        let t = Tensor::from_vec([rows, cols], data.clone()).unwrap();
+        let q = QuantizedTensor::quantize(&t, QuantMode::Q4K);
+        let back = q.dequantize();
+        let (_, d, dmin, sc, _) = q.q4k_parts().unwrap();
+        let supers_per_row = cols.div_ceil(256);
+        let subs_per_row = cols.div_ceil(32);
+        for (i, (&v, &b)) in data.iter().zip(back.as_slice()).enumerate() {
+            let (r, c) = (i / cols, i % cols);
+            let sup = r * supers_per_row + c / 256;
+            let sub = r * subs_per_row + c / 32;
+            let ds = quant::f16_to_f32(d[sup]) * sc[sub] as f32;
+            let dm_step = quant::f16_to_f32(dmin[sup]);
+            prop_assert!(
+                (v - b).abs() <= 0.5 * ds + dm_step + 1e-5,
+                "elem {i}: {v} → {b} exceeds ds/2 + dmin = {}", 0.5 * ds + dm_step
+            );
+        }
+    }
+
+    #[test]
     fn fused_dequant_gemm_is_bitwise_dequantize_then_matmul(
         (m, k, n, a, b) in gemm_case(17),
         group in 1usize..24,
     ) {
         // The fused kernel must be indistinguishable from materialising the
-        // f32 weights — for int8 (any group geometry) and f16 alike.
-        for mode in [QuantMode::Int8 { group }, QuantMode::F16] {
+        // f32 weights — for int8 (any group geometry), f16, and the packed
+        // sub-byte formats alike.
+        for mode in [QuantMode::Int8 { group }, QuantMode::F16, QuantMode::Q4, QuantMode::Q4K] {
             let bq = QuantizedTensor::quantize(
                 &Tensor::from_vec([k, n], b.clone()).unwrap(), mode);
             let deq = bq.dequantize();
@@ -353,14 +409,21 @@ fn parallel_gemm_is_bitwise_deterministic_across_thread_counts() {
 
 /// The fused dequantizing GEMM fans out across the same pool: above the
 /// parallel cutoff, the pool-dispatched kernel must be bitwise identical to
-/// the serial fused kernel AND to dequantize-then-serial-matmul, for any
+/// the serial fused kernel, to the forced-scalar fallback (whatever SIMD
+/// tier this CPU dispatched), AND to dequantize-then-serial-matmul, for any
 /// thread count.
 #[test]
 fn fused_dequant_gemm_is_bitwise_deterministic_across_thread_counts() {
     let (m, k, n) = (203, 151, 97); // above PAR_MIN_WORK, odd boundaries
     let a = lcg_fill(m * k, 61);
     let b = Tensor::from_vec([k, n], lcg_fill(k * n, 67)).unwrap();
-    for mode in [QuantMode::int8(), QuantMode::Int8 { group: 13 }, QuantMode::F16] {
+    for mode in [
+        QuantMode::int8(),
+        QuantMode::Int8 { group: 13 },
+        QuantMode::F16,
+        QuantMode::Q4,
+        QuantMode::Q4K,
+    ] {
         let q = QuantizedTensor::quantize(&b, mode);
         let mut serial = vec![0.0f32; m * n];
         quant::matmul_dequant_serial_into(&mut serial, &a, &q, m, k, n);
@@ -372,6 +435,14 @@ fn fused_dequant_gemm_is_bitwise_deterministic_across_thread_counts() {
              ({} worker threads)",
             pgmoe_tensor::WorkerPool::global().num_threads()
         );
+        let mut scalar = vec![0.0f32; m * n];
+        quant::matmul_dequant_scalar_into(&mut scalar, &a, &q, m, k, n);
+        assert!(
+            scalar.iter().zip(&pooled).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "{mode:?}: SIMD-dispatched fused GEMM must match the scalar fallback bitwise \
+             (simd enabled: {})",
+            pgmoe_tensor::simd::enabled()
+        );
         let deq = q.dequantize();
         let mut dense = vec![0.0f32; m * n];
         kernel::matmul_serial_into(&mut dense, &a, deq.as_slice(), m, k, n);
@@ -379,6 +450,31 @@ fn fused_dequant_gemm_is_bitwise_deterministic_across_thread_counts() {
             dense.iter().zip(&pooled).all(|(x, y)| x.to_bits() == y.to_bits()),
             "{mode:?}: fused GEMM must match dequantize-then-matmul bitwise"
         );
+    }
+}
+
+/// Q4 edge shapes the block geometry must survive: a 1×N vector, rows
+/// shorter than one block, a zero-row tensor, and an empty GEMM.
+#[test]
+fn q4_edge_shapes_round_trip_and_multiply() {
+    for mode in [QuantMode::Q4, QuantMode::Q4K] {
+        // 1×N vector spanning several blocks, N not a multiple of 32.
+        let v = Tensor::from_vec([71], lcg_fill(71, 71)).unwrap();
+        let q = QuantizedTensor::quantize(&v, mode);
+        assert_eq!(q.dequantize().dims(), &[71]);
+        // Rows shorter than one block/sub-block.
+        let t = Tensor::from_vec([4, 3], lcg_fill(12, 73)).unwrap();
+        let q = QuantizedTensor::quantize(&t, mode);
+        let back = q.dequantize();
+        for (x, y) in t.as_slice().iter().zip(back.as_slice()) {
+            assert!((x - y).abs() <= 0.5, "{mode:?}: tail block diverged ({x} vs {y})");
+        }
+        // Empty: zero rows quantize, dequantize, and multiply to nothing.
+        let empty = QuantizedTensor::quantize(&Tensor::zeros([0, 5]), mode);
+        assert_eq!(empty.dequantize().len(), 0);
+        let mut out = vec![7.0f32; 10];
+        quant::matmul_dequant_into(&mut out, &[], &empty, 2, 0, 5);
+        assert_eq!(out, vec![0.0; 10], "{mode:?}: k=0 GEMM must zero the output");
     }
 }
 
